@@ -1,0 +1,77 @@
+// Command mithra-calib prints per-benchmark deployment diagnostics: the
+// tuned threshold, the auto-tuner's chosen table configuration and guard
+// band, the neural classifier's selected topology and bias, and each
+// design's validation behaviour. It is the tool used to calibrate the
+// pipeline defaults (README "Results" and EXPERIMENTS.md record its
+// output at the released settings).
+//
+//	mithra-calib [-scale test|medium|paper] [-quality 0.05] [bench ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mithra/internal/axbench"
+	"mithra/internal/core"
+	"mithra/internal/stats"
+)
+
+func main() {
+	scale := flag.String("scale", "medium", "dataset scale: test|medium|paper")
+	quality := flag.Float64("quality", 0.05, "desired quality loss")
+	flag.Parse()
+
+	var opts core.Options
+	switch *scale {
+	case "test":
+		opts = core.TestOptions()
+	case "medium":
+		opts = core.DefaultOptions()
+	case "paper":
+		opts = core.PaperOptions()
+	default:
+		fmt.Fprintf(os.Stderr, "mithra-calib: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	g := stats.Guarantee{QualityLoss: *quality, SuccessRate: 0.9, Confidence: 0.95, TwoSided: true}
+	if *scale == "test" {
+		g.SuccessRate, g.Confidence, g.TwoSided = 0.6, 0.9, false
+	}
+
+	benches := flag.Args()
+	if len(benches) == 0 {
+		benches = axbench.Names()
+	}
+	for _, name := range benches {
+		b, err := axbench.New(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mithra-calib:", err)
+			os.Exit(1)
+		}
+		ctx, err := core.NewContext(b, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mithra-calib:", err)
+			os.Exit(1)
+		}
+		d, err := ctx.Deploy(g)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mithra-calib:", err)
+			os.Exit(1)
+		}
+		tc := d.Table.Config()
+		fmt.Printf("%s: full-approx %.1f%%, threshold %.4f (certified=%v)\n",
+			name, ctx.FullQuality*100, d.Th.Threshold, d.Th.Certified)
+		fmt.Printf("  table : bits=%d combine=%s guard=%.2f density=%.1f%% size=%dB\n",
+			tc.QuantBits, tc.Combine, d.TableGuard, d.Table.Density()*100, d.Table.SizeBytes())
+		fmt.Printf("  neural: topo=%v bias=%.2f size=%dB\n",
+			d.Neural.Topology(), d.Neural.Bias(), d.Neural.SizeBytes())
+		for _, design := range []core.Design{core.DesignOracle, core.DesignTable, core.DesignNeural} {
+			r := d.EvaluateValidation(design)
+			fmt.Printf("  %-7s inv=%5.1f%% speedup=%.2fx energy=%.2fx FP=%.1f%% FN=%.1f%% succ=%d/%d\n",
+				design, r.InvocationRate*100, r.Speedup, r.EnergyReduction,
+				r.FPRate*100, r.FNRate*100, r.Successes, len(r.Qualities))
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Command mithra-report regenerates every table and figure of the
+// paper's evaluation in one run (the DESIGN.md §4 experiment index) and
+// writes them to stdout or a file.
+//
+//	mithra-report                 # medium scale, all experiments
+//	mithra-report -scale test     # quick smoke run
+//	mithra-report -o report.txt   # write to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"mithra"
+	"mithra/internal/core"
+	"mithra/internal/experiments"
+)
+
+func main() {
+	scale := flag.String("scale", "medium", "dataset scale: test|medium|paper")
+	out := flag.String("o", "", "output file (default stdout)")
+	seed := flag.Uint64("seed", 42, "experiment seed")
+	format := flag.String("format", "text", "output format: text|csv|json")
+	flag.Parse()
+
+	var opts core.Options
+	switch *scale {
+	case "test":
+		opts = core.TestOptions()
+	case "medium":
+		opts = core.DefaultOptions()
+	case "paper":
+		opts = core.PaperOptions()
+	default:
+		fmt.Fprintf(os.Stderr, "mithra-report: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	opts.Seed = *seed
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mithra-report:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	cfg := mithra.DefaultReportConfig()
+	cfg.Opts = opts
+	if *scale == "test" {
+		// Small samples cannot certify the paper guarantee; scale it down
+		// with the dataset count as experiments.TestConfig does.
+		cfg.SuccessRate = 0.6
+		cfg.Confidence = 0.9
+		cfg.TwoSided = false
+	}
+
+	start := time.Now()
+	if *format == "text" {
+		fmt.Fprintf(w, "MITHRA evaluation report (scale=%s, seed=%d)\n", *scale, *seed)
+		fmt.Fprintf(w, "benchmarks: %v\n", cfg.Benchmarks)
+		fmt.Fprintf(w, "guarantee: %.0f%% success, %.0f%% confidence; quality levels %v\n\n",
+			cfg.SuccessRate*100, cfg.Confidence*100, cfg.QualityLevels)
+	}
+	s, err := experiments.NewSuite(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mithra-report:", err)
+		os.Exit(1)
+	}
+	if err := experiments.RunAllFormat(s, w, experiments.Format(*format)); err != nil {
+		fmt.Fprintln(os.Stderr, "mithra-report:", err)
+		os.Exit(1)
+	}
+	if *format == "text" {
+		fmt.Fprintf(w, "total time: %s\n", time.Since(start).Round(time.Second))
+	}
+}

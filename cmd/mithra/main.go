@@ -1,0 +1,335 @@
+// Command mithra drives the MITHRA pipeline from the shell:
+//
+//	mithra list                            # benchmarks and experiments
+//	mithra compile -bench sobel -quality 0.05
+//	mithra run -bench sobel -quality 0.05 -design table
+//	mithra report -exp fig6 -scale medium
+//
+// The -scale flag selects test (seconds), medium (the default campaign),
+// or paper (Table I input sizes, 250+250 datasets — slow).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mithra"
+	"mithra/internal/axbench"
+	"mithra/internal/core"
+	"mithra/internal/dataset"
+	"mithra/internal/experiments"
+	"mithra/internal/mathx"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "compile":
+		err = cmdCompile(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "exec":
+		err = cmdExec(os.Args[2:])
+	case "report":
+		err = cmdReport(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "mithra: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mithra:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: mithra <command> [flags]
+
+commands:
+  list      benchmarks and regenerable experiments
+  compile   tune the threshold and train classifiers for one benchmark
+  run       evaluate a design on unseen datasets
+  exec      execute a compiled deployment on real input (e.g. a PGM image)
+  report    regenerate the paper's tables and figures
+
+run 'mithra <command> -h' for flags.`)
+}
+
+func optionsFor(scale string) (core.Options, error) {
+	switch scale {
+	case "test":
+		return core.TestOptions(), nil
+	case "medium", "":
+		return core.DefaultOptions(), nil
+	case "paper":
+		return core.PaperOptions(), nil
+	}
+	return core.Options{}, fmt.Errorf("unknown scale %q (test|medium|paper)", scale)
+}
+
+func cmdList() error {
+	fmt.Println("benchmarks:")
+	for _, n := range mithra.Benchmarks() {
+		b, err := mithra.NewBenchmark(n)
+		if err != nil {
+			return err
+		}
+		topo := make([]string, len(b.Topology()))
+		for i, t := range b.Topology() {
+			topo[i] = fmt.Sprint(t)
+		}
+		fmt.Printf("  %-14s %-20s metric=%s topology=%s\n",
+			n, b.Domain(), b.Metric().Name(), strings.Join(topo, "->"))
+	}
+	fmt.Println("\nexperiments:")
+	for _, r := range experiments.Runners() {
+		fmt.Printf("  %-12s %s\n", r.ID, r.Descr)
+	}
+	return nil
+}
+
+func guaranteeFlags(fs *flag.FlagSet) (quality, success, confidence *float64, twoSided *bool) {
+	quality = fs.Float64("quality", 0.05, "desired final quality loss (e.g. 0.05 for 5%)")
+	success = fs.Float64("success", 0.90, "required success rate on unseen datasets")
+	confidence = fs.Float64("confidence", 0.95, "confidence level of the guarantee")
+	twoSided = fs.Bool("two-sided", true, "use the paper's two-sided interval convention")
+	return
+}
+
+func cmdCompile(args []string) error {
+	fs := flag.NewFlagSet("compile", flag.ExitOnError)
+	bench := fs.String("bench", "sobel", "benchmark name")
+	scale := fs.String("scale", "medium", "dataset scale: test|medium|paper")
+	seed := fs.Uint64("seed", 42, "experiment seed")
+	out := fs.String("o", "", "write the exported deployment to this file")
+	deltaWalk := fs.Bool("delta-walk", false, "use Algorithm 1's delta-walk instead of bisection")
+	quality, success, confidence, twoSided := guaranteeFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts, err := optionsFor(*scale)
+	if err != nil {
+		return err
+	}
+	opts.Seed = *seed
+	opts.UseDeltaWalk = *deltaWalk
+	g := mithra.Guarantee{QualityLoss: *quality, SuccessRate: *success,
+		Confidence: *confidence, TwoSided: *twoSided}
+
+	fmt.Printf("compiling %s for %s ...\n", *bench, g)
+	dep, err := mithra.Compile(*bench, g, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("threshold        %.6f (certified=%v, lower bound %.1f%%)\n",
+		dep.Th.Threshold, dep.Th.Certified, dep.Th.LowerBound*100)
+	fmt.Printf("compile success  %d/%d datasets\n", dep.Th.Successes, dep.Th.Trials)
+	fmt.Printf("oracle invocation rate on compile sets: %.1f%%\n", dep.Th.InvocationRate*100)
+	fmt.Printf("table classifier  %d B compressed (%d B raw, density %.2f%%)\n",
+		dep.Table.SizeBytes(), dep.Table.UncompressedBytes(), dep.Table.Density()*100)
+	topo := make([]string, len(dep.Neural.Topology()))
+	for i, t := range dep.Neural.Topology() {
+		topo[i] = fmt.Sprint(t)
+	}
+	fmt.Printf("neural classifier %s, %d B\n", strings.Join(topo, "->"), dep.Neural.SizeBytes())
+	fmt.Printf("tuned random filtering rate: %.1f%%\n", dep.RandomRate*100)
+	if *out != "" {
+		blob, err := dep.Export()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote deployment to %s (%d bytes)\n", *out, len(blob))
+	}
+	return nil
+}
+
+// cmdExec loads an exported deployment and runs it on a user-provided
+// input (currently PGM images for the sobel/jpeg benchmarks, synthetic
+// inputs otherwise).
+func cmdExec(args []string) error {
+	fs := flag.NewFlagSet("exec", flag.ExitOnError)
+	cfgPath := fs.String("config", "", "exported deployment file (from 'mithra compile -o')")
+	inPath := fs.String("in", "", "input PGM image (sobel/jpeg); empty generates a synthetic dataset")
+	outPath := fs.String("out", "", "output PGM for image benchmarks")
+	designName := fs.String("design", "table", "design: full-approx|table|neural")
+	seed := fs.Uint64("seed", 7, "seed for synthetic input generation")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *cfgPath == "" {
+		return fmt.Errorf("exec: -config is required")
+	}
+	blob, err := os.ReadFile(*cfgPath)
+	if err != nil {
+		return err
+	}
+	prog, err := core.LoadProgram(blob)
+	if err != nil {
+		return err
+	}
+	design, err := parseDesign(*designName)
+	if err != nil {
+		return err
+	}
+
+	var input mithra.Input
+	var imgDims [2]int
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			return err
+		}
+		im, err := dataset.ReadPGM(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		switch prog.Bench.Name() {
+		case "sobel":
+			input = mithra.NewImageInput(im)
+			imgDims = [2]int{im.W, im.H}
+		case "jpeg":
+			input, err = mithra.NewJPEGInput(im)
+			if err != nil {
+				return err
+			}
+			imgDims = [2]int{im.W &^ 7, im.H &^ 7}
+		default:
+			return fmt.Errorf("exec: -in PGM input only applies to sobel/jpeg, not %s", prog.Bench.Name())
+		}
+	} else {
+		input = prog.Bench.GenInput(mathx.NewRNG(*seed), axbench.MediumScale())
+	}
+
+	out, st, err := prog.Run(input, design)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benchmark       %s (%s)\n", prog.Bench.Name(), design)
+	fmt.Printf("invocations     %d (%d fell back to precise)\n", st.Invocations, st.Fallbacks)
+	fmt.Printf("quality loss    %.2f%% (guarantee %s met: %v)\n",
+		st.QualityLoss*100, prog.G, st.MetGuarantee)
+	fmt.Printf("modeled gains   %.2fx speedup, %.2fx energy\n", st.Speedup, st.EnergyReduction)
+
+	if *outPath != "" && imgDims[0] > 0 {
+		im := dataset.NewImage(imgDims[0], imgDims[1])
+		copy(im.Pix, out)
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := im.WritePGM(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *outPath)
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	bench := fs.String("bench", "sobel", "benchmark name")
+	scale := fs.String("scale", "medium", "dataset scale: test|medium|paper")
+	seed := fs.Uint64("seed", 42, "experiment seed")
+	designName := fs.String("design", "table", "design: full-approx|oracle|table|neural|random|table-sw|neural-sw")
+	quality, success, confidence, twoSided := guaranteeFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts, err := optionsFor(*scale)
+	if err != nil {
+		return err
+	}
+	opts.Seed = *seed
+	g := mithra.Guarantee{QualityLoss: *quality, SuccessRate: *success,
+		Confidence: *confidence, TwoSided: *twoSided}
+
+	design, err := parseDesign(*designName)
+	if err != nil {
+		return err
+	}
+	dep, err := mithra.Compile(*bench, g, opts)
+	if err != nil {
+		return err
+	}
+	res := dep.EvaluateValidation(design)
+	fmt.Printf("design            %s on %d unseen datasets\n", design, len(res.Qualities))
+	fmt.Printf("quality successes %d/%d (certified lower bound %.1f%%, guarantee %s: %v)\n",
+		res.Successes, len(res.Qualities), res.CertifiedLower*100, g, res.Certified)
+	fmt.Printf("invocation rate   %.1f%%\n", res.InvocationRate*100)
+	fmt.Printf("speedup           %.2fx\n", res.Speedup)
+	fmt.Printf("energy reduction  %.2fx\n", res.EnergyReduction)
+	fmt.Printf("EDP improvement   %.2fx\n", res.EDPImprovement)
+	if design == mithra.DesignTable || design == mithra.DesignNeural {
+		fmt.Printf("false decisions   FP %.1f%%  FN %.1f%%\n", res.FPRate*100, res.FNRate*100)
+	}
+	return nil
+}
+
+func parseDesign(s string) (mithra.Design, error) {
+	switch s {
+	case "full-approx", "none":
+		return mithra.DesignNone, nil
+	case "oracle":
+		return mithra.DesignOracle, nil
+	case "table":
+		return mithra.DesignTable, nil
+	case "neural":
+		return mithra.DesignNeural, nil
+	case "random":
+		return mithra.DesignRandom, nil
+	case "table-sw":
+		return mithra.DesignTableSW, nil
+	case "neural-sw":
+		return mithra.DesignNeuralSW, nil
+	}
+	return 0, fmt.Errorf("unknown design %q", s)
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	scale := fs.String("scale", "medium", "dataset scale: test|medium|paper")
+	exp := fs.String("exp", "", "single experiment id (default: all)")
+	seed := fs.Uint64("seed", 42, "experiment seed")
+	benches := fs.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts, err := optionsFor(*scale)
+	if err != nil {
+		return err
+	}
+	opts.Seed = *seed
+	cfg := mithra.DefaultReportConfig()
+	cfg.Opts = opts
+	if *scale == "test" {
+		// Two dozen datasets cannot certify 90% at 95% confidence; scale
+		// the guarantee with the sample size as experiments.TestConfig
+		// does.
+		cfg.SuccessRate = 0.6
+		cfg.Confidence = 0.9
+		cfg.TwoSided = false
+	}
+	if *benches != "" {
+		cfg.Benchmarks = strings.Split(*benches, ",")
+	}
+	if *exp == "" {
+		return mithra.Report(cfg, os.Stdout)
+	}
+	return mithra.Report(cfg, os.Stdout, *exp)
+}

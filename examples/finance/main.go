@@ -1,0 +1,47 @@
+// Finance: quality-controlled approximate acceleration for Black-Scholes
+// option pricing. Demonstrates how the statistical guarantee knob changes
+// the tuned threshold and the benefits — the tradeoff the paper's
+// Figure 10 sweeps.
+//
+//	go run ./examples/finance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mithra"
+)
+
+func main() {
+	b, err := mithra.NewBenchmark("blackscholes")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := mithra.TestOptions()
+	ctx, err := mithra.NewContext(b, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("blackscholes: NPU %v, always-approximate quality loss %.1f%%\n\n",
+		b.Topology(), ctx.FullQuality*100)
+
+	// Sweep the success-rate requirement at a fixed 5% quality loss:
+	// stronger guarantees tighten the threshold and cost benefits.
+	fmt.Printf("%-14s %12s %12s %14s %10s\n",
+		"success rate", "threshold", "oracle EDP", "table EDP", "certified")
+	for _, success := range []float64{0.30, 0.50, 0.70} {
+		g := mithra.Guarantee{QualityLoss: 0.05, SuccessRate: success, Confidence: 0.90}
+		dep, err := ctx.Deploy(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		oracle := dep.EvaluateValidation(mithra.DesignOracle)
+		table := dep.EvaluateValidation(mithra.DesignTable)
+		fmt.Printf("%13.0f%% %12.4f %11.2fx %13.2fx %10v\n",
+			success*100, dep.Th.Threshold,
+			oracle.EDPImprovement, table.EDPImprovement, dep.Th.Certified)
+	}
+	fmt.Println("\nhigher success rates give stronger statistical guarantees but")
+	fmt.Println("smaller energy-delay gains (paper Figure 10).")
+}

@@ -1,0 +1,44 @@
+// Imaging: JPEG block-transform acceleration with the paper's online
+// table training enabled. The pre-trained table classifier keeps
+// improving at runtime by sporadically sampling the true accelerator
+// error and updating its entries — misses can only decrease.
+//
+//	go run ./examples/imaging
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mithra"
+)
+
+func main() {
+	g := mithra.Guarantee{QualityLoss: 0.05, SuccessRate: 0.70, Confidence: 0.90}
+	opts := mithra.TestOptions()
+	fmt.Println("compiling jpeg:", g)
+	dep, err := mithra.Compile("jpeg", g, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := dep.Table.Config()
+	fmt.Printf("table classifier: %d tables x %d B, %d-bit quantization, combine=%s\n",
+		cfg.NumTables, cfg.TableBytes, cfg.QuantBits, cfg.Combine)
+	fmt.Printf("deployed size: %d B compressed (%d B raw)\n\n",
+		dep.Table.SizeBytes(), dep.Table.UncompressedBytes())
+
+	offline := dep.EvaluateValidation(mithra.DesignTable)
+	fmt.Printf("%-22s %10s %10s %10s %12s\n",
+		"configuration", "FN rate", "FP rate", "speedup", "quality ok")
+	fmt.Printf("%-22s %9.1f%% %9.1f%% %9.2fx %8d/%d\n",
+		"offline only", offline.FNRate*100, offline.FPRate*100,
+		offline.Speedup, offline.Successes, len(offline.Qualities))
+	for _, every := range []int{32, 8, 2} {
+		online := dep.EvaluateTableOnline(every, dep.Ctx.Validate)
+		fmt.Printf("online, sample 1/%-4d %10.1f%% %9.1f%% %9.2fx %8d/%d\n",
+			every, online.FNRate*100, online.FPRate*100,
+			online.Speedup, online.Successes, len(online.Qualities))
+	}
+	fmt.Println("\ndenser error sampling catches more misses (lower FN) but pays more")
+	fmt.Println("for running the precise kernel alongside the accelerator.")
+}

@@ -1,0 +1,114 @@
+// Photo: a deployed MITHRA program processing a real image file. The
+// example compiles sobel once, exports the deployment the way the paper's
+// compiler encodes MITHRA's state into the binary, reloads it as a
+// runnable Program, and edge-detects a PGM photo under quality control —
+// writing both the quality-controlled and the always-approximate results
+// next to the input so the difference is visible in any image viewer.
+//
+//	go run ./examples/photo [input.pgm]
+//
+// Without an argument a synthetic test photo is generated first.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"mithra"
+	"mithra/internal/dataset"
+	"mithra/internal/mathx"
+)
+
+func main() {
+	path := ""
+	if len(os.Args) > 1 {
+		path = os.Args[1]
+	}
+	im, path, err := loadOrGenerate(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("input: %s (%dx%d)\n", path, im.W, im.H)
+
+	g := mithra.Guarantee{QualityLoss: 0.05, SuccessRate: 0.70, Confidence: 0.90}
+	fmt.Println("compiling sobel:", g)
+	dep, err := mithra.Compile("sobel", g, mithra.TestOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob, err := dep.Export()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exported deployment: %d bytes (NPU + threshold + classifiers)\n", len(blob))
+	prog, err := mithra.LoadProgram(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	in := mithra.NewImageInput(im)
+	gated, gst, err := prog.Run(in, mithra.DesignTable)
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, fst, err := prog.Run(in, mithra.DesignNone)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-18s %10s %12s %10s %12s\n", "mode", "fallbacks", "quality loss", "speedup", "guarantee")
+	fmt.Printf("%-18s %10d %11.2f%% %9.2fx %12v\n", "quality-controlled",
+		gst.Fallbacks, gst.QualityLoss*100, gst.Speedup, gst.MetGuarantee)
+	fmt.Printf("%-18s %10d %11.2f%% %9.2fx %12v\n", "always-approx",
+		fst.Fallbacks, fst.QualityLoss*100, fst.Speedup, fst.MetGuarantee)
+
+	if err := writeResult(path, ".mithra.pgm", im.W, im.H, gated); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeResult(path, ".approx.pgm", im.W, im.H, full); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %s and %s\n",
+		sibling(path, ".mithra.pgm"), sibling(path, ".approx.pgm"))
+}
+
+func loadOrGenerate(path string) (*mithra.Image, string, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		im, err := mithra.ReadPGM(f)
+		return im, path, err
+	}
+	// Generate a synthetic photo and save it so the user can inspect it.
+	im := dataset.GenImage(mathx.NewRNG(2026), 160, 120)
+	path = filepath.Join(os.TempDir(), "mithra-photo.pgm")
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	if err := im.WritePGM(f); err != nil {
+		return nil, "", err
+	}
+	return im, path, nil
+}
+
+func sibling(path, suffix string) string {
+	return path[:len(path)-len(filepath.Ext(path))] + suffix
+}
+
+func writeResult(inputPath, suffix string, w, h int, pixels []float64) error {
+	im := dataset.NewImage(w, h)
+	copy(im.Pix, pixels)
+	f, err := os.Create(sibling(inputPath, suffix))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return im.WritePGM(f)
+}

@@ -1,0 +1,48 @@
+// Quickstart: compile MITHRA for the sobel edge detector and compare the
+// quality-controlled designs against conventional always-on approximate
+// acceleration on unseen images.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mithra"
+)
+
+func main() {
+	// A statistical guarantee: with 90% confidence, at least 70% of
+	// unseen images must keep their final quality loss within 5%.
+	// (The paper's headline is 90% success at 95% confidence with 250
+	// datasets; this example uses a smaller dataset count so the
+	// guarantee is scaled accordingly.)
+	g := mithra.Guarantee{QualityLoss: 0.05, SuccessRate: 0.70, Confidence: 0.90}
+
+	opts := mithra.TestOptions() // small datasets: runs in a few seconds
+	fmt.Println("compiling sobel:", g)
+	dep, err := mithra.Compile("sobel", g, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tuned accelerator-error threshold: %.4f (certified lower bound %.1f%%)\n\n",
+		dep.Th.Threshold, dep.Th.LowerBound*100)
+
+	fmt.Printf("%-12s %10s %10s %10s %12s\n",
+		"design", "speedup", "energy", "invocation", "quality ok")
+	for _, design := range []mithra.Design{
+		mithra.DesignNone, // conventional: always invoke the accelerator
+		mithra.DesignOracle,
+		mithra.DesignTable,
+		mithra.DesignNeural,
+	} {
+		res := dep.EvaluateValidation(design)
+		fmt.Printf("%-12s %9.2fx %9.2fx %9.1f%% %8d/%d\n",
+			design, res.Speedup, res.EnergyReduction,
+			res.InvocationRate*100, res.Successes, len(res.Qualities))
+	}
+	fmt.Println("\nfull approximation is fastest but ignores quality; the oracle is the")
+	fmt.Println("ideal upper bound; the table and neural classifiers are deployable")
+	fmt.Println("designs that keep the statistical quality guarantee.")
+}

@@ -1,0 +1,47 @@
+// Robotics: inverse kinematics for a 2-joint arm with per-invocation
+// quality control. Demonstrates the quality-loss sweep (the paper's
+// Figures 6 and 8): looser quality targets buy higher invocation rates
+// and larger gains.
+//
+//	go run ./examples/robotics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mithra"
+)
+
+func main() {
+	b, err := mithra.NewBenchmark("inversek2j")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := mithra.TestOptions()
+	ctx, err := mithra.NewContext(b, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inversek2j: %d target positions per dataset, always-approximate loss %.1f%%\n\n",
+		ctx.Compile[0].Tr.N, ctx.FullQuality*100)
+
+	fmt.Printf("%-10s %-8s %10s %12s %12s %10s\n",
+		"quality", "design", "threshold", "invocation", "speedup", "quality ok")
+	for _, quality := range []float64{0.025, 0.05, 0.10} {
+		g := mithra.Guarantee{QualityLoss: quality, SuccessRate: 0.70, Confidence: 0.90}
+		dep, err := ctx.Deploy(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, design := range []mithra.Design{mithra.DesignOracle, mithra.DesignTable} {
+			res := dep.EvaluateValidation(design)
+			fmt.Printf("%9.1f%% %-8s %10.4f %11.1f%% %11.2fx %7d/%d\n",
+				quality*100, design, dep.Th.Threshold,
+				res.InvocationRate*100, res.Speedup,
+				res.Successes, len(res.Qualities))
+		}
+	}
+	fmt.Println("\ntightening the desired quality loss tightens the local error")
+	fmt.Println("threshold, filters more invocations, and shrinks the gains.")
+}

@@ -1,0 +1,3 @@
+module mithra
+
+go 1.22

@@ -1,0 +1,123 @@
+package axbench
+
+import (
+	"math"
+
+	"mithra/internal/dataset"
+	"mithra/internal/mathx"
+	"mithra/internal/quality"
+)
+
+// FFT is the radix-2 Cooley-Tukey fast Fourier transform benchmark. The
+// approximated kernel is the twiddle-factor computation: given the
+// normalized angle fraction k/N it returns (sin, cos) of -2*pi*k/N — the
+// transcendental core of the transform. The application transforms a real
+// signal and emits the magnitude spectrum as the final output.
+type FFT struct{}
+
+// NewFFT returns the benchmark.
+func NewFFT() *FFT { return &FFT{} }
+
+// Name implements Benchmark.
+func (*FFT) Name() string { return "fft" }
+
+// Domain implements Benchmark.
+func (*FFT) Domain() string { return "Signal Processing" }
+
+// InputDim implements Benchmark.
+func (*FFT) InputDim() int { return 1 }
+
+// OutputDim implements Benchmark.
+func (*FFT) OutputDim() int { return 2 }
+
+// Topology implements Benchmark (Table I: 1->4->4->2).
+func (*FFT) Topology() []int { return []int{1, 4, 4, 2} }
+
+// Metric implements Benchmark.
+func (*FFT) Metric() quality.Metric { return quality.AvgRelativeError{} }
+
+// Profile implements Benchmark: a sin+cos pair costs ~250 cycles with
+// libm; three quarters of the baseline runtime is twiddle computation in
+// this kernel-heavy formulation.
+func (*FFT) Profile() Profile {
+	return Profile{KernelCycles: 250, KernelFraction: 0.75}
+}
+
+// signalInput is one dataset: a real signal of power-of-two length.
+type signalInput struct {
+	sig []float64
+}
+
+// Invocations implements Input: one twiddle evaluation per distinct
+// (stage, index) pair — N-1 for a length-N transform.
+func (s *signalInput) Invocations() int { return len(s.sig) - 1 }
+
+// GenInput implements Benchmark.
+func (*FFT) GenInput(rng *mathx.RNG, scale Scale) Input {
+	n := scale.SignalLen
+	if n&(n-1) != 0 {
+		panic("axbench: fft signal length must be a power of two")
+	}
+	return &signalInput{sig: dataset.GenSignal(rng, n)}
+}
+
+// Run implements Benchmark: iterative radix-2 decimation-in-time FFT.
+// Twiddles are obtained once per distinct angle per stage through the
+// invoker and reused across that stage's butterflies, so the kernel is the
+// hot function without being invoked redundantly.
+func (f *FFT) Run(in Input, invoke Invoker) []float64 {
+	data := in.(*signalInput)
+	n := len(data.sig)
+	re := make([]float64, n)
+	im := make([]float64, n)
+	copy(re, data.sig)
+
+	// Bit-reversal permutation.
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			re[i], re[j] = re[j], re[i]
+		}
+		m := n >> 1
+		for ; m >= 1 && j&m != 0; m >>= 1 {
+			j ^= m
+		}
+		j |= m
+	}
+
+	kin := make([]float64, 1)
+	kout := make([]float64, 2)
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		for k := 0; k < half; k++ {
+			// Normalized angle fraction in [0, 0.5).
+			kin[0] = float64(k) / float64(size)
+			invoke(kin, kout)
+			wSin, wCos := kout[0], kout[1]
+			for start := 0; start < n; start += size {
+				i := start + k
+				j := i + half
+				tRe := wCos*re[j] - wSin*im[j]
+				tIm := wCos*im[j] + wSin*re[j]
+				re[j] = re[i] - tRe
+				im[j] = im[i] - tIm
+				re[i] += tRe
+				im[i] += tIm
+			}
+		}
+	}
+
+	// Magnitude spectrum of the non-redundant half.
+	out := make([]float64, n/2)
+	for i := range out {
+		out[i] = math.Hypot(re[i], im[i])
+	}
+	return out
+}
+
+// Precise implements Benchmark: the twiddle kernel
+// (sin, cos) of -2*pi*frac.
+func (*FFT) Precise(in, out []float64) {
+	angle := -2 * math.Pi * in[0]
+	out[0] = math.Sin(angle)
+	out[1] = math.Cos(angle)
+}

@@ -1,0 +1,72 @@
+package axbench
+
+import (
+	"fmt"
+
+	"mithra/internal/dataset"
+)
+
+// Public input constructors let callers run the benchmarks on their own
+// data (a decoded PGM photo, a real option book, a recorded signal)
+// instead of the synthetic generators — the normal way a deployed
+// core.Program is driven.
+
+// NewImageInput wraps a grayscale image as a sobel dataset.
+func NewImageInput(im *dataset.Image) Input {
+	return &imageInput{im: im}
+}
+
+// NewJPEGInput wraps a grayscale image as a jpeg dataset. The image is
+// cropped (not padded) to 8-pixel multiples, matching the encoder's block
+// grid; images smaller than one block are rejected.
+func NewJPEGInput(im *dataset.Image) (Input, error) {
+	w := im.W &^ 7
+	h := im.H &^ 7
+	if w == 0 || h == 0 {
+		return nil, fmt.Errorf("axbench: jpeg input needs at least 8x8 pixels, got %dx%d", im.W, im.H)
+	}
+	if w == im.W && h == im.H {
+		return &jpegInput{im: im}, nil
+	}
+	cropped := dataset.NewImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			cropped.Set(x, y, im.At(x, y))
+		}
+	}
+	return &jpegInput{im: cropped}, nil
+}
+
+// NewOptionsInput wraps an option batch as a blackscholes dataset.
+func NewOptionsInput(opts []dataset.Option) (Input, error) {
+	if len(opts) == 0 {
+		return nil, fmt.Errorf("axbench: empty option batch")
+	}
+	return &optionsInput{opts: opts}, nil
+}
+
+// NewSignalInput wraps a real signal as an fft dataset; the length must
+// be a power of two.
+func NewSignalInput(sig []float64) (Input, error) {
+	n := len(sig)
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("axbench: fft input length %d is not a power of two >= 2", n)
+	}
+	return &signalInput{sig: sig}, nil
+}
+
+// NewPointsInput wraps target positions as an inversek2j dataset.
+func NewPointsInput(pts []dataset.Point2D) (Input, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("axbench: empty point stream")
+	}
+	return &pointsInput{pts: pts}, nil
+}
+
+// NewTrianglePairsInput wraps triangle pairs as a jmeint dataset.
+func NewTrianglePairsInput(pairs []dataset.TrianglePair) (Input, error) {
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("axbench: empty triangle-pair soup")
+	}
+	return &pairsInput{pairs: pairs}, nil
+}

@@ -1,0 +1,207 @@
+package bdi
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"mithra/internal/mathx"
+)
+
+func roundTrip(t *testing.T, data []byte) []byte {
+	t.Helper()
+	comp := Compress(data)
+	got, err := Decompress(comp)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip mismatch: %d bytes in, %d out", len(data), len(got))
+	}
+	return comp
+}
+
+func TestZeroLineCompression(t *testing.T) {
+	data := make([]byte, 4096) // a fully sparse 4 KB classifier table
+	comp := roundTrip(t, data)
+	// 64 lines, 1 tag byte each, plus the 8-byte header.
+	if len(comp) != 8+64 {
+		t.Errorf("all-zero 4KB compressed to %d bytes, want 72", len(comp))
+	}
+	if r := Ratio(data); r < 50 {
+		t.Errorf("zero-table ratio %v, want > 50", r)
+	}
+}
+
+func TestRepeatedValueLine(t *testing.T) {
+	data := make([]byte, LineSize)
+	for off := 0; off < LineSize; off += 8 {
+		binary.LittleEndian.PutUint64(data[off:], 0xDEADBEEFCAFEF00D)
+	}
+	comp := roundTrip(t, data)
+	if len(comp) != 8+1+8 {
+		t.Errorf("repeated line compressed to %d bytes, want 17", len(comp))
+	}
+}
+
+func TestBaseDeltaLine(t *testing.T) {
+	// 8-byte values near a common base: should pick b8d1 (17 bytes).
+	data := make([]byte, LineSize)
+	base := uint64(1 << 40)
+	for i := 0; i < 8; i++ {
+		binary.LittleEndian.PutUint64(data[i*8:], base+uint64(i*3))
+	}
+	comp := roundTrip(t, data)
+	if len(comp) != 8+1+16 {
+		t.Errorf("b8d1 line compressed to %d bytes, want 25", len(comp))
+	}
+	st := Analyze(data)
+	if st.PerEncoding[EncB8D1] != 1 {
+		t.Errorf("encoding mix = %v, want one b8d1", st.PerEncoding)
+	}
+}
+
+func TestNegativeDeltas(t *testing.T) {
+	data := make([]byte, LineSize)
+	base := uint64(1000)
+	deltas := []int64{0, -5, 3, -120, 100, 7, -1, 60}
+	for i, d := range deltas {
+		binary.LittleEndian.PutUint64(data[i*8:], base+uint64(d))
+	}
+	roundTrip(t, data)
+}
+
+func TestIncompressibleLine(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	data := make([]byte, LineSize)
+	for i := range data {
+		data[i] = byte(rng.Uint64())
+	}
+	comp := roundTrip(t, data)
+	if len(comp) != 8+1+64 {
+		t.Errorf("random line compressed to %d bytes, want 73 (raw)", len(comp))
+	}
+}
+
+func TestPartialLinePadding(t *testing.T) {
+	// Non-multiple-of-64 input must round trip to the exact length.
+	data := []byte{1, 2, 3, 4, 5}
+	roundTrip(t, data)
+	if got, _ := Decompress(Compress(data)); len(got) != 5 {
+		t.Errorf("length after round trip = %d", len(got))
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	comp := roundTrip(t, nil)
+	if len(comp) != 8 {
+		t.Errorf("empty compressed to %d bytes", len(comp))
+	}
+	if Ratio(nil) != 1 {
+		t.Errorf("Ratio(nil) = %v", Ratio(nil))
+	}
+}
+
+func TestDecompressErrors(t *testing.T) {
+	if _, err := Decompress(nil); err == nil {
+		t.Error("nil stream should error")
+	}
+	if _, err := Decompress([]byte{1, 2, 3}); err == nil {
+		t.Error("short stream should error")
+	}
+	// Header says 64 bytes but no payload follows.
+	bad := make([]byte, 8)
+	binary.LittleEndian.PutUint64(bad, 64)
+	if _, err := Decompress(bad); err == nil {
+		t.Error("truncated stream should error")
+	}
+	// Unknown encoding tag.
+	bad = append(bad, 250)
+	if _, err := Decompress(bad); err == nil {
+		t.Error("unknown tag should error")
+	}
+	// Implausible size.
+	huge := make([]byte, 8)
+	binary.LittleEndian.PutUint64(huge, 1<<40)
+	if _, err := Decompress(huge); err == nil {
+		t.Error("huge size should error")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		comp := Compress(data)
+		got, err := Decompress(comp)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparseBitsetRealistic(t *testing.T) {
+	// A classifier-like bitset: 4 KB where the set bits cluster into a few
+	// lines (hash hot spots), leaving most lines fully zero. This is the
+	// regime where the paper reports 16x reductions.
+	rng := mathx.NewRNG(9)
+	data := make([]byte, 4096)
+	for line := 0; line < 4; line++ {
+		base := (line * 17 % 64) * LineSize
+		for i := 0; i < 20; i++ {
+			data[base+rng.Intn(LineSize)] = byte(1 << (rng.Intn(8)))
+		}
+	}
+	comp := roundTrip(t, data)
+	if r := float64(len(data)) / float64(len(comp)); r < 8 {
+		t.Errorf("clustered sparse bitset ratio %v, want > 8", r)
+	}
+}
+
+func TestDenseBitsetBarelyCompresses(t *testing.T) {
+	// jpeg/sobel-like dense tables barely compress (paper Table II).
+	rng := mathx.NewRNG(10)
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(rng.Uint64())
+	}
+	if r := Ratio(data); r > 1.2 {
+		t.Errorf("random-dense ratio %v, expected ~1", r)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	data := make([]byte, 3*LineSize)
+	// Line 0: zeros. Line 1: repeated. Line 2: random.
+	for off := LineSize; off < 2*LineSize; off += 8 {
+		binary.LittleEndian.PutUint64(data[off:], 42)
+	}
+	rng := mathx.NewRNG(2)
+	for i := 2 * LineSize; i < 3*LineSize; i++ {
+		data[i] = byte(rng.Uint64())
+	}
+	st := Analyze(data)
+	if st.Lines != 3 {
+		t.Errorf("Lines = %d", st.Lines)
+	}
+	if st.PerEncoding[EncZeros] != 1 || st.PerEncoding[EncRep8] != 1 || st.PerEncoding[EncRaw] != 1 {
+		t.Errorf("encoding mix = %v", st.PerEncoding)
+	}
+	if st.DecompressCycles <= 0 {
+		t.Error("no decompress cycles modeled")
+	}
+	if st.OriginalBytes != 3*LineSize {
+		t.Errorf("OriginalBytes = %d", st.OriginalBytes)
+	}
+}
+
+func TestEncodingStrings(t *testing.T) {
+	for e := EncZeros; e <= EncRaw; e++ {
+		if e.String() == "" {
+			t.Errorf("empty name for encoding %d", e)
+		}
+	}
+	if Encoding(99).String() == "" {
+		t.Error("unknown encoding should still have a name")
+	}
+}

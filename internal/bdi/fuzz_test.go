@@ -1,0 +1,38 @@
+package bdi
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip drives Compress/Decompress with arbitrary payloads: every
+// input must round-trip exactly.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(make([]byte, 64))
+	f.Add(bytes.Repeat([]byte{0xAA, 0x55}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		comp := Compress(data)
+		got, err := Decompress(comp)
+		if err != nil {
+			t.Fatalf("decompress own output: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("round trip mismatch: %d in, %d out", len(data), len(got))
+		}
+	})
+}
+
+// FuzzDecompressRobust feeds arbitrary bytes to Decompress: it must never
+// panic, only return data or an error.
+func FuzzDecompressRobust(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{64, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = Decompress(data) // must not panic
+	})
+}

@@ -1,0 +1,211 @@
+package classifier
+
+import (
+	"math"
+	"testing"
+
+	"mithra/internal/mathx"
+)
+
+func TestDTreeLearnsAxisAlignedRegion(t *testing.T) {
+	rng := mathx.NewRNG(41)
+	train := syntheticSamples(rng, 4000, 4, 0.1)
+	dt, err := TrainDTree(4, train, DefaultDTreeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The slab boundary is a single axis-aligned cut — trees should nail
+	// it on held-out data.
+	test := syntheticSamples(rng.Split(1), 2000, 4, 0.1)
+	st := Evaluate(dt, test)
+	if st.FNRate() > 0.02 {
+		t.Errorf("held-out FN rate %v too high for an axis-aligned region", st.FNRate())
+	}
+	if st.FPRate() > 0.05 {
+		t.Errorf("held-out FP rate %v too high", st.FPRate())
+	}
+}
+
+func TestDTreeMetadata(t *testing.T) {
+	rng := mathx.NewRNG(42)
+	train := syntheticSamples(rng, 500, 3, 0.2)
+	dt, err := TrainDTree(3, train, DefaultDTreeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.Name() != "dtree" || dt.Nodes() == 0 || dt.SizeBytes() != dt.Nodes()*8 {
+		t.Errorf("metadata wrong: nodes=%d size=%d", dt.Nodes(), dt.SizeBytes())
+	}
+	ov := dt.Overhead()
+	if ov.Cycles <= 0 || ov.EnergyPJ <= 0 {
+		t.Errorf("overhead %+v", ov)
+	}
+}
+
+func TestDTreeDegenerateLabels(t *testing.T) {
+	rng := mathx.NewRNG(43)
+	var train []Sample
+	for i := 0; i < 200; i++ {
+		train = append(train, Sample{In: []float64{rng.Float64()}, Bad: false})
+	}
+	dt, err := TrainDTree(1, train, DefaultDTreeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-good training: the lone leaf must accelerate.
+	if dt.Classify([]float64{0.5}) {
+		t.Error("all-good tree should never fall back")
+	}
+	if dt.Nodes() != 1 {
+		t.Errorf("expected a single leaf, got %d nodes", dt.Nodes())
+	}
+}
+
+func TestDTreeErrors(t *testing.T) {
+	if _, err := TrainDTree(2, nil, DefaultDTreeOptions()); err == nil {
+		t.Error("no samples should error")
+	}
+	if _, err := TrainDTree(3, []Sample{{In: []float64{1}}}, DefaultDTreeOptions()); err == nil {
+		t.Error("dim mismatch should error")
+	}
+}
+
+func TestDTreeBadWeightBiasesConservative(t *testing.T) {
+	// With a noisy boundary, higher bad weight should flag more inputs.
+	rng := mathx.NewRNG(44)
+	var train []Sample
+	for i := 0; i < 3000; i++ {
+		x := rng.Float64()
+		bad := x < 0.3 && rng.Bool(0.6) // noisy region
+		train = append(train, Sample{In: []float64{x}, Bad: bad})
+	}
+	count := func(w float64) int {
+		opts := DefaultDTreeOptions()
+		opts.BadWeight = w
+		dt, err := TrainDTree(1, train, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		precise := 0
+		for i := 0; i < 1000; i++ {
+			if dt.Classify([]float64{float64(i) / 1000}) {
+				precise++
+			}
+		}
+		return precise
+	}
+	if count(4) < count(1) {
+		t.Error("higher bad weight should not flag fewer inputs")
+	}
+}
+
+// regSamples builds tuples whose error is a known quadratic of the input.
+func regSamples(rng *mathx.RNG, n int) []RegSample {
+	out := make([]RegSample, n)
+	for i := range out {
+		x := rng.Range(-1, 1)
+		y := rng.Range(-1, 1)
+		out[i] = RegSample{
+			In:  []float64{x, y},
+			Err: 0.1 + 0.4*x*x + 0.2*math.Abs(y)*math.Abs(y),
+		}
+	}
+	return out
+}
+
+func TestRegressorRecoversQuadratic(t *testing.T) {
+	rng := mathx.NewRNG(45)
+	samples := regSamples(rng, 4000)
+	reg, err := TrainRegressor(2, samples, 0.3, DefaultRegressorOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predictions should track the generating function closely.
+	for i := 0; i < 200; i++ {
+		x := rng.Range(-1, 1)
+		y := rng.Range(-1, 1)
+		want := 0.1 + 0.4*x*x + 0.2*y*y
+		got := reg.Predict([]float64{x, y})
+		if math.Abs(got-want) > 0.03 {
+			t.Fatalf("predict(%v,%v) = %v, want %v", x, y, got, want)
+		}
+	}
+	// Decisions: errors above the margined threshold fall back.
+	if !reg.Classify([]float64{0.95, 0.9}) { // err ~ 0.63
+		t.Error("high-error input should fall back")
+	}
+	if reg.Classify([]float64{0, 0}) { // err ~ 0.1
+		t.Error("low-error input should accelerate")
+	}
+}
+
+func TestRegressorMarginConservative(t *testing.T) {
+	rng := mathx.NewRNG(46)
+	samples := regSamples(rng, 2000)
+	loose := DefaultRegressorOptions()
+	loose.Margin = 1.0
+	tight := DefaultRegressorOptions()
+	tight.Margin = 0.5
+	rl, err := TrainRegressor(2, samples, 0.3, loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := TrainRegressor(2, samples, 0.3, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lFlags, tFlags := 0, 0
+	for i := 0; i < 1000; i++ {
+		in := []float64{rng.Range(-1, 1), rng.Range(-1, 1)}
+		if rl.Classify(in) {
+			lFlags++
+		}
+		if rt.Classify(in) {
+			tFlags++
+		}
+	}
+	if tFlags <= lFlags {
+		t.Errorf("tighter margin flagged %d <= loose %d", tFlags, lFlags)
+	}
+}
+
+func TestRegressorMetadataAndErrors(t *testing.T) {
+	rng := mathx.NewRNG(47)
+	reg, err := TrainRegressor(2, regSamples(rng, 200), 0.3, DefaultRegressorOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Name() != "regress" || reg.SizeBytes() != 5*2 {
+		t.Errorf("metadata: size=%d", reg.SizeBytes())
+	}
+	if reg.Overhead().Cycles <= 0 {
+		t.Error("overhead")
+	}
+	if _, err := TrainRegressor(2, nil, 0.3, DefaultRegressorOptions()); err == nil {
+		t.Error("no samples should error")
+	}
+	if _, err := TrainRegressor(3, regSamples(rng, 10), 0.3, DefaultRegressorOptions()); err == nil {
+		t.Error("dim mismatch should error")
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	// A known SPD system.
+	a := [][]float64{{4, 1}, {1, 3}}
+	b := []float64{1, 2}
+	x, err := solveSPD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify Ax = b.
+	for i := range b {
+		got := a[i][0]*x[0] + a[i][1]*x[1]
+		if math.Abs(got-b[i]) > 1e-12 {
+			t.Errorf("row %d: %v != %v", i, got, b[i])
+		}
+	}
+	// Non-PD input errors out.
+	if _, err := solveSPD([][]float64{{0, 0}, {0, 0}}, []float64{1, 1}); err == nil {
+		t.Error("singular matrix should error")
+	}
+}

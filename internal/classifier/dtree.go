@@ -1,0 +1,221 @@
+package classifier
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DTree is a depth-limited binary decision tree (CART with Gini splits)
+// over the raw accelerator inputs. It is the mechanism the paper's
+// related work (§VI) attributes to Rumba, implemented here as a baseline
+// so the comparison can be quantified (the abl-predictors experiment):
+// trees are cheap in hardware (a comparator chain) but partition the
+// input space with axis-aligned cuts, which copes differently with the
+// benchmarks' error geometry than hashing or neural boundaries.
+type DTree struct {
+	nodes []dtreeNode
+	dim   int
+	depth int
+}
+
+// dtreeNode is one tree node; leaves have feature == -1.
+type dtreeNode struct {
+	feature     int
+	thresh      float64
+	left, right int32
+	// bad is the leaf decision (fall back to precise).
+	bad bool
+}
+
+// DTreeOptions controls training.
+type DTreeOptions struct {
+	// MaxDepth bounds the comparator chain (hardware latency).
+	MaxDepth int
+	// MinLeaf stops splitting below this sample count.
+	MinLeaf int
+	// BadWeight scales the minority (bad) class during impurity
+	// computation, biasing the tree toward quality like the paper's
+	// designs.
+	BadWeight float64
+}
+
+// DefaultDTreeOptions fits the hardware budget of a small comparator
+// chain.
+func DefaultDTreeOptions() DTreeOptions {
+	return DTreeOptions{MaxDepth: 8, MinLeaf: 16, BadWeight: 2}
+}
+
+// TrainDTree fits the tree to labeled samples.
+func TrainDTree(inputDim int, samples []Sample, opts DTreeOptions) (*DTree, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("classifier: no training samples")
+	}
+	for _, s := range samples {
+		if len(s.In) != inputDim {
+			return nil, fmt.Errorf("classifier: sample dim %d, want %d", len(s.In), inputDim)
+		}
+	}
+	if opts.MaxDepth < 1 {
+		opts.MaxDepth = 8
+	}
+	if opts.MinLeaf < 1 {
+		opts.MinLeaf = 1
+	}
+	if opts.BadWeight <= 0 {
+		opts.BadWeight = 1
+	}
+	t := &DTree{dim: inputDim, depth: opts.MaxDepth}
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.build(samples, idx, opts, 0)
+	return t, nil
+}
+
+// build grows the subtree over samples[idx] and returns its node index.
+func (t *DTree) build(samples []Sample, idx []int, opts DTreeOptions, depth int) int32 {
+	node := int32(len(t.nodes))
+	t.nodes = append(t.nodes, dtreeNode{feature: -1})
+
+	nBad := 0
+	for _, i := range idx {
+		if samples[i].Bad {
+			nBad++
+		}
+	}
+	// Weighted majority leaf decision.
+	bad := opts.BadWeight*float64(nBad) > float64(len(idx)-nBad)
+	t.nodes[node].bad = bad
+
+	if depth >= opts.MaxDepth || len(idx) < 2*opts.MinLeaf || nBad == 0 || nBad == len(idx) {
+		return node
+	}
+
+	feature, thresh, ok := bestSplit(samples, idx, opts)
+	if !ok {
+		return node
+	}
+	var left, right []int
+	for _, i := range idx {
+		if samples[i].In[feature] <= thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < opts.MinLeaf || len(right) < opts.MinLeaf {
+		return node
+	}
+	t.nodes[node].feature = feature
+	t.nodes[node].thresh = thresh
+	t.nodes[node].left = t.build(samples, left, opts, depth+1)
+	t.nodes[node].right = t.build(samples, right, opts, depth+1)
+	return node
+}
+
+// bestSplit scans every feature for the weighted-Gini-minimizing cut.
+func bestSplit(samples []Sample, idx []int, opts DTreeOptions) (feature int, thresh float64, ok bool) {
+	bestImp := gini(samples, idx, opts) - 1e-9
+	type fv struct {
+		v   float64
+		bad bool
+	}
+	vals := make([]fv, len(idx))
+	dim := len(samples[idx[0]].In)
+	w := opts.BadWeight
+
+	for f := 0; f < dim; f++ {
+		for j, i := range idx {
+			vals[j] = fv{v: samples[i].In[f], bad: samples[i].Bad}
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+
+		// Sweep cut positions, maintaining weighted class counts.
+		var lBad, lGood, rBad, rGood float64
+		for _, s := range vals {
+			if s.bad {
+				rBad += w
+			} else {
+				rGood++
+			}
+		}
+		total := rBad + rGood
+		for j := 0; j < len(vals)-1; j++ {
+			if vals[j].bad {
+				lBad += w
+				rBad -= w
+			} else {
+				lGood++
+				rGood--
+			}
+			if vals[j].v == vals[j+1].v {
+				continue
+			}
+			lTot := lBad + lGood
+			rTot := rBad + rGood
+			imp := (lTot*giniOf(lBad, lTot) + rTot*giniOf(rBad, rTot)) / total
+			if imp < bestImp {
+				bestImp = imp
+				feature = f
+				thresh = (vals[j].v + vals[j+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feature, thresh, ok
+}
+
+func gini(samples []Sample, idx []int, opts DTreeOptions) float64 {
+	var bad, tot float64
+	for _, i := range idx {
+		if samples[i].Bad {
+			bad += opts.BadWeight
+			tot += opts.BadWeight
+		} else {
+			tot++
+		}
+	}
+	return giniOf(bad, tot)
+}
+
+func giniOf(bad, tot float64) float64 {
+	if tot == 0 {
+		return 0
+	}
+	p := bad / tot
+	return 2 * p * (1 - p)
+}
+
+// Name implements Classifier.
+func (*DTree) Name() string { return "dtree" }
+
+// Classify implements Classifier.
+func (t *DTree) Classify(in []float64) bool {
+	n := int32(0)
+	for {
+		node := t.nodes[n]
+		if node.feature < 0 {
+			return node.bad
+		}
+		if in[node.feature] <= node.thresh {
+			n = node.left
+		} else {
+			n = node.right
+		}
+	}
+}
+
+// Overhead implements Classifier: a comparator chain as deep as the tree.
+func (t *DTree) Overhead() Overhead {
+	return Overhead{Cycles: t.depth, EnergyPJ: 1.2 * float64(t.depth)}
+}
+
+// SizeBytes implements Classifier: feature id + threshold + child links
+// per node (packed hardware node = 8 bytes).
+func (t *DTree) SizeBytes() int { return len(t.nodes) * 8 }
+
+// Nodes returns the node count (reporting).
+func (t *DTree) Nodes() int { return len(t.nodes) }
+
+var _ Classifier = (*DTree)(nil)

@@ -1,0 +1,173 @@
+package classifier
+
+import (
+	"fmt"
+	"math"
+)
+
+// Regressor predicts the accelerator's error *value* from the inputs and
+// falls back when the prediction exceeds the threshold — the error-value
+// prediction approach the paper attributes to Rumba and argues is "more
+// demanding and less reliable than MITHRA's binary classification" (§VI).
+// It is a ridge-regularized linear model over the inputs and their
+// squares (a cheap fixed-function datapath: 2*dim MACs), trained on the
+// raw error tuples.
+type Regressor struct {
+	// w holds dim linear weights, dim quadratic weights, and the bias.
+	w   []float64
+	dim int
+	// th is the fall-back threshold on the predicted error, including the
+	// safety margin chosen at training time.
+	th float64
+}
+
+// RegSample is one error-regression training tuple.
+type RegSample struct {
+	In  []float64
+	Err float64
+}
+
+// RegressorOptions controls training.
+type RegressorOptions struct {
+	// Ridge is the L2 regularization strength.
+	Ridge float64
+	// Margin scales the decision threshold below the true threshold,
+	// compensating for prediction error (Margin 0.8 falls back when the
+	// predicted error exceeds 80% of the threshold).
+	Margin float64
+}
+
+// DefaultRegressorOptions trades a little invocation rate for reliability.
+func DefaultRegressorOptions() RegressorOptions {
+	return RegressorOptions{Ridge: 1e-3, Margin: 0.8}
+}
+
+// TrainRegressor fits the error predictor and arms it at threshold th.
+func TrainRegressor(inputDim int, samples []RegSample, th float64, opts RegressorOptions) (*Regressor, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("classifier: no regression samples")
+	}
+	for _, s := range samples {
+		if len(s.In) != inputDim {
+			return nil, fmt.Errorf("classifier: sample dim %d, want %d", len(s.In), inputDim)
+		}
+	}
+	if opts.Ridge <= 0 {
+		opts.Ridge = 1e-3
+	}
+	if opts.Margin <= 0 || opts.Margin > 1 {
+		opts.Margin = 1
+	}
+	p := 2*inputDim + 1 // linear + quadratic + bias
+
+	// Normal equations with ridge: (X'X + rI) w = X'y.
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+		xtx[i][i] = opts.Ridge
+	}
+	xty := make([]float64, p)
+	feat := make([]float64, p)
+	for _, s := range samples {
+		features(s.In, feat)
+		for i := 0; i < p; i++ {
+			for j := i; j < p; j++ {
+				xtx[i][j] += feat[i] * feat[j]
+			}
+			xty[i] += feat[i] * s.Err
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+	}
+	w, err := solveSPD(xtx, xty)
+	if err != nil {
+		return nil, err
+	}
+	return &Regressor{w: w, dim: inputDim, th: th * opts.Margin}, nil
+}
+
+// features fills [in..., in^2..., 1] into dst.
+func features(in, dst []float64) {
+	n := len(in)
+	copy(dst[:n], in)
+	for i, v := range in {
+		dst[n+i] = v * v
+	}
+	dst[2*n] = 1
+}
+
+// solveSPD solves Ax = b for symmetric positive definite A via Cholesky.
+func solveSPD(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i][j]
+			for k := 0; k < j; k++ {
+				sum -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("classifier: normal equations not positive definite (row %d)", i)
+				}
+				l[i][i] = math.Sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	// Forward then back substitution.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i][k] * y[k]
+		}
+		y[i] = sum / l[i][i]
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l[k][i] * x[k]
+		}
+		x[i] = sum / l[i][i]
+	}
+	return x, nil
+}
+
+// Predict returns the estimated accelerator error for in.
+func (r *Regressor) Predict(in []float64) float64 {
+	n := r.dim
+	pred := r.w[2*n]
+	for i, v := range in {
+		pred += r.w[i]*v + r.w[n+i]*v*v
+	}
+	return pred
+}
+
+// Name implements Classifier.
+func (*Regressor) Name() string { return "regress" }
+
+// Classify implements Classifier: fall back when the predicted error
+// exceeds the margined threshold.
+func (r *Regressor) Classify(in []float64) bool {
+	return r.Predict(in) > r.th
+}
+
+// Overhead implements Classifier: 2*dim MACs on a small fixed datapath.
+func (r *Regressor) Overhead() Overhead {
+	macs := 2 * r.dim
+	return Overhead{Cycles: 2 + macs/4, EnergyPJ: 4.0 * float64(macs)}
+}
+
+// SizeBytes implements Classifier: the weights at fixed point.
+func (r *Regressor) SizeBytes() int { return len(r.w) * 2 }
+
+var _ Classifier = (*Regressor)(nil)

@@ -1,0 +1,167 @@
+package classifier
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"mithra/internal/bdi"
+	"mithra/internal/misr"
+	"mithra/internal/nn"
+)
+
+// The paper's compiler encodes MITHRA's configuration — the trained
+// classifier state — into the program binary, and the loader restores it
+// when the program is mapped (§III: "this training information is
+// incorporated in the accelerator configuration and is loaded in the
+// classifiers when the program is loaded to the memory for execution").
+// This file implements that serialization: the table design stores its
+// MISR configurations, projections, quantizer, and BDI-compressed
+// bitsets; the neural design stores its network and scalers.
+
+// gobTable is the wire form of a Table.
+type gobTable struct {
+	Cfg        TableConfig
+	QuantMin   []float64
+	QuantMax   []float64
+	QuantBits  int
+	MISRConfig []misr.Config
+	Proj       [][]int
+	// Compressed holds the BDI-compressed concatenated bitsets.
+	Compressed []byte
+}
+
+// Encode serializes the table classifier, compressing the table contents
+// with BDI exactly as the paper's binary encoding does.
+func (t *Table) Encode() ([]byte, error) {
+	g := gobTable{
+		Cfg:       t.cfg,
+		QuantMin:  t.quant.Min,
+		QuantMax:  t.quant.Max,
+		QuantBits: t.quant.Bits,
+		Proj:      t.proj,
+	}
+	for _, h := range t.hashers {
+		g.MISRConfig = append(g.MISRConfig, h.Config())
+	}
+	g.Compressed = bdi.Compress(t.RawBytes())
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(g); err != nil {
+		return nil, fmt.Errorf("classifier: encode table: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeTable reverses Table.Encode, decompressing the table contents.
+func DecodeTable(data []byte) (*Table, error) {
+	var g gobTable
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return nil, fmt.Errorf("classifier: decode table: %w", err)
+	}
+	if err := g.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(g.MISRConfig) != g.Cfg.NumTables || len(g.Proj) != g.Cfg.NumTables {
+		return nil, fmt.Errorf("classifier: table stream has %d MISR configs and %d projections for %d tables",
+			len(g.MISRConfig), len(g.Proj), g.Cfg.NumTables)
+	}
+	raw, err := bdi.Decompress(g.Compressed)
+	if err != nil {
+		return nil, fmt.Errorf("classifier: decompress table contents: %w", err)
+	}
+	if len(raw) != g.Cfg.NumTables*g.Cfg.TableBytes {
+		return nil, fmt.Errorf("classifier: table contents are %d bytes, want %d",
+			len(raw), g.Cfg.NumTables*g.Cfg.TableBytes)
+	}
+	dim := len(g.QuantMin)
+	if dim == 0 || len(g.QuantMax) != dim {
+		return nil, fmt.Errorf("classifier: malformed quantizer in table stream")
+	}
+	if g.QuantBits < 1 || g.QuantBits > 16 {
+		return nil, fmt.Errorf("classifier: quantizer bits %d out of range", g.QuantBits)
+	}
+	t := &Table{
+		cfg:     g.Cfg,
+		quant:   &misr.Quantizer{Min: g.QuantMin, Max: g.QuantMax, Bits: g.QuantBits},
+		hashers: make([]*misr.Hasher, g.Cfg.NumTables),
+		proj:    g.Proj,
+		bitsets: make([][]uint64, g.Cfg.NumTables),
+		scratch: make([]uint16, dim),
+		gather:  make([]uint16, dim),
+	}
+	width := g.Cfg.indexWidth()
+	wordsPerTable := (g.Cfg.TableBytes*8 + 63) / 64
+	for i := 0; i < g.Cfg.NumTables; i++ {
+		t.hashers[i] = misr.NewHasher(g.MISRConfig[i], width)
+		bs := make([]uint64, wordsPerTable)
+		off := i * g.Cfg.TableBytes
+		for w := range bs {
+			var v uint64
+			for b := 0; b < 8; b++ {
+				v |= uint64(raw[off+w*8+b]) << (8 * b)
+			}
+			bs[w] = v
+		}
+		t.bitsets[i] = bs
+	}
+	return t, nil
+}
+
+// gobNeural is the wire form of a Neural classifier.
+type gobNeural struct {
+	Sizes    []int
+	W        [][][]float64
+	B        [][]float64
+	ScaleMin []float64
+	ScaleMax []float64
+	Bias     float64
+	Cycles   int
+	EnergyPJ float64
+}
+
+// Encode serializes the neural classifier.
+func (n *Neural) Encode() ([]byte, error) {
+	g := gobNeural{
+		Sizes:    n.net.Sizes,
+		W:        n.net.W,
+		B:        n.net.B,
+		ScaleMin: n.inScale.Min,
+		ScaleMax: n.inScale.Max,
+		Bias:     n.bias,
+		Cycles:   n.overhead.Cycles,
+		EnergyPJ: n.overhead.EnergyPJ,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(g); err != nil {
+		return nil, fmt.Errorf("classifier: encode neural: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeNeural reverses Neural.Encode.
+func DecodeNeural(data []byte) (*Neural, error) {
+	var g gobNeural
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return nil, fmt.Errorf("classifier: decode neural: %w", err)
+	}
+	if len(g.Sizes) < 2 || len(g.W) != len(g.Sizes)-1 || len(g.B) != len(g.Sizes)-1 {
+		return nil, fmt.Errorf("classifier: malformed neural stream")
+	}
+	if len(g.ScaleMin) != g.Sizes[0] || len(g.ScaleMax) != g.Sizes[0] {
+		return nil, fmt.Errorf("classifier: neural scaler dimension mismatch")
+	}
+	net := &nn.Network{
+		Sizes: g.Sizes,
+		Acts:  nn.Classification(len(g.Sizes) - 1),
+		W:     g.W,
+		B:     g.B,
+	}
+	return &Neural{
+		net:      net,
+		inScale:  &nn.Scaler{Min: g.ScaleMin, Max: g.ScaleMax},
+		scratch:  net.NewScratch(),
+		buf:      make([]float64, g.Sizes[0]),
+		overhead: Overhead{Cycles: g.Cycles, EnergyPJ: g.EnergyPJ},
+		bias:     g.Bias,
+	}, nil
+}

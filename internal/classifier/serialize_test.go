@@ -1,0 +1,113 @@
+package classifier
+
+import (
+	"testing"
+
+	"mithra/internal/mathx"
+)
+
+func trainedTestTable(t *testing.T) *Table {
+	t.Helper()
+	rng := mathx.NewRNG(21)
+	samples := syntheticSamples(rng, 3000, 5, 0.08)
+	tab, err := TrainTable(DefaultTableConfig(), samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestTableEncodeDecodeRoundTrip(t *testing.T) {
+	tab := trainedTestTable(t)
+	data, err := tab.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeTable(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The restored classifier must make identical decisions.
+	rng := mathx.NewRNG(22)
+	for i := 0; i < 2000; i++ {
+		in := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		if tab.Classify(in) != back.Classify(in) {
+			t.Fatalf("decision mismatch at trial %d", i)
+		}
+	}
+	if back.Config() != tab.Config() {
+		t.Error("config not preserved")
+	}
+	if back.Density() != tab.Density() {
+		t.Error("table contents not preserved")
+	}
+}
+
+func TestTableEncodeIsCompressed(t *testing.T) {
+	// A sparse table's encoded form must be far smaller than the raw
+	// bitsets (the binary-encoding motivation for BDI).
+	rng := mathx.NewRNG(23)
+	samples := syntheticSamples(rng, 500, 2, 0.02)
+	tab, err := TrainTable(DefaultTableConfig(), samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := tab.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) > tab.UncompressedBytes()/2 {
+		t.Errorf("encoded size %d not compressed vs raw %d", len(data), tab.UncompressedBytes())
+	}
+}
+
+func TestDecodeTableErrors(t *testing.T) {
+	if _, err := DecodeTable([]byte("garbage")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := DecodeTable(nil); err == nil {
+		t.Error("empty should fail")
+	}
+}
+
+func TestNeuralEncodeDecodeRoundTrip(t *testing.T) {
+	rng := mathx.NewRNG(24)
+	samples := syntheticSamples(rng, 800, 3, 0.15)
+	opts := DefaultNeuralOptions()
+	opts.HiddenSizes = []int{4}
+	opts.Train.Epochs = 20
+	opts.Bias = 0.2
+	neu, err := TrainNeural(3, samples, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := neu.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeNeural(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		in := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		if neu.Classify(in) != back.Classify(in) {
+			t.Fatalf("decision mismatch at trial %d", i)
+		}
+	}
+	if back.Bias() != 0.2 {
+		t.Errorf("bias not preserved: %v", back.Bias())
+	}
+	if back.Overhead() != neu.Overhead() {
+		t.Error("overhead not preserved")
+	}
+	if back.SizeBytes() != neu.SizeBytes() {
+		t.Error("size not preserved")
+	}
+}
+
+func TestDecodeNeuralErrors(t *testing.T) {
+	if _, err := DecodeNeural([]byte{1, 2, 3}); err == nil {
+		t.Error("garbage should fail")
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mithra/internal/axbench"
+	"mithra/internal/mathx"
+	"mithra/internal/nn"
+	"mithra/internal/npu"
+	"mithra/internal/threshold"
+	"mithra/internal/trace"
+)
+
+// Stream labels for deriving independent RNG streams from the experiment
+// seed. Compile and validation datasets use disjoint labels, so validation
+// inputs are guaranteed unseen during compilation.
+const (
+	streamNPUSamples uint64 = 1 << 32
+	streamCompile    uint64 = 2 << 32
+	streamValidate   uint64 = 3 << 32
+)
+
+// Context holds everything about a benchmark that is independent of the
+// requested quality guarantee: the trained NPU and the captured traces of
+// the compile and validation datasets. Deployments for different
+// guarantees share one Context, which is what makes the paper's quality
+// sweeps tractable.
+type Context struct {
+	Bench axbench.Benchmark
+	Accel *npu.Accelerator
+	// Compile holds the representative datasets (Algorithm 1's input);
+	// the first Options.TrainDatasets of them retain kernel inputs for
+	// classifier training.
+	Compile []threshold.Dataset
+	// Validate holds the unseen datasets, with kernel inputs retained so
+	// classifiers can be evaluated on them.
+	Validate []threshold.Dataset
+	// FullQuality is the mean always-approximate quality loss over the
+	// compile datasets (Table I's "Error with Full Approximation").
+	FullQuality float64
+
+	Opts Options
+}
+
+// NewContext trains the NPU for b and captures all dataset traces.
+func NewContext(b axbench.Benchmark, opts Options) (*Context, error) {
+	if opts.CompileN < 1 || opts.ValidateN < 1 {
+		return nil, fmt.Errorf("core: need at least one compile and one validation dataset")
+	}
+	if opts.TrainDatasets < 1 {
+		opts.TrainDatasets = 1
+	}
+	if opts.TrainDatasets > opts.CompileN {
+		opts.TrainDatasets = opts.CompileN
+	}
+	root := mathx.NewRNG(opts.Seed)
+
+	accel, err := trainNPU(b, opts, root)
+	if err != nil {
+		return nil, err
+	}
+
+	// Adapt the number of input-bearing datasets to the benchmark's
+	// invocation density: jpeg has 256 invocations per dataset where sobel
+	// has 262k, so a fixed dataset count would starve one and waste
+	// memory on the other. Half of these feed training tuples, half score
+	// classifier configurations.
+	if opts.MaxTrainSamples > 0 {
+		probe := b.GenInput(root.Split(streamCompile), opts.Scale)
+		want := 2 * opts.MaxTrainSamples / probe.Invocations()
+		if want > opts.TrainDatasets {
+			opts.TrainDatasets = want
+		}
+		if opts.TrainDatasets > opts.CompileN {
+			opts.TrainDatasets = opts.CompileN
+		}
+	}
+
+	ctx := &Context{Bench: b, Accel: accel, Opts: opts}
+	// Captures are independent (each worker gets its own accelerator
+	// scratch), so they run on a bounded pool; results land in
+	// order-indexed slots and per-index RNG labels keep the data
+	// identical to a serial build.
+	ctx.Compile = captureAll(b, accel, opts.CompileN, func(i int) (axbench.Input, trace.Options) {
+		return b.GenInput(root.Split(streamCompile+uint64(i)), opts.Scale),
+			trace.Options{KeepInputs: i < opts.TrainDatasets, Compact: opts.CompactTraces}
+	})
+	for _, d := range ctx.Compile {
+		ctx.FullQuality += d.Tr.FullQuality(b)
+	}
+	ctx.FullQuality /= float64(opts.CompileN)
+	ctx.Validate = captureAll(b, accel, opts.ValidateN, func(j int) (axbench.Input, trace.Options) {
+		return b.GenInput(root.Split(streamValidate+uint64(j)), opts.Scale),
+			trace.Options{KeepInputs: true, Compact: opts.CompactTraces}
+	})
+	return ctx, nil
+}
+
+// captureAll captures n datasets concurrently. gen is called from worker
+// goroutines; it must derive all randomness from the index (root.Split is
+// read-only on the parent RNG, so concurrent splits are safe).
+func captureAll(b axbench.Benchmark, accel *npu.Accelerator, n int,
+	gen func(i int) (axbench.Input, trace.Options)) []threshold.Dataset {
+	out := make([]threshold.Dataset, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				in, topts := gen(i)
+				out[i] = threshold.Dataset{In: in, Tr: trace.Capture(b, in, accel, topts)}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// npuTuning calibrates per-benchmark NPU training effort so the
+// full-approximation quality loss lands in the band the paper's Table I
+// reports (6.03%-17.69%). The paper's NPUs were trained by the original
+// NPU toolchain on the authors' corpora; these multipliers are the
+// reproduction's stand-in for that toolchain's per-benchmark tuning (see
+// DESIGN.md §2).
+var npuTuning = map[string]struct {
+	epochsMul, samplesMul float64
+}{
+	"blackscholes": {14, 5},
+	"fft":          {2, 1},
+	"inversek2j":   {6, 2},
+	"jmeint":       {1, 1},
+	"jpeg":         {1, 1},
+	"sobel":        {0.017, 0.1},
+}
+
+// trainNPU collects kernel samples from dedicated profiling datasets and
+// fits the benchmark's Table I topology — the standard NPU compilation
+// workflow MITHRA builds on.
+func trainNPU(b axbench.Benchmark, opts Options, root *mathx.RNG) (*npu.Accelerator, error) {
+	if tune, ok := npuTuning[b.Name()]; ok {
+		opts.NPUTrain.Epochs = int(float64(opts.NPUTrain.Epochs)*tune.epochsMul + 0.5)
+		if opts.NPUTrain.Epochs < 2 {
+			opts.NPUTrain.Epochs = 2
+		}
+		opts.NPUSampleTarget = int(float64(opts.NPUSampleTarget) * tune.samplesMul)
+	}
+	target := opts.NPUSampleTarget
+	if target < 16 {
+		target = 16
+	}
+	var samples []nn.Sample
+	// Draw from several profiling datasets so the approximator sees the
+	// input diversity of the distribution, sampling invocations evenly.
+	for d := 0; len(samples) < target && d < 8; d++ {
+		in := b.GenInput(root.Split(streamNPUSamples+uint64(d)), opts.Scale)
+		n := in.Invocations()
+		stride := n*(8-d)/target + 1
+		i := 0
+		b.Run(in, func(kin, kout []float64) {
+			b.Precise(kin, kout)
+			if i%stride == 0 && len(samples) < target {
+				samples = append(samples, nn.Sample{
+					In:  append([]float64(nil), kin...),
+					Out: append([]float64(nil), kout...),
+				})
+			}
+			i++
+		})
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("core: no NPU training samples collected for %s", b.Name())
+	}
+	approx, _ := nn.FitApproximator(b.Topology(), samples, opts.NPUTrain, opts.Seed^0xA5A5)
+	return npu.New(approx), nil
+}

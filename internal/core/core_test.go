@@ -1,0 +1,384 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"mithra/internal/axbench"
+	"mithra/internal/stats"
+)
+
+// Contexts are expensive (NPU training + trace capture), so the tests
+// share one per benchmark.
+var (
+	ctxMu    sync.Mutex
+	ctxCache = map[string]*Context{}
+)
+
+func sharedContext(t *testing.T, name string) *Context {
+	t.Helper()
+	ctxMu.Lock()
+	defer ctxMu.Unlock()
+	if c, ok := ctxCache[name]; ok {
+		return c
+	}
+	b, err := axbench.New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := NewContext(b, TestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxCache[name] = ctx
+	return ctx
+}
+
+// testGuarantee is loose enough for the tiny test-scale sample counts.
+func testGuarantee() stats.Guarantee {
+	return stats.Guarantee{QualityLoss: 0.05, SuccessRate: 0.6, Confidence: 0.9}
+}
+
+func TestNewContextBasics(t *testing.T) {
+	ctx := sharedContext(t, "inversek2j")
+	opts := TestOptions()
+	if len(ctx.Compile) != opts.CompileN || len(ctx.Validate) != opts.ValidateN {
+		t.Fatalf("dataset counts: %d compile, %d validate", len(ctx.Compile), len(ctx.Validate))
+	}
+	if ctx.FullQuality <= 0 || ctx.FullQuality > 0.8 {
+		t.Errorf("full-approximation quality %v implausible", ctx.FullQuality)
+	}
+	// Training datasets must carry inputs; compile datasets beyond the
+	// (adaptively grown) training prefix must not.
+	if ctx.Compile[0].Tr.Inputs == nil {
+		t.Error("training dataset missing inputs")
+	}
+	if ctx.Opts.TrainDatasets < len(ctx.Compile) &&
+		ctx.Compile[len(ctx.Compile)-1].Tr.Inputs != nil {
+		t.Error("non-training compile dataset carries inputs (wasted memory)")
+	}
+	for _, v := range ctx.Validate {
+		if v.Tr.Inputs == nil {
+			t.Fatal("validation dataset missing inputs")
+		}
+	}
+}
+
+func TestNewContextValidation(t *testing.T) {
+	b, _ := axbench.New("fft")
+	bad := TestOptions()
+	bad.CompileN = 0
+	if _, err := NewContext(b, bad); err == nil {
+		t.Error("zero compile datasets should error")
+	}
+}
+
+func TestDeployProducesCertifiedThreshold(t *testing.T) {
+	ctx := sharedContext(t, "inversek2j")
+	d, err := ctx.Deploy(testGuarantee())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Th.Certified {
+		t.Fatalf("threshold not certified: %+v", d.Th)
+	}
+	if d.Th.Threshold < 0 {
+		t.Errorf("threshold %v", d.Th.Threshold)
+	}
+	if d.Table == nil || d.Neural == nil {
+		t.Fatal("classifiers not trained")
+	}
+	if d.RandomRate < 0 || d.RandomRate > 1 {
+		t.Errorf("random rate %v", d.RandomRate)
+	}
+}
+
+func TestDeployRejectsBadGuarantee(t *testing.T) {
+	ctx := sharedContext(t, "inversek2j")
+	if _, err := ctx.Deploy(stats.Guarantee{QualityLoss: -1, SuccessRate: 0.5, Confidence: 0.9}); err == nil {
+		t.Error("invalid guarantee should error")
+	}
+	// A sample size too small for the success rate must error, not
+	// silently produce an uncertifiable deployment.
+	strict := stats.Guarantee{QualityLoss: 0.05, SuccessRate: 0.999, Confidence: 0.99}
+	if _, err := ctx.Deploy(strict); err == nil {
+		t.Error("uncertifiable sample should error")
+	}
+}
+
+func TestOracleBeatsRealDesigns(t *testing.T) {
+	ctx := sharedContext(t, "inversek2j")
+	d, err := ctx.Deploy(testGuarantee())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := d.EvaluateValidation(DesignOracle)
+	table := d.EvaluateValidation(DesignTable)
+	neural := d.EvaluateValidation(DesignNeural)
+
+	// Oracle decisions have no false decisions by definition.
+	if oracle.FPRate != 0 || oracle.FNRate != 0 {
+		t.Errorf("oracle FP/FN = %v/%v", oracle.FPRate, oracle.FNRate)
+	}
+	// Rate identity: a classifier's invocation rate differs from the
+	// oracle's exactly by its false decisions (a false negative
+	// accelerates an invocation the oracle filtered; a false positive
+	// filters one the oracle accelerated).
+	for _, res := range []EvalResult{table, neural} {
+		want := oracle.InvocationRate + res.FNRate - res.FPRate
+		if math.Abs(res.InvocationRate-want) > 1e-9 {
+			t.Errorf("%v: rate %v != oracle %v + FN %v - FP %v",
+				res.Design, res.InvocationRate, oracle.InvocationRate, res.FNRate, res.FPRate)
+		}
+	}
+	// Oracle mean quality is never worse than a same-threshold classifier
+	// with false negatives and never better than all-precise; check it is
+	// within the guarantee on the compile-tuned threshold's own regime.
+	if oracle.Speedup <= 1 {
+		t.Errorf("oracle speedup %v should exceed 1", oracle.Speedup)
+	}
+}
+
+func TestFullApproxFastestButLowestQuality(t *testing.T) {
+	ctx := sharedContext(t, "inversek2j")
+	d, err := ctx.Deploy(testGuarantee())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := d.EvaluateValidation(DesignNone)
+	oracle := d.EvaluateValidation(DesignOracle)
+	if full.InvocationRate != 1 {
+		t.Errorf("full approx invocation rate %v", full.InvocationRate)
+	}
+	if full.Speedup < oracle.Speedup-1e-9 {
+		t.Errorf("full approx speedup %v below oracle %v", full.Speedup, oracle.Speedup)
+	}
+	// Oracle mean quality must be no worse than full approximation's.
+	meanQ := func(qs []float64) float64 {
+		s := 0.0
+		for _, q := range qs {
+			s += q
+		}
+		return s / float64(len(qs))
+	}
+	if meanQ(oracle.Qualities) > meanQ(full.Qualities)+1e-9 {
+		t.Errorf("oracle mean quality %v worse than full approx %v",
+			meanQ(oracle.Qualities), meanQ(full.Qualities))
+	}
+}
+
+func TestValidationQualityGuaranteeHolds(t *testing.T) {
+	// The headline claim: with the tuned threshold, the oracle-controlled
+	// run meets the guarantee on *unseen* datasets.
+	ctx := sharedContext(t, "inversek2j")
+	g := testGuarantee()
+	d, err := ctx.Deploy(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := d.EvaluateValidation(DesignOracle)
+	frac := float64(oracle.Successes) / float64(len(ctx.Validate))
+	// With only 16 unseen datasets the observed fraction fluctuates around
+	// the certified rate; allow one dataset of slack beyond binomial noise
+	// (~sqrt(p(1-p)/16) ≈ 0.12).
+	if frac < g.SuccessRate-0.15 {
+		t.Errorf("oracle unseen success fraction %v far below target %v", frac, g.SuccessRate)
+	}
+}
+
+func TestRandomNeedsLowerRateThanOracle(t *testing.T) {
+	ctx := sharedContext(t, "inversek2j")
+	d, err := ctx.Deploy(testGuarantee())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Input-conscious filtering always sustains at least the rate of
+	// input-oblivious filtering at equal quality.
+	if d.RandomRate > d.Th.InvocationRate+0.05 {
+		t.Errorf("random rate %v exceeds oracle compile rate %v",
+			d.RandomRate, d.Th.InvocationRate)
+	}
+}
+
+func TestSoftwareClassifiersSlower(t *testing.T) {
+	ctx := sharedContext(t, "inversek2j")
+	d, err := ctx.Deploy(testGuarantee())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := d.EvaluateValidation(DesignTable)
+	sw := d.EvaluateValidation(DesignTableSW)
+	if sw.Speedup >= hw.Speedup {
+		t.Errorf("software table (%v) not slower than hardware (%v)", sw.Speedup, hw.Speedup)
+	}
+	hwN := d.EvaluateValidation(DesignNeural)
+	swN := d.EvaluateValidation(DesignNeuralSW)
+	if swN.Speedup >= hwN.Speedup {
+		t.Errorf("software neural (%v) not slower than hardware (%v)", swN.Speedup, hwN.Speedup)
+	}
+}
+
+func TestEvalResultInternalConsistency(t *testing.T) {
+	ctx := sharedContext(t, "fft")
+	d, err := ctx.Deploy(testGuarantee())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, design := range []Design{DesignOracle, DesignTable, DesignNeural, DesignRandom, DesignNone} {
+		res := d.EvaluateValidation(design)
+		if len(res.Qualities) != len(ctx.Validate) {
+			t.Fatalf("%v: qualities length %d", design, len(res.Qualities))
+		}
+		n := 0
+		for _, q := range res.Qualities {
+			if q < 0 || q > 1 || math.IsNaN(q) {
+				t.Fatalf("%v: quality %v out of range", design, q)
+			}
+			if q <= d.G.QualityLoss {
+				n++
+			}
+		}
+		if n != res.Successes {
+			t.Errorf("%v: successes %d but %d qualities meet target", design, res.Successes, n)
+		}
+		if res.InvocationRate < 0 || res.InvocationRate > 1 {
+			t.Errorf("%v: invocation rate %v", design, res.InvocationRate)
+		}
+		if math.Abs(res.EDPImprovement-res.Speedup*res.EnergyReduction) > 1e-9 {
+			t.Errorf("%v: EDP inconsistent", design)
+		}
+	}
+}
+
+func TestTighterQualityLowersInvocationRate(t *testing.T) {
+	ctx := sharedContext(t, "sobel")
+	loose := testGuarantee()
+	tight := loose
+	tight.QualityLoss = 0.01
+	dLoose, err := ctx.Deploy(loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dTight, err := ctx.Deploy(tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dTight.Th.Threshold > dLoose.Th.Threshold+1e-12 {
+		t.Errorf("tighter quality gave looser threshold: %v vs %v",
+			dTight.Th.Threshold, dLoose.Th.Threshold)
+	}
+	oLoose := dLoose.EvaluateValidation(DesignOracle)
+	oTight := dTight.EvaluateValidation(DesignOracle)
+	if oTight.InvocationRate > oLoose.InvocationRate+1e-9 {
+		t.Errorf("tighter quality increased invocation rate: %v vs %v",
+			oTight.InvocationRate, oLoose.InvocationRate)
+	}
+}
+
+func TestDesignStrings(t *testing.T) {
+	for _, d := range []Design{DesignNone, DesignOracle, DesignTable, DesignNeural,
+		DesignRandom, DesignTableSW, DesignNeuralSW, Design(99)} {
+		if d.String() == "" {
+			t.Errorf("empty name for design %d", int(d))
+		}
+	}
+	if len(RealDesigns()) != 2 {
+		t.Error("RealDesigns should list table and neural")
+	}
+}
+
+func TestTrainTableVariantAndEvaluate(t *testing.T) {
+	ctx := sharedContext(t, "sobel")
+	d, err := ctx.Deploy(testGuarantee())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.TrainingSamples()) == 0 {
+		t.Fatal("no training samples retained")
+	}
+	small := d.Table.Config()
+	small.NumTables = 1
+	small.TableBytes = 128
+	tab, err := d.TrainTableVariant(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := d.EvaluateTable(tab, ctx.Validate)
+	if res.InvocationRate < 0 || res.InvocationRate > 1 {
+		t.Errorf("variant invocation rate %v", res.InvocationRate)
+	}
+	if tab.UncompressedBytes() != 128 {
+		t.Errorf("variant size %d", tab.UncompressedBytes())
+	}
+}
+
+func TestEvaluateTableOnlineImprovesOrMatchesFN(t *testing.T) {
+	ctx := sharedContext(t, "sobel")
+	d, err := ctx.Deploy(testGuarantee())
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline := d.EvaluateValidation(DesignTable)
+	online := d.EvaluateTableOnline(8, ctx.Validate)
+	// Online updates only add precise-fallback entries: false negatives
+	// cannot increase.
+	if online.FNRate > offline.FNRate+1e-9 {
+		t.Errorf("online FN %v worse than offline %v", online.FNRate, offline.FNRate)
+	}
+	// The deployed classifier must not have been mutated.
+	again := d.EvaluateValidation(DesignTable)
+	if again.FNRate != offline.FNRate || again.FPRate != offline.FPRate {
+		t.Error("online evaluation mutated the deployed table")
+	}
+	// Error sampling costs something.
+	if online.Speedup > offline.Speedup {
+		t.Errorf("online speedup %v should not exceed offline %v", online.Speedup, offline.Speedup)
+	}
+}
+
+func TestReproducibilityAcrossBuilds(t *testing.T) {
+	// The whole pipeline must be a pure function of the seed — including
+	// the parallel trace capture (per-index RNG labels) and the
+	// classifier tuning.
+	b, _ := axbench.New("fft")
+	opts := TestOptions()
+	build := func() (*Context, *Deployment) {
+		ctx, err := NewContext(b, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := ctx.Deploy(testGuarantee())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ctx, d
+	}
+	ctx1, d1 := build()
+	ctx2, d2 := build()
+
+	if ctx1.FullQuality != ctx2.FullQuality {
+		t.Errorf("full quality differs: %v vs %v", ctx1.FullQuality, ctx2.FullQuality)
+	}
+	for i := range ctx1.Compile {
+		if ctx1.Compile[i].Tr.N != ctx2.Compile[i].Tr.N {
+			t.Fatalf("dataset %d trace sizes differ", i)
+		}
+		for j, e := range ctx1.Compile[i].Tr.MaxErr {
+			if e != ctx2.Compile[i].Tr.MaxErr[j] {
+				t.Fatalf("dataset %d error %d differs", i, j)
+			}
+		}
+	}
+	if d1.Th.Threshold != d2.Th.Threshold {
+		t.Errorf("thresholds differ: %v vs %v", d1.Th.Threshold, d2.Th.Threshold)
+	}
+	if d1.Table.Config() != d2.Table.Config() {
+		t.Errorf("tuned table configs differ")
+	}
+	r1 := d1.EvaluateValidation(DesignTable)
+	r2 := d2.EvaluateValidation(DesignTable)
+	if r1.InvocationRate != r2.InvocationRate || r1.Successes != r2.Successes {
+		t.Errorf("validation results differ: %+v vs %+v", r1, r2)
+	}
+}

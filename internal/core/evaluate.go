@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+
+	"mithra/internal/classifier"
+	"mithra/internal/sim"
+	"mithra/internal/threshold"
+	"mithra/internal/trace"
+)
+
+// Design selects which quality-control mechanism (or none) drives the
+// accelerate/fall-back decision.
+type Design int
+
+// The designs the paper evaluates.
+const (
+	// DesignNone always invokes the accelerator — conventional
+	// approximate acceleration without quality control.
+	DesignNone Design = iota
+	// DesignOracle is the ideal, infeasible mechanism: it filters exactly
+	// the invocations whose accelerator error exceeds the threshold.
+	DesignOracle
+	// DesignTable is the table-based hardware classifier.
+	DesignTable
+	// DesignNeural is the neural hardware classifier.
+	DesignNeural
+	// DesignRandom is input-oblivious random filtering tuned to the same
+	// guarantee.
+	DesignRandom
+	// DesignTableSW and DesignNeuralSW run the classifiers in software on
+	// the core (paper §V-B's motivation for the hardware co-design).
+	DesignTableSW
+	DesignNeuralSW
+)
+
+func (d Design) String() string {
+	switch d {
+	case DesignNone:
+		return "full-approx"
+	case DesignOracle:
+		return "oracle"
+	case DesignTable:
+		return "table"
+	case DesignNeural:
+		return "neural"
+	case DesignRandom:
+		return "random"
+	case DesignTableSW:
+		return "table-sw"
+	case DesignNeuralSW:
+		return "neural-sw"
+	}
+	return fmt.Sprintf("Design(%d)", int(d))
+}
+
+// RealDesigns are the implementable quality-control mechanisms.
+func RealDesigns() []Design { return []Design{DesignTable, DesignNeural} }
+
+// EvalResult aggregates a design's behaviour over a dataset collection.
+type EvalResult struct {
+	Design Design
+	// Qualities holds the final quality loss of each dataset.
+	Qualities []float64
+	// Successes counts datasets meeting the guarantee's quality loss.
+	Successes int
+	// CertifiedLower is the Clopper-Pearson lower bound on the unseen
+	// success rate implied by Successes.
+	CertifiedLower float64
+	// Certified reports whether the guarantee holds on this collection.
+	Certified bool
+	// InvocationRate is the total fraction of invocations delegated to
+	// the accelerator.
+	InvocationRate float64
+	// Speedup/EnergyReduction/EDPImprovement aggregate whole-application
+	// gains: total baseline cost over total run cost across datasets.
+	Speedup         float64
+	EnergyReduction float64
+	EDPImprovement  float64
+	// FPRate and FNRate compare decisions against the oracle's
+	// (classifier designs only; zero otherwise).
+	FPRate, FNRate float64
+}
+
+// simConfig assembles the cost model for a design.
+func (d *Deployment) simConfig(design Design) sim.Config {
+	cfg := sim.Config{
+		Profile:     d.Ctx.Bench.Profile(),
+		NPUCycles:   float64(d.Ctx.Accel.CyclesPerInvocation()),
+		NPUEnergyPJ: d.Ctx.Accel.EnergyPerInvocation(),
+	}
+	var ov classifier.Overhead
+	switch design {
+	case DesignTable:
+		ov = d.Table.Overhead()
+	case DesignNeural:
+		ov = d.Neural.Overhead()
+	case DesignRandom:
+		ov = classifier.Overhead{Cycles: 1, EnergyPJ: 0.5}
+	case DesignTableSW:
+		cfg.ClassifierOnCore = true
+		ov = classifier.Overhead{Cycles: int(sim.SoftwareClassifierCycles(
+			"table", d.Ctx.Bench.InputDim(), d.Table.Config().NumTables, 0))}
+	case DesignNeuralSW:
+		cfg.ClassifierOnCore = true
+		macs := 0
+		topo := d.Neural.Topology()
+		for l := 0; l < len(topo)-1; l++ {
+			macs += topo[l] * topo[l+1]
+		}
+		ov = classifier.Overhead{Cycles: int(sim.SoftwareClassifierCycles("neural", d.Ctx.Bench.InputDim(), 0, macs))}
+	}
+	cfg.ClassifierCycles = float64(ov.Cycles)
+	cfg.ClassifierEnergyPJ = ov.EnergyPJ
+	return cfg
+}
+
+// Evaluate replays every dataset under the design's decisions and
+// aggregates quality, statistical certification, and simulated gains.
+func (d *Deployment) Evaluate(design Design, datasets []threshold.Dataset) EvalResult {
+	countFalse := design == DesignTable || design == DesignNeural ||
+		design == DesignTableSW || design == DesignNeuralSW
+	return d.evaluateWith(design, d.simConfig(design), datasets, countFalse,
+		func(di int, tr *trace.Trace) trace.Decision {
+			return d.Decisions(design, di, tr)
+		})
+}
+
+// EvaluateTable evaluates a custom-trained table variant (the Figure 11
+// Pareto sweep) on datasets.
+func (d *Deployment) EvaluateTable(tab *classifier.Table, datasets []threshold.Dataset) EvalResult {
+	return d.EvaluateClassifier(tab, datasets)
+}
+
+// EvaluateClassifier evaluates any classifier implementation on datasets,
+// costing it with its own Overhead — the entry point for the related-work
+// baseline comparisons (decision trees, error regressors).
+func (d *Deployment) EvaluateClassifier(c classifier.Classifier, datasets []threshold.Dataset) EvalResult {
+	simCfg := d.simConfig(DesignNone)
+	ov := c.Overhead()
+	simCfg.ClassifierCycles = float64(ov.Cycles)
+	simCfg.ClassifierEnergyPJ = ov.EnergyPJ
+	return d.evaluateWith(DesignTable, simCfg, datasets, true,
+		func(_ int, tr *trace.Trace) trace.Decision {
+			buf := make([]float64, tr.InDim)
+			return func(i int) bool { return c.Classify(tr.InputInto(i, buf)) }
+		})
+}
+
+// EvaluateTableOnline evaluates the table design with the paper's online
+// training enabled: every sampleEvery-th invocation also runs the precise
+// kernel to sample the true accelerator error, and a bad input updates
+// the (cloned) tables with the same conservative rule used in
+// pre-training. The error-sampling cost is charged to the classifier as
+// an amortized share of the precise kernel.
+func (d *Deployment) EvaluateTableOnline(sampleEvery int, datasets []threshold.Dataset) EvalResult {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	clone := d.Table.Clone()
+	simCfg := d.simConfig(DesignTable)
+	simCfg.ClassifierCycles += d.Ctx.Bench.Profile().KernelCycles / float64(sampleEvery)
+	return d.evaluateWith(DesignTable, simCfg, datasets, true,
+		func(_ int, tr *trace.Trace) trace.Decision {
+			buf := make([]float64, tr.InDim)
+			return func(i int) bool {
+				in := tr.InputInto(i, buf)
+				precise := clone.Classify(in)
+				if i%sampleEvery == 0 {
+					clone.Update(in, tr.MaxErr[i] > d.Th.Threshold)
+				}
+				return precise
+			}
+		})
+}
+
+func (d *Deployment) evaluateWith(design Design, simCfg sim.Config, datasets []threshold.Dataset,
+	countFalse bool, decFor func(di int, tr *trace.Trace) trace.Decision) EvalResult {
+	res := EvalResult{Design: design}
+
+	var totalInv, totalPrecise int
+	var baseCycles, runCycles, baseEnergy, runEnergy float64
+	var fp, fn int
+
+	for di, ds := range datasets {
+		dec := decFor(di, ds.Tr)
+		decs := make([]bool, ds.Tr.N)
+		out := ds.Tr.Replay(d.Ctx.Bench, ds.In, decs, dec)
+		q := d.Ctx.Bench.Metric().Loss(ds.Tr.PreciseOut, out)
+		res.Qualities = append(res.Qualities, q)
+		if q <= d.G.QualityLoss {
+			res.Successes++
+		}
+
+		nPrecise := 0
+		for i, p := range decs {
+			if p {
+				nPrecise++
+			}
+			oracleBad := ds.Tr.MaxErr[i] > d.Th.Threshold
+			switch {
+			case p && !oracleBad:
+				fp++
+			case !p && oracleBad:
+				fn++
+			}
+		}
+		totalInv += ds.Tr.N
+		totalPrecise += nPrecise
+
+		rep := simCfg.Evaluate(ds.Tr.N, nPrecise)
+		baseCycles += rep.BaselineCycles
+		runCycles += rep.Cycles
+		baseEnergy += rep.BaselineEnergyPJ
+		runEnergy += rep.EnergyPJ
+	}
+
+	res.InvocationRate = float64(totalInv-totalPrecise) / float64(totalInv)
+	res.Speedup = baseCycles / runCycles
+	res.EnergyReduction = baseEnergy / runEnergy
+	res.EDPImprovement = res.Speedup * res.EnergyReduction
+	res.CertifiedLower = d.G.LowerBound(res.Successes, len(datasets))
+	res.Certified = d.G.Holds(res.Successes, len(datasets))
+	if countFalse {
+		res.FPRate = float64(fp) / float64(totalInv)
+		res.FNRate = float64(fn) / float64(totalInv)
+	}
+	return res
+}
+
+// EvaluateValidation is shorthand for evaluating on the context's unseen
+// datasets — the numbers the paper reports.
+func (d *Deployment) EvaluateValidation(design Design) EvalResult {
+	return d.Evaluate(design, d.Ctx.Validate)
+}

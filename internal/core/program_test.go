@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"mithra/internal/axbench"
+	"mithra/internal/mathx"
+)
+
+func TestExportLoadRoundTrip(t *testing.T) {
+	ctx := sharedContext(t, "inversek2j")
+	d, err := ctx.Deploy(testGuarantee())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := d.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadProgram(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Bench.Name() != "inversek2j" {
+		t.Errorf("bench = %s", p.Bench.Name())
+	}
+	if p.Threshold != d.Th.Threshold {
+		t.Errorf("threshold %v != %v", p.Threshold, d.Th.Threshold)
+	}
+	if p.G != d.G {
+		t.Errorf("guarantee not preserved")
+	}
+
+	// The loaded program's decisions must match the deployed classifiers
+	// on fresh inputs.
+	rng := mathx.NewRNG(77)
+	for i := 0; i < 500; i++ {
+		in := []float64{rng.Range(-0.9, 0.9), rng.Range(0.05, 0.9)}
+		if p.Table.Classify(in) != d.Table.Classify(in) {
+			t.Fatal("table decisions diverge after load")
+		}
+		if p.Neural.Classify(in) != d.Neural.Classify(in) {
+			t.Fatal("neural decisions diverge after load")
+		}
+	}
+}
+
+func TestProgramRunEndToEnd(t *testing.T) {
+	ctx := sharedContext(t, "inversek2j")
+	d, err := ctx.Deploy(testGuarantee())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := d.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadProgram(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A brand-new dataset, never seen by compilation or validation.
+	in := p.Bench.GenInput(mathx.NewRNG(0xFEED), axbench.TestScale())
+	out, st, err := p.Run(in, DesignTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("empty output")
+	}
+	if st.Invocations != in.Invocations() {
+		t.Errorf("invocations %d, want %d", st.Invocations, in.Invocations())
+	}
+	if st.Fallbacks < 0 || st.Fallbacks > st.Invocations {
+		t.Errorf("fallbacks %d out of range", st.Fallbacks)
+	}
+	if st.QualityLoss < 0 || st.QualityLoss > 1 {
+		t.Errorf("quality loss %v", st.QualityLoss)
+	}
+	if st.Speedup <= 0 || st.EnergyReduction <= 0 {
+		t.Errorf("gains %v / %v", st.Speedup, st.EnergyReduction)
+	}
+
+	// Full approximation must accelerate everything.
+	_, stFull, err := p.Run(in, DesignNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stFull.Fallbacks != 0 || stFull.InvocationRate != 1 {
+		t.Errorf("full approx stats: %+v", stFull)
+	}
+	// The gated run can never lose more quality than... actually it can
+	// in pathological cases, but with a certified threshold it should be
+	// no worse here.
+	if st.QualityLoss > stFull.QualityLoss+1e-9 {
+		t.Errorf("gated run quality %v worse than full approximation %v",
+			st.QualityLoss, stFull.QualityLoss)
+	}
+}
+
+func TestProgramRunRejectsOracle(t *testing.T) {
+	ctx := sharedContext(t, "inversek2j")
+	d, err := ctx.Deploy(testGuarantee())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := d.Export()
+	p, _ := LoadProgram(data)
+	in := p.Bench.GenInput(mathx.NewRNG(1), axbench.TestScale())
+	if _, _, err := p.Run(in, DesignOracle); err == nil {
+		t.Error("oracle should not be runnable without traces")
+	}
+}
+
+func TestLoadProgramErrors(t *testing.T) {
+	if _, err := LoadProgram([]byte("junk")); err == nil {
+		t.Error("junk should fail")
+	}
+	if _, err := LoadProgram(nil); err == nil {
+		t.Error("nil should fail")
+	}
+}

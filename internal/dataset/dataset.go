@@ -1,0 +1,255 @@
+// Package dataset synthesizes the application input datasets for the six
+// AxBench benchmarks. The paper uses 250 distinct representative datasets
+// for compilation and 250 unseen datasets for validation — typical program
+// inputs such as complete images, PARSEC option batches, signal buffers,
+// coordinate streams, and triangle-pair soups (Table I).
+//
+// We do not have the original corpora, so each generator synthesizes
+// inputs with deliberately diverse structure (the substitution is recorded
+// in DESIGN.md). Every generator is a pure function of an RNG stream, so a
+// dataset index + experiment seed fully determines the data; compilation
+// and validation sets are split by disjoint stream labels, guaranteeing
+// validation inputs are unseen during training.
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"mithra/internal/mathx"
+)
+
+// Image is a grayscale image with intensities in [0, 1], stored row-major.
+type Image struct {
+	W, H int
+	Pix  []float64
+}
+
+// NewImage allocates a black image.
+func NewImage(w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("dataset: invalid image size %dx%d", w, h))
+	}
+	return &Image{W: w, H: h, Pix: make([]float64, w*h)}
+}
+
+// At returns the intensity at (x, y), clamping coordinates to the image
+// border (the usual convolution edge handling).
+func (im *Image) At(x, y int) float64 {
+	if x < 0 {
+		x = 0
+	}
+	if x >= im.W {
+		x = im.W - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= im.H {
+		y = im.H - 1
+	}
+	return im.Pix[y*im.W+x]
+}
+
+// Set writes intensity v (clamped to [0,1]) at in-bounds (x, y).
+func (im *Image) Set(x, y int, v float64) {
+	im.Pix[y*im.W+x] = mathx.Clamp(v, 0, 1)
+}
+
+// Clone deep-copies the image.
+func (im *Image) Clone() *Image {
+	c := NewImage(im.W, im.H)
+	copy(c.Pix, im.Pix)
+	return c
+}
+
+// GenImage synthesizes a grayscale test image mixing smooth gradients,
+// sinusoidal texture, soft geometric shapes, and sparse impulse noise.
+// The mixture weights vary per stream, so a batch of generated images
+// spans smooth photos, busy textures, and hard-edged synthetic graphics —
+// the diversity that makes jpeg/sobel quality control non-trivial.
+func GenImage(rng *mathx.RNG, w, h int) *Image {
+	im := NewImage(w, h)
+
+	// Base gradient.
+	gx := rng.Range(-1, 1)
+	gy := rng.Range(-1, 1)
+	base := rng.Range(0.2, 0.8)
+
+	// Sinusoidal texture parameters (two octaves).
+	fu := rng.Range(2, 16)
+	fv := rng.Range(2, 16)
+	phase := rng.Range(0, 2*math.Pi)
+	texAmp := rng.Range(0.05, 0.4)
+	fu2 := rng.Range(16, 48)
+	fv2 := rng.Range(16, 48)
+	tex2Amp := rng.Range(0.0, 0.15)
+
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			u := float64(x) / float64(w)
+			v := float64(y) / float64(h)
+			val := base + 0.3*gx*(u-0.5) + 0.3*gy*(v-0.5)
+			val += texAmp * math.Sin(2*math.Pi*(fu*u+fv*v)+phase)
+			val += tex2Amp * math.Sin(2*math.Pi*(fu2*u+fv2*v))
+			im.Set(x, y, val)
+		}
+	}
+
+	// Soft ellipses (objects with edges).
+	nShapes := 2 + rng.Intn(5)
+	for s := 0; s < nShapes; s++ {
+		cx := rng.Range(0, float64(w))
+		cy := rng.Range(0, float64(h))
+		rx := rng.Range(float64(w)/16, float64(w)/3)
+		ry := rng.Range(float64(h)/16, float64(h)/3)
+		level := rng.Range(0, 1)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				dx := (float64(x) - cx) / rx
+				dy := (float64(y) - cy) / ry
+				if dx*dx+dy*dy <= 1 {
+					old := im.At(x, y)
+					im.Set(x, y, 0.35*old+0.65*level)
+				}
+			}
+		}
+	}
+
+	// Sparse impulse noise.
+	nNoise := int(0.012 * float64(w*h))
+	for i := 0; i < nNoise; i++ {
+		x := rng.Intn(w)
+		y := rng.Intn(h)
+		if rng.Bool(0.5) {
+			im.Set(x, y, 1)
+		} else {
+			im.Set(x, y, 0)
+		}
+	}
+	return im
+}
+
+// Option is one Black-Scholes pricing problem: the six inputs of the
+// blackscholes kernel.
+type Option struct {
+	Spot, Strike, Rate, Volatility, Time float64
+	// CallPut is 0 for a call, 1 for a put.
+	CallPut float64
+}
+
+// Vector flattens the option into the kernel's input layout.
+func (o Option) Vector() []float64 {
+	return []float64{o.Spot, o.Strike, o.Rate, o.Volatility, o.Time, o.CallPut}
+}
+
+// GenOptions synthesizes n option-pricing problems with PARSEC-like
+// parameter ranges: spot/strike near parity with volatility and expiry
+// floors, so option values stay well away from zero (deep out-of-the-money
+// options make the average-relative-error metric degenerate, and PARSEC's
+// input files avoid them too).
+func GenOptions(rng *mathx.RNG, n int) []Option {
+	out := make([]Option, n)
+	for i := range out {
+		spot := rng.Range(20, 180)
+		moneyness := rng.Range(0.75, 1.25)
+		cp := 0.0
+		if rng.Bool(0.5) {
+			cp = 1
+		}
+		out[i] = Option{
+			Spot:       spot,
+			Strike:     spot * moneyness,
+			Rate:       rng.Range(0.005, 0.1),
+			Volatility: rng.Range(0.15, 0.60),
+			Time:       rng.Range(0.25, 2.0),
+			CallPut:    cp,
+		}
+	}
+	return out
+}
+
+// GenSignal synthesizes a length-n real signal as a sum of up to five
+// sinusoids plus Gaussian noise — the fft benchmark's input buffer.
+func GenSignal(rng *mathx.RNG, n int) []float64 {
+	sig := make([]float64, n)
+	tones := 1 + rng.Intn(5)
+	for t := 0; t < tones; t++ {
+		freq := rng.Range(1, float64(n)/4)
+		amp := rng.Range(0.2, 1.2)
+		phase := rng.Range(0, 2*math.Pi)
+		for i := range sig {
+			sig[i] += amp * math.Sin(2*math.Pi*freq*float64(i)/float64(n)+phase)
+		}
+	}
+	noise := rng.Range(0.0, 0.15)
+	for i := range sig {
+		sig[i] += noise * rng.Norm()
+	}
+	return sig
+}
+
+// Point2D is a target position for the inversek2j kinematics benchmark.
+type Point2D struct{ X, Y float64 }
+
+// GenReachablePoints synthesizes n (x, y) targets that are reachable by a
+// two-joint arm with link lengths l1 and l2 (radius in (|l1-l2|, l1+l2)),
+// sampled with angular and radial diversity.
+func GenReachablePoints(rng *mathx.RNG, n int, l1, l2 float64) []Point2D {
+	rMin := math.Abs(l1-l2) + 1e-3
+	rMax := l1 + l2 - 1e-3
+	pts := make([]Point2D, n)
+	for i := range pts {
+		r := rng.Range(rMin, rMax)
+		// Keep targets in the upper half-plane, matching the benchmark's
+		// elbow-up convention.
+		theta := rng.Range(0.05, math.Pi-0.05)
+		pts[i] = Point2D{X: r * math.Cos(theta), Y: r * math.Sin(theta)}
+	}
+	return pts
+}
+
+// TrianglePair is one jmeint problem: two 3D triangles (18 coordinates).
+type TrianglePair struct {
+	// A and B hold three xyz vertices each.
+	A, B [9]float64
+}
+
+// Vector flattens the pair into the kernel's 18-element input layout.
+func (tp TrianglePair) Vector() []float64 {
+	v := make([]float64, 18)
+	copy(v[:9], tp.A[:])
+	copy(v[9:], tp.B[:])
+	return v
+}
+
+// GenTrianglePairs synthesizes n triangle pairs inside the unit cube.
+// Roughly half are sampled with overlapping bounding volumes so the
+// intersecting/non-intersecting classes are both well represented, as in
+// the benchmark's 3D-gaming workload.
+func GenTrianglePairs(rng *mathx.RNG, n int) []TrianglePair {
+	out := make([]TrianglePair, n)
+	for i := range out {
+		var tp TrianglePair
+		center := [3]float64{rng.Range(0.2, 0.8), rng.Range(0.2, 0.8), rng.Range(0.2, 0.8)}
+		scale := rng.Range(0.05, 0.4)
+		genTri(rng, &tp.A, center, scale)
+		if rng.Bool(0.5) {
+			// Nearby second triangle: likely intersecting.
+			genTri(rng, &tp.B, center, scale)
+		} else {
+			c2 := [3]float64{rng.Range(0, 1), rng.Range(0, 1), rng.Range(0, 1)}
+			genTri(rng, &tp.B, c2, rng.Range(0.05, 0.4))
+		}
+		out[i] = tp
+	}
+	return out
+}
+
+func genTri(rng *mathx.RNG, dst *[9]float64, center [3]float64, scale float64) {
+	for v := 0; v < 3; v++ {
+		for c := 0; c < 3; c++ {
+			dst[v*3+c] = center[c] + scale*rng.Range(-1, 1)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"mithra/internal/mathx"
+)
+
+func TestNewImageValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-size image should panic")
+		}
+	}()
+	NewImage(0, 10)
+}
+
+func TestImageAtClampsCoordinates(t *testing.T) {
+	im := NewImage(4, 4)
+	im.Set(0, 0, 0.5)
+	im.Set(3, 3, 0.9)
+	if got := im.At(-5, -5); got != 0.5 {
+		t.Errorf("At(-5,-5) = %v, want clamped corner 0.5", got)
+	}
+	if got := im.At(100, 100); got != 0.9 {
+		t.Errorf("At(100,100) = %v, want clamped corner 0.9", got)
+	}
+}
+
+func TestImageSetClampsValues(t *testing.T) {
+	im := NewImage(2, 2)
+	im.Set(0, 0, 5)
+	im.Set(1, 1, -3)
+	if im.At(0, 0) != 1 || im.At(1, 1) != 0 {
+		t.Errorf("Set should clamp to [0,1], got %v, %v", im.At(0, 0), im.At(1, 1))
+	}
+}
+
+func TestImageClone(t *testing.T) {
+	im := NewImage(3, 3)
+	im.Set(1, 1, 0.7)
+	c := im.Clone()
+	c.Set(1, 1, 0.2)
+	if im.At(1, 1) != 0.7 {
+		t.Error("Clone shares pixel storage")
+	}
+}
+
+func TestGenImageProperties(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	im := GenImage(rng, 32, 24)
+	if im.W != 32 || im.H != 24 {
+		t.Fatalf("size = %dx%d", im.W, im.H)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range im.Pix {
+		if p < 0 || p > 1 {
+			t.Fatalf("pixel out of range: %v", p)
+		}
+		lo = math.Min(lo, p)
+		hi = math.Max(hi, p)
+	}
+	if hi-lo < 0.1 {
+		t.Errorf("image has almost no contrast: range %v", hi-lo)
+	}
+}
+
+func TestGenImageDeterminismAndDiversity(t *testing.T) {
+	a := GenImage(mathx.NewRNG(7), 16, 16)
+	b := GenImage(mathx.NewRNG(7), 16, 16)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("same-seed images differ")
+		}
+	}
+	c := GenImage(mathx.NewRNG(8), 16, 16)
+	diff := 0.0
+	for i := range a.Pix {
+		diff += math.Abs(a.Pix[i] - c.Pix[i])
+	}
+	if diff/float64(len(a.Pix)) < 0.01 {
+		t.Error("different seeds produced nearly identical images")
+	}
+}
+
+func TestGenOptions(t *testing.T) {
+	opts := GenOptions(mathx.NewRNG(2), 100)
+	if len(opts) != 100 {
+		t.Fatalf("len = %d", len(opts))
+	}
+	calls, puts := 0, 0
+	for _, o := range opts {
+		if o.Spot <= 0 || o.Strike <= 0 || o.Volatility <= 0 || o.Time <= 0 {
+			t.Fatalf("invalid option: %+v", o)
+		}
+		if o.CallPut == 0 {
+			calls++
+		} else {
+			puts++
+		}
+		v := o.Vector()
+		if len(v) != 6 || v[0] != o.Spot || v[5] != o.CallPut {
+			t.Fatalf("Vector layout wrong: %v", v)
+		}
+	}
+	if calls == 0 || puts == 0 {
+		t.Error("expected a mix of calls and puts")
+	}
+}
+
+func TestGenSignal(t *testing.T) {
+	sig := GenSignal(mathx.NewRNG(3), 256)
+	if len(sig) != 256 {
+		t.Fatalf("len = %d", len(sig))
+	}
+	energy := 0.0
+	for _, s := range sig {
+		energy += s * s
+	}
+	if energy == 0 {
+		t.Error("signal is all zeros")
+	}
+}
+
+func TestGenReachablePoints(t *testing.T) {
+	const l1, l2 = 0.5, 0.5
+	pts := GenReachablePoints(mathx.NewRNG(4), 500, l1, l2)
+	for _, p := range pts {
+		r := math.Hypot(p.X, p.Y)
+		if r >= l1+l2 || r <= math.Abs(l1-l2) && math.Abs(l1-l2) > 0 {
+			t.Fatalf("unreachable point: %+v (r=%v)", p, r)
+		}
+		if p.Y < 0 {
+			t.Fatalf("point below the upper half-plane: %+v", p)
+		}
+	}
+}
+
+func TestGenReachablePointsUnequalLinks(t *testing.T) {
+	const l1, l2 = 0.7, 0.3
+	pts := GenReachablePoints(mathx.NewRNG(5), 200, l1, l2)
+	for _, p := range pts {
+		r := math.Hypot(p.X, p.Y)
+		if r <= l1-l2 || r >= l1+l2 {
+			t.Fatalf("radius %v outside annulus (%v, %v)", r, l1-l2, l1+l2)
+		}
+	}
+}
+
+func TestGenTrianglePairs(t *testing.T) {
+	pairs := GenTrianglePairs(mathx.NewRNG(6), 200)
+	if len(pairs) != 200 {
+		t.Fatalf("len = %d", len(pairs))
+	}
+	for _, tp := range pairs {
+		v := tp.Vector()
+		if len(v) != 18 {
+			t.Fatalf("Vector len = %d", len(v))
+		}
+		if v[0] != tp.A[0] || v[9] != tp.B[0] {
+			t.Fatal("Vector layout wrong")
+		}
+	}
+	// Check spatial diversity: not all pairs identical.
+	if pairs[0].A == pairs[1].A {
+		t.Error("triangle pairs not diverse")
+	}
+}

@@ -1,0 +1,27 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadPGM feeds arbitrary bytes to the PGM decoder: it must never
+// panic or allocate unboundedly.
+func FuzzReadPGM(f *testing.F) {
+	f.Add([]byte("P5\n2 2\n255\nabcd"))
+	f.Add([]byte("P2\n1 1\n255\n7"))
+	f.Add([]byte("P5\n# comment\n3 1\n65535\nabcdef"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		im, err := ReadPGM(bytes.NewReader(data))
+		if err == nil && im != nil {
+			if im.W <= 0 || im.H <= 0 || len(im.Pix) != im.W*im.H {
+				t.Fatalf("accepted malformed image %dx%d (%d pixels)", im.W, im.H, len(im.Pix))
+			}
+			for _, p := range im.Pix {
+				if p < 0 || p > 1 {
+					t.Fatalf("pixel out of range: %v", p)
+				}
+			}
+		}
+	})
+}

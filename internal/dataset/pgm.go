@@ -1,0 +1,141 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"mithra/internal/mathx"
+)
+
+// PGM support lets the imaging benchmarks run on real grayscale files:
+// the examples and CLI read/write the portable graymap format (P5 binary
+// and P2 ASCII), mapping 8-bit intensities to the [0, 1] pixel range the
+// kernels use.
+
+// WritePGM encodes the image as a binary (P5) 8-bit PGM.
+func (im *Image) WritePGM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", im.W, im.H); err != nil {
+		return fmt.Errorf("dataset: write pgm header: %w", err)
+	}
+	for _, p := range im.Pix {
+		v := byte(p*255 + 0.5)
+		if err := bw.WriteByte(v); err != nil {
+			return fmt.Errorf("dataset: write pgm pixels: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPGM decodes a P5 (binary) or P2 (ASCII) PGM into an Image with
+// intensities scaled to [0, 1].
+func ReadPGM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	magic, err := pgmToken(br)
+	if err != nil {
+		return nil, err
+	}
+	if magic != "P5" && magic != "P2" {
+		return nil, fmt.Errorf("dataset: unsupported PGM magic %q", magic)
+	}
+	w, err := pgmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	h, err := pgmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	maxVal, err := pgmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	if w <= 0 || h <= 0 || w*h > 1<<26 {
+		return nil, fmt.Errorf("dataset: implausible PGM size %dx%d", w, h)
+	}
+	if maxVal <= 0 || maxVal > 65535 {
+		return nil, fmt.Errorf("dataset: invalid PGM maxval %d", maxVal)
+	}
+	im := NewImage(w, h)
+	scale := 1 / float64(maxVal)
+
+	if magic == "P2" {
+		for i := 0; i < w*h; i++ {
+			v, err := pgmInt(br)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: pgm pixel %d: %w", i, err)
+			}
+			im.Pix[i] = mathx.Clamp(float64(v)*scale, 0, 1)
+		}
+		return im, nil
+	}
+
+	// P5: after the maxval token exactly one whitespace byte precedes the
+	// raster; pgmInt has already consumed it.
+	bytesPerPixel := 1
+	if maxVal > 255 {
+		bytesPerPixel = 2
+	}
+	buf := make([]byte, w*h*bytesPerPixel)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("dataset: pgm raster: %w", err)
+	}
+	for i := 0; i < w*h; i++ {
+		var v int
+		if bytesPerPixel == 1 {
+			v = int(buf[i])
+		} else {
+			v = int(buf[2*i])<<8 | int(buf[2*i+1])
+		}
+		// Files whose samples exceed the declared maxval are technically
+		// malformed; clamp rather than reject, matching viewer behaviour.
+		im.Pix[i] = mathx.Clamp(float64(v)*scale, 0, 1)
+	}
+	return im, nil
+}
+
+// pgmToken reads the next whitespace-delimited token, skipping comments.
+func pgmToken(br *bufio.Reader) (string, error) {
+	var tok []byte
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if len(tok) > 0 && err == io.EOF {
+				return string(tok), nil
+			}
+			return "", fmt.Errorf("dataset: pgm token: %w", err)
+		}
+		switch {
+		case b == '#':
+			// Comment runs to end of line.
+			if _, err := br.ReadString('\n'); err != nil && err != io.EOF {
+				return "", err
+			}
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, b)
+		}
+	}
+}
+
+func pgmInt(br *bufio.Reader) (int, error) {
+	tok, err := pgmToken(br)
+	if err != nil {
+		return 0, err
+	}
+	v := 0
+	for _, c := range tok {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("dataset: non-numeric PGM field %q", tok)
+		}
+		v = v*10 + int(c-'0')
+		if v > 1<<30 {
+			return 0, fmt.Errorf("dataset: PGM field %q overflows", tok)
+		}
+	}
+	return v, nil
+}

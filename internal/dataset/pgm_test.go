@@ -1,0 +1,95 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"mithra/internal/mathx"
+)
+
+func TestPGMRoundTrip(t *testing.T) {
+	im := GenImage(mathx.NewRNG(1), 33, 17)
+	var buf bytes.Buffer
+	if err := im.WritePGM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.W != im.W || back.H != im.H {
+		t.Fatalf("size %dx%d, want %dx%d", back.W, back.H, im.W, im.H)
+	}
+	for i := range im.Pix {
+		// 8-bit quantization error only.
+		if math.Abs(im.Pix[i]-back.Pix[i]) > 1.0/255+1e-9 {
+			t.Fatalf("pixel %d: %v vs %v", i, im.Pix[i], back.Pix[i])
+		}
+	}
+}
+
+func TestReadPGMAscii(t *testing.T) {
+	src := "P2\n# a comment\n3 2\n255\n0 128 255\n64 32 16\n"
+	im, err := ReadPGM(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.W != 3 || im.H != 2 {
+		t.Fatalf("size %dx%d", im.W, im.H)
+	}
+	if math.Abs(im.At(1, 0)-128.0/255) > 1e-9 {
+		t.Errorf("pixel(1,0) = %v", im.At(1, 0))
+	}
+	if im.At(2, 0) != 1 {
+		t.Errorf("pixel(2,0) = %v", im.At(2, 0))
+	}
+}
+
+func TestReadPGM16Bit(t *testing.T) {
+	// P5 with maxval 65535: two bytes per pixel, big-endian.
+	var buf bytes.Buffer
+	buf.WriteString("P5\n2 1\n65535\n")
+	buf.Write([]byte{0xFF, 0xFF, 0x00, 0x00})
+	im, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.At(0, 0) != 1 || im.At(1, 0) != 0 {
+		t.Errorf("pixels = %v, %v", im.At(0, 0), im.At(1, 0))
+	}
+}
+
+func TestReadPGMErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad magic":       "P3\n2 2\n255\n",
+		"zero width":      "P5\n0 2\n255\n",
+		"huge size":       "P5\n100000 100000\n255\n",
+		"bad maxval":      "P5\n2 2\n0\n",
+		"non-numeric":     "P5\nxx 2\n255\n",
+		"truncated":       "P5\n4 4\n255\nab",
+		"empty":           "",
+		"comment only":    "# nothing\n",
+		"ascii truncated": "P2\n2 2\n255\n1 2 3",
+	}
+	for name, src := range cases {
+		if _, err := ReadPGM(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestWritePGMHeader(t *testing.T) {
+	im := NewImage(5, 3)
+	var buf bytes.Buffer
+	if err := im.WritePGM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "P5\n5 3\n255\n") {
+		t.Errorf("header = %q", buf.String()[:12])
+	}
+	if buf.Len() != len("P5\n5 3\n255\n")+15 {
+		t.Errorf("total size %d", buf.Len())
+	}
+}

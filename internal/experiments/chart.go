@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders series as an ASCII line plot so the regenerated figures
+// are figures, not just tables. One character cell per (column, row);
+// series are labeled a, b, c, ... with a legend.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int
+	Height int
+	Series []Series
+}
+
+// Render draws the chart into a string.
+func (c *Chart) Render() string {
+	if c.Width <= 0 {
+		c.Width = 64
+	}
+	if c.Height <= 0 {
+		c.Height = 16
+	}
+	var xs, ys []float64
+	for _, s := range c.Series {
+		xs = append(xs, s.X...)
+		ys = append(ys, s.Y...)
+	}
+	if len(xs) == 0 {
+		return c.Title + ": (no data)\n"
+	}
+	xMin, xMax := minMax(xs)
+	yMin, yMax := minMax(ys)
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	grid := make([][]byte, c.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", c.Width))
+	}
+	for si, s := range c.Series {
+		mark := byte('a' + si%26)
+		for i := range s.X {
+			col := int((s.X[i] - xMin) / (xMax - xMin) * float64(c.Width-1))
+			row := int((s.Y[i] - yMin) / (yMax - yMin) * float64(c.Height-1))
+			// Row 0 is the top of the plot.
+			r := c.Height - 1 - row
+			if col >= 0 && col < c.Width && r >= 0 && r < c.Height {
+				grid[r][col] = mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", c.Title)
+	yTop := fmt.Sprintf("%.3g", yMax)
+	yBot := fmt.Sprintf("%.3g", yMin)
+	pad := len(yTop)
+	if len(yBot) > pad {
+		pad = len(yBot)
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", pad)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", pad, yTop)
+		} else if r == c.Height-1 {
+			label = fmt.Sprintf("%*s", pad, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", c.Width))
+	fmt.Fprintf(&b, "%s  %-*.3g%*.3g  (%s)\n",
+		strings.Repeat(" ", pad), c.Width/2, xMin, c.Width-c.Width/2, xMax, c.XLabel)
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "%s   %c = %s\n", strings.Repeat(" ", pad), byte('a'+si%26), s.Name)
+	}
+	return b.String()
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return lo, hi
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRender(t *testing.T) {
+	c := Chart{
+		Title:  "test chart",
+		XLabel: "x",
+		Width:  40,
+		Height: 8,
+		Series: []Series{
+			{Name: "rising", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+			{Name: "flat", X: []float64{0, 1, 2, 3}, Y: []float64{1, 1, 1, 1}},
+		},
+	}
+	out := c.Render()
+	if !strings.Contains(out, "test chart") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "a = rising") || !strings.Contains(out, "b = flat") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Error("missing marks")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Errorf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := Chart{Title: "empty"}
+	if out := c.Render(); !strings.Contains(out, "no data") {
+		t.Errorf("empty chart = %q", out)
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	c := Chart{
+		Title:  "constant",
+		Series: []Series{{Name: "s", X: []float64{1, 1}, Y: []float64{2, 2}}},
+	}
+	out := c.Render() // must not panic or divide by zero
+	if !strings.Contains(out, "constant") {
+		t.Error("missing title")
+	}
+}

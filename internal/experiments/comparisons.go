@@ -1,0 +1,351 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mithra/internal/classifier"
+	"mithra/internal/core"
+	"mithra/internal/mathx"
+)
+
+// Fig9Row compares a classifier design against tuned random filtering on
+// one benchmark at the headline quality level.
+type Fig9Row struct {
+	Benchmark     string
+	Design        core.Design
+	SpeedupVsRand float64
+	EnergyVsRand  float64
+}
+
+// Fig9Result carries the random-filtering comparison.
+type Fig9Result struct {
+	Rows  []Fig9Row
+	Table *Table
+}
+
+// Fig9 reproduces Figure 9: speedup and energy reduction of the
+// table-based and neural designs relative to input-oblivious random
+// filtering tuned to the same statistical guarantee, at the headline
+// quality level.
+func (s *Suite) Fig9() (*Fig9Result, error) {
+	res := &Fig9Result{
+		Table: &Table{
+			ID:    "fig9",
+			Title: fmt.Sprintf("Gains relative to random filtering at %s quality loss", fmtPct(s.Cfg.HeadlineQuality)),
+			Header: []string{"benchmark", "design", "speedup vs random", "energy vs random",
+				"random rate"},
+		},
+	}
+	type benchRows struct {
+		rows       []Fig9Row
+		randomRate float64
+	}
+	perBench := make([]benchRows, len(s.Cfg.Benchmarks))
+	benchIdx := map[string]int{}
+	for i, n := range s.Cfg.Benchmarks {
+		benchIdx[n] = i
+	}
+	err := s.forEachBenchmark(func(name string) error {
+		d, err := s.Deployment(name, s.Cfg.HeadlineQuality)
+		if err != nil {
+			return err
+		}
+		rand := d.EvaluateValidation(core.DesignRandom)
+		br := benchRows{randomRate: d.RandomRate}
+		for _, design := range core.RealDesigns() {
+			r := d.EvaluateValidation(design)
+			br.rows = append(br.rows, Fig9Row{
+				Benchmark:     name,
+				Design:        design,
+				SpeedupVsRand: r.Speedup / rand.Speedup,
+				EnergyVsRand:  r.EnergyReduction / rand.EnergyReduction,
+			})
+		}
+		perBench[benchIdx[name]] = br
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var tSpeed, tEnergy, nSpeed, nEnergy []float64
+	for i, name := range s.Cfg.Benchmarks {
+		for _, row := range perBench[i].rows {
+			res.Rows = append(res.Rows, row)
+			res.Table.Rows = append(res.Table.Rows, []string{
+				name, row.Design.String(), fmtX(row.SpeedupVsRand), fmtX(row.EnergyVsRand),
+				fmtPct(perBench[i].randomRate),
+			})
+			if row.Design == core.DesignTable {
+				tSpeed = append(tSpeed, row.SpeedupVsRand)
+				tEnergy = append(tEnergy, row.EnergyVsRand)
+			} else {
+				nSpeed = append(nSpeed, row.SpeedupVsRand)
+				nEnergy = append(nEnergy, row.EnergyVsRand)
+			}
+		}
+	}
+	res.Table.Rows = append(res.Table.Rows,
+		[]string{"geomean", "table", fmtX(mathx.Geomean(tSpeed)), fmtX(mathx.Geomean(tEnergy)), ""},
+		[]string{"geomean", "neural", fmtX(mathx.Geomean(nSpeed)), fmtX(mathx.Geomean(nEnergy)), ""},
+	)
+	res.Table.Notes = append(res.Table.Notes,
+		"paper: table +41% speedup / +50% energy over random; neural +46% / +76%; max 2.1x (inversek2j), 2.9x energy (blackscholes)")
+	return res, nil
+}
+
+// Fig10Point is one success-rate operating point.
+type Fig10Point struct {
+	SuccessRate float64
+	Design      core.Design
+	EDP         float64
+	Threshold   float64
+}
+
+// Fig10Result carries the success-rate sweep.
+type Fig10Result struct {
+	Points []Fig10Point
+	Table  *Table
+}
+
+// Fig10 reproduces Figure 10: the energy-delay-product improvement at the
+// headline quality level as the required success rate varies (with the
+// campaign's confidence). Higher statistical guarantees tighten the
+// threshold and cost benefits — the knob the programmer turns.
+func (s *Suite) Fig10(successRates []float64) (*Fig10Result, error) {
+	if len(successRates) == 0 {
+		successRates = []float64{0.50, 0.60, 0.70, 0.80, 0.90}
+	}
+	res := &Fig10Result{
+		Table: &Table{
+			ID:    "fig10",
+			Title: fmt.Sprintf("EDP improvement vs success rate at %s quality loss", fmtPct(s.Cfg.HeadlineQuality)),
+			Header: []string{"success rate", "design", "geomean EDP improvement",
+				"mean oracle threshold"},
+		},
+	}
+	// Build every (benchmark, success rate) deployment with benchmark-level
+	// parallelism, then assemble serially from the caches.
+	err := s.forEachBenchmark(func(name string) error {
+		for _, sr := range successRates {
+			for _, design := range fig6Designs() {
+				if _, err := s.pointAt(name, s.Cfg.HeadlineQuality, sr, design); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, sr := range successRates {
+		for _, design := range fig6Designs() {
+			var edps, ths []float64
+			for _, name := range s.Cfg.Benchmarks {
+				p, err := s.pointAt(name, s.Cfg.HeadlineQuality, sr, design)
+				if err != nil {
+					return nil, err
+				}
+				d, err := s.DeploymentAt(name, s.Cfg.HeadlineQuality, sr)
+				if err != nil {
+					return nil, err
+				}
+				edps = append(edps, p.EDP)
+				ths = append(ths, d.Th.Threshold)
+			}
+			p := Fig10Point{
+				SuccessRate: sr,
+				Design:      design,
+				EDP:         mathx.Geomean(edps),
+				Threshold:   mathx.Mean(ths),
+			}
+			res.Points = append(res.Points, p)
+			res.Table.Rows = append(res.Table.Rows, []string{
+				fmtPct(sr), design.String(), fmtX(p.EDP), fmt.Sprintf("%.4f", p.Threshold),
+			})
+		}
+	}
+	res.Table.Notes = append(res.Table.Notes,
+		"paper Fig. 10: higher success rates give stronger guarantees but smaller benefits")
+	var series []Series
+	for _, design := range fig6Designs() {
+		s := Series{Name: design.String()}
+		for _, p := range res.Points {
+			if p.Design == design {
+				s.X = append(s.X, p.SuccessRate)
+				s.Y = append(s.Y, p.EDP)
+			}
+		}
+		series = append(series, s)
+	}
+	chart := Chart{
+		Title:  "Figure 10: geomean EDP improvement (y) vs required success rate (x)",
+		XLabel: "success rate",
+		Height: 12,
+		Series: series,
+	}
+	res.Table.Notes = append(res.Table.Notes, "\n"+chart.Render())
+	return res, nil
+}
+
+// Fig11Point is one table-design configuration.
+type Fig11Point struct {
+	NumTables      int
+	TableBytes     int
+	TotalKB        float64
+	InvocationRate float64
+	FNRate         float64
+}
+
+// Fig11Result carries the Pareto sweep.
+type Fig11Result struct {
+	Points []Fig11Point
+	Table  *Table
+}
+
+// Fig11 reproduces Figure 11: the design-space exploration of the
+// table-based classifier — {1,2,4,8} parallel tables x {0.125,0.5,2,8} KB
+// per table — plotting uncompressed storage against the average
+// validation invocation rate at the headline quality level.
+func (s *Suite) Fig11() (*Fig11Result, error) {
+	numTables := []int{1, 2, 4, 8}
+	tableBytes := []int{128, 512, 2048, 8192}
+	res := &Fig11Result{
+		Table: &Table{
+			ID:     "fig11",
+			Title:  fmt.Sprintf("Table-design Pareto at %s quality loss", fmtPct(s.Cfg.HeadlineQuality)),
+			Header: []string{"config", "total KB", "mean invocation rate", "mean FN rate"},
+		},
+	}
+	type cell struct{ rate, fn float64 }
+	var configs []classifier.TableConfig
+	for _, nt := range numTables {
+		for _, tb := range tableBytes {
+			configs = append(configs, classifier.TableConfig{
+				NumTables:  nt,
+				TableBytes: tb,
+				Combine:    s.Cfg.Opts.TableCfg.Combine,
+				QuantBits:  s.Cfg.Opts.TableCfg.QuantBits,
+				Project:    s.Cfg.Opts.TableCfg.Project,
+			})
+		}
+	}
+	benchIdx := map[string]int{}
+	for i, n := range s.Cfg.Benchmarks {
+		benchIdx[n] = i
+	}
+	cells := make([][]cell, len(s.Cfg.Benchmarks))
+	err := s.forEachBenchmark(func(name string) error {
+		d, err := s.Deployment(name, s.Cfg.HeadlineQuality)
+		if err != nil {
+			return err
+		}
+		ctx, err := s.Context(name)
+		if err != nil {
+			return err
+		}
+		row := make([]cell, len(configs))
+		for ci, cfg := range configs {
+			tab, err := d.TrainTableVariant(cfg)
+			if err != nil {
+				return err
+			}
+			r := d.EvaluateTable(tab, ctx.Validate)
+			row[ci] = cell{rate: r.InvocationRate, fn: r.FNRate}
+		}
+		cells[benchIdx[name]] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, cfg := range configs {
+		var rates, fns []float64
+		for bi := range s.Cfg.Benchmarks {
+			rates = append(rates, cells[bi][ci].rate)
+			fns = append(fns, cells[bi][ci].fn)
+		}
+		{
+			nt, tb := cfg.NumTables, cfg.TableBytes
+			p := Fig11Point{
+				NumTables:      nt,
+				TableBytes:     tb,
+				TotalKB:        float64(nt*tb) / 1024,
+				InvocationRate: mathx.Mean(rates),
+				FNRate:         mathx.Mean(fns),
+			}
+			res.Points = append(res.Points, p)
+			res.Table.Rows = append(res.Table.Rows, []string{
+				fmt.Sprintf("%dT x %.3gKB", nt, float64(tb)/1024),
+				fmt.Sprintf("%.3g", p.TotalKB),
+				fmtPct(p.InvocationRate),
+				fmtPct(p.FNRate),
+			})
+		}
+	}
+	res.Table.Notes = append(res.Table.Notes,
+		"paper Fig. 11: 8T x 0.5KB is Pareto optimal; tiny tables alias destructively, huge ones stop helping",
+		"read jointly with FN: among configs that preserve quality (FN <= ~2%), 8T x 0.5KB maximizes invocations")
+	return res, nil
+}
+
+// SoftRow is one benchmark's software-classifier slowdown.
+type SoftRow struct {
+	Benchmark      string
+	TableSlowdown  float64
+	NeuralSlowdown float64
+}
+
+// SoftResult carries the software-vs-hardware comparison.
+type SoftResult struct {
+	Rows  []SoftRow
+	Table *Table
+}
+
+// SoftwareSlowdown reproduces the §V-A observation motivating the
+// co-design: running the classifiers in software slows execution by 2.9x
+// (table) and 9.6x (neural) on average relative to hardware support.
+func (s *Suite) SoftwareSlowdown() (*SoftResult, error) {
+	res := &SoftResult{
+		Table: &Table{
+			ID:     "soft",
+			Title:  "Software classifier slowdown vs hardware (same decisions)",
+			Header: []string{"benchmark", "table sw/hw slowdown", "neural sw/hw slowdown"},
+		},
+	}
+	rows := make([]SoftRow, len(s.Cfg.Benchmarks))
+	benchIdx := map[string]int{}
+	for i, n := range s.Cfg.Benchmarks {
+		benchIdx[n] = i
+	}
+	err := s.forEachBenchmark(func(name string) error {
+		d, err := s.Deployment(name, s.Cfg.HeadlineQuality)
+		if err != nil {
+			return err
+		}
+		rows[benchIdx[name]] = SoftRow{
+			Benchmark:      name,
+			TableSlowdown:  d.EvaluateValidation(core.DesignTable).Speedup / d.EvaluateValidation(core.DesignTableSW).Speedup,
+			NeuralSlowdown: d.EvaluateValidation(core.DesignNeural).Speedup / d.EvaluateValidation(core.DesignNeuralSW).Speedup,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var tabs, neus []float64
+	for _, row := range rows {
+		res.Rows = append(res.Rows, row)
+		tabs = append(tabs, row.TableSlowdown)
+		neus = append(neus, row.NeuralSlowdown)
+		res.Table.Rows = append(res.Table.Rows, []string{
+			row.Benchmark, fmtX(row.TableSlowdown), fmtX(row.NeuralSlowdown),
+		})
+	}
+	res.Table.Rows = append(res.Table.Rows, []string{
+		"geomean", fmtX(mathx.Geomean(tabs)), fmtX(mathx.Geomean(neus)),
+	})
+	res.Table.Notes = append(res.Table.Notes,
+		"paper: software implementations slow execution by 2.9x (table) and 9.6x (neural) on average")
+	return res, nil
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	return &Table{
+		ID:     "t1",
+		Title:  "sample",
+		Header: []string{"name", "value"},
+		Rows:   [][]string{{"a", "1"}, {"b", "2"}},
+		Notes:  []string{"plain note", "multi\nline chart"},
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[0][0] != "name" || recs[2][1] != "2" {
+		t.Errorf("csv = %v", recs)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		ID    string              `json:"id"`
+		Rows  []map[string]string `json:"rows"`
+		Notes []string            `json:"notes"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "t1" || len(got.Rows) != 2 || got.Rows[1]["value"] != "2" {
+		t.Errorf("json = %+v", got)
+	}
+	// Chart notes (multi-line) are dropped.
+	if len(got.Notes) != 1 || got.Notes[0] != "plain note" {
+		t.Errorf("notes = %v", got.Notes)
+	}
+}
+
+func TestWriteFormats(t *testing.T) {
+	for _, f := range []Format{FormatText, FormatCSV, FormatJSON, ""} {
+		var buf bytes.Buffer
+		if err := sampleTable().Write(&buf, f); err != nil {
+			t.Errorf("format %q: %v", f, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("format %q produced nothing", f)
+		}
+	}
+	var buf bytes.Buffer
+	if err := sampleTable().Write(&buf, "yaml"); err == nil {
+		t.Error("unknown format should error")
+	}
+}
+
+func TestRunAllFormatCSV(t *testing.T) {
+	s := testSuite(t)
+	var buf bytes.Buffer
+	if err := RunAllFormat(s, &buf, FormatCSV); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "benchmark") {
+		t.Error("csv output missing headers")
+	}
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mithra/internal/bdi"
+	"mithra/internal/stats"
+)
+
+// Series is one named curve (x, y pairs).
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Fig1Result carries the per-benchmark CDFs of final element error under
+// full approximation.
+type Fig1Result struct {
+	Series []Series
+	Table  *Table
+}
+
+// Fig1 reproduces Figure 1: the cumulative distribution of each output
+// element's final error when the accelerator is always invoked. The
+// paper's insight — only a small fraction (0-20%) of elements see large
+// errors — is what makes selective fallback worthwhile.
+func (s *Suite) Fig1(points int) (*Fig1Result, error) {
+	if points < 2 {
+		points = 11
+	}
+	res := &Fig1Result{
+		Table: &Table{
+			ID:     "fig1",
+			Title:  "CDF of final element error under full approximation",
+			Header: []string{"benchmark", "p50 err", "p90 err", "p99 err", "frac > 0.10"},
+		},
+	}
+	for _, name := range s.Cfg.Benchmarks {
+		ctx, err := s.Context(name)
+		if err != nil {
+			return nil, err
+		}
+		// Pool element errors over the compile datasets (they are the
+		// "representative" runs the paper profiles).
+		var errs []float64
+		for _, d := range ctx.Compile {
+			errs = append(errs, d.Tr.ElementErrors(ctx.Bench)...)
+		}
+		ecdf := stats.NewECDF(errs)
+		xs, ys := ecdf.Curve(points)
+		res.Series = append(res.Series, Series{Name: name, X: xs, Y: ys})
+		res.Table.Rows = append(res.Table.Rows, []string{
+			name,
+			fmt.Sprintf("%.4f", ecdf.Quantile(0.50)),
+			fmt.Sprintf("%.4f", ecdf.Quantile(0.90)),
+			fmt.Sprintf("%.4f", ecdf.Quantile(0.99)),
+			fmtPct(1 - ecdf.At(0.10)),
+		})
+	}
+	res.Table.Notes = append(res.Table.Notes,
+		"paper Fig. 1: only a small fraction (0%-20%) of output elements see large errors")
+	chart := Chart{
+		Title:  "Figure 1: CDF of element error (x = error, y = fraction of elements <= x)",
+		XLabel: "element error",
+		Series: res.Series,
+	}
+	res.Table.Notes = append(res.Table.Notes, "\n"+chart.Render())
+	return res, nil
+}
+
+// Table1Row is one benchmark's summary line.
+type Table1Row struct {
+	Name, Domain, Metric string
+	Topology             string
+	Invocations          int
+	FullApproxError      float64
+}
+
+// Table1Result carries the benchmark-suite summary.
+type Table1Result struct {
+	Rows  []Table1Row
+	Table *Table
+}
+
+// Table1 reproduces Table I: the benchmark suite with each application's
+// quality metric, NPU topology, and the final quality loss when the
+// accelerator is invoked for every input ("Error with Full
+// Approximation", 6.03%-17.69% in the paper).
+func (s *Suite) Table1() (*Table1Result, error) {
+	res := &Table1Result{
+		Table: &Table{
+			ID:    "table1",
+			Title: "Benchmarks, quality metrics, and initial quality loss",
+			Header: []string{"benchmark", "domain", "error metric", "NPU topology",
+				"invocations/dataset", "full-approx error"},
+		},
+	}
+	for _, name := range s.Cfg.Benchmarks {
+		ctx, err := s.Context(name)
+		if err != nil {
+			return nil, err
+		}
+		topo := make([]string, len(ctx.Bench.Topology()))
+		for i, t := range ctx.Bench.Topology() {
+			topo[i] = fmt.Sprint(t)
+		}
+		row := Table1Row{
+			Name:            name,
+			Domain:          ctx.Bench.Domain(),
+			Metric:          ctx.Bench.Metric().Name(),
+			Topology:        strings.Join(topo, "->"),
+			Invocations:     ctx.Compile[0].Tr.N,
+			FullApproxError: ctx.FullQuality,
+		}
+		res.Rows = append(res.Rows, row)
+		res.Table.Rows = append(res.Table.Rows, []string{
+			row.Name, row.Domain, row.Metric, row.Topology,
+			fmt.Sprint(row.Invocations), fmtPct(row.FullApproxError),
+		})
+	}
+	res.Table.Notes = append(res.Table.Notes,
+		"paper Table I reports full-approximation errors of 6.03%-17.69%")
+	return res, nil
+}
+
+// Table2Row is one benchmark's classifier footprint.
+type Table2Row struct {
+	Name                string
+	TableUncompressedKB float64
+	TableCompressedKB   float64
+	CompressionRatio    float64
+	NeuralTopology      string
+	NeuralKB            float64
+}
+
+// Table2Result carries the classifier size comparison.
+type Table2Result struct {
+	Rows  []Table2Row
+	Table *Table
+}
+
+// Table2 reproduces Table II: the BDI-compressed size of the table-based
+// design (8 tables x 0.5 KB uncompressed) and the selected neural
+// classifier's topology and size, at the headline quality level.
+func (s *Suite) Table2() (*Table2Result, error) {
+	res := &Table2Result{
+		Table: &Table{
+			ID:    "table2",
+			Title: fmt.Sprintf("Classifier sizes at %s quality loss", fmtPct(s.Cfg.HeadlineQuality)),
+			Header: []string{"benchmark", "table raw KB", "table compressed KB", "ratio",
+				"neural topology", "neural KB"},
+		},
+	}
+	for _, name := range s.Cfg.Benchmarks {
+		d, err := s.Deployment(name, s.Cfg.HeadlineQuality)
+		if err != nil {
+			return nil, err
+		}
+		raw := d.Table.RawBytes()
+		comp := bdi.CompressedSize(raw)
+		topoParts := make([]string, len(d.Neural.Topology()))
+		for i, t := range d.Neural.Topology() {
+			topoParts[i] = fmt.Sprint(t)
+		}
+		row := Table2Row{
+			Name:                name,
+			TableUncompressedKB: float64(len(raw)) / 1024,
+			TableCompressedKB:   float64(comp) / 1024,
+			CompressionRatio:    float64(len(raw)) / float64(comp),
+			NeuralTopology:      strings.Join(topoParts, "->"),
+			NeuralKB:            float64(d.Neural.SizeBytes()) / 1024,
+		}
+		res.Rows = append(res.Rows, row)
+		res.Table.Rows = append(res.Table.Rows, []string{
+			row.Name,
+			fmt.Sprintf("%.2f", row.TableUncompressedKB),
+			fmt.Sprintf("%.2f", row.TableCompressedKB),
+			fmt.Sprintf("%.1fx", row.CompressionRatio),
+			row.NeuralTopology,
+			fmt.Sprintf("%.2f", row.NeuralKB),
+		})
+	}
+	res.Table.Notes = append(res.Table.Notes,
+		"paper Table II: sparse tables compress ~16x; jpeg/sobel stay dense; neural sizes 0.10-1.47 KB")
+	return res, nil
+}

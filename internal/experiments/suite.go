@@ -1,0 +1,262 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V). Each experiment is a method on Suite producing both
+// structured series and a rendered text table; the per-experiment mapping
+// to the paper is indexed in DESIGN.md §4 and the measured-vs-paper
+// comparison is recorded in EXPERIMENTS.md.
+//
+// A Suite lazily builds and caches the expensive artifacts — one
+// core.Context per benchmark (NPU + traces) and one core.Deployment per
+// (benchmark, quality, success-rate) operating point — so a full report
+// run shares work across figures exactly the way the paper's single
+// evaluation campaign did.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"mithra/internal/axbench"
+	"mithra/internal/core"
+	"mithra/internal/stats"
+)
+
+// Config parameterizes an experiment campaign.
+type Config struct {
+	// Opts configures the compilation pipeline (scale, dataset counts,
+	// training budgets).
+	Opts core.Options
+	// Benchmarks lists the suite to run (default: all six).
+	Benchmarks []string
+	// QualityLevels are the desired final quality losses swept by the
+	// figures (paper: 2.5%, 5%, 7.5%, 10%).
+	QualityLevels []float64
+	// HeadlineQuality is the level used by single-point experiments
+	// (paper: 5%).
+	HeadlineQuality float64
+	// SuccessRate and Confidence define the statistical guarantee
+	// (paper: 90% success with 95% confidence, two-sided interval).
+	SuccessRate, Confidence float64
+	TwoSided                bool
+}
+
+// DefaultConfig mirrors the paper's campaign at medium scale.
+func DefaultConfig() Config {
+	return Config{
+		Opts:            core.DefaultOptions(),
+		Benchmarks:      axbench.Names(),
+		QualityLevels:   []float64{0.025, 0.05, 0.075, 0.10},
+		HeadlineQuality: 0.05,
+		SuccessRate:     0.90,
+		Confidence:      0.95,
+		TwoSided:        true,
+	}
+}
+
+// TestConfig shrinks the campaign for unit tests.
+func TestConfig() Config {
+	c := DefaultConfig()
+	c.Opts = core.TestOptions()
+	c.Benchmarks = []string{"inversek2j", "sobel"}
+	c.QualityLevels = []float64{0.05, 0.10}
+	c.SuccessRate = 0.6
+	c.Confidence = 0.9
+	c.TwoSided = false
+	return c
+}
+
+// Suite caches contexts, deployments, and evaluated tradeoff points
+// across experiments.
+type Suite struct {
+	Cfg Config
+
+	mu   sync.Mutex
+	ctxs map[string]*ctxEntry
+	deps map[string]*depEntry
+
+	pmu    sync.Mutex
+	points map[string]TradeoffPoint
+}
+
+// ctxEntry and depEntry give per-key build-once semantics without holding
+// the suite lock across expensive builds, so different benchmarks compile
+// concurrently.
+type ctxEntry struct {
+	once sync.Once
+	ctx  *core.Context
+	err  error
+}
+
+type depEntry struct {
+	once sync.Once
+	dep  *core.Deployment
+	err  error
+}
+
+// NewSuite validates the configuration and returns an empty cache.
+func NewSuite(cfg Config) (*Suite, error) {
+	if len(cfg.Benchmarks) == 0 {
+		return nil, fmt.Errorf("experiments: no benchmarks configured")
+	}
+	if len(cfg.QualityLevels) == 0 {
+		return nil, fmt.Errorf("experiments: no quality levels configured")
+	}
+	for _, n := range cfg.Benchmarks {
+		if _, err := axbench.New(n); err != nil {
+			return nil, err
+		}
+	}
+	return &Suite{
+		Cfg:    cfg,
+		ctxs:   map[string]*ctxEntry{},
+		deps:   map[string]*depEntry{},
+		points: map[string]TradeoffPoint{},
+	}, nil
+}
+
+// forEachBenchmark runs f once per configured benchmark, in parallel.
+// Deployments and classifiers are not safe for concurrent use, so the
+// parallel grain is the benchmark: each goroutine owns every deployment
+// of its benchmark, and goroutines never share one.
+func (s *Suite) forEachBenchmark(f func(name string) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(s.Cfg.Benchmarks))
+	for i, name := range s.Cfg.Benchmarks {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			errs[i] = f(name)
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Guarantee builds the statistical guarantee for a quality level.
+func (s *Suite) Guarantee(quality float64) stats.Guarantee {
+	return stats.Guarantee{
+		QualityLoss: quality,
+		SuccessRate: s.Cfg.SuccessRate,
+		Confidence:  s.Cfg.Confidence,
+		TwoSided:    s.Cfg.TwoSided,
+	}
+}
+
+// Context returns (building if needed) the benchmark's compiled context.
+// Builds for different benchmarks proceed concurrently.
+func (s *Suite) Context(name string) (*core.Context, error) {
+	s.mu.Lock()
+	e, ok := s.ctxs[name]
+	if !ok {
+		e = &ctxEntry{}
+		s.ctxs[name] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		b, err := axbench.New(name)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.ctx, e.err = core.NewContext(b, s.Cfg.Opts)
+	})
+	return e.ctx, e.err
+}
+
+// Deployment returns (building if needed) the deployment of a benchmark
+// at a quality level with the campaign's success rate.
+func (s *Suite) Deployment(name string, quality float64) (*core.Deployment, error) {
+	return s.DeploymentAt(name, quality, s.Cfg.SuccessRate)
+}
+
+// DeploymentAt allows overriding the success rate (the Figure 10 sweep).
+func (s *Suite) DeploymentAt(name string, quality, successRate float64) (*core.Deployment, error) {
+	key := fmt.Sprintf("%s|%.6f|%.6f", name, quality, successRate)
+	s.mu.Lock()
+	e, ok := s.deps[key]
+	if !ok {
+		e = &depEntry{}
+		s.deps[key] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		ctx, err := s.Context(name)
+		if err != nil {
+			e.err = err
+			return
+		}
+		g := s.Guarantee(quality)
+		g.SuccessRate = successRate
+		d, err := ctx.Deploy(g)
+		if err != nil {
+			e.err = fmt.Errorf("experiments: deploy %s at q=%v s=%v: %w", name, quality, successRate, err)
+			return
+		}
+		e.dep = d
+	})
+	return e.dep, e.err
+}
+
+// Table is a rendered experiment artifact.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// fmtPct renders a fraction as a percentage.
+func fmtPct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// fmtX renders a gain factor.
+func fmtX(v float64) string { return fmt.Sprintf("%.2fx", v) }

@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mithra/internal/core"
+	"mithra/internal/mathx"
+)
+
+// TradeoffPoint is one (design, quality level) cell of Figures 6 and 8.
+type TradeoffPoint struct {
+	Benchmark      string
+	Quality        float64
+	Design         core.Design
+	Speedup        float64
+	EnergyRed      float64
+	EDP            float64
+	InvocationRate float64
+	Successes      int
+	Datasets       int
+	CertifiedLower float64
+	FPRate, FNRate float64
+}
+
+// Fig6Result carries the geomean tradeoff curves.
+type Fig6Result struct {
+	Points []TradeoffPoint // aggregated (Benchmark == "geomean")
+	Table  *Table
+}
+
+// fig6Designs are the designs Figures 6-8 sweep.
+func fig6Designs() []core.Design {
+	return []core.Design{core.DesignOracle, core.DesignTable, core.DesignNeural}
+}
+
+// perBenchmarkPoint evaluates one (benchmark, quality, design) cell on
+// the validation datasets, memoizing results so Figures 6, 7, and 8 share
+// evaluations. Cells for the same benchmark must not be computed
+// concurrently (classifier scratch state); prewarmPoints arranges that.
+func (s *Suite) perBenchmarkPoint(name string, q float64, design core.Design) (TradeoffPoint, error) {
+	return s.pointAt(name, q, s.Cfg.SuccessRate, design)
+}
+
+func (s *Suite) pointAt(name string, q, successRate float64, design core.Design) (TradeoffPoint, error) {
+	key := fmt.Sprintf("%s|%.6f|%.6f|%d", name, q, successRate, design)
+	s.pmu.Lock()
+	p, ok := s.points[key]
+	s.pmu.Unlock()
+	if ok {
+		return p, nil
+	}
+	d, err := s.DeploymentAt(name, q, successRate)
+	if err != nil {
+		return TradeoffPoint{}, err
+	}
+	res := d.EvaluateValidation(design)
+	p = TradeoffPoint{
+		Benchmark:      name,
+		Quality:        q,
+		Design:         design,
+		Speedup:        res.Speedup,
+		EnergyRed:      res.EnergyReduction,
+		EDP:            res.EDPImprovement,
+		InvocationRate: res.InvocationRate,
+		Successes:      res.Successes,
+		Datasets:       len(res.Qualities),
+		CertifiedLower: res.CertifiedLower,
+		FPRate:         res.FPRate,
+		FNRate:         res.FNRate,
+	}
+	s.pmu.Lock()
+	s.points[key] = p
+	s.pmu.Unlock()
+	return p, nil
+}
+
+// prewarmPoints computes every (benchmark, quality, design) cell with
+// benchmark-level parallelism; subsequent point lookups hit the cache.
+func (s *Suite) prewarmPoints(qualities []float64, designs []core.Design) error {
+	return s.forEachBenchmark(func(name string) error {
+		for _, q := range qualities {
+			for _, design := range designs {
+				if _, err := s.perBenchmarkPoint(name, q, design); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// Fig6 reproduces Figures 6a-6c: geometric-mean speedup, energy
+// reduction, and average invocation rate across all benchmarks for the
+// oracle, table-based, and neural designs at each desired quality level,
+// under the campaign's statistical guarantee.
+func (s *Suite) Fig6() (*Fig6Result, error) {
+	res := &Fig6Result{
+		Table: &Table{
+			ID:    "fig6",
+			Title: "Geomean speedup / energy reduction / invocation rate vs quality loss",
+			Header: []string{"quality", "design", "speedup (6a)", "energy red (6b)",
+				"invocation (6c)", "successes"},
+		},
+	}
+	if err := s.prewarmPoints(s.Cfg.QualityLevels, fig6Designs()); err != nil {
+		return nil, err
+	}
+	for _, q := range s.Cfg.QualityLevels {
+		for _, design := range fig6Designs() {
+			var speeds, energies, rates []float64
+			succ, total := 0, 0
+			for _, name := range s.Cfg.Benchmarks {
+				p, err := s.perBenchmarkPoint(name, q, design)
+				if err != nil {
+					return nil, err
+				}
+				speeds = append(speeds, p.Speedup)
+				energies = append(energies, p.EnergyRed)
+				rates = append(rates, p.InvocationRate)
+				succ += p.Successes
+				total += p.Datasets
+			}
+			agg := TradeoffPoint{
+				Benchmark:      "geomean",
+				Quality:        q,
+				Design:         design,
+				Speedup:        mathx.Geomean(speeds),
+				EnergyRed:      mathx.Geomean(energies),
+				InvocationRate: mathx.Mean(rates),
+			}
+			res.Points = append(res.Points, agg)
+			res.Table.Rows = append(res.Table.Rows, []string{
+				fmtPct(q), design.String(), fmtX(agg.Speedup), fmtX(agg.EnergyRed),
+				fmtPct(agg.InvocationRate), fmt.Sprintf("%d/%d", succ, total),
+			})
+		}
+	}
+	res.Table.Notes = append(res.Table.Notes,
+		"paper at 5%: table 2.5x speedup / 2.6x energy, oracle +26% perf / +36% energy, invocation 64% (table) 73% (neural)")
+
+	// Render 6a as a chart: one speedup curve per design over quality.
+	var series []Series
+	for _, design := range fig6Designs() {
+		s := Series{Name: design.String()}
+		for _, p := range res.Points {
+			if p.Design == design {
+				s.X = append(s.X, p.Quality)
+				s.Y = append(s.Y, p.Speedup)
+			}
+		}
+		series = append(series, s)
+	}
+	chart := Chart{
+		Title:  "Figure 6a: geomean speedup (y) vs desired quality loss (x)",
+		XLabel: "quality loss",
+		Height: 12,
+		Series: series,
+	}
+	res.Table.Notes = append(res.Table.Notes, "\n"+chart.Render())
+	return res, nil
+}
+
+// Fig7Result carries the false-decision rates.
+type Fig7Result struct {
+	Points []TradeoffPoint
+	Table  *Table
+}
+
+// Fig7 reproduces Figure 7: the false positive and false negative rates
+// of the table-based and neural designs versus the oracle's decisions,
+// averaged across benchmarks at each quality level.
+func (s *Suite) Fig7() (*Fig7Result, error) {
+	res := &Fig7Result{
+		Table: &Table{
+			ID:     "fig7",
+			Title:  "False decisions vs the oracle",
+			Header: []string{"quality", "design", "false positives", "false negatives"},
+		},
+	}
+	if err := s.prewarmPoints(s.Cfg.QualityLevels, core.RealDesigns()); err != nil {
+		return nil, err
+	}
+	for _, q := range s.Cfg.QualityLevels {
+		for _, design := range core.RealDesigns() {
+			var fps, fns []float64
+			for _, name := range s.Cfg.Benchmarks {
+				p, err := s.perBenchmarkPoint(name, q, design)
+				if err != nil {
+					return nil, err
+				}
+				fps = append(fps, p.FPRate)
+				fns = append(fns, p.FNRate)
+			}
+			agg := TradeoffPoint{
+				Benchmark: "mean",
+				Quality:   q,
+				Design:    design,
+				FPRate:    mathx.Mean(fps),
+				FNRate:    mathx.Mean(fns),
+			}
+			res.Points = append(res.Points, agg)
+			res.Table.Rows = append(res.Table.Rows, []string{
+				fmtPct(q), design.String(), fmtPct(agg.FPRate), fmtPct(agg.FNRate),
+			})
+		}
+	}
+	res.Table.Notes = append(res.Table.Notes,
+		"paper at 5%: table 22% FP / 5% FN; neural 18% FP / 9% FN; FN << FP (conservative designs)")
+	return res, nil
+}
+
+// Fig8Result carries the per-benchmark breakdown.
+type Fig8Result struct {
+	Points []TradeoffPoint
+	Table  *Table
+}
+
+// Fig8 reproduces Figure 8: per-benchmark speedup, energy reduction, and
+// invocation rate for every design and quality level.
+func (s *Suite) Fig8() (*Fig8Result, error) {
+	res := &Fig8Result{
+		Table: &Table{
+			ID:    "fig8",
+			Title: "Per-benchmark tradeoffs",
+			Header: []string{"benchmark", "quality", "design", "speedup",
+				"energy red", "invocation", "successes"},
+		},
+	}
+	if err := s.prewarmPoints(s.Cfg.QualityLevels, fig6Designs()); err != nil {
+		return nil, err
+	}
+	for _, name := range s.Cfg.Benchmarks {
+		for _, q := range s.Cfg.QualityLevels {
+			for _, design := range fig6Designs() {
+				p, err := s.perBenchmarkPoint(name, q, design)
+				if err != nil {
+					return nil, err
+				}
+				res.Points = append(res.Points, p)
+				res.Table.Rows = append(res.Table.Rows, []string{
+					name, fmtPct(q), design.String(), fmtX(p.Speedup),
+					fmtX(p.EnergyRed), fmtPct(p.InvocationRate),
+					fmt.Sprintf("%d/%d", p.Successes, p.Datasets),
+				})
+			}
+		}
+	}
+	res.Table.Notes = append(res.Table.Notes,
+		"paper: jmeint/jpeg show the largest table-vs-neural invocation gaps (wide input vectors alias in the tables)")
+	return res, nil
+}

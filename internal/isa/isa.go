@@ -1,0 +1,190 @@
+// Package isa models the instruction-level interface between the core and
+// the NPU+MITHRA hardware (paper §IV-D and §V-A): the enqueue/dequeue
+// instructions that move the accelerator's inputs and outputs through the
+// architecturally-visible FIFOs, and the special speculation branch that
+// transfers control to the original precise function when the classifier
+// votes for fallback.
+//
+// It provides a second, finer-grained timing model than internal/sim's
+// analytic composition: each invocation is expanded into its instruction
+// stream and executed on a simple in-order core model with issue width,
+// FIFO ports, NPU completion interlocks, and branch-redirect penalties.
+// The abl-isa experiment cross-checks the two models — they must agree on
+// the shapes the paper reports even though their abstractions differ.
+package isa
+
+import (
+	"fmt"
+
+	"mithra/internal/axbench"
+)
+
+// Op is one instruction class in the accelerated region's stream.
+type Op int
+
+// The instruction classes the model distinguishes.
+const (
+	// OpCompute is generic ALU/FPU work from the precise function body.
+	OpCompute Op = iota
+	// OpEnqueue pushes one element into the NPU input FIFO (paper: two
+	// enqueue instruction flavors; the distinction doesn't affect
+	// timing).
+	OpEnqueue
+	// OpDequeue pops one element from the NPU output FIFO; it interlocks
+	// until the accelerator has produced the invocation's outputs.
+	OpDequeue
+	// OpBranchClassifier is the special branch that consults MITHRA's
+	// decision; taken means "run the original precise function".
+	OpBranchClassifier
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpCompute:
+		return "compute"
+	case OpEnqueue:
+		return "enq"
+	case OpDequeue:
+		return "deq"
+	case OpBranchClassifier:
+		return "br.mithra"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Instr is a run-length-encoded instruction group.
+type Instr struct {
+	Op Op
+	// N repeats the operation (e.g. 9 enqueues for sobel's window).
+	N int
+}
+
+// Core is a simple in-order core model.
+type Core struct {
+	// IssueWidth is the sustained instructions-per-cycle for compute work
+	// (a Nehalem-class core sustains ~2 on scalar numeric code).
+	IssueWidth float64
+	// FIFOPorts is how many queue elements move per cycle.
+	FIFOPorts int
+	// BranchPenalty is the redirect cost when the classifier branch is
+	// taken (fallback) — the front end refills from the precise path.
+	BranchPenalty int
+	// DecisionLatency is how many cycles after the last enqueue the
+	// classifier's decision is available (MISRs hash in flight, so this
+	// is small and flat for the table design; the neural design's
+	// latency is its NPU evaluation).
+	DecisionLatency int
+}
+
+// DefaultCore models the paper's single Nehalem-like core at 2080 MHz.
+func DefaultCore() Core {
+	return Core{IssueWidth: 2, FIFOPorts: 1, BranchPenalty: 14, DecisionLatency: 4}
+}
+
+// Execute runs an instruction stream and returns its cycle count.
+// npuReady is the absolute cycle at which the accelerator's outputs are
+// available (computed by the caller from the enqueue completion time and
+// the NPU latency); dequeues stall until then.
+func (c Core) Execute(stream []Instr, npuReady float64) float64 {
+	cycle := 0.0
+	for _, in := range stream {
+		if in.N <= 0 {
+			continue
+		}
+		switch in.Op {
+		case OpCompute:
+			cycle += float64(in.N) / c.IssueWidth
+		case OpEnqueue, OpDequeue:
+			if in.Op == OpDequeue && cycle < npuReady {
+				cycle = npuReady
+			}
+			cycle += float64(in.N) / float64(c.FIFOPorts)
+		case OpBranchClassifier:
+			// N encodes taken (1) or not taken (0 repeats = skipped).
+			cycle += 1 / c.IssueWidth
+			if in.N > 1 {
+				cycle += float64(c.BranchPenalty)
+			}
+		}
+	}
+	return cycle
+}
+
+// InvocationStreams builds the instruction streams for one accelerated
+// invocation of benchmark b under both outcomes.
+//
+// Accelerated: enqueue inputs || classifier decides -> branch not taken ->
+// dequeue outputs (stalling until the NPU finishes).
+//
+// Fallback: enqueue inputs || classifier decides -> branch taken (redirect)
+// -> precise function body (kernel cycles of compute).
+type InvocationStreams struct {
+	Accelerated []Instr
+	Fallback    []Instr
+}
+
+// BuildStreams derives the per-invocation streams from the benchmark's
+// kernel shape and profile.
+func BuildStreams(b axbench.Benchmark) InvocationStreams {
+	inDim, outDim := b.InputDim(), b.OutputDim()
+	// KernelCycles is a cycle count; convert to an instruction count at
+	// the core's sustained IPC so Execute reproduces it.
+	kernelInstrs := int(b.Profile().KernelCycles * DefaultCore().IssueWidth)
+	return InvocationStreams{
+		Accelerated: []Instr{
+			{Op: OpEnqueue, N: inDim},
+			{Op: OpBranchClassifier, N: 1}, // not taken
+			{Op: OpDequeue, N: outDim},
+		},
+		Fallback: []Instr{
+			{Op: OpEnqueue, N: inDim},
+			{Op: OpBranchClassifier, N: 2}, // taken: redirect penalty
+			{Op: OpCompute, N: kernelInstrs},
+		},
+	}
+}
+
+// RegionReport is the ISA-level cost of an accelerated region.
+type RegionReport struct {
+	BaselineCycles float64
+	Cycles         float64
+	Speedup        float64
+}
+
+// SimulateRegion executes n invocations, nPrecise of which fall back,
+// with the given NPU latency and classifier decision latency, and
+// compares against the all-precise baseline (which has no queue or branch
+// instructions at all).
+func SimulateRegion(b axbench.Benchmark, core Core, n, nPrecise int, npuCycles float64) RegionReport {
+	if n <= 0 || nPrecise < 0 || nPrecise > n {
+		panic(fmt.Sprintf("isa: invalid counts n=%d nPrecise=%d", n, nPrecise))
+	}
+	streams := BuildStreams(b)
+	inDim := b.InputDim()
+
+	// The NPU starts once all inputs are enqueued; the classifier's
+	// decision arrives DecisionLatency after the last enqueue.
+	enqDone := float64(inDim) / float64(core.FIFOPorts)
+	npuReady := enqDone + npuCycles
+	decisionAt := enqDone + float64(core.DecisionLatency)
+
+	accCycles := core.Execute(streams.Accelerated, npuReady)
+	if accCycles < npuReady {
+		accCycles = npuReady
+	}
+	fbCycles := core.Execute(streams.Fallback, 0)
+	if fbCycles < decisionAt {
+		fbCycles = decisionAt
+	}
+
+	kernel := b.Profile().KernelCycles
+	other := float64(n) * kernel * (1 - b.Profile().KernelFraction) / b.Profile().KernelFraction
+
+	baseline := float64(n)*kernel + other
+	cycles := other + float64(nPrecise)*fbCycles + float64(n-nPrecise)*accCycles
+	return RegionReport{
+		BaselineCycles: baseline,
+		Cycles:         cycles,
+		Speedup:        baseline / cycles,
+	}
+}

@@ -1,0 +1,164 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mithra/internal/axbench"
+	"mithra/internal/sim"
+)
+
+func TestOpStrings(t *testing.T) {
+	for _, o := range []Op{OpCompute, OpEnqueue, OpDequeue, OpBranchClassifier, Op(9)} {
+		if o.String() == "" {
+			t.Errorf("empty name for op %d", int(o))
+		}
+	}
+}
+
+func TestExecuteComputeIPC(t *testing.T) {
+	c := DefaultCore()
+	got := c.Execute([]Instr{{Op: OpCompute, N: 200}}, 0)
+	if math.Abs(got-100) > 1e-9 {
+		t.Errorf("200 compute instrs at IPC 2 = %v cycles, want 100", got)
+	}
+}
+
+func TestExecuteDequeueStallsForNPU(t *testing.T) {
+	c := DefaultCore()
+	// One dequeue with the NPU finishing at cycle 50: total = 50 + 1.
+	got := c.Execute([]Instr{{Op: OpDequeue, N: 1}}, 50)
+	if math.Abs(got-51) > 1e-9 {
+		t.Errorf("dequeue after NPU = %v, want 51", got)
+	}
+	// NPU already done: just the FIFO pop.
+	got = c.Execute([]Instr{{Op: OpDequeue, N: 3}}, 0)
+	if math.Abs(got-3) > 1e-9 {
+		t.Errorf("immediate dequeues = %v, want 3", got)
+	}
+}
+
+func TestExecuteBranchPenalty(t *testing.T) {
+	c := DefaultCore()
+	notTaken := c.Execute([]Instr{{Op: OpBranchClassifier, N: 1}}, 0)
+	taken := c.Execute([]Instr{{Op: OpBranchClassifier, N: 2}}, 0)
+	if taken-notTaken != float64(c.BranchPenalty) {
+		t.Errorf("taken-notTaken = %v, want %d", taken-notTaken, c.BranchPenalty)
+	}
+	// Zero repeats are skipped.
+	if got := c.Execute([]Instr{{Op: OpCompute, N: 0}}, 0); got != 0 {
+		t.Errorf("empty group = %v", got)
+	}
+}
+
+func TestBuildStreamsShapes(t *testing.T) {
+	for _, b := range axbench.All() {
+		s := BuildStreams(b)
+		if s.Accelerated[0].N != b.InputDim() {
+			t.Errorf("%s: accelerated enqueues = %d", b.Name(), s.Accelerated[0].N)
+		}
+		if s.Accelerated[2].N != b.OutputDim() {
+			t.Errorf("%s: accelerated dequeues = %d", b.Name(), s.Accelerated[2].N)
+		}
+		if s.Fallback[2].Op != OpCompute || s.Fallback[2].N <= 0 {
+			t.Errorf("%s: fallback lacks kernel body", b.Name())
+		}
+	}
+}
+
+func TestSimulateRegionAllPreciseOverheadOnly(t *testing.T) {
+	// With every invocation falling back, the region pays the queue +
+	// branch overhead on top of the baseline: speedup slightly below 1.
+	b, _ := axbench.New("sobel")
+	r := SimulateRegion(b, DefaultCore(), 1000, 1000, 30)
+	if r.Speedup >= 1 {
+		t.Errorf("all-fallback speedup %v, want < 1 (pays overhead)", r.Speedup)
+	}
+	if r.Speedup < 0.8 {
+		t.Errorf("all-fallback speedup %v implausibly low", r.Speedup)
+	}
+}
+
+func TestSimulateRegionFullApproxFaster(t *testing.T) {
+	b, _ := axbench.New("inversek2j")
+	full := SimulateRegion(b, DefaultCore(), 1000, 0, 17)
+	half := SimulateRegion(b, DefaultCore(), 1000, 500, 17)
+	if full.Speedup <= half.Speedup || half.Speedup <= 1 {
+		t.Errorf("speedups not ordered: full %v, half %v", full.Speedup, half.Speedup)
+	}
+}
+
+func TestSimulateRegionValidation(t *testing.T) {
+	b, _ := axbench.New("fft")
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid counts should panic")
+		}
+	}()
+	SimulateRegion(b, DefaultCore(), 10, 11, 5)
+}
+
+// TestISAAgreesWithAnalyticModel is the cross-model check: for every
+// benchmark, at representative invocation mixes, the ISA-level speedup
+// must track internal/sim's analytic speedup within a modest band — the
+// two models abstract the same machine.
+func TestISAAgreesWithAnalyticModel(t *testing.T) {
+	npuCycles := map[string]float64{
+		"blackscholes": 30, "fft": 20, "inversek2j": 17,
+		"jmeint": 145, "jpeg": 420, "sobel": 29,
+	}
+	for _, b := range axbench.All() {
+		for _, frac := range []float64{0, 0.3, 0.7} {
+			n := 1000
+			nPrec := int(frac * float64(n))
+			isaRep := SimulateRegion(b, DefaultCore(), n, nPrec, npuCycles[b.Name()])
+			simCfg := sim.Config{
+				Profile:     b.Profile(),
+				NPUCycles:   npuCycles[b.Name()],
+				NPUEnergyPJ: 1000,
+			}
+			simRep := simCfg.Evaluate(n, nPrec)
+			ratio := isaRep.Speedup / simRep.Speedup
+			if ratio < 0.7 || ratio > 1.4 {
+				t.Errorf("%s at %.0f%% fallback: ISA %0.2fx vs analytic %0.2fx (ratio %.2f)",
+					b.Name(), frac*100, isaRep.Speedup, simRep.Speedup, ratio)
+			}
+		}
+	}
+}
+
+func TestExecuteAdditivityProperty(t *testing.T) {
+	// With no NPU interlock, executing a concatenation equals the sum of
+	// executing the parts (the model is compositional).
+	c := DefaultCore()
+	f := func(aN, bN, cN uint8) bool {
+		s1 := []Instr{{Op: OpCompute, N: int(aN)}, {Op: OpEnqueue, N: int(bN)}}
+		s2 := []Instr{{Op: OpDequeue, N: int(cN)}}
+		whole := c.Execute(append(append([]Instr{}, s1...), s2...), 0)
+		parts := c.Execute(s1, 0) + c.Execute(s2, 0)
+		return math.Abs(whole-parts) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimulateRegionMonotoneProperty(t *testing.T) {
+	// Speedup is monotone non-increasing in the fallback count.
+	b, _ := axbench.New("fft")
+	f := func(aRaw, bRaw uint16) bool {
+		n := 1000
+		a := int(aRaw) % (n + 1)
+		bc := int(bRaw) % (n + 1)
+		if a > bc {
+			a, bc = bc, a
+		}
+		ra := SimulateRegion(b, DefaultCore(), n, a, 20)
+		rb := SimulateRegion(b, DefaultCore(), n, bc, 20)
+		return ra.Speedup >= rb.Speedup-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

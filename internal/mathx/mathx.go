@@ -1,0 +1,141 @@
+// Package mathx provides the numerical substrate for MITHRA: special
+// functions needed by the Clopper-Pearson exact method (regularized
+// incomplete beta function, Beta and F distribution quantiles), small
+// vector utilities used by the neural network and classifier packages,
+// and a deterministic splittable random number generator used everywhere
+// reproducible pseudo-randomness is needed.
+//
+// Everything here is implemented from scratch on top of the standard
+// library math package; there are no external dependencies.
+package mathx
+
+import (
+	"errors"
+	"math"
+)
+
+// Eps is the convergence tolerance used by the iterative special-function
+// evaluations in this package.
+const Eps = 3e-14
+
+// ErrNoConverge is returned when an iterative evaluation fails to converge
+// within its iteration budget. In practice this indicates arguments far
+// outside the domain this package is used for (binomial confidence bounds
+// with modest n).
+var ErrNoConverge = errors.New("mathx: iteration did not converge")
+
+// Clamp returns x limited to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// MaxAbsDiff returns the maximum elementwise absolute difference between
+// a and b. It panics if the slices have different lengths, because callers
+// compare precise and approximate output vectors that are length-matched
+// by construction.
+func MaxAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mathx: MaxAbsDiff length mismatch")
+	}
+	max := 0.0
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MeanAbsDiff returns the mean elementwise absolute difference between a
+// and b. It panics on length mismatch for the same reason as MaxAbsDiff.
+func MeanAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mathx: MeanAbsDiff length mismatch")
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range a {
+		sum += math.Abs(a[i] - b[i])
+	}
+	return sum / float64(len(a))
+}
+
+// Dot returns the dot product of a and b. It panics on length mismatch.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mathx: Dot length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Geomean returns the geometric mean of xs. All elements must be
+// positive; non-positive elements make the geometric mean undefined and
+// cause a NaN result rather than a panic so that callers can detect it.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// ArgMax returns the index of the largest element of xs, preferring the
+// earliest index on ties. It panics on an empty slice.
+func ArgMax(xs []float64) int {
+	if len(xs) == 0 {
+		panic("mathx: ArgMax of empty slice")
+	}
+	best := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Linspace returns n evenly spaced values from lo to hi inclusive.
+// n must be at least 2.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		panic("mathx: Linspace needs n >= 2")
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}

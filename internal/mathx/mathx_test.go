@@ -1,0 +1,211 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ x, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-3, 0, 10, 0},
+		{42, 0, 10, 10},
+		{0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.x, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", c.x, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	if got := MaxAbsDiff([]float64{1, 2, 3}, []float64{1, 5, 2}); got != 3 {
+		t.Errorf("MaxAbsDiff = %v, want 3", got)
+	}
+	if got := MaxAbsDiff(nil, nil); got != 0 {
+		t.Errorf("MaxAbsDiff(nil,nil) = %v, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	MaxAbsDiff([]float64{1}, []float64{1, 2})
+}
+
+func TestMeanAbsDiff(t *testing.T) {
+	if got := MeanAbsDiff([]float64{0, 0}, []float64{2, 4}); got != 3 {
+		t.Errorf("MeanAbsDiff = %v, want 3", got)
+	}
+	if got := MeanAbsDiff(nil, nil); got != 0 {
+		t.Errorf("MeanAbsDiff(nil) = %v, want 0", got)
+	}
+}
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Geomean(2,8) = %v, want 4", got)
+	}
+	if got := Geomean([]float64{3}); math.Abs(got-3) > 1e-12 {
+		t.Errorf("Geomean(3) = %v, want 3", got)
+	}
+	if !math.IsNaN(Geomean(nil)) {
+		t.Error("Geomean(nil) should be NaN")
+	}
+	if !math.IsNaN(Geomean([]float64{1, -1})) {
+		t.Error("Geomean with negative should be NaN")
+	}
+}
+
+func TestGeomeanBetweenMinMax(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, v := range raw {
+			xs[i] = 0.5 + float64(v)
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		g := Geomean(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanAndArgMax(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+	if got := ArgMax([]float64{1, 5, 5, 2}); got != 1 {
+		t.Errorf("ArgMax should prefer earliest tie index, got %d", got)
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	xs := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(xs[i]-want[i]) > 1e-12 {
+			t.Errorf("Linspace[%d] = %v, want %v", i, xs[i], want[i])
+		}
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(1)
+	s1 := r.Split(1)
+	s2 := r.Split(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if s1.Uint64() == s2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("split streams collided %d times in 64 draws", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(99)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGRangeAndIntn(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(-2, 5)
+		if v < -2 || v >= 5 {
+			t.Fatalf("Range out of bounds: %v", v)
+		}
+		n := r.Intn(17)
+		if n < 0 || n >= 17 {
+			t.Fatalf("Intn out of bounds: %d", n)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(42)
+	const n = 50000
+	sum, sq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(20)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 20 {
+		t.Fatalf("permutation missing elements: %v", p)
+	}
+}
+
+func TestRNGBoolProbability(t *testing.T) {
+	r := NewRNG(11)
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Errorf("Bool(0.3) frequency = %v", frac)
+	}
+}

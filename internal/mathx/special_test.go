@@ -1,0 +1,182 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Errorf("%s: got %v, want %v (tol %v)", msg, got, want, tol)
+	}
+}
+
+func TestRegIncBetaBoundaries(t *testing.T) {
+	if got := RegIncBeta(0, 2, 3); got != 0 {
+		t.Errorf("I_0 = %v, want 0", got)
+	}
+	if got := RegIncBeta(1, 2, 3); got != 1 {
+		t.Errorf("I_1 = %v, want 1", got)
+	}
+	if !math.IsNaN(RegIncBeta(0.5, -1, 2)) {
+		t.Error("negative a should yield NaN")
+	}
+	if !math.IsNaN(RegIncBeta(0.5, 2, 0)) {
+		t.Error("zero b should yield NaN")
+	}
+}
+
+func TestRegIncBetaUniform(t *testing.T) {
+	// Beta(1,1) is the uniform distribution: I_x(1,1) = x.
+	for _, x := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+		almost(t, RegIncBeta(x, 1, 1), x, 1e-12, "I_x(1,1)")
+	}
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	// Reference values computed with scipy.special.betainc.
+	cases := []struct{ x, a, b, want float64 }{
+		{0.5, 2, 2, 0.5},
+		{0.3, 2, 5, 0.579825},
+		{0.7, 5, 2, 0.420175}, // symmetry of the previous case
+		{0.5, 10, 10, 0.5},
+		{0.2, 0.5, 0.5, 0.295167},
+	}
+	for _, c := range cases {
+		almost(t, RegIncBeta(c.x, c.a, c.b), c.want, 2e-4, "RegIncBeta")
+	}
+}
+
+// TestRegIncBetaBinomialIdentity cross-checks the incomplete beta against
+// an exact binomial tail sum: I_p(s, n-s+1) = P(Binomial(n, p) >= s).
+// This covers the Clopper-Pearson regimes used by the paper (n=100 s=90,
+// n=250 s=235).
+func TestRegIncBetaBinomialIdentity(t *testing.T) {
+	binTail := func(n, s int, p float64) float64 {
+		// Sum P(X = k) for k = s..n using log-space binomial pmf.
+		total := 0.0
+		for k := s; k <= n; k++ {
+			lgn, _ := math.Lgamma(float64(n + 1))
+			lgk, _ := math.Lgamma(float64(k + 1))
+			lgnk, _ := math.Lgamma(float64(n - k + 1))
+			lp := lgn - lgk - lgnk + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p)
+			total += math.Exp(lp)
+		}
+		return total
+	}
+	cases := []struct {
+		n, s int
+		p    float64
+	}{
+		{100, 90, 0.9},
+		{100, 90, 0.807},
+		{250, 235, 0.95},
+		{250, 235, 0.90},
+		{50, 10, 0.3},
+	}
+	for _, c := range cases {
+		got := RegIncBeta(c.p, float64(c.s), float64(c.n-c.s+1))
+		want := binTail(c.n, c.s, c.p)
+		almost(t, got, want, 1e-9, "binomial identity")
+	}
+}
+
+func TestRegIncBetaSymmetry(t *testing.T) {
+	// I_x(a,b) = 1 - I_{1-x}(b,a) must hold everywhere.
+	f := func(xr, ar, br uint16) bool {
+		x := float64(xr) / 65536
+		a := 0.25 + float64(ar%64)
+		b := 0.25 + float64(br%64)
+		lhs := RegIncBeta(x, a, b)
+		rhs := 1 - RegIncBeta(1-x, b, a)
+		return math.Abs(lhs-rhs) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegIncBetaMonotoneInX(t *testing.T) {
+	prev := -1.0
+	for _, x := range Linspace(0, 1, 101) {
+		v := RegIncBeta(x, 3.5, 7.25)
+		if v < prev-1e-12 {
+			t.Fatalf("I_x not monotone at x=%v: %v < %v", x, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestBetaQuantileRoundTrip(t *testing.T) {
+	f := func(pr, ar, br uint16) bool {
+		p := (float64(pr) + 0.5) / 65537
+		a := 0.5 + float64(ar%200)
+		b := 0.5 + float64(br%200)
+		x := BetaQuantile(p, a, b)
+		if x < 0 || x > 1 {
+			return false
+		}
+		return math.Abs(RegIncBeta(x, a, b)-p) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBetaQuantileEdges(t *testing.T) {
+	if got := BetaQuantile(0, 3, 4); got != 0 {
+		t.Errorf("quantile(0) = %v", got)
+	}
+	if got := BetaQuantile(1, 3, 4); got != 1 {
+		t.Errorf("quantile(1) = %v", got)
+	}
+	if !math.IsNaN(BetaQuantile(0.5, 0, 1)) {
+		t.Error("a=0 should yield NaN")
+	}
+	if !math.IsNaN(BetaQuantile(-0.1, 1, 1)) {
+		t.Error("p<0 should yield NaN")
+	}
+}
+
+func TestFQuantileAgainstTables(t *testing.T) {
+	// Standard F-table critical values (p = 0.95).
+	cases := []struct {
+		d1, d2 float64
+		want   float64
+	}{
+		{1, 1, 161.45},
+		{5, 10, 3.3258},
+		{10, 20, 2.3479},
+		{20, 20, 2.1242},
+		{100, 100, 1.3917},
+	}
+	for _, c := range cases {
+		got := FQuantile(0.95, c.d1, c.d2)
+		if math.Abs(got-c.want)/c.want > 2e-3 {
+			t.Errorf("FQuantile(0.95, %v, %v) = %v, want %v", c.d1, c.d2, got, c.want)
+		}
+	}
+}
+
+func TestFQuantileCDFRoundTrip(t *testing.T) {
+	for _, p := range []float64{0.05, 0.5, 0.9, 0.975} {
+		for _, d := range []struct{ d1, d2 float64 }{{2, 8}, {12, 30}, {180, 22}} {
+			f := FQuantile(p, d.d1, d.d2)
+			almost(t, FCDF(f, d.d1, d.d2), p, 1e-8, "FCDF(FQuantile)")
+		}
+	}
+}
+
+func TestFQuantileEdges(t *testing.T) {
+	if got := FQuantile(0, 3, 4); got != 0 {
+		t.Errorf("FQuantile(0) = %v", got)
+	}
+	if !math.IsInf(FQuantile(1, 3, 4), 1) {
+		t.Error("FQuantile(1) should be +Inf")
+	}
+	if !math.IsNaN(FQuantile(0.5, -1, 4)) {
+		t.Error("negative dof should yield NaN")
+	}
+}

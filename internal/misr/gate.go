@@ -1,0 +1,167 @@
+package misr
+
+import "math/bits"
+
+// This file models the MISR at gate level — the reproduction's stand-in
+// for the paper's synthesized Verilog implementation (§V-A: "we implement
+// the MISRs in Verilog and synthesize them ... to measure the energy cost
+// of the MISRs"). The netlist is built from D flip-flops and XOR gates
+// only, simulated cycle by cycle; dynamic energy is estimated from
+// flip-flop switching activity at a 45 nm per-toggle cost. The bit-exact
+// equivalence between this model and the word-level Hasher is enforced by
+// tests, so the fast path provably computes what the "hardware" computes.
+
+// Per-toggle dynamic energy of a flip-flop plus its fanout at the 45 nm
+// NanGate operating point, in picojoules.
+const ffTogglePJ = 0.0035
+
+// xorGatePJ is the per-evaluation energy of a 2-input XOR gate.
+const xorGatePJ = 0.0009
+
+// GateMISR is a bit-level MISR netlist: `width` flip-flops, the feedback
+// XOR network defined by the configuration's taps, and the input folding
+// XORs.
+type GateMISR struct {
+	cfg   Config
+	width int
+	taps  uint16
+	seed  uint16
+
+	// state holds each flip-flop's value.
+	state []bool
+	// ffToggles counts flip-flop output transitions (dynamic energy).
+	ffToggles int
+	// xorEvals counts XOR gate evaluations.
+	xorEvals int
+	// words counts elements folded since the last reset.
+	words int
+}
+
+// NewGateMISR builds the netlist for cfg at the given index width.
+func NewGateMISR(cfg Config, width int) *GateMISR {
+	// Reuse the word-level constructor's validation and tap/seed
+	// normalization so both models agree on the effective polynomial.
+	h := NewHasher(cfg, width)
+	g := &GateMISR{
+		cfg:   cfg,
+		width: width,
+		taps:  h.taps,
+		seed:  h.seed,
+		state: make([]bool, width),
+	}
+	g.Reset()
+	return g
+}
+
+// Reset loads the seed into the flip-flops and clears the activity
+// counters (a new accelerator invocation).
+func (g *GateMISR) Reset() {
+	for i := 0; i < g.width; i++ {
+		g.setFF(i, g.seed&(1<<uint(i)) != 0)
+	}
+	g.ffToggles = 0
+	g.xorEvals = 0
+	g.words = 0
+}
+
+// setFF drives flip-flop i, counting a toggle when the value changes.
+func (g *GateMISR) setFF(i int, v bool) {
+	if g.state[i] != v {
+		g.ffToggles++
+	}
+	g.state[i] = v
+}
+
+// lfsrStep performs one Galois step at bit level:
+//
+//	lsb     = Q0
+//	Qi      <= Q(i+1) XOR (lsb AND tap_i)   for i < width-1
+//	Q(w-1)  <= lsb AND tap_(w-1)
+//
+// The AND with the (constant) tap bit is free wiring; where tap_i is set
+// an XOR gate exists and is counted.
+func (g *GateMISR) lfsrStep() {
+	lsb := g.state[0]
+	next := make([]bool, g.width)
+	for i := 0; i < g.width-1; i++ {
+		v := g.state[i+1]
+		if g.taps&(1<<uint(i)) != 0 {
+			v = v != lsb // XOR gate
+			g.xorEvals++
+		}
+		next[i] = v
+	}
+	if g.taps&(1<<uint(g.width-1)) != 0 {
+		next[g.width-1] = lsb
+		g.xorEvals++
+	} else {
+		next[g.width-1] = false
+	}
+	for i, v := range next {
+		g.setFF(i, v)
+	}
+}
+
+// Shift folds the next input element into the register — the per-element
+// datapath: input pre-permutation (wiring), `Steps` LFSR steps, then the
+// folding XOR row.
+func (g *GateMISR) Shift(word uint16) {
+	// Input pre-permutation is pure wiring in hardware.
+	if g.cfg.ByteSwap {
+		word = word>>8 | word<<8
+	}
+	word = bits.RotateLeft16(word, g.cfg.InRot+7*g.words)
+
+	for s := 0; s < g.cfg.Steps; s++ {
+		g.lfsrStep()
+	}
+
+	// Folding XOR row: the 16 input bits are XOR-reduced onto the width
+	// register bits exactly as foldWord does.
+	folded := foldWord(word, uint(g.width))
+	for i := 0; i < g.width; i++ {
+		if folded&(1<<uint(i)) != 0 {
+			g.setFF(i, !g.state[i])
+			g.xorEvals++
+		}
+	}
+	g.words++
+}
+
+// Index reads the register — the table index after the final element.
+func (g *GateMISR) Index() uint32 {
+	var idx uint32
+	for i := 0; i < g.width; i++ {
+		if g.state[i] {
+			idx |= 1 << uint(i)
+		}
+	}
+	return idx
+}
+
+// HashWords resets the register and folds all elements, returning the
+// final index (the gate-level equivalent of Hasher.Hash).
+func (g *GateMISR) HashWords(words []uint16) uint32 {
+	g.Reset()
+	for _, w := range words {
+		g.Shift(w)
+	}
+	return g.Index()
+}
+
+// FFToggles returns the flip-flop transitions since the last reset.
+func (g *GateMISR) FFToggles() int { return g.ffToggles }
+
+// EnergyPJ estimates the dynamic energy of the activity since reset.
+func (g *GateMISR) EnergyPJ() float64 {
+	return float64(g.ffToggles)*ffTogglePJ + float64(g.xorEvals)*xorGatePJ
+}
+
+// GateCount returns the synthesized XOR gate count (area proxy): one per
+// tap plus the full folding row.
+func (g *GateMISR) GateCount() int {
+	return bits.OnesCount16(g.taps) + g.width
+}
+
+// FlipFlopCount returns the register width.
+func (g *GateMISR) FlipFlopCount() int { return g.width }

@@ -1,0 +1,115 @@
+package misr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mithra/internal/mathx"
+)
+
+// TestGateEquivalence is the synthesis check: the gate-level netlist must
+// compute exactly the same index as the word-level Hasher for every pool
+// configuration, width, and input stream.
+func TestGateEquivalence(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	for ci, cfg := range Pool() {
+		for _, width := range []int{10, 12, 16} {
+			h := NewHasher(cfg, width)
+			g := NewGateMISR(cfg, width)
+			for trial := 0; trial < 100; trial++ {
+				n := 1 + rng.Intn(12)
+				words := make([]uint16, n)
+				for i := range words {
+					words[i] = uint16(rng.Uint64())
+				}
+				want := h.Hash(words)
+				got := g.HashWords(words)
+				if got != want {
+					t.Fatalf("config %d width %d: gate %d != word %d for %v",
+						ci, width, got, want, words)
+				}
+			}
+		}
+	}
+}
+
+func TestGateEquivalenceProperty(t *testing.T) {
+	cfg := Pool()[5]
+	h := NewHasher(cfg, 12)
+	g := NewGateMISR(cfg, 12)
+	f := func(words []uint16) bool {
+		if len(words) == 0 {
+			return true
+		}
+		return h.Hash(words) == g.HashWords(words)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGateActivityAccounting(t *testing.T) {
+	g := NewGateMISR(Pool()[0], 12)
+	words := []uint16{0x1234, 0xABCD, 0x0F0F}
+	g.HashWords(words)
+	if g.FFToggles() == 0 {
+		t.Error("no flip-flop activity recorded")
+	}
+	if g.EnergyPJ() <= 0 {
+		t.Error("no energy estimated")
+	}
+	// More elements => at least as much energy.
+	e3 := g.EnergyPJ()
+	g.HashWords(append(words, 0x5555, 0x7777, 0x9999))
+	if g.EnergyPJ() <= e3 {
+		t.Errorf("6-element energy %v not above 3-element %v", g.EnergyPJ(), e3)
+	}
+}
+
+func TestGateResetRestoresSeed(t *testing.T) {
+	g := NewGateMISR(Pool()[1], 12)
+	first := g.HashWords([]uint16{1, 2, 3})
+	second := g.HashWords([]uint16{1, 2, 3})
+	if first != second {
+		t.Error("reset does not restore deterministic behaviour")
+	}
+	g.Reset()
+	if g.FFToggles() != 0 || g.EnergyPJ() != 0 {
+		t.Error("reset did not clear activity counters")
+	}
+}
+
+func TestGateStructuralCounts(t *testing.T) {
+	g := NewGateMISR(Pool()[0], 12)
+	if g.FlipFlopCount() != 12 {
+		t.Errorf("FF count = %d", g.FlipFlopCount())
+	}
+	if g.GateCount() <= 12 {
+		t.Errorf("gate count %d should exceed the folding row alone", g.GateCount())
+	}
+}
+
+// TestGateEnergyInConstantBand cross-checks the table classifier's
+// per-element MISR energy constant against the gate-level estimate: the
+// constant should be within an order of magnitude of synthesized
+// activity (it also covers index drivers and wiring not in the netlist).
+func TestGateEnergyInConstantBand(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	total := 0.0
+	const trials = 200
+	const elems = 9 // sobel-like input width
+	g := NewGateMISR(Pool()[3], 12)
+	for trial := 0; trial < trials; trial++ {
+		words := make([]uint16, elems)
+		for i := range words {
+			words[i] = uint16(rng.Uint64())
+		}
+		g.HashWords(words)
+		total += g.EnergyPJ()
+	}
+	perElement := total / trials / elems
+	// The classifier package charges 0.4 pJ per element per table.
+	if perElement < 0.01 || perElement > 0.4 {
+		t.Errorf("gate-level per-element energy %v pJ outside the plausible band", perElement)
+	}
+}

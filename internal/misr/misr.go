@@ -1,0 +1,218 @@
+// Package misr implements the Multi-Input Signature Register hash used by
+// MITHRA's table-based classifier (paper §IV-A). A MISR combines a stream
+// of input words into a compact signature using only XORs and shifts: each
+// arriving word is folded into a linear-feedback shift register, and once
+// the last element of the accelerator input vector has arrived, the
+// register content is the table index.
+//
+// The hash must (1) combine all input elements, (2) minimize destructive
+// aliasing, (3) be cheap in hardware, (4) accept any number of inputs, and
+// (5) be reconfigurable across applications. Reconfiguration is captured
+// by Config: feedback taps, steps-per-word, and an input pre-permutation.
+// The paper selects per-table configurations from a pool of 16 fixed
+// configurations chosen for mutual dissimilarity; Pool reproduces that.
+package misr
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mithra/internal/mathx"
+)
+
+// Config is one MISR configuration: it determines the feedback polynomial
+// of the shift register, how many LFSR steps separate consecutive input
+// words, and how each input word is pre-permuted before being XORed in.
+// All operations are XOR/shift/bit-select — directly implementable as the
+// paper's synthesized MISR circuit.
+type Config struct {
+	// Taps is the feedback polynomial (masked to the register width).
+	Taps uint16
+	// Steps is the number of LFSR steps applied between input words
+	// (1..3 in the pool).
+	Steps int
+	// InRot rotates each input word left by this amount before folding.
+	InRot int
+	// ByteSwap additionally swaps the two bytes of each input word.
+	ByteSwap bool
+	// Seed is the register's initial state.
+	Seed uint16
+}
+
+// Pool returns the fixed, application-independent pool of 16 MISR
+// configurations the compiler assigns tables from. The taps are distinct
+// primitive-polynomial patterns; rotations and byte swaps decorrelate the
+// input folding so that two configurations map the same input vector to
+// different indices.
+func Pool() []Config {
+	// 16-bit primitive polynomial tap masks (and near-primitive variants);
+	// masked down when the table is smaller than 2^16 entries.
+	taps := []uint16{
+		0xB400, 0xA801, 0xD008, 0x9C00,
+		0xC011, 0xE402, 0xB811, 0xA011,
+		0xD808, 0xC411, 0xF002, 0x9401,
+		0xE811, 0xCC00, 0xB011, 0xA401,
+	}
+	pool := make([]Config, 16)
+	for i := range pool {
+		pool[i] = Config{
+			Taps:     taps[i],
+			Steps:    1 + i%3,
+			InRot:    (5 * i) % 16,
+			ByteSwap: i%2 == 1,
+			Seed:     uint16(0xACE1 + 0x1D3*uint16(i)),
+		}
+	}
+	return pool
+}
+
+// Hasher is a MISR instantiated at a concrete register width.
+type Hasher struct {
+	cfg   Config
+	width uint
+	mask  uint16
+	taps  uint16
+	seed  uint16
+}
+
+// NewHasher builds a hasher for a table with 2^width entries. width must
+// be in [4, 16].
+func NewHasher(cfg Config, width int) *Hasher {
+	if width < 4 || width > 16 {
+		panic(fmt.Sprintf("misr: width %d outside [4,16]", width))
+	}
+	mask := uint16(1)<<uint(width) - 1
+	if width == 16 {
+		mask = 0xFFFF
+	}
+	taps := cfg.Taps & mask
+	if taps == 0 {
+		// Degenerate mask after truncation; fall back to a two-tap
+		// polynomial that always fits.
+		taps = (1 << uint(width-1)) | 1
+	}
+	seed := cfg.Seed & mask
+	if seed == 0 {
+		seed = 1
+	}
+	return &Hasher{cfg: cfg, width: uint(width), mask: mask, taps: taps, seed: seed}
+}
+
+// Hash folds the quantized input words into a table index in
+// [0, 2^width).
+//
+// Each word is rotated by a position-dependent amount before entering the
+// register (fixed wiring per FIFO slot in hardware), so the low bits of
+// consecutive quantized elements land at different register offsets. This
+// breaks up the contiguous-coset aliasing that a plain XOR of
+// low-entropy words would produce, without adding anything beyond
+// bit-select/rotate/XOR to the circuit.
+func (h *Hasher) Hash(words []uint16) uint32 {
+	state := h.seed
+	for i, w := range words {
+		// Input pre-permutation.
+		if h.cfg.ByteSwap {
+			w = w>>8 | w<<8
+		}
+		w = bits.RotateLeft16(w, h.cfg.InRot+7*i)
+		// Galois LFSR steps.
+		for s := 0; s < h.cfg.Steps; s++ {
+			lsb := state & 1
+			state >>= 1
+			if lsb != 0 {
+				state ^= h.taps
+			}
+		}
+		// Fold the 16-bit word into the register width.
+		state ^= foldWord(w, h.width) & h.mask
+		state &= h.mask
+	}
+	return uint32(state)
+}
+
+// foldWord XOR-compresses a 16-bit word into the low `width` bits.
+func foldWord(w uint16, width uint) uint16 {
+	if width >= 16 {
+		return w
+	}
+	folded := uint16(0)
+	for w != 0 {
+		folded ^= w & (1<<width - 1)
+		w >>= width
+	}
+	return folded
+}
+
+// Width returns the index width in bits.
+func (h *Hasher) Width() int { return int(h.width) }
+
+// Config returns the MISR configuration this hasher instantiates.
+func (h *Hasher) Config() Config { return h.cfg }
+
+// Quantizer converts the accelerator's floating-point input vector into
+// the fixed-point words the MISR consumes. Each feature is mapped to a
+// 2^Bits-level value using a per-feature range calibrated from the
+// training data (the hardware equivalent is a per-application fixed-point
+// format chosen by the compiler). Coarser quantization makes recurring
+// input patterns collide onto identical words, which is what lets the
+// table-based classifier recognize unseen-but-similar inputs.
+type Quantizer struct {
+	Min, Max []float64
+	// Bits is the per-feature fixed-point width (1..16).
+	Bits int
+}
+
+// FitQuantizer calibrates per-feature ranges from sample input vectors at
+// full 16-bit precision.
+func FitQuantizer(inputs [][]float64) *Quantizer {
+	return FitQuantizerBits(inputs, 16)
+}
+
+// FitQuantizerBits calibrates per-feature ranges with the given
+// fixed-point width.
+func FitQuantizerBits(inputs [][]float64, bits int) *Quantizer {
+	if len(inputs) == 0 {
+		panic("misr: FitQuantizer with no inputs")
+	}
+	if bits < 1 || bits > 16 {
+		panic(fmt.Sprintf("misr: quantizer bits %d outside [1,16]", bits))
+	}
+	dim := len(inputs[0])
+	q := &Quantizer{Min: make([]float64, dim), Max: make([]float64, dim), Bits: bits}
+	copy(q.Min, inputs[0])
+	copy(q.Max, inputs[0])
+	for _, v := range inputs[1:] {
+		if len(v) != dim {
+			panic("misr: FitQuantizer dimension mismatch")
+		}
+		for i, x := range v {
+			if x < q.Min[i] {
+				q.Min[i] = x
+			}
+			if x > q.Max[i] {
+				q.Max[i] = x
+			}
+		}
+	}
+	for i := range q.Min {
+		if q.Max[i]-q.Min[i] < 1e-12 {
+			q.Max[i] = q.Min[i] + 1
+		}
+	}
+	return q
+}
+
+// Quantize writes the fixed-point form of in into dst (length >= Dim) and
+// returns dst[:Dim]. Out-of-range values saturate.
+func (q *Quantizer) Quantize(in []float64, dst []uint16) []uint16 {
+	dst = dst[:len(q.Min)]
+	levels := float64(uint32(1)<<uint(q.Bits)) - 1
+	for i := range dst {
+		x := (in[i] - q.Min[i]) / (q.Max[i] - q.Min[i])
+		dst[i] = uint16(mathx.Clamp(x, 0, 1) * levels)
+	}
+	return dst
+}
+
+// Dim returns the quantizer's feature dimension.
+func (q *Quantizer) Dim() int { return len(q.Min) }

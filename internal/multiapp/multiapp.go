@@ -1,0 +1,295 @@
+// Package multiapp implements a composite application that offloads TWO
+// functions to the approximate accelerator — the case the paper's §III-A
+// extension addresses: "If the application offloads multiple functions to
+// the accelerator, this algorithm can be extended to greedily find a
+// tuple of thresholds."
+//
+// The application is a smart-camera pipeline: each frame is edge-detected
+// (the sobel kernel, 9→1) and the edge map is then block-compressed for
+// storage (the jpeg kernel, 64→64); the final output is the decoded
+// stored edge map. Because the second kernel consumes the first kernel's
+// outputs, threshold probes cannot be replayed from recorded traces the
+// way single-kernel programs are — every candidate tuple re-executes the
+// pipeline with thresholded instrumentation, exactly like the paper's
+// Algorithm 1 instrumented runs. The package implements
+// threshold.MultiEvaluator so threshold.FindGreedyTuple can tune it.
+package multiapp
+
+import (
+	"fmt"
+
+	"mithra/internal/axbench"
+	"mithra/internal/dataset"
+	"mithra/internal/mathx"
+	"mithra/internal/nn"
+	"mithra/internal/npu"
+	"mithra/internal/quality"
+)
+
+// Kernel indices in threshold tuples.
+const (
+	KernelSobel = 0
+	KernelJPEG  = 1
+	NumKernels  = 2
+)
+
+// Pipeline is the two-kernel application plus its trained accelerators.
+type Pipeline struct {
+	sobel *axbench.Sobel
+	jpeg  *axbench.JPEG
+
+	sobelAcc *npu.Accelerator
+	jpegAcc  *npu.Accelerator
+}
+
+// TrainConfig sizes the pipeline's NPU training.
+type TrainConfig struct {
+	// Samples per kernel.
+	Samples int
+	// Train configures backprop for both NPUs.
+	Train nn.TrainConfig
+	// Seed keys sample generation and initialization.
+	Seed uint64
+	// ImageW, ImageH size the profiling frames.
+	ImageW, ImageH int
+}
+
+// DefaultTrainConfig trains both NPUs in about a second.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Samples: 2500,
+		Train: nn.TrainConfig{
+			Epochs:       60,
+			LearningRate: 0.2,
+			Momentum:     0.9,
+			BatchSize:    32,
+			Seed:         1,
+		},
+		Seed:   11,
+		ImageW: 64,
+		ImageH: 64,
+	}
+}
+
+// NewPipeline trains both kernels' NPUs on profiling frames.
+func NewPipeline(cfg TrainConfig) (*Pipeline, error) {
+	if cfg.Samples < 16 {
+		return nil, fmt.Errorf("multiapp: need at least 16 samples per kernel")
+	}
+	p := &Pipeline{sobel: axbench.NewSobel(), jpeg: axbench.NewJPEG()}
+	rng := mathx.NewRNG(cfg.Seed)
+
+	var sobelSamples, jpegSamples []nn.Sample
+	for frame := 0; len(sobelSamples) < cfg.Samples || len(jpegSamples) < cfg.Samples; frame++ {
+		if frame > 16 {
+			break
+		}
+		img := dataset.GenImage(rng.Split(uint64(frame)), cfg.ImageW, cfg.ImageH)
+		// Sobel samples from the raw frame.
+		in := axbench.NewImageInput(img)
+		edge := p.sobel.Run(in, func(kin, kout []float64) {
+			p.sobel.Precise(kin, kout)
+			if len(sobelSamples) < cfg.Samples && rng.Bool(0.3) {
+				sobelSamples = append(sobelSamples, nn.Sample{
+					In:  append([]float64(nil), kin...),
+					Out: append([]float64(nil), kout...),
+				})
+			}
+		})
+		// JPEG samples from the edge map (the distribution the second
+		// kernel actually sees in this program).
+		edgeImg := imageFrom(cfg.ImageW, cfg.ImageH, edge)
+		jin, err := axbench.NewJPEGInput(edgeImg)
+		if err != nil {
+			return nil, err
+		}
+		p.jpeg.Run(jin, func(kin, kout []float64) {
+			p.jpeg.Precise(kin, kout)
+			if len(jpegSamples) < cfg.Samples {
+				jpegSamples = append(jpegSamples, nn.Sample{
+					In:  append([]float64(nil), kin...),
+					Out: append([]float64(nil), kout...),
+				})
+			}
+		})
+	}
+
+	sobelApprox, _ := nn.FitApproximator(p.sobel.Topology(), sobelSamples, cfg.Train, cfg.Seed^1)
+	jpegApprox, _ := nn.FitApproximator(p.jpeg.Topology(), jpegSamples, cfg.Train, cfg.Seed^2)
+	p.sobelAcc = npu.New(sobelApprox)
+	p.jpegAcc = npu.New(jpegApprox)
+	return p, nil
+}
+
+func imageFrom(w, h int, pix []float64) *dataset.Image {
+	im := dataset.NewImage(w, h)
+	copy(im.Pix, pix)
+	return im
+}
+
+// kernelGate decides one kernel's execution per invocation; nil means
+// always precise.
+type kernelGate func(kin, pOut, aOut []float64) bool
+
+// runFrame executes the pipeline on one frame. Each kernel invocation
+// evaluates both the precise function and (when gated) the accelerator,
+// mirroring the paper's instrumented execution; stats receives the
+// per-kernel (invocations, accelerated) counts when non-nil.
+func (p *Pipeline) runFrame(img *dataset.Image, gates [NumKernels]kernelGate, stats *[NumKernels][2]int) []float64 {
+	sobelScratch := p.sobelAcc.NewScratch()
+	jpegScratch := p.jpegAcc.NewScratch()
+	pBuf1 := make([]float64, 1)
+	aBuf1 := make([]float64, 1)
+	pBuf64 := make([]float64, 64)
+	aBuf64 := make([]float64, 64)
+
+	gateInvoke := func(k int, gate kernelGate, precise func(in, out []float64),
+		acc *npu.Accelerator, scratch *nn.EvalScratch, pBuf, aBuf []float64) axbench.Invoker {
+		return func(kin, kout []float64) {
+			precise(kin, pBuf)
+			if stats != nil {
+				stats[k][0]++
+			}
+			if gate == nil {
+				copy(kout, pBuf)
+				return
+			}
+			acc.Invoke(kin, aBuf, scratch)
+			if gate(kin, pBuf, aBuf) {
+				copy(kout, aBuf)
+				if stats != nil {
+					stats[k][1]++
+				}
+				return
+			}
+			copy(kout, pBuf)
+		}
+	}
+
+	edge := p.sobel.Run(axbench.NewImageInput(img),
+		gateInvoke(KernelSobel, gates[KernelSobel], p.sobel.Precise, p.sobelAcc, sobelScratch, pBuf1, aBuf1))
+	edgeImg := imageFrom(img.W, img.H, edge)
+	jin, err := axbench.NewJPEGInput(edgeImg)
+	if err != nil {
+		// Frame sizes are validated at construction; unreachable.
+		panic(err)
+	}
+	return p.jpeg.Run(jin,
+		gateInvoke(KernelJPEG, gates[KernelJPEG], p.jpeg.Precise, p.jpegAcc, jpegScratch, pBuf64, aBuf64))
+}
+
+// thresholdGate accelerates when every output element's error is within
+// th (the paper's Equation 1 at this kernel's call site).
+func thresholdGate(th float64) kernelGate {
+	return func(_, pOut, aOut []float64) bool {
+		return mathx.MaxAbsDiff(pOut, aOut) <= th
+	}
+}
+
+// Evaluator adapts a frame set to threshold.MultiEvaluator. Frames must
+// have dimensions that are multiples of 8 (the jpeg block grid).
+type Evaluator struct {
+	p       *Pipeline
+	frames  []*dataset.Image
+	precise [][]float64
+	maxErrs [NumKernels]float64
+	metric  quality.Metric
+}
+
+// NewEvaluator profiles the frames: computes each frame's precise final
+// output and each kernel's maximum observed accelerator error (at the
+// all-approximate operating point, where the second kernel sees the
+// approximate edge maps).
+func NewEvaluator(p *Pipeline, frames []*dataset.Image) (*Evaluator, error) {
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("multiapp: no frames")
+	}
+	for i, f := range frames {
+		if f.W%8 != 0 || f.H%8 != 0 {
+			return nil, fmt.Errorf("multiapp: frame %d is %dx%d; dimensions must be multiples of 8", i, f.W, f.H)
+		}
+	}
+	e := &Evaluator{p: p, frames: frames, metric: quality.ImageDiff{}}
+	for _, f := range frames {
+		e.precise = append(e.precise, p.runFrame(f, [NumKernels]kernelGate{nil, nil}, nil))
+	}
+	// Profile max errors. The second kernel's input distribution depends
+	// on the first kernel's decisions, so errors are profiled at both
+	// extreme operating points (everything approximate, and each kernel
+	// alone) and the maxima taken — the search range must bound every
+	// configuration the greedy tuner visits.
+	profGate := func(k int) kernelGate {
+		return func(_, pOut, aOut []float64) bool {
+			if d := mathx.MaxAbsDiff(pOut, aOut); d > e.maxErrs[k] {
+				e.maxErrs[k] = d
+			}
+			return true
+		}
+	}
+	operatingPoints := [][NumKernels]kernelGate{
+		{profGate(KernelSobel), profGate(KernelJPEG)},
+		{profGate(KernelSobel), nil},
+		{nil, profGate(KernelJPEG)},
+	}
+	for _, gates := range operatingPoints {
+		for _, f := range frames {
+			p.runFrame(f, gates, nil)
+		}
+	}
+	return e, nil
+}
+
+// NumKernels implements threshold.MultiEvaluator.
+func (e *Evaluator) NumKernels() int { return NumKernels }
+
+// NumDatasets implements threshold.MultiEvaluator.
+func (e *Evaluator) NumDatasets() int { return len(e.frames) }
+
+// Quality implements threshold.MultiEvaluator by re-executing the
+// pipeline with thresholded gates (live instrumentation — kernel 2's
+// inputs depend on kernel 1's decisions).
+func (e *Evaluator) Quality(d int, ths []float64) float64 {
+	out := e.p.runFrame(e.frames[d], [NumKernels]kernelGate{
+		thresholdGate(ths[KernelSobel]),
+		thresholdGate(ths[KernelJPEG]),
+	}, nil)
+	return e.metric.Loss(e.precise[d], out)
+}
+
+// MaxError implements threshold.MultiEvaluator.
+func (e *Evaluator) MaxError(k int) float64 { return e.maxErrs[k] }
+
+// InvocationRate implements threshold.MultiEvaluator: the kernel's
+// accelerated fraction at threshold th with the other kernel precise
+// (the greedy search's measurement point).
+func (e *Evaluator) InvocationRate(k int, th float64) float64 {
+	var gates [NumKernels]kernelGate
+	gates[k] = thresholdGate(th)
+	var stats [NumKernels][2]int
+	for _, f := range e.frames {
+		e.p.runFrame(f, gates, &stats)
+	}
+	if stats[k][0] == 0 {
+		return 0
+	}
+	return float64(stats[k][1]) / float64(stats[k][0])
+}
+
+// RateAt measures both kernels' invocation rates at a tuple (for
+// reporting after tuning).
+func (e *Evaluator) RateAt(ths []float64) [NumKernels]float64 {
+	var stats [NumKernels][2]int
+	for _, f := range e.frames {
+		e.p.runFrame(f, [NumKernels]kernelGate{
+			thresholdGate(ths[KernelSobel]),
+			thresholdGate(ths[KernelJPEG]),
+		}, &stats)
+	}
+	var rates [NumKernels]float64
+	for k := 0; k < NumKernels; k++ {
+		if stats[k][0] > 0 {
+			rates[k] = float64(stats[k][1]) / float64(stats[k][0])
+		}
+	}
+	return rates
+}

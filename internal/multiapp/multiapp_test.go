@@ -1,0 +1,153 @@
+package multiapp
+
+import (
+	"sync"
+	"testing"
+
+	"mithra/internal/dataset"
+	"mithra/internal/mathx"
+	"mithra/internal/stats"
+	"mithra/internal/threshold"
+)
+
+var (
+	pipeOnce sync.Once
+	pipeVal  *Pipeline
+	pipeErr  error
+)
+
+func sharedPipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	pipeOnce.Do(func() {
+		cfg := DefaultTrainConfig()
+		cfg.Samples = 1200
+		cfg.Train.Epochs = 30
+		cfg.ImageW, cfg.ImageH = 48, 48
+		pipeVal, pipeErr = NewPipeline(cfg)
+	})
+	if pipeErr != nil {
+		t.Fatal(pipeErr)
+	}
+	return pipeVal
+}
+
+func frames(n, w, h int, seed uint64) []*dataset.Image {
+	rng := mathx.NewRNG(seed)
+	out := make([]*dataset.Image, n)
+	for i := range out {
+		out[i] = dataset.GenImage(rng.Split(uint64(i)), w, h)
+	}
+	return out
+}
+
+func TestNewPipelineValidation(t *testing.T) {
+	cfg := DefaultTrainConfig()
+	cfg.Samples = 2
+	if _, err := NewPipeline(cfg); err == nil {
+		t.Error("tiny sample budget should error")
+	}
+}
+
+func TestEvaluatorBasics(t *testing.T) {
+	p := sharedPipeline(t)
+	e, err := NewEvaluator(p, frames(6, 48, 48, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumKernels() != 2 || e.NumDatasets() != 6 {
+		t.Fatalf("dims: %d kernels, %d datasets", e.NumKernels(), e.NumDatasets())
+	}
+	for k := 0; k < 2; k++ {
+		if e.MaxError(k) <= 0 {
+			t.Errorf("kernel %d max error = %v", k, e.MaxError(k))
+		}
+	}
+	// All-precise tuple => zero loss.
+	if q := e.Quality(0, []float64{0, 0}); q != 0 {
+		t.Errorf("all-precise quality = %v", q)
+	}
+	// Loosest tuple => positive loss.
+	loose := e.Quality(0, []float64{e.MaxError(0), e.MaxError(1)})
+	if loose <= 0 {
+		t.Errorf("full-approx quality = %v, want > 0", loose)
+	}
+}
+
+func TestEvaluatorRejectsBadFrames(t *testing.T) {
+	p := sharedPipeline(t)
+	if _, err := NewEvaluator(p, nil); err == nil {
+		t.Error("no frames should error")
+	}
+	if _, err := NewEvaluator(p, frames(1, 50, 50, 2)); err == nil {
+		t.Error("non-multiple-of-8 frames should error")
+	}
+}
+
+func TestQualityMonotoneInThresholds(t *testing.T) {
+	p := sharedPipeline(t)
+	e, err := NewEvaluator(p, frames(3, 48, 48, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loosening either kernel's threshold must not improve quality.
+	base := e.Quality(0, []float64{0.3 * e.MaxError(0), 0.3 * e.MaxError(1)})
+	looser0 := e.Quality(0, []float64{e.MaxError(0), 0.3 * e.MaxError(1)})
+	looser1 := e.Quality(0, []float64{0.3 * e.MaxError(0), e.MaxError(1)})
+	if looser0 < base-1e-9 || looser1 < base-1e-9 {
+		t.Errorf("loosening improved quality: base %v, k0 %v, k1 %v", base, looser0, looser1)
+	}
+}
+
+func TestGreedyTupleOnRealPipeline(t *testing.T) {
+	p := sharedPipeline(t)
+	e, err := NewEvaluator(p, frames(12, 48, 48, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := stats.Guarantee{QualityLoss: 0.05, SuccessRate: 0.5, Confidence: 0.85}
+	res, err := threshold.FindGreedyTuple(e, g, nil, threshold.Options{MaxIter: 24, Tolerance: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Certified {
+		t.Fatalf("pipeline tuple not certified: %+v", res)
+	}
+	if res.Thresholds[KernelSobel] < 0 || res.Thresholds[KernelJPEG] < 0 {
+		t.Errorf("thresholds %v", res.Thresholds)
+	}
+	rates := e.RateAt(res.Thresholds)
+	for k, r := range rates {
+		if r < 0 || r > 1 {
+			t.Errorf("kernel %d rate %v", k, r)
+		}
+	}
+	// At the tuned tuple the joint quality must meet the target for the
+	// certified fraction of frames.
+	succ := 0
+	for d := 0; d < e.NumDatasets(); d++ {
+		if e.Quality(d, res.Thresholds) <= g.QualityLoss {
+			succ++
+		}
+	}
+	if succ != res.Successes {
+		t.Errorf("recount %d != reported %d", succ, res.Successes)
+	}
+}
+
+func TestInvocationRateMonotone(t *testing.T) {
+	p := sharedPipeline(t)
+	e, err := NewEvaluator(p, frames(3, 48, 48, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 2; k++ {
+		tight := e.InvocationRate(k, 0.1*e.MaxError(k))
+		loose := e.InvocationRate(k, e.MaxError(k))
+		if loose < tight {
+			t.Errorf("kernel %d: rate not monotone (%v -> %v)", k, tight, loose)
+		}
+		if loose < 0.99 {
+			t.Errorf("kernel %d: rate at max error = %v, want ~1", k, loose)
+		}
+	}
+}

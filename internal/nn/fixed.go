@@ -1,0 +1,205 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// The hardware NPU evaluates its networks in fixed-point arithmetic with
+// a lookup-table sigmoid, not IEEE floating point. This file implements
+// that datapath: weights, biases, and activations are quantized to a
+// configurable Q-format, multiply-accumulates run in integer arithmetic
+// with a widened accumulator, and the sigmoid comes from a bounded LUT —
+// so the reproduction can quantify how much of the accelerator's error
+// budget the numeric format itself consumes (the abl-fixed experiment).
+
+// FixedConfig selects the NPU's numeric format.
+type FixedConfig struct {
+	// FracBits is the number of fractional bits in the Q-format
+	// (weights, biases, and activations share it). The NPU hardware uses
+	// 8-16 bit datapaths; 8-12 fractional bits are typical.
+	FracBits int
+	// SigmoidEntries is the sigmoid LUT size covering [-SigmoidRange,
+	// +SigmoidRange].
+	SigmoidEntries int
+	// SigmoidRange is the LUT's input clamp; inputs beyond it saturate
+	// to 0/1.
+	SigmoidRange float64
+}
+
+// DefaultFixedConfig matches the NPU literature's 16-bit datapath.
+func DefaultFixedConfig() FixedConfig {
+	return FixedConfig{FracBits: 10, SigmoidEntries: 256, SigmoidRange: 8}
+}
+
+// Validate reports configuration errors.
+func (c FixedConfig) Validate() error {
+	if c.FracBits < 2 || c.FracBits > 24 {
+		return fmt.Errorf("nn: FracBits %d outside [2,24]", c.FracBits)
+	}
+	if c.SigmoidEntries < 8 {
+		return fmt.Errorf("nn: sigmoid LUT needs at least 8 entries")
+	}
+	if c.SigmoidRange <= 0 {
+		return fmt.Errorf("nn: sigmoid range must be positive")
+	}
+	return nil
+}
+
+// FixedNetwork is a quantized instance of a trained Network.
+type FixedNetwork struct {
+	cfg   FixedConfig
+	sizes []int
+	acts  []Activation
+	scale float64 // 2^FracBits
+	// w[l][j][i] and b[l][j] are Q-format integers.
+	w [][][]int64
+	b [][]int64
+	// sigmoidLUT[i] is the Q-format sigmoid output for LUT slot i.
+	sigmoidLUT []int64
+}
+
+// Quantize converts the trained network into the fixed-point datapath.
+func (n *Network) Quantize(cfg FixedConfig) (*FixedNetwork, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	scale := math.Exp2(float64(cfg.FracBits))
+	f := &FixedNetwork{
+		cfg:   cfg,
+		sizes: append([]int(nil), n.Sizes...),
+		acts:  append([]Activation(nil), n.Acts...),
+		scale: scale,
+		w:     make([][][]int64, len(n.W)),
+		b:     make([][]int64, len(n.B)),
+	}
+	for l := range n.W {
+		f.w[l] = make([][]int64, len(n.W[l]))
+		for j := range n.W[l] {
+			row := make([]int64, len(n.W[l][j]))
+			for i, v := range n.W[l][j] {
+				row[i] = toFixed(v, scale)
+			}
+			f.w[l][j] = row
+		}
+		f.b[l] = make([]int64, len(n.B[l]))
+		for j, v := range n.B[l] {
+			f.b[l][j] = toFixed(v, scale)
+		}
+	}
+	// Build the sigmoid LUT in Q-format.
+	f.sigmoidLUT = make([]int64, cfg.SigmoidEntries)
+	for i := range f.sigmoidLUT {
+		x := -cfg.SigmoidRange + 2*cfg.SigmoidRange*float64(i)/float64(cfg.SigmoidEntries-1)
+		f.sigmoidLUT[i] = toFixed(1/(1+math.Exp(-x)), scale)
+	}
+	return f, nil
+}
+
+func toFixed(v, scale float64) int64 {
+	return int64(math.Round(v * scale))
+}
+
+// Forward evaluates the quantized network: inputs are quantized on entry,
+// every MAC is integer, activations go through the LUT, and the output is
+// dequantized.
+func (f *FixedNetwork) Forward(in []float64) []float64 {
+	if len(in) != f.sizes[0] {
+		panic(fmt.Sprintf("nn: fixed input size %d, want %d", len(in), f.sizes[0]))
+	}
+	cur := make([]int64, f.sizes[0])
+	for i, v := range in {
+		cur[i] = toFixed(v, f.scale)
+	}
+	for l := 0; l < len(f.w); l++ {
+		next := make([]int64, f.sizes[l+1])
+		for j := range next {
+			// Accumulate in double-width: products carry 2*FracBits.
+			acc := f.b[l][j] << uint(f.cfg.FracBits)
+			for i, w := range f.w[l][j] {
+				acc += w * cur[i]
+			}
+			// Renormalize to Q-format.
+			z := acc >> uint(f.cfg.FracBits)
+			next[j] = f.activate(f.acts[l], z)
+		}
+		cur = next
+	}
+	out := make([]float64, len(cur))
+	for i, v := range cur {
+		out[i] = float64(v) / f.scale
+	}
+	return out
+}
+
+func (f *FixedNetwork) activate(a Activation, z int64) int64 {
+	switch a {
+	case Sigmoid:
+		return f.lutSigmoid(z)
+	case Tanh:
+		// tanh(x) = 2*sigmoid(2x) - 1 in the same LUT.
+		return 2*f.lutSigmoid(2*z) - int64(f.scale)
+	case ReLU:
+		if z < 0 {
+			return 0
+		}
+		return z
+	default:
+		return z
+	}
+}
+
+func (f *FixedNetwork) lutSigmoid(z int64) int64 {
+	x := float64(z) / f.scale
+	r := f.cfg.SigmoidRange
+	if x <= -r {
+		return 0
+	}
+	if x >= r {
+		return int64(f.scale)
+	}
+	slot := int((x + r) / (2 * r) * float64(f.cfg.SigmoidEntries-1))
+	if slot < 0 {
+		slot = 0
+	}
+	if slot >= len(f.sigmoidLUT) {
+		slot = len(f.sigmoidLUT) - 1
+	}
+	return f.sigmoidLUT[slot]
+}
+
+// RMSDivergence measures the root-mean-square difference between the
+// float and fixed-point evaluations over the given inputs — the numeric
+// noise floor the format imposes.
+func (f *FixedNetwork) RMSDivergence(n *Network, inputs [][]float64) float64 {
+	if len(inputs) == 0 {
+		return 0
+	}
+	s := n.NewScratch()
+	sum, count := 0.0, 0
+	for _, in := range inputs {
+		ref := n.ForwardScratch(in, s)
+		got := f.Forward(in)
+		for i := range ref {
+			d := ref[i] - got[i]
+			sum += d * d
+			count++
+		}
+	}
+	return math.Sqrt(sum / float64(count))
+}
+
+// SizeBytes returns the parameter storage at the quantized width (ceil to
+// whole bytes of 2*FracBits-ish dynamic range; the NPU stores 16-bit
+// words for FracBits <= 14).
+func (f *FixedNetwork) SizeBytes() int {
+	bytesPerWeight := 2
+	if f.cfg.FracBits > 14 {
+		bytesPerWeight = 4
+	}
+	params := 0
+	for l := range f.w {
+		params += f.sizes[l]*f.sizes[l+1] + f.sizes[l+1]
+	}
+	return params * bytesPerWeight
+}

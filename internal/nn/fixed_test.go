@@ -1,0 +1,159 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"mithra/internal/mathx"
+)
+
+func trainedRegressor(t *testing.T) *Network {
+	t.Helper()
+	rng := mathx.NewRNG(31)
+	var samples []Sample
+	for i := 0; i < 300; i++ {
+		x := rng.Range(-1, 1)
+		y := rng.Range(-1, 1)
+		samples = append(samples, Sample{In: []float64{x, y}, Out: []float64{0.5*x - 0.3*y + 0.2}})
+	}
+	n := New([]int{2, 6, 1}, Regression(2), mathx.NewRNG(5))
+	n.Train(samples, TrainConfig{Epochs: 120, LearningRate: 0.3, Momentum: 0.9, BatchSize: 16, Seed: 1})
+	return n
+}
+
+func TestFixedConfigValidation(t *testing.T) {
+	if err := DefaultFixedConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := []FixedConfig{
+		{FracBits: 0, SigmoidEntries: 256, SigmoidRange: 8},
+		{FracBits: 30, SigmoidEntries: 256, SigmoidRange: 8},
+		{FracBits: 10, SigmoidEntries: 2, SigmoidRange: 8},
+		{FracBits: 10, SigmoidEntries: 256, SigmoidRange: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+	n := trainedRegressor(t)
+	if _, err := n.Quantize(FixedConfig{FracBits: 0}); err == nil {
+		t.Error("Quantize should validate")
+	}
+}
+
+func TestFixedTracksFloat(t *testing.T) {
+	n := trainedRegressor(t)
+	f, err := n.Quantize(DefaultFixedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mathx.NewRNG(7)
+	for i := 0; i < 300; i++ {
+		in := []float64{rng.Range(-1, 1), rng.Range(-1, 1)}
+		want := n.Forward(in)[0]
+		got := f.Forward(in)[0]
+		if math.Abs(want-got) > 0.05 {
+			t.Fatalf("fixed diverges: %v vs %v on %v", got, want, in)
+		}
+	}
+}
+
+func TestFixedPrecisionMonotone(t *testing.T) {
+	// More fractional bits => lower divergence from the float model.
+	n := trainedRegressor(t)
+	rng := mathx.NewRNG(8)
+	inputs := make([][]float64, 200)
+	for i := range inputs {
+		inputs[i] = []float64{rng.Range(-1, 1), rng.Range(-1, 1)}
+	}
+	prev := math.Inf(1)
+	for _, bits := range []int{4, 6, 8, 10, 12} {
+		cfg := DefaultFixedConfig()
+		cfg.FracBits = bits
+		cfg.SigmoidEntries = 1024
+		f, err := n.Quantize(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rms := f.RMSDivergence(n, inputs)
+		if rms > prev*1.5 { // allow small non-monotonic noise
+			t.Errorf("divergence rose sharply at %d bits: %v (prev %v)", bits, rms, prev)
+		}
+		prev = rms
+	}
+	if prev > 1e-2 {
+		t.Errorf("12-bit divergence %v too high", prev)
+	}
+}
+
+func TestFixedSigmoidSaturates(t *testing.T) {
+	n := New([]int{1, 1, 1}, []Activation{Sigmoid, Linear}, mathx.NewRNG(1))
+	n.W[0][0][0] = 100 // drive the sigmoid far into saturation
+	n.B[0][0] = 0
+	n.W[1][0][0] = 1
+	n.B[1][0] = 0
+	f, err := n.Quantize(DefaultFixedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Forward([]float64{5})[0]; math.Abs(got-1) > 1e-2 {
+		t.Errorf("saturated-high sigmoid = %v, want ~1", got)
+	}
+	if got := f.Forward([]float64{-5})[0]; math.Abs(got) > 1e-2 {
+		t.Errorf("saturated-low sigmoid = %v, want ~0", got)
+	}
+}
+
+func TestFixedTanhAndReLU(t *testing.T) {
+	for _, act := range []Activation{Tanh, ReLU} {
+		n := New([]int{1, 4, 1}, []Activation{act, Linear}, mathx.NewRNG(3))
+		cfg := DefaultFixedConfig()
+		cfg.FracBits = 12
+		cfg.SigmoidEntries = 2048
+		f, err := n.Quantize(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range []float64{-0.8, -0.1, 0, 0.4, 0.9} {
+			want := n.Forward([]float64{x})[0]
+			got := f.Forward([]float64{x})[0]
+			if math.Abs(want-got) > 0.05 {
+				t.Errorf("%v: fixed %v vs float %v at %v", act, got, want, x)
+			}
+		}
+	}
+}
+
+func TestFixedInputSizePanics(t *testing.T) {
+	n := trainedRegressor(t)
+	f, _ := n.Quantize(DefaultFixedConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong input size should panic")
+		}
+	}()
+	f.Forward([]float64{1})
+}
+
+func TestFixedSizeBytes(t *testing.T) {
+	n := trainedRegressor(t)
+	f, _ := n.Quantize(DefaultFixedConfig())
+	if got, want := f.SizeBytes(), n.NumWeights()*2; got != want {
+		t.Errorf("SizeBytes = %d, want %d", got, want)
+	}
+	cfg := DefaultFixedConfig()
+	cfg.FracBits = 16
+	f2, _ := n.Quantize(cfg)
+	if f2.SizeBytes() != n.NumWeights()*4 {
+		t.Errorf("wide format SizeBytes = %d", f2.SizeBytes())
+	}
+}
+
+func TestFixedEmptyDivergence(t *testing.T) {
+	n := trainedRegressor(t)
+	f, _ := n.Quantize(DefaultFixedConfig())
+	if got := f.RMSDivergence(n, nil); got != 0 {
+		t.Errorf("empty divergence = %v", got)
+	}
+}

@@ -1,0 +1,140 @@
+// Package npu models the Neural Processing Unit approximate accelerator
+// that MITHRA controls (Esmaeilzadeh et al., MICRO'12 — reference [16] of
+// the paper). An NPU is a small multi-layer perceptron trained at compile
+// time to mimic a frequently executed safe-to-approximate function; at
+// runtime the core enqueues the function's inputs, the NPU evaluates the
+// network on its eight processing elements, and the core dequeues the
+// approximate outputs.
+//
+// The functional model delegates to internal/nn. The cost model is
+// structural: multiply-accumulate operations are scheduled across the
+// eight PEs layer by layer (layers are sequential because of the data
+// dependence), queue transfers cost one cycle per element, and each neuron
+// pays a fixed sigmoid-lookup latency. Energy follows the same structure
+// with per-operation constants in the range of the paper's 45 nm numbers.
+// Absolute constants are calibrated at the internal/sim layer; this
+// package fixes the *relative* cost of different topologies, which is what
+// determines the neural classifier's overhead relative to its accuracy
+// (paper §IV-B, §V-B1).
+package npu
+
+import (
+	"fmt"
+	"math"
+
+	"mithra/internal/nn"
+)
+
+// NumPEs is the number of processing elements in the modeled NPU.
+const NumPEs = 8
+
+// Cost-model constants (45 nm, 0.9 V operating point as in the paper's
+// methodology). Cycles are NPU clock cycles; energies are picojoules.
+const (
+	// CyclesPerQueueElement: one enqueue or dequeue slot per element
+	// through the core<->NPU FIFOs.
+	CyclesPerQueueElement = 1
+	// CyclesPerSigmoid: latency of the piecewise sigmoid unit per neuron.
+	CyclesPerSigmoid = 2
+	// CyclesLayerSetup: per-layer weight-fetch/setup overhead.
+	CyclesLayerSetup = 2
+
+	EnergyPerMACpJ     = 4.0
+	EnergyPerQueuepJ   = 1.8
+	EnergyPerSigmoidpJ = 2.2
+	EnergyStaticpJ     = 10.0
+)
+
+// Accelerator is a configured NPU: a trained approximator plus its
+// invocation cost, both derived from the network topology.
+type Accelerator struct {
+	approx *nn.Approximator
+	cycles int
+	energy float64
+}
+
+// New builds an accelerator from a trained approximator.
+func New(approx *nn.Approximator) *Accelerator {
+	if approx == nil {
+		panic("npu: nil approximator")
+	}
+	return &Accelerator{
+		approx: approx,
+		cycles: invocationCycles(approx.Net),
+		energy: invocationEnergy(approx.Net),
+	}
+}
+
+// invocationCycles schedules one forward pass on the PE array.
+func invocationCycles(net *nn.Network) int {
+	cycles := 0
+	// Input enqueue and output dequeue.
+	cycles += net.Sizes[0] * CyclesPerQueueElement
+	cycles += net.Sizes[len(net.Sizes)-1] * CyclesPerQueueElement
+	for l := 0; l < len(net.Sizes)-1; l++ {
+		macs := net.Sizes[l] * net.Sizes[l+1]
+		cycles += CyclesLayerSetup
+		cycles += int(math.Ceil(float64(macs) / NumPEs))
+		// Sigmoid evaluations overlap across PEs as well.
+		cycles += CyclesPerSigmoid * int(math.Ceil(float64(net.Sizes[l+1])/NumPEs))
+	}
+	return cycles
+}
+
+func invocationEnergy(net *nn.Network) float64 {
+	e := EnergyStaticpJ
+	e += float64(net.Sizes[0]+net.Sizes[len(net.Sizes)-1]) * EnergyPerQueuepJ
+	e += float64(net.MACs()) * EnergyPerMACpJ
+	neurons := 0
+	for _, s := range net.Sizes[1:] {
+		neurons += s
+	}
+	e += float64(neurons) * EnergyPerSigmoidpJ
+	return e
+}
+
+// Invoke evaluates the accelerator on in, writing the approximate output
+// into dst. scratch must come from NewScratch and must not be shared
+// across goroutines.
+func (a *Accelerator) Invoke(in, dst []float64, scratch *nn.EvalScratch) []float64 {
+	return a.approx.Eval(in, dst, scratch)
+}
+
+// NewScratch returns evaluation buffers for Invoke.
+func (a *Accelerator) NewScratch() *nn.EvalScratch { return a.approx.NewEvalScratch() }
+
+// NumInputs returns the accelerator's input vector width.
+func (a *Accelerator) NumInputs() int { return a.approx.Net.Sizes[0] }
+
+// NumOutputs returns the accelerator's output vector width.
+func (a *Accelerator) NumOutputs() int {
+	return a.approx.Net.Sizes[len(a.approx.Net.Sizes)-1]
+}
+
+// CyclesPerInvocation returns the modeled latency of one invocation,
+// including queue transfers.
+func (a *Accelerator) CyclesPerInvocation() int { return a.cycles }
+
+// EnergyPerInvocation returns the modeled energy of one invocation in
+// picojoules.
+func (a *Accelerator) EnergyPerInvocation() float64 { return a.energy }
+
+// Topology returns the underlying network's layer sizes.
+func (a *Accelerator) Topology() []int { return a.approx.Net.Sizes }
+
+// Approximator exposes the trained approximator (used by the neural
+// classifier, which shares the NPU's execution engine).
+func (a *Accelerator) Approximator() *nn.Approximator { return a.approx }
+
+func (a *Accelerator) String() string {
+	return fmt.Sprintf("NPU[%s, %d cycles, %.0f pJ]",
+		a.approx.Net.TopologyString(), a.cycles, a.energy)
+}
+
+// CostOf returns the NPU invocation cost of evaluating an arbitrary
+// network on the PE array. MITHRA's neural classifier executes on the same
+// engine (paper §IV-B), so its per-invocation overhead is priced with the
+// same structural model.
+func CostOf(net *nn.Network) (cycles int, energyPJ float64) {
+	return invocationCycles(net), invocationEnergy(net)
+}

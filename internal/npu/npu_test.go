@@ -1,0 +1,109 @@
+package npu
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mithra/internal/nn"
+)
+
+func trainedApprox(t *testing.T, topology []int) *nn.Approximator {
+	t.Helper()
+	samples := []nn.Sample{}
+	for i := 0; i < 64; i++ {
+		in := make([]float64, topology[0])
+		out := make([]float64, topology[len(topology)-1])
+		for j := range in {
+			in[j] = float64((i+j)%10) / 10
+		}
+		for j := range out {
+			out[j] = in[j%len(in)]
+		}
+		samples = append(samples, nn.Sample{In: in, Out: out})
+	}
+	a, _ := nn.FitApproximator(topology, samples, nn.TrainConfig{Epochs: 5, LearningRate: 0.1, BatchSize: 8, Seed: 1}, 1)
+	return a
+}
+
+func TestNewNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil approximator should panic")
+		}
+	}()
+	New(nil)
+}
+
+func TestDimensions(t *testing.T) {
+	a := New(trainedApprox(t, []int{9, 8, 1}))
+	if a.NumInputs() != 9 || a.NumOutputs() != 1 {
+		t.Errorf("dims = (%d,%d), want (9,1)", a.NumInputs(), a.NumOutputs())
+	}
+	topo := a.Topology()
+	if len(topo) != 3 || topo[1] != 8 {
+		t.Errorf("Topology = %v", topo)
+	}
+	if !strings.Contains(a.String(), "9->8->1") {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestInvokeMatchesApproximator(t *testing.T) {
+	approx := trainedApprox(t, []int{4, 6, 2})
+	a := New(approx)
+	in := []float64{0.1, 0.4, 0.2, 0.9}
+	dst := make([]float64, 2)
+	got := a.Invoke(in, dst, a.NewScratch())
+	want := approx.EvalAlloc(in)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("Invoke[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCycleModelStructure(t *testing.T) {
+	// 9->8->1 (sobel): queues 9+1, layers (9*8=72 MACs -> 9 cycles,
+	// 8 sigmoids -> 1 group of 2 cycles, setup 2) + (8 MACs -> 1 cycle,
+	// 1 sigmoid -> 2 cycles, setup 2).
+	a := New(trainedApprox(t, []int{9, 8, 1}))
+	want := (9 + 1) + (2 + 9 + 2) + (2 + 1 + 2)
+	if got := a.CyclesPerInvocation(); got != want {
+		t.Errorf("cycles = %d, want %d", got, want)
+	}
+}
+
+func TestBiggerTopologyCostsMore(t *testing.T) {
+	small := New(trainedApprox(t, []int{2, 2, 2}))
+	big := New(trainedApprox(t, []int{18, 32, 8, 2}))
+	if big.CyclesPerInvocation() <= small.CyclesPerInvocation() {
+		t.Error("bigger topology should cost more cycles")
+	}
+	if big.EnergyPerInvocation() <= small.EnergyPerInvocation() {
+		t.Error("bigger topology should cost more energy")
+	}
+}
+
+func TestEnergyModel(t *testing.T) {
+	a := New(trainedApprox(t, []int{2, 2, 1}))
+	macs := 2*2 + 2*1
+	neurons := 3
+	want := EnergyStaticpJ + 3*EnergyPerQueuepJ + float64(macs)*EnergyPerMACpJ + float64(neurons)*EnergyPerSigmoidpJ
+	if got := a.EnergyPerInvocation(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("energy = %v, want %v", got, want)
+	}
+}
+
+func TestPaperTopologiesCost(t *testing.T) {
+	// Sanity: the jmeint topology (18->32->8->2) must be markedly more
+	// expensive than fft's (1->4->4->2) — this asymmetry drives the
+	// paper's observation that jmeint's neural classifier gains are eaten
+	// by classifier cost.
+	fft := New(trainedApprox(t, []int{1, 4, 4, 2}))
+	jmeint := New(trainedApprox(t, []int{18, 32, 8, 2}))
+	if jmeint.CyclesPerInvocation() < 3*fft.CyclesPerInvocation() {
+		t.Errorf("jmeint (%d cycles) should be >= 3x fft (%d cycles)",
+			jmeint.CyclesPerInvocation(), fft.CyclesPerInvocation())
+	}
+}

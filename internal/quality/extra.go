@@ -1,0 +1,78 @@
+package quality
+
+import "math"
+
+// Additional metrics beyond Table I's three, available to applications
+// adopting the library (the benchmarks keep their paper-specified
+// metrics).
+
+// NRMSE is the root-mean-square error normalized by the reference's
+// value range, clamped to [0, 1]. It penalizes occasional large
+// deviations more than ImageDiff's mean-absolute form.
+type NRMSE struct{}
+
+// Name implements Metric.
+func (NRMSE) Name() string { return "normalized rmse" }
+
+// ElementError implements Metric (the per-element squared contribution's
+// square root, so Figure-1-style CDFs stay comparable).
+func (NRMSE) ElementError(ref, test float64) float64 {
+	d := math.Abs(test - ref)
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
+// Loss implements Metric.
+func (m NRMSE) Loss(reference, test []float64) float64 {
+	checkLens(reference, test)
+	if len(reference) == 0 {
+		return 0
+	}
+	lo, hi := reference[0], reference[0]
+	sum := 0.0
+	for i := range reference {
+		d := test[i] - reference[i]
+		sum += d * d
+		if reference[i] < lo {
+			lo = reference[i]
+		}
+		if reference[i] > hi {
+			hi = reference[i]
+		}
+	}
+	rng := hi - lo
+	if rng < 1e-12 {
+		rng = 1
+	}
+	v := math.Sqrt(sum/float64(len(reference))) / rng
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+var _ Metric = NRMSE{}
+
+// PSNR returns the peak signal-to-noise ratio in decibels between a
+// reference and test signal with the given peak value (1 for the [0,1]
+// images the benchmarks use). Identical signals return +Inf. PSNR is a
+// reporting convenience, not a Metric — its scale is unbounded and
+// higher-is-better, the opposite of a quality loss.
+func PSNR(reference, test []float64, peak float64) float64 {
+	checkLens(reference, test)
+	if len(reference) == 0 || peak <= 0 {
+		return math.Inf(1)
+	}
+	mse := 0.0
+	for i := range reference {
+		d := test[i] - reference[i]
+		mse += d * d
+	}
+	mse /= float64(len(reference))
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(peak*peak/mse)
+}

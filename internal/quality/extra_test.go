@@ -1,0 +1,76 @@
+package quality
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNRMSE(t *testing.T) {
+	m := NRMSE{}
+	if got := m.Loss([]float64{0, 1}, []float64{0, 1}); got != 0 {
+		t.Errorf("identical loss = %v", got)
+	}
+	// ref range 1, errors {0.1, 0.1} -> rmse 0.1.
+	got := m.Loss([]float64{0, 1}, []float64{0.1, 1.1})
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("loss = %v, want 0.1", got)
+	}
+	// Constant reference uses unit range.
+	got = m.Loss([]float64{0.5, 0.5}, []float64{0.7, 0.5})
+	want := math.Sqrt(0.04 / 2)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("constant-ref loss = %v, want %v", got, want)
+	}
+	// Huge deviation clamps.
+	if got := m.Loss([]float64{0, 1}, []float64{100, 1}); got != 1 {
+		t.Errorf("clamped loss = %v", got)
+	}
+	if m.Name() == "" || m.ElementError(0, 2) != 1 {
+		t.Error("metadata")
+	}
+	if got := m.Loss(nil, nil); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+}
+
+func TestNRMSEVsImageDiffOrdering(t *testing.T) {
+	// A single large outlier hurts NRMSE more than ImageDiff, relative to
+	// the same total absolute error spread evenly.
+	ref := make([]float64, 100)
+	for i := range ref {
+		ref[i] = float64(i) / 99
+	}
+	spread := append([]float64(nil), ref...)
+	outlier := append([]float64(nil), ref...)
+	for i := range spread {
+		spread[i] += 0.005
+	}
+	outlier[50] += 0.5
+	nr := NRMSE{}
+	id := ImageDiff{}
+	if math.Abs(id.Loss(ref, spread)-0.005) > 1e-9 || math.Abs(id.Loss(ref, outlier)-0.005) > 1e-9 {
+		t.Fatal("setup: equal mean-absolute errors expected")
+	}
+	if nr.Loss(ref, outlier) <= nr.Loss(ref, spread) {
+		t.Error("NRMSE should penalize the outlier more")
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	ref := []float64{0, 0.5, 1}
+	if !math.IsInf(PSNR(ref, ref, 1), 1) {
+		t.Error("identical PSNR should be +Inf")
+	}
+	// Uniform error 0.1 -> mse 0.01 -> psnr 20 dB at peak 1.
+	test := []float64{0.1, 0.6, 1.1}
+	if got := PSNR(ref, test, 1); math.Abs(got-20) > 1e-9 {
+		t.Errorf("PSNR = %v, want 20", got)
+	}
+	// Larger peak raises PSNR.
+	if PSNR(ref, test, 2) <= PSNR(ref, test, 1) {
+		t.Error("PSNR should grow with peak")
+	}
+	if !math.IsInf(PSNR(nil, nil, 1), 1) {
+		t.Error("empty PSNR should be +Inf")
+	}
+}

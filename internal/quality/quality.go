@@ -1,0 +1,142 @@
+// Package quality implements the application-specific error metrics the
+// paper's benchmarks use to measure final output quality loss (Table I):
+// average relative error (blackscholes, fft, inversek2j), miss rate
+// (jmeint), and image diff (jpeg, sobel).
+//
+// A quality loss is a value in [0, 1]: 0 means the approximate output is
+// identical to the precise output, 1 means maximal degradation. The
+// programmer-provided desired quality loss (e.g. 5%) is compared against
+// these values.
+package quality
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metric measures the final-output quality loss of an approximate run
+// against the precise reference.
+type Metric interface {
+	// Name identifies the metric in reports ("avg relative error", ...).
+	Name() string
+	// Loss returns the quality loss in [0, 1]. reference and test are the
+	// flattened application output elements and must be length-matched.
+	Loss(reference, test []float64) float64
+	// ElementError returns the per-element contribution used for the
+	// paper's Figure 1 CDF (the error of a single output element).
+	ElementError(ref, test float64) float64
+}
+
+func checkLens(reference, test []float64) {
+	if len(reference) != len(test) {
+		panic(fmt.Sprintf("quality: output length mismatch %d vs %d", len(reference), len(test)))
+	}
+}
+
+// AvgRelativeError is the mean over output elements of
+// |test - ref| / |ref|, with each element's contribution clamped to 1 so a
+// few near-zero reference elements cannot blow up the metric (the AxBench
+// convention).
+type AvgRelativeError struct{}
+
+// Name implements Metric.
+func (AvgRelativeError) Name() string { return "avg relative error" }
+
+// ElementError implements Metric.
+func (AvgRelativeError) ElementError(ref, test float64) float64 {
+	denom := math.Abs(ref)
+	if denom < 1e-9 {
+		// Near-zero reference: treat any deviation beyond noise as full
+		// error, agreement as zero.
+		if math.Abs(test-ref) < 1e-9 {
+			return 0
+		}
+		return 1
+	}
+	e := math.Abs(test-ref) / denom
+	if e > 1 {
+		return 1
+	}
+	return e
+}
+
+// Loss implements Metric.
+func (m AvgRelativeError) Loss(reference, test []float64) float64 {
+	checkLens(reference, test)
+	if len(reference) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range reference {
+		sum += m.ElementError(reference[i], test[i])
+	}
+	return sum / float64(len(reference))
+}
+
+// MissRate is the fraction of binary decisions that differ from the
+// reference. Outputs are interpreted as booleans via thresholding at 0.5
+// (jmeint's intersects / does-not-intersect decision).
+type MissRate struct{}
+
+// Name implements Metric.
+func (MissRate) Name() string { return "miss rate" }
+
+// ElementError implements Metric.
+func (MissRate) ElementError(ref, test float64) float64 {
+	if (ref >= 0.5) != (test >= 0.5) {
+		return 1
+	}
+	return 0
+}
+
+// Loss implements Metric.
+func (m MissRate) Loss(reference, test []float64) float64 {
+	checkLens(reference, test)
+	if len(reference) == 0 {
+		return 0
+	}
+	miss := 0
+	for i := range reference {
+		if m.ElementError(reference[i], test[i]) > 0 {
+			miss++
+		}
+	}
+	return float64(miss) / float64(len(reference))
+}
+
+// ImageDiff is the mean absolute per-pixel difference between two images
+// whose pixel intensities live in [0, 1] (jpeg's and sobel's metric).
+// Differences are clamped to [0, 1] per pixel.
+type ImageDiff struct{}
+
+// Name implements Metric.
+func (ImageDiff) Name() string { return "image diff" }
+
+// ElementError implements Metric.
+func (ImageDiff) ElementError(ref, test float64) float64 {
+	d := math.Abs(test - ref)
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
+// Loss implements Metric.
+func (m ImageDiff) Loss(reference, test []float64) float64 {
+	checkLens(reference, test)
+	if len(reference) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range reference {
+		sum += m.ElementError(reference[i], test[i])
+	}
+	return sum / float64(len(reference))
+}
+
+// Compile-time interface checks.
+var (
+	_ Metric = AvgRelativeError{}
+	_ Metric = MissRate{}
+	_ Metric = ImageDiff{}
+)

@@ -1,0 +1,125 @@
+package quality
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAvgRelativeErrorExact(t *testing.T) {
+	m := AvgRelativeError{}
+	if got := m.Loss([]float64{1, 2, 4}, []float64{1, 2, 4}); got != 0 {
+		t.Errorf("identical outputs loss = %v, want 0", got)
+	}
+	// |1.1-1|/1 = 0.1, |1.8-2|/2 = 0.1 -> mean 0.1
+	got := m.Loss([]float64{1, 2}, []float64{1.1, 1.8})
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("loss = %v, want 0.1", got)
+	}
+}
+
+func TestAvgRelativeErrorClamps(t *testing.T) {
+	m := AvgRelativeError{}
+	// 100x deviation clamps to 1 per element.
+	if got := m.Loss([]float64{1}, []float64{100}); got != 1 {
+		t.Errorf("huge deviation loss = %v, want 1 (clamped)", got)
+	}
+}
+
+func TestAvgRelativeErrorNearZeroReference(t *testing.T) {
+	m := AvgRelativeError{}
+	if got := m.ElementError(0, 0); got != 0 {
+		t.Errorf("0 vs 0 = %v, want 0", got)
+	}
+	if got := m.ElementError(0, 0.5); got != 1 {
+		t.Errorf("0 vs 0.5 = %v, want 1", got)
+	}
+	if got := m.ElementError(1e-12, 1e-12); got != 0 {
+		t.Errorf("tiny identical = %v, want 0", got)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	m := MissRate{}
+	ref := []float64{0, 1, 1, 0}
+	test := []float64{0.2, 0.9, 0.1, 0.7} // elements 2 and 3 flip
+	if got := m.Loss(ref, test); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("miss rate = %v, want 0.5", got)
+	}
+	if got := m.Loss(ref, ref); got != 0 {
+		t.Errorf("identical miss rate = %v", got)
+	}
+}
+
+func TestImageDiff(t *testing.T) {
+	m := ImageDiff{}
+	ref := []float64{0.0, 0.5, 1.0}
+	test := []float64{0.1, 0.5, 0.7}
+	want := (0.1 + 0 + 0.3) / 3
+	if got := m.Loss(ref, test); math.Abs(got-want) > 1e-12 {
+		t.Errorf("image diff = %v, want %v", got, want)
+	}
+	// Out-of-range garbage clamps per pixel.
+	if got := m.ElementError(0, 5); got != 1 {
+		t.Errorf("clamped diff = %v, want 1", got)
+	}
+}
+
+func TestLossBoundsProperty(t *testing.T) {
+	metrics := []Metric{AvgRelativeError{}, MissRate{}, ImageDiff{}}
+	f := func(refRaw, testRaw []int8) bool {
+		n := len(refRaw)
+		if len(testRaw) < n {
+			n = len(testRaw)
+		}
+		ref := make([]float64, n)
+		test := make([]float64, n)
+		for i := 0; i < n; i++ {
+			ref[i] = float64(refRaw[i]) / 32
+			test[i] = float64(testRaw[i]) / 32
+		}
+		for _, m := range metrics {
+			l := m.Loss(ref, test)
+			if l < 0 || l > 1 || math.IsNaN(l) {
+				return false
+			}
+			if m.Loss(ref, ref) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyOutputs(t *testing.T) {
+	for _, m := range []Metric{AvgRelativeError{}, MissRate{}, ImageDiff{}} {
+		if got := m.Loss(nil, nil); got != 0 {
+			t.Errorf("%s empty loss = %v", m.Name(), got)
+		}
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	AvgRelativeError{}.Loss([]float64{1}, []float64{1, 2})
+}
+
+func TestNames(t *testing.T) {
+	names := map[string]Metric{
+		"avg relative error": AvgRelativeError{},
+		"miss rate":          MissRate{},
+		"image diff":         ImageDiff{},
+	}
+	for want, m := range names {
+		if m.Name() != want {
+			t.Errorf("Name = %q, want %q", m.Name(), want)
+		}
+	}
+}

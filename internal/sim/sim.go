@@ -1,0 +1,147 @@
+// Package sim models the timing and energy of the accelerated system:
+// the out-of-order core, the NPU, and MITHRA's classifier sitting between
+// them. It stands in for the paper's MARSSx86 + McPAT/CACTI methodology
+// (the substitution is documented in DESIGN.md §2): per-benchmark region
+// profiles fix how expensive the precise kernel is and how much of the
+// application it covers, the NPU's cost comes from internal/npu's
+// structural model, and classifier overheads come from the classifier
+// implementations.
+//
+// The model is deliberately analytic — given how many of a run's
+// invocations fell back to precise execution, it composes cycle and
+// energy totals. All of the paper's reported quantities (speedup, energy
+// reduction, invocation rate, EDP) are relative to the same all-precise
+// baseline, so the absolute constants cancel out of the shapes that
+// matter; they are nevertheless chosen to sit in the plausible range for
+// the paper's 45 nm, 2080 MHz operating point.
+package sim
+
+import (
+	"fmt"
+
+	"mithra/internal/axbench"
+)
+
+// Operating point (paper §V-A: 2080 MHz at 0.9 V, 45 nm).
+const (
+	// CoreFreqGHz is the clock shared by core, classifier, and NPU.
+	CoreFreqGHz = 2.08
+	// CoreActivePJPerCycle is the core's energy per busy cycle
+	// (≈4.4 W at 2.08 GHz — a single Nehalem-class core).
+	CoreActivePJPerCycle = 2100.0
+	// CoreIdlePJPerCycle is the core's energy per cycle while stalled
+	// waiting on the NPU FIFOs (clock gated but not power gated).
+	CoreIdlePJPerCycle = 630.0
+)
+
+// Config describes one accelerated system configuration for a benchmark.
+type Config struct {
+	// Profile is the benchmark's calibrated precise-region profile.
+	Profile axbench.Profile
+	// NPUCycles and NPUEnergyPJ are the accelerator's per-invocation
+	// cost (from npu.Accelerator or npu.CostOf).
+	NPUCycles   float64
+	NPUEnergyPJ float64
+	// ClassifierCycles and ClassifierEnergyPJ are the per-invocation
+	// decision cost (zero when no quality control is deployed).
+	ClassifierCycles   float64
+	ClassifierEnergyPJ float64
+	// ClassifierOnCore models a software classifier: its cycles execute
+	// on the core at active power instead of on dedicated hardware
+	// (paper §V-B: software classifiers slow execution by 2.9x/9.6x,
+	// motivating the hardware co-design).
+	ClassifierOnCore bool
+}
+
+// Report is the outcome of one simulated run.
+type Report struct {
+	Invocations  int
+	PreciseCount int
+	// InvocationRate is the fraction delegated to the accelerator.
+	InvocationRate float64
+
+	BaselineCycles   float64
+	Cycles           float64
+	BaselineEnergyPJ float64
+	EnergyPJ         float64
+
+	// Speedup = BaselineCycles / Cycles.
+	Speedup float64
+	// EnergyReduction = BaselineEnergyPJ / EnergyPJ.
+	EnergyReduction float64
+	// EDPImprovement is the energy-delay-product ratio baseline/run.
+	EDPImprovement float64
+}
+
+// Baseline returns the all-precise cycle and energy totals for n kernel
+// invocations under profile p.
+func Baseline(p axbench.Profile, n int) (cycles, energyPJ float64) {
+	kernel := float64(n) * p.KernelCycles
+	other := kernel * (1 - p.KernelFraction) / p.KernelFraction
+	cycles = kernel + other
+	return cycles, cycles * CoreActivePJPerCycle
+}
+
+// Evaluate computes the run report when nPrecise of n invocations fall
+// back to the precise kernel and the rest run on the NPU.
+func (c Config) Evaluate(n, nPrecise int) Report {
+	if n <= 0 {
+		panic(fmt.Sprintf("sim: non-positive invocation count %d", n))
+	}
+	if nPrecise < 0 || nPrecise > n {
+		panic(fmt.Sprintf("sim: precise count %d outside [0,%d]", nPrecise, n))
+	}
+	baseCycles, baseEnergy := Baseline(c.Profile, n)
+	kernel := float64(n) * c.Profile.KernelCycles
+	other := kernel * (1 - c.Profile.KernelFraction) / c.Profile.KernelFraction
+
+	nApprox := float64(n - nPrecise)
+	preciseCycles := float64(nPrecise) * c.Profile.KernelCycles
+
+	cycles := other + preciseCycles + nApprox*c.NPUCycles
+	energy := (other + preciseCycles) * CoreActivePJPerCycle
+	// NPU invocations: the core idles while the accelerator computes.
+	energy += nApprox * (c.NPUCycles*CoreIdlePJPerCycle + c.NPUEnergyPJ)
+
+	// Classifier: consulted on every invocation.
+	cycles += float64(n) * c.ClassifierCycles
+	if c.ClassifierOnCore {
+		energy += float64(n) * c.ClassifierCycles * CoreActivePJPerCycle
+	} else {
+		energy += float64(n) * (c.ClassifierCycles*CoreIdlePJPerCycle + c.ClassifierEnergyPJ)
+	}
+
+	r := Report{
+		Invocations:      n,
+		PreciseCount:     nPrecise,
+		InvocationRate:   nApprox / float64(n),
+		BaselineCycles:   baseCycles,
+		Cycles:           cycles,
+		BaselineEnergyPJ: baseEnergy,
+		EnergyPJ:         energy,
+	}
+	r.Speedup = baseCycles / cycles
+	r.EnergyReduction = baseEnergy / energy
+	r.EDPImprovement = (baseCycles * baseEnergy) / (cycles * energy)
+	return r
+}
+
+// SoftwareClassifierCycles estimates the per-invocation cost of running a
+// classifier on the core instead of in hardware — the configuration whose
+// 2.9x (table) and 9.6x (neural) slowdowns the paper cites to justify the
+// hardware co-design.
+//
+// The table classifier in software must quantize the inputs and evaluate
+// every MISR hash serially (~6 instructions per element per table plus
+// lookup); the neural classifier must execute its MACs on the scalar FPU
+// (~4 cycles per MAC including loads).
+func SoftwareClassifierCycles(kind string, inputDim, numTables, macs int) float64 {
+	switch kind {
+	case "table":
+		return float64(numTables)*(6*float64(inputDim)+12) + 20
+	case "neural":
+		return 4*float64(macs) + 60
+	default:
+		panic(fmt.Sprintf("sim: unknown software classifier kind %q", kind))
+	}
+}

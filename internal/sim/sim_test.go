@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mithra/internal/axbench"
+)
+
+func profile() axbench.Profile {
+	return axbench.Profile{KernelCycles: 1000, KernelFraction: 0.8}
+}
+
+func TestBaseline(t *testing.T) {
+	cycles, energy := Baseline(profile(), 100)
+	// kernel = 100k cycles; other = 100k * 0.2/0.8 = 25k.
+	if math.Abs(cycles-125000) > 1e-6 {
+		t.Errorf("baseline cycles = %v, want 125000", cycles)
+	}
+	if math.Abs(energy-125000*CoreActivePJPerCycle) > 1e-3 {
+		t.Errorf("baseline energy = %v", energy)
+	}
+}
+
+func TestAllPreciseWithoutClassifierIsBaseline(t *testing.T) {
+	cfg := Config{Profile: profile(), NPUCycles: 50, NPUEnergyPJ: 500}
+	r := cfg.Evaluate(100, 100)
+	if math.Abs(r.Speedup-1) > 1e-12 {
+		t.Errorf("all-precise speedup = %v, want 1", r.Speedup)
+	}
+	if math.Abs(r.EnergyReduction-1) > 1e-12 {
+		t.Errorf("all-precise energy reduction = %v, want 1", r.EnergyReduction)
+	}
+	if r.InvocationRate != 0 {
+		t.Errorf("invocation rate = %v", r.InvocationRate)
+	}
+}
+
+func TestFullApproximationAmdahl(t *testing.T) {
+	// Kernel speedup s = 1000/50 = 20, f = 0.8:
+	// app speedup = 1 / (0.2 + 0.8/20) = 1/0.24 = 4.1667.
+	cfg := Config{Profile: profile(), NPUCycles: 50, NPUEnergyPJ: 500}
+	r := cfg.Evaluate(1000, 0)
+	want := 1 / (0.2 + 0.8/20)
+	if math.Abs(r.Speedup-want) > 1e-9 {
+		t.Errorf("full-approx speedup = %v, want %v", r.Speedup, want)
+	}
+	if r.InvocationRate != 1 {
+		t.Errorf("invocation rate = %v", r.InvocationRate)
+	}
+	if r.EnergyReduction <= 1 {
+		t.Errorf("energy reduction = %v, want > 1", r.EnergyReduction)
+	}
+	if math.Abs(r.EDPImprovement-r.Speedup*r.EnergyReduction) > 1e-9 {
+		t.Errorf("EDP %v != speedup*energy %v", r.EDPImprovement, r.Speedup*r.EnergyReduction)
+	}
+}
+
+func TestMonotoneInPreciseCount(t *testing.T) {
+	cfg := Config{Profile: profile(), NPUCycles: 50, NPUEnergyPJ: 500,
+		ClassifierCycles: 4, ClassifierEnergyPJ: 40}
+	prevSpeed := math.Inf(1)
+	for nPrec := 0; nPrec <= 1000; nPrec += 100 {
+		r := cfg.Evaluate(1000, nPrec)
+		if r.Speedup > prevSpeed+1e-12 {
+			t.Fatalf("speedup increased with more fallbacks at %d", nPrec)
+		}
+		prevSpeed = r.Speedup
+	}
+}
+
+func TestClassifierOverheadCosts(t *testing.T) {
+	base := Config{Profile: profile(), NPUCycles: 50, NPUEnergyPJ: 500}
+	with := base
+	with.ClassifierCycles = 10
+	with.ClassifierEnergyPJ = 100
+	r0 := base.Evaluate(500, 100)
+	r1 := with.Evaluate(500, 100)
+	if r1.Speedup >= r0.Speedup {
+		t.Error("classifier overhead should reduce speedup")
+	}
+	if r1.EnergyReduction >= r0.EnergyReduction {
+		t.Error("classifier overhead should reduce energy gains")
+	}
+}
+
+func TestSoftwareClassifierSlower(t *testing.T) {
+	hw := Config{Profile: profile(), NPUCycles: 50, NPUEnergyPJ: 500,
+		ClassifierCycles: 4, ClassifierEnergyPJ: 40}
+	sw := hw
+	sw.ClassifierCycles = SoftwareClassifierCycles("table", 9, 8, 0)
+	sw.ClassifierOnCore = true
+	rh := hw.Evaluate(1000, 200)
+	rs := sw.Evaluate(1000, 200)
+	if rs.Speedup >= rh.Speedup {
+		t.Error("software classifier should be slower than hardware")
+	}
+	slowdown := rh.Speedup / rs.Speedup
+	if slowdown < 1.2 {
+		t.Errorf("software table slowdown %v implausibly small", slowdown)
+	}
+}
+
+func TestSoftwareClassifierCycleModel(t *testing.T) {
+	tab := SoftwareClassifierCycles("table", 9, 8, 0)
+	if tab <= 0 {
+		t.Error("table cycles non-positive")
+	}
+	// jmeint-like classifier (18->32->2): MACs dominate in software — the
+	// asymmetry behind the paper's 2.9x vs 9.6x software slowdowns.
+	neu := SoftwareClassifierCycles("neural", 18, 0, 18*32+32*2)
+	if neu <= 2*tab {
+		t.Errorf("software neural (%v) should dwarf software table (%v) for wide nets", neu, tab)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown kind should panic")
+		}
+	}()
+	SoftwareClassifierCycles("nope", 1, 1, 1)
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	cfg := Config{Profile: profile(), NPUCycles: 50}
+	for name, f := range map[string]func(){
+		"zero n":      func() { cfg.Evaluate(0, 0) },
+		"neg precise": func() { cfg.Evaluate(10, -1) },
+		"too many":    func() { cfg.Evaluate(10, 11) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestReportInvariantsProperty(t *testing.T) {
+	f := func(nRaw, pRaw uint16, npuC uint8) bool {
+		n := 1 + int(nRaw)%5000
+		nPrec := int(pRaw) % (n + 1)
+		cfg := Config{
+			Profile:            axbench.Profile{KernelCycles: 800, KernelFraction: 0.7},
+			NPUCycles:          float64(10 + int(npuC)%200),
+			NPUEnergyPJ:        900,
+			ClassifierCycles:   4,
+			ClassifierEnergyPJ: 40,
+		}
+		r := cfg.Evaluate(n, nPrec)
+		if r.Cycles <= 0 || r.EnergyPJ <= 0 {
+			return false
+		}
+		if r.InvocationRate < 0 || r.InvocationRate > 1 {
+			return false
+		}
+		// EDP is the product of the two ratios by definition.
+		return math.Abs(r.EDPImprovement-r.Speedup*r.EnergyReduction) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCalibratedProfilesGivePaperLikeFullApproxGains(t *testing.T) {
+	// Sanity for the calibration: with each benchmark's profile and its
+	// Table I topology's NPU cost, full approximation should give
+	// meaningful speedups (the NPU paper's regime: roughly 2-12x per
+	// benchmark) — otherwise MITHRA has nothing to trade.
+	topo := map[string]struct{ npuCycles float64 }{
+		"blackscholes": {30},
+		"fft":          {20},
+		"inversek2j":   {17},
+		"jmeint":       {145},
+		"jpeg":         {420},
+		"sobel":        {29},
+	}
+	for _, b := range axbench.All() {
+		cfg := Config{Profile: b.Profile(), NPUCycles: topo[b.Name()].npuCycles, NPUEnergyPJ: 2000}
+		r := cfg.Evaluate(1000, 0)
+		if r.Speedup < 1.5 || r.Speedup > 15 {
+			t.Errorf("%s: full-approx speedup %v outside the plausible band", b.Name(), r.Speedup)
+		}
+		if r.EnergyReduction < 1.2 {
+			t.Errorf("%s: full-approx energy reduction %v too small", b.Name(), r.EnergyReduction)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"mithra/internal/mathx"
+)
+
+// The paper adopts the Clopper-Pearson exact method because it is
+// guaranteed conservative: its lower bound never over-promises coverage,
+// at the cost of certifying slightly fewer successes. This file provides
+// the standard alternatives — the Wald (normal approximation), Wilson
+// score, and Hoeffding bounds — so the choice can be quantified (the
+// abl-interval experiment sweeps them). The alternatives are NOT used for
+// the guarantees MITHRA reports.
+
+// IntervalMethod identifies a binomial lower-bound construction.
+type IntervalMethod int
+
+// The implemented methods.
+const (
+	MethodClopperPearson IntervalMethod = iota
+	MethodWilson
+	MethodWald
+	MethodHoeffding
+)
+
+func (m IntervalMethod) String() string {
+	switch m {
+	case MethodClopperPearson:
+		return "clopper-pearson"
+	case MethodWilson:
+		return "wilson"
+	case MethodWald:
+		return "wald"
+	case MethodHoeffding:
+		return "hoeffding"
+	}
+	return fmt.Sprintf("IntervalMethod(%d)", int(m))
+}
+
+// Methods lists every implemented interval construction.
+func Methods() []IntervalMethod {
+	return []IntervalMethod{MethodClopperPearson, MethodWilson, MethodWald, MethodHoeffding}
+}
+
+// LowerBound computes the one-sided lower confidence bound on a binomial
+// proportion with the selected method.
+func (m IntervalMethod) LowerBound(successes, trials int, confidence float64) float64 {
+	validateBinomial(successes, trials, confidence)
+	switch m {
+	case MethodClopperPearson:
+		return ClopperPearsonLower(successes, trials, confidence)
+	case MethodWilson:
+		return wilsonLower(successes, trials, confidence)
+	case MethodWald:
+		return waldLower(successes, trials, confidence)
+	case MethodHoeffding:
+		return hoeffdingLower(successes, trials, confidence)
+	}
+	panic(fmt.Sprintf("stats: unknown interval method %d", int(m)))
+}
+
+// zQuantile returns the standard normal quantile for one-sided confidence
+// c, via the Beta-based erf inverse (bisection on the CDF — cheap at the
+// call rates involved).
+func zQuantile(c float64) float64 {
+	// Invert Phi(z) = c over a generous bracket.
+	lo, hi := -10.0, 10.0
+	for i := 0; i < 200 && hi-lo > 1e-12; i++ {
+		mid := (lo + hi) / 2
+		if 0.5*(1+math.Erf(mid/math.Sqrt2)) < c {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// wilsonLower is the Wilson score interval's lower limit.
+func wilsonLower(successes, trials int, confidence float64) float64 {
+	z := zQuantile(confidence)
+	n := float64(trials)
+	p := float64(successes) / n
+	denom := 1 + z*z/n
+	center := p + z*z/(2*n)
+	rad := z * math.Sqrt(p*(1-p)/n+z*z/(4*n*n))
+	return mathx.Clamp((center-rad)/denom, 0, 1)
+}
+
+// waldLower is the naive normal-approximation lower limit — known to
+// undercover badly for extreme proportions, included as the cautionary
+// baseline.
+func waldLower(successes, trials int, confidence float64) float64 {
+	z := zQuantile(confidence)
+	n := float64(trials)
+	p := float64(successes) / n
+	return mathx.Clamp(p-z*math.Sqrt(p*(1-p)/n), 0, 1)
+}
+
+// hoeffdingLower applies Hoeffding's inequality:
+// P(p̂ - p >= t) <= exp(-2 n t²), so with confidence c,
+// p >= p̂ - sqrt(ln(1/(1-c)) / (2n)). Distribution-free and typically the
+// most conservative.
+func hoeffdingLower(successes, trials int, confidence float64) float64 {
+	n := float64(trials)
+	p := float64(successes) / n
+	t := math.Sqrt(math.Log(1/(1-confidence)) / (2 * n))
+	return mathx.Clamp(p-t, 0, 1)
+}
+
+// MinSuccessesFor returns the smallest success count certifying
+// targetRate under the method, or trials+1 when unreachable.
+func (m IntervalMethod) MinSuccessesFor(trials int, targetRate, confidence float64) int {
+	for s := 0; s <= trials; s++ {
+		if m.LowerBound(s, trials, confidence) >= targetRate {
+			return s
+		}
+	}
+	return trials + 1
+}
+
+// Coverage empirically estimates the one-sided coverage of the method's
+// lower bound: the probability, over `sims` simulated binomial samples at
+// true rate p, that the bound does not exceed p. Exact/conservative
+// methods achieve at least the nominal confidence; the Wald interval
+// visibly undercovers.
+func (m IntervalMethod) Coverage(p float64, trials, sims int, confidence float64, seed uint64) float64 {
+	rng := mathx.NewRNG(seed)
+	covered := 0
+	for s := 0; s < sims; s++ {
+		succ := 0
+		for t := 0; t < trials; t++ {
+			if rng.Bool(p) {
+				succ++
+			}
+		}
+		if m.LowerBound(succ, trials, confidence) <= p {
+			covered++
+		}
+	}
+	return float64(covered) / float64(sims)
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZQuantile(t *testing.T) {
+	cases := []struct{ c, want float64 }{
+		{0.5, 0},
+		{0.95, 1.6449},
+		{0.975, 1.9600},
+		{0.99, 2.3263},
+	}
+	for _, cse := range cases {
+		if got := zQuantile(cse.c); math.Abs(got-cse.want) > 1e-3 {
+			t.Errorf("zQuantile(%v) = %v, want %v", cse.c, got, cse.want)
+		}
+	}
+}
+
+func TestMethodsAgreeOnEasyCases(t *testing.T) {
+	// For a comfortable proportion and large n, all methods should give
+	// similar bounds.
+	for _, m := range Methods() {
+		lb := m.LowerBound(200, 250, 0.95)
+		if lb < 0.70 || lb > 0.80 {
+			t.Errorf("%v: lower(200/250) = %v outside [0.70, 0.80]", m, lb)
+		}
+	}
+}
+
+func TestConservatismOrdering(t *testing.T) {
+	// In the paper's regime (235/250 at 97.5%), the exact and Hoeffding
+	// bounds must be at most the Wilson bound, and Wald must be the most
+	// optimistic normal-family bound.
+	cp := MethodClopperPearson.LowerBound(235, 250, 0.975)
+	wilson := MethodWilson.LowerBound(235, 250, 0.975)
+	wald := MethodWald.LowerBound(235, 250, 0.975)
+	hoeff := MethodHoeffding.LowerBound(235, 250, 0.975)
+	if cp > wilson+1e-9 {
+		t.Errorf("CP (%v) should not exceed Wilson (%v)", cp, wilson)
+	}
+	if wilson > wald+1e-9 {
+		t.Errorf("Wilson (%v) should not exceed Wald (%v) here", wilson, wald)
+	}
+	if hoeff > cp+1e-9 {
+		t.Errorf("Hoeffding (%v) should be the most conservative (CP %v)", hoeff, cp)
+	}
+}
+
+func TestEdgeProportions(t *testing.T) {
+	for _, m := range Methods() {
+		if lb := m.LowerBound(0, 50, 0.95); lb != 0 {
+			t.Errorf("%v: lower(0/50) = %v, want 0", m, lb)
+		}
+		lb := m.LowerBound(50, 50, 0.95)
+		if lb < 0 || lb > 1 {
+			t.Errorf("%v: lower(50/50) = %v out of range", m, lb)
+		}
+	}
+	// Wald degenerates at p̂=1 (zero width) — the known pathology.
+	if lb := MethodWald.LowerBound(50, 50, 0.95); lb != 1 {
+		t.Errorf("Wald at 50/50 = %v; expected its degenerate 1", lb)
+	}
+	// The exact bound stays properly below 1.
+	if lb := MethodClopperPearson.LowerBound(50, 50, 0.95); lb >= 1 {
+		t.Errorf("CP at 50/50 = %v, want < 1", lb)
+	}
+}
+
+func TestCoverageExactVsWald(t *testing.T) {
+	// The reason the paper uses the exact method: its one-sided coverage
+	// meets the nominal level, while Wald undercovers at extreme p.
+	const p = 0.95
+	const trials = 100
+	const sims = 2000
+	const conf = 0.95
+	cp := MethodClopperPearson.Coverage(p, trials, sims, conf, 1)
+	wald := MethodWald.Coverage(p, trials, sims, conf, 1)
+	if cp < conf-0.01 {
+		t.Errorf("Clopper-Pearson coverage %v below nominal %v", cp, conf)
+	}
+	if wald >= cp {
+		t.Errorf("Wald coverage %v should be below exact %v at extreme p", wald, cp)
+	}
+}
+
+func TestMinSuccessesForOrdering(t *testing.T) {
+	// A more conservative method needs at least as many successes.
+	cp := MethodClopperPearson.MinSuccessesFor(250, 0.90, 0.975)
+	wald := MethodWald.MinSuccessesFor(250, 0.90, 0.975)
+	hoeff := MethodHoeffding.MinSuccessesFor(250, 0.90, 0.975)
+	if cp != 235 {
+		t.Errorf("CP MinSuccesses = %d, want the paper's 235", cp)
+	}
+	if wald > cp {
+		t.Errorf("Wald (%d) should not require more than CP (%d)", wald, cp)
+	}
+	if hoeff < cp {
+		t.Errorf("Hoeffding (%d) should require at least CP's (%d)", hoeff, cp)
+	}
+}
+
+func TestMethodStrings(t *testing.T) {
+	for _, m := range Methods() {
+		if m.String() == "" {
+			t.Error("empty method name")
+		}
+	}
+	if IntervalMethod(99).String() == "" {
+		t.Error("unknown method should stringify")
+	}
+}

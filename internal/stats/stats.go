@@ -1,0 +1,220 @@
+// Package stats implements the statistical machinery MITHRA's compiler
+// relies on: the Clopper-Pearson exact binomial confidence bounds used to
+// provide statistical guarantees that a desired final quality loss will be
+// met on unseen datasets (paper §III, Equation 3), plus the descriptive
+// statistics and empirical CDFs used throughout the evaluation.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mithra/internal/mathx"
+)
+
+// ClopperPearsonLower returns the lower limit of the one-sided
+// Clopper-Pearson confidence interval for a binomial success proportion:
+// with confidence `confidence`, the true success rate is at least the
+// returned value given `successes` successes in `trials` independent
+// trials.
+//
+// This is the quantity the paper calls S(q): "with 95% confidence we can
+// project that at least 80.7% of unseen input sets will produce outputs
+// that have quality loss level within 2.5%". The bound is conservative by
+// construction (exact method, no normal approximation).
+//
+// The bound is computed through the Beta-distribution form
+// L = BetaQuantile(1-confidence; s, n-s+1), which is algebraically
+// identical to the F-distribution form in the paper's Equation 3 (the
+// tests verify the equivalence explicitly).
+func ClopperPearsonLower(successes, trials int, confidence float64) float64 {
+	validateBinomial(successes, trials, confidence)
+	if successes == 0 {
+		return 0
+	}
+	s := float64(successes)
+	n := float64(trials)
+	return mathx.BetaQuantile(1-confidence, s, n-s+1)
+}
+
+// ClopperPearsonUpper returns the upper limit of the one-sided
+// Clopper-Pearson interval: with the given confidence, the true success
+// rate is at most the returned value.
+func ClopperPearsonUpper(successes, trials int, confidence float64) float64 {
+	validateBinomial(successes, trials, confidence)
+	if successes == trials {
+		return 1
+	}
+	s := float64(successes)
+	n := float64(trials)
+	return mathx.BetaQuantile(confidence, s+1, n-s)
+}
+
+// ClopperPearsonLowerF computes the same lower bound as
+// ClopperPearsonLower but through the F-distribution formulation the paper
+// prints as Equation 3:
+//
+//	L = s / (s + (n - s + 1) · F(β; 2(n-s+1), 2s))
+//
+// It exists to demonstrate and test the equivalence of the two standard
+// formulations; production code uses the Beta form.
+func ClopperPearsonLowerF(successes, trials int, confidence float64) float64 {
+	validateBinomial(successes, trials, confidence)
+	if successes == 0 {
+		return 0
+	}
+	s := float64(successes)
+	n := float64(trials)
+	f := mathx.FQuantile(confidence, 2*(n-s+1), 2*s)
+	return s / (s + (n-s+1)*f)
+}
+
+// MinSuccesses returns the smallest number of successes out of `trials`
+// for which the Clopper-Pearson lower bound at `confidence` reaches
+// `targetRate`. It returns trials+1 if even a perfect run cannot certify
+// the target (i.e. the sample is too small for the requested guarantee).
+//
+// The compiler uses this to know, before running Algorithm 1, how many of
+// the representative datasets must land within the desired quality loss:
+// e.g. for 250 datasets, 90% success and 95% confidence, 235 datasets must
+// succeed — exactly the figure reported in the paper's evaluation.
+func MinSuccesses(trials int, targetRate, confidence float64) int {
+	for s := 0; s <= trials; s++ {
+		if ClopperPearsonLower(s, trials, confidence) >= targetRate {
+			return s
+		}
+	}
+	return trials + 1
+}
+
+func validateBinomial(successes, trials int, confidence float64) {
+	if trials <= 0 {
+		panic(fmt.Sprintf("stats: non-positive trials %d", trials))
+	}
+	if successes < 0 || successes > trials {
+		panic(fmt.Sprintf("stats: successes %d out of range for %d trials", successes, trials))
+	}
+	if confidence <= 0 || confidence >= 1 {
+		panic(fmt.Sprintf("stats: confidence %v outside (0,1)", confidence))
+	}
+}
+
+// Summary holds descriptive statistics for a sample.
+type Summary struct {
+	N              int
+	Mean, Min, Max float64
+	Stddev         float64
+	P50, P90, P99  float64
+}
+
+// Summarize computes descriptive statistics of xs. An empty sample yields
+// a zero-valued Summary with N == 0.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum, sq := 0.0, 0.0
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	n := float64(len(xs))
+	s.Mean = sum / n
+	variance := sq/n - s.Mean*s.Mean
+	if variance < 0 {
+		variance = 0
+	}
+	s.Stddev = math.Sqrt(variance)
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = Percentile(sorted, 0.50)
+	s.P90 = Percentile(sorted, 0.90)
+	s.P99 = Percentile(sorted, 0.99)
+	return s
+}
+
+// Percentile returns the p-th percentile (p in [0,1]) of an
+// already-sorted sample using linear interpolation between order
+// statistics. It panics on an empty sample or p outside [0,1].
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Percentile of empty sample")
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("stats: percentile %v outside [0,1]", p))
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// ECDF is an empirical cumulative distribution function over a sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from xs (which it copies and sorts).
+func NewECDF(xs []float64) *ECDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// At returns the fraction of the sample that is <= x.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	idx := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(e.sorted))
+}
+
+// Quantile returns the smallest sample value v such that At(v) >= p.
+func (e *ECDF) Quantile(p float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	p = mathx.Clamp(p, 0, 1)
+	idx := int(math.Ceil(p*float64(len(e.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(e.sorted) {
+		idx = len(e.sorted) - 1
+	}
+	return e.sorted[idx]
+}
+
+// Len returns the sample size.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// Curve samples the ECDF at n evenly spaced points spanning the sample
+// range and returns (x, y) pairs; this is what the Figure 1 reproduction
+// prints.
+func (e *ECDF) Curve(n int) (xs, ys []float64) {
+	if len(e.sorted) == 0 || n < 2 {
+		return nil, nil
+	}
+	lo, hi := e.sorted[0], e.sorted[len(e.sorted)-1]
+	if lo == hi {
+		return []float64{lo}, []float64{1}
+	}
+	xs = mathx.Linspace(lo, hi, n)
+	ys = make([]float64, n)
+	for i, x := range xs {
+		ys[i] = e.At(x)
+	}
+	return xs, ys
+}

@@ -1,0 +1,273 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClopperPearsonPaperExample(t *testing.T) {
+	// Paper §III example: 90 of 100 datasets within the desired loss.
+	// The exact one-sided 95% lower bound is 0.8363; the two-sided-95%
+	// (one-sided 97.5%) lower bound the paper's S^(97.5%) notation implies
+	// is 0.8238.
+	if got := ClopperPearsonLower(90, 100, 0.95); math.Abs(got-0.83628) > 1e-4 {
+		t.Errorf("lower(90/100, 95%%) = %v, want 0.83628", got)
+	}
+	if got := ClopperPearsonLower(90, 100, 0.975); math.Abs(got-0.82378) > 1e-4 {
+		t.Errorf("lower(90/100, 97.5%%) = %v, want 0.82378", got)
+	}
+}
+
+func TestClopperPearsonMainResultRegime(t *testing.T) {
+	// Paper §V: "to obtain these results, 235 (out of 250) of the test
+	// input sets produced outputs that had the desired quality loss
+	// level" for 90% success at 95% confidence. Under the paper's
+	// two-sided interval convention (Guarantee.TwoSided), 235 is exactly
+	// the minimum certifying count.
+	g := PaperGuarantee()
+	if got := g.RequiredSuccesses(250); got != 235 {
+		t.Errorf("RequiredSuccesses(250) = %d, want 235", got)
+	}
+	if !g.Holds(235, 250) {
+		t.Error("235/250 should certify the paper guarantee")
+	}
+	if g.Holds(234, 250) {
+		t.Error("234/250 should not certify the paper guarantee")
+	}
+}
+
+func TestGuaranteeEffectiveLevel(t *testing.T) {
+	g := PaperGuarantee()
+	if got := g.EffectiveLevel(); math.Abs(got-0.975) > 1e-12 {
+		t.Errorf("two-sided 95%% effective level = %v, want 0.975", got)
+	}
+	g.TwoSided = false
+	if got := g.EffectiveLevel(); got != 0.95 {
+		t.Errorf("one-sided effective level = %v, want 0.95", got)
+	}
+}
+
+func TestGuaranteeValidate(t *testing.T) {
+	good := PaperGuarantee()
+	if err := good.Validate(); err != nil {
+		t.Errorf("paper guarantee should validate: %v", err)
+	}
+	bad := []Guarantee{
+		{QualityLoss: -0.1, SuccessRate: 0.9, Confidence: 0.95},
+		{QualityLoss: 0.05, SuccessRate: 0, Confidence: 0.95},
+		{QualityLoss: 0.05, SuccessRate: 0.9, Confidence: 1},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+	if s := good.String(); s == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestClopperPearsonEdges(t *testing.T) {
+	if got := ClopperPearsonLower(0, 50, 0.95); got != 0 {
+		t.Errorf("lower with zero successes = %v, want 0", got)
+	}
+	if got := ClopperPearsonUpper(50, 50, 0.95); got != 1 {
+		t.Errorf("upper with all successes = %v, want 1", got)
+	}
+	// All-success lower bound: 1 - (1-conf)^(1/n), the rule of three's
+	// exact counterpart.
+	got := ClopperPearsonLower(20, 20, 0.95)
+	want := math.Pow(0.05, 1.0/20)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("lower(20/20) = %v, want %v", got, want)
+	}
+}
+
+func TestClopperPearsonPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero trials":    func() { ClopperPearsonLower(0, 0, 0.95) },
+		"neg successes":  func() { ClopperPearsonLower(-1, 10, 0.95) },
+		"too many":       func() { ClopperPearsonLower(11, 10, 0.95) },
+		"bad confidence": func() { ClopperPearsonLower(5, 10, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBetaAndFFormsAgree(t *testing.T) {
+	// The paper states Equation 3 in F-distribution form; we implement the
+	// Beta form. They must agree everywhere.
+	f := func(sr, nr uint8, cr uint16) bool {
+		n := 2 + int(nr)%400
+		s := 1 + int(sr)%n // s in [1, n]
+		conf := 0.5 + 0.49*float64(cr)/65535
+		a := ClopperPearsonLower(s, n, conf)
+		b := ClopperPearsonLowerF(s, n, conf)
+		return math.Abs(a-b) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClopperPearsonMonotonicity(t *testing.T) {
+	// More successes => higher lower bound; higher confidence => lower
+	// lower bound.
+	prev := -1.0
+	for s := 0; s <= 100; s++ {
+		lb := ClopperPearsonLower(s, 100, 0.95)
+		if lb < prev-1e-12 {
+			t.Fatalf("lower bound not monotone in successes at s=%d", s)
+		}
+		prev = lb
+	}
+	if ClopperPearsonLower(80, 100, 0.99) > ClopperPearsonLower(80, 100, 0.90) {
+		t.Error("higher confidence should give a more conservative (smaller) lower bound")
+	}
+}
+
+func TestClopperPearsonCoverageProperty(t *testing.T) {
+	// The defining property: lower bound L satisfies
+	// P(Bin(n, L) >= s) = 1 - confidence (for 0 < s < n).
+	// Equivalently I_L(s, n-s+1) = 1 - confidence.
+	binTail := func(n, s int, p float64) float64 {
+		total := 0.0
+		for k := s; k <= n; k++ {
+			lgn, _ := math.Lgamma(float64(n + 1))
+			lgk, _ := math.Lgamma(float64(k + 1))
+			lgnk, _ := math.Lgamma(float64(n - k + 1))
+			lp := lgn - lgk - lgnk + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p)
+			total += math.Exp(lp)
+		}
+		return total
+	}
+	for _, c := range []struct {
+		n, s int
+		conf float64
+	}{{100, 90, 0.95}, {250, 235, 0.95}, {250, 235, 0.99}, {40, 13, 0.9}} {
+		l := ClopperPearsonLower(c.s, c.n, c.conf)
+		tail := binTail(c.n, c.s, l)
+		if math.Abs(tail-(1-c.conf)) > 1e-6 {
+			t.Errorf("coverage violated for %+v: tail=%v want %v", c, tail, 1-c.conf)
+		}
+	}
+}
+
+func TestMinSuccessesUnreachable(t *testing.T) {
+	// 5 trials cannot certify 90% at 95% confidence even with 5/5
+	// (lower bound is 0.05^(1/5) ≈ 0.55).
+	if got := MinSuccesses(5, 0.90, 0.95); got != 6 {
+		t.Errorf("MinSuccesses(5, 0.9, 0.95) = %d, want 6 (unreachable)", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 {
+		t.Errorf("Summarize basic fields wrong: %+v", s)
+	}
+	if math.Abs(s.P50-2.5) > 1e-12 {
+		t.Errorf("P50 = %v, want 2.5", s.P50)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Errorf("empty summary N = %d", empty.N)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {1, 50}, {0.5, 30}, {0.25, 20}, {0.1, 14},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("single-element percentile = %v", got)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("ECDF.At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if e.Len() != 4 {
+		t.Errorf("Len = %d", e.Len())
+	}
+}
+
+func TestECDFQuantile(t *testing.T) {
+	e := NewECDF([]float64{5, 1, 3})
+	if got := e.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v", got)
+	}
+	if got := e.Quantile(1); got != 5 {
+		t.Errorf("Quantile(1) = %v", got)
+	}
+	if got := e.Quantile(0.5); got != 3 {
+		t.Errorf("Quantile(0.5) = %v", got)
+	}
+}
+
+func TestECDFQuantileIsInverse(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		e := NewECDF(xs)
+		for _, p := range []float64{0.1, 0.5, 0.9} {
+			if e.At(e.Quantile(p)) < p-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestECDFCurve(t *testing.T) {
+	e := NewECDF([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	xs, ys := e.Curve(11)
+	if len(xs) != 11 || len(ys) != 11 {
+		t.Fatalf("curve lengths: %d, %d", len(xs), len(ys))
+	}
+	if ys[len(ys)-1] != 1 {
+		t.Errorf("curve must end at 1, got %v", ys[len(ys)-1])
+	}
+	for i := 1; i < len(ys); i++ {
+		if ys[i] < ys[i-1] {
+			t.Fatalf("curve not monotone at %d", i)
+		}
+	}
+	// Degenerate cases.
+	if xs, ys := NewECDF(nil).Curve(5); xs != nil || ys != nil {
+		t.Error("empty ECDF curve should be nil")
+	}
+	xs, ys = NewECDF([]float64{2, 2, 2}).Curve(5)
+	if len(xs) != 1 || ys[0] != 1 {
+		t.Errorf("constant sample curve: %v %v", xs, ys)
+	}
+}

@@ -1,0 +1,153 @@
+package threshold
+
+import (
+	"fmt"
+
+	"mithra/internal/stats"
+)
+
+// This file implements the paper's multi-function extension (§III-A): "If
+// the application offloads multiple functions to the accelerator, this
+// algorithm can be extended to greedily find a tuple of thresholds."
+// Each offloaded function gets its own error threshold; the greedy search
+// tunes them one function at a time while the already-tuned functions
+// keep their thresholds and the not-yet-tuned functions run precisely.
+// As the paper notes, the greedy approach can be suboptimal when many
+// functions are offloaded — the tests demonstrate the order dependence.
+
+// MultiEvaluator abstracts a program with several offloaded functions.
+// Implementations are typically backed by per-kernel traces captured the
+// same way single-kernel programs are.
+type MultiEvaluator interface {
+	// NumKernels returns how many functions are offloaded.
+	NumKernels() int
+	// NumDatasets returns the representative dataset count.
+	NumDatasets() int
+	// Quality returns the final output quality loss of dataset d when
+	// kernel k's invocations fall back exactly when their accelerator
+	// error exceeds ths[k]. A threshold of 0 pins a kernel precise.
+	Quality(d int, ths []float64) float64
+	// MaxError returns the largest accelerator error observed for kernel
+	// k across all datasets (the search range's upper end).
+	MaxError(k int) float64
+	// InvocationRate returns kernel k's accelerator invocation rate at
+	// threshold th, averaged over datasets.
+	InvocationRate(k int, th float64) float64
+}
+
+// TupleResult reports a tuned threshold tuple.
+type TupleResult struct {
+	// Thresholds holds one tuned threshold per kernel, in tuning order.
+	Thresholds []float64
+	// Successes of Trials datasets met the quality target at the tuple.
+	Successes, Trials int
+	// LowerBound is the certified success rate at the final tuple.
+	LowerBound float64
+	// Certified reports whether the guarantee holds.
+	Certified bool
+	// Iterations counts full-program quality evaluations.
+	Iterations int
+	// InvocationRates holds each kernel's rate at its tuned threshold.
+	InvocationRates []float64
+}
+
+// FindGreedyTuple tunes each kernel's threshold in the given order (nil
+// means 0..k-1): kernel k is bisected over [0, MaxError(k)] with kernels
+// already tuned held at their thresholds and later kernels pinned
+// precise. Every candidate tuple is certified with the Clopper-Pearson
+// bound before acceptance.
+func FindGreedyTuple(e MultiEvaluator, g stats.Guarantee, order []int, opts Options) (TupleResult, error) {
+	k := e.NumKernels()
+	if k == 0 {
+		return TupleResult{}, fmt.Errorf("threshold: no kernels")
+	}
+	n := e.NumDatasets()
+	if n == 0 {
+		return TupleResult{}, fmt.Errorf("threshold: no datasets")
+	}
+	if err := g.Validate(); err != nil {
+		return TupleResult{}, err
+	}
+	if g.RequiredSuccesses(n) > n {
+		return TupleResult{}, fmt.Errorf("threshold: %d datasets cannot certify %s", n, g)
+	}
+	if order == nil {
+		order = make([]int, k)
+		for i := range order {
+			order[i] = i
+		}
+	}
+	if len(order) != k {
+		return TupleResult{}, fmt.Errorf("threshold: order has %d entries for %d kernels", len(order), k)
+	}
+	seen := make([]bool, k)
+	for _, o := range order {
+		if o < 0 || o >= k || seen[o] {
+			return TupleResult{}, fmt.Errorf("threshold: invalid tuning order %v", order)
+		}
+		seen[o] = true
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 48
+	}
+	if opts.Tolerance <= 0 {
+		opts.Tolerance = 1e-3
+	}
+
+	res := TupleResult{
+		Thresholds: make([]float64, k),
+		Trials:     n,
+	}
+	certified := func(ths []float64) (bool, int) {
+		succ := 0
+		for d := 0; d < n; d++ {
+			if e.Quality(d, ths) <= g.QualityLoss {
+				succ++
+			}
+		}
+		res.Iterations++
+		return g.Holds(succ, n), succ
+	}
+
+	// All-precise must certify (quality loss 0 <= target); it is the
+	// greedy baseline every step must preserve.
+	if ok, _ := certified(res.Thresholds); !ok {
+		return res, fmt.Errorf("threshold: all-precise execution does not certify %s", g)
+	}
+
+	for _, kid := range order {
+		maxErr := e.MaxError(kid)
+		if maxErr == 0 {
+			res.Thresholds[kid] = 0
+			continue
+		}
+		// Try the loosest setting first.
+		trial := append([]float64(nil), res.Thresholds...)
+		trial[kid] = maxErr
+		if ok, _ := certified(trial); ok {
+			res.Thresholds[kid] = maxErr
+			continue
+		}
+		lo, hi := 0.0, maxErr // lo certifies, hi does not
+		for it := 0; it < opts.MaxIter && hi-lo > opts.Tolerance*maxErr; it++ {
+			mid := (lo + hi) / 2
+			trial[kid] = mid
+			if ok, _ := certified(trial); ok {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		res.Thresholds[kid] = lo
+	}
+
+	ok, succ := certified(res.Thresholds)
+	res.Certified = ok
+	res.Successes = succ
+	res.LowerBound = g.LowerBound(succ, n)
+	res.InvocationRates = make([]float64, k)
+	for i := 0; i < k; i++ {
+		res.InvocationRates[i] = e.InvocationRate(i, res.Thresholds[i])
+	}
+	return res, nil
+}

@@ -1,0 +1,194 @@
+package threshold
+
+import (
+	"math"
+	"testing"
+
+	"mithra/internal/mathx"
+	"mithra/internal/stats"
+)
+
+// twoKernelEval models a program offloading two functions whose error
+// contributions add: dataset d's quality is
+// w1[d]*contrib(th1) + w2[d]*contrib(th2), where contrib is the mean
+// kept-error of invocations with errors uniform on [0, maxErr].
+type twoKernelEval struct {
+	w1, w2           []float64
+	maxErr1, maxErr2 float64
+}
+
+// contrib of a kernel with errors ~ U[0,m] at threshold th:
+// E[err * 1(err<=th)] = th^2 / (2m) for th <= m.
+func uniformContrib(th, m float64) float64 {
+	if m == 0 {
+		return 0
+	}
+	if th > m {
+		th = m
+	}
+	return th * th / (2 * m)
+}
+
+func (e *twoKernelEval) NumKernels() int  { return 2 }
+func (e *twoKernelEval) NumDatasets() int { return len(e.w1) }
+func (e *twoKernelEval) Quality(d int, ths []float64) float64 {
+	return e.w1[d]*uniformContrib(ths[0], e.maxErr1) + e.w2[d]*uniformContrib(ths[1], e.maxErr2)
+}
+func (e *twoKernelEval) MaxError(k int) float64 {
+	if k == 0 {
+		return e.maxErr1
+	}
+	return e.maxErr2
+}
+func (e *twoKernelEval) InvocationRate(k int, th float64) float64 {
+	m := e.MaxError(k)
+	if th >= m {
+		return 1
+	}
+	return th / m
+}
+
+func newTwoKernelEval(n int, seed uint64) *twoKernelEval {
+	rng := mathx.NewRNG(seed)
+	e := &twoKernelEval{maxErr1: 0.2, maxErr2: 0.4}
+	for i := 0; i < n; i++ {
+		e.w1 = append(e.w1, rng.Range(0.8, 1.2))
+		e.w2 = append(e.w2, rng.Range(0.8, 1.2))
+	}
+	return e
+}
+
+func multiGuarantee() stats.Guarantee {
+	return stats.Guarantee{QualityLoss: 0.04, SuccessRate: 0.7, Confidence: 0.9}
+}
+
+func TestGreedyTupleCertifies(t *testing.T) {
+	e := newTwoKernelEval(40, 1)
+	res, err := FindGreedyTuple(e, multiGuarantee(), nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Certified {
+		t.Fatalf("tuple not certified: %+v", res)
+	}
+	if res.Thresholds[0] <= 0 || res.Thresholds[1] <= 0 {
+		t.Errorf("thresholds should be positive: %v", res.Thresholds)
+	}
+	if res.LowerBound < 0.7 {
+		t.Errorf("lower bound %v", res.LowerBound)
+	}
+	// Kernel 1 was tuned first with kernel 2 precise, so it got the
+	// lion's share of the error budget.
+	c1 := uniformContrib(res.Thresholds[0], 0.2)
+	c2 := uniformContrib(res.Thresholds[1], 0.4)
+	if c1 <= c2 {
+		t.Errorf("greedy order should favor kernel 0: contribs %v vs %v", c1, c2)
+	}
+	for _, r := range res.InvocationRates {
+		if r < 0 || r > 1 {
+			t.Errorf("invocation rate %v", r)
+		}
+	}
+}
+
+func TestGreedyTupleOrderDependence(t *testing.T) {
+	// The paper warns the greedy approach is suboptimal; tuning order
+	// shifts the budget split — but both orders must certify.
+	e := newTwoKernelEval(40, 2)
+	g := multiGuarantee()
+	fwd, err := FindGreedyTuple(e, g, []int{0, 1}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := FindGreedyTuple(e, g, []int{1, 0}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fwd.Certified || !rev.Certified {
+		t.Fatal("both orders must certify")
+	}
+	if math.Abs(fwd.Thresholds[0]-rev.Thresholds[0]) < 1e-6 {
+		t.Error("tuning order had no effect — greedy order dependence not exercised")
+	}
+	// Whoever is tuned first gets the larger share.
+	if uniformContrib(rev.Thresholds[1], 0.4) <= uniformContrib(rev.Thresholds[0], 0.2) {
+		t.Error("reverse order should favor kernel 1")
+	}
+}
+
+func TestGreedyTupleZeroErrorKernel(t *testing.T) {
+	e := newTwoKernelEval(30, 3)
+	e.maxErr1 = 0 // kernel 0's accelerator is exact
+	res, err := FindGreedyTuple(e, multiGuarantee(), nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Thresholds[0] != 0 {
+		t.Errorf("exact kernel threshold = %v", res.Thresholds[0])
+	}
+	if !res.Certified {
+		t.Error("should certify")
+	}
+}
+
+func TestGreedyTupleLooseTarget(t *testing.T) {
+	// A very loose target lets both kernels run at full threshold.
+	e := newTwoKernelEval(30, 4)
+	g := stats.Guarantee{QualityLoss: 0.9, SuccessRate: 0.7, Confidence: 0.9}
+	res, err := FindGreedyTuple(e, g, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Thresholds[0] < e.maxErr1 || res.Thresholds[1] < e.maxErr2 {
+		t.Errorf("loose target should allow max thresholds, got %v", res.Thresholds)
+	}
+	if res.InvocationRates[0] != 1 || res.InvocationRates[1] != 1 {
+		t.Errorf("rates %v", res.InvocationRates)
+	}
+}
+
+func TestGreedyTupleValidation(t *testing.T) {
+	e := newTwoKernelEval(30, 5)
+	g := multiGuarantee()
+	if _, err := FindGreedyTuple(e, g, []int{0}, DefaultOptions()); err == nil {
+		t.Error("short order should error")
+	}
+	if _, err := FindGreedyTuple(e, g, []int{0, 0}, DefaultOptions()); err == nil {
+		t.Error("duplicate order should error")
+	}
+	if _, err := FindGreedyTuple(e, g, []int{0, 7}, DefaultOptions()); err == nil {
+		t.Error("out-of-range order should error")
+	}
+	bad := g
+	bad.SuccessRate = 0
+	if _, err := FindGreedyTuple(e, bad, nil, DefaultOptions()); err == nil {
+		t.Error("invalid guarantee should error")
+	}
+	empty := &twoKernelEval{}
+	if _, err := FindGreedyTuple(empty, g, nil, DefaultOptions()); err == nil {
+		t.Error("no datasets should error")
+	}
+}
+
+func TestGreedyTupleJointQualityHolds(t *testing.T) {
+	// The defining property: at the tuned tuple, the success count over
+	// datasets actually meets the certified bound's requirement.
+	e := newTwoKernelEval(50, 6)
+	g := multiGuarantee()
+	res, err := FindGreedyTuple(e, g, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	succ := 0
+	for d := 0; d < e.NumDatasets(); d++ {
+		if e.Quality(d, res.Thresholds) <= g.QualityLoss {
+			succ++
+		}
+	}
+	if succ != res.Successes {
+		t.Errorf("recomputed successes %d != reported %d", succ, res.Successes)
+	}
+	if succ < g.RequiredSuccesses(e.NumDatasets()) {
+		t.Errorf("successes %d below certification requirement", succ)
+	}
+}

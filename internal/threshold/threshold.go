@@ -1,0 +1,268 @@
+// Package threshold implements the paper's statistical optimization for
+// controlling quality tradeoffs (§III-A, Algorithm 1): it converts a
+// programmer-specified final output quality loss — plus a success rate and
+// confidence level — into a local accelerator error threshold.
+//
+// For each candidate threshold the instrumented program runs every
+// representative input dataset with oracle filtering (an invocation falls
+// back to precise code exactly when its accelerator error exceeds the
+// threshold, Equation 1), the final quality loss of each dataset is
+// compared with the desired level, and the Clopper-Pearson exact method
+// turns the success count into a certified lower bound on the success
+// rate over unseen datasets. The optimizer finds the loosest threshold
+// whose bound still meets the requested success rate — maximizing
+// accelerator invocations, hence performance and energy gains.
+//
+// Both search strategies from DESIGN.md are provided: the paper's
+// delta-walk (Algorithm 1 verbatim, with its terminate-on-crossing rule)
+// and a bisection search that exploits the monotone trend of quality in
+// the threshold to converge in far fewer instrumented runs. The ablation
+// bench compares the two.
+package threshold
+
+import (
+	"fmt"
+	"math"
+
+	"mithra/internal/axbench"
+	"mithra/internal/stats"
+	"mithra/internal/trace"
+)
+
+// Dataset pairs one representative application input with its captured
+// trace.
+type Dataset struct {
+	In axbench.Input
+	Tr *trace.Trace
+}
+
+// Options tunes the search.
+type Options struct {
+	// MaxIter bounds the number of instrumented evaluations (each
+	// evaluation replays every dataset once).
+	MaxIter int
+	// DeltaFrac is the delta-walk step as a fraction of the maximum
+	// observed accelerator error (paper: "a small delta").
+	DeltaFrac float64
+	// Tolerance is the bisection convergence width, also as a fraction of
+	// the maximum error.
+	Tolerance float64
+}
+
+// DefaultOptions matches the evaluation setup.
+func DefaultOptions() Options {
+	return Options{MaxIter: 64, DeltaFrac: 0.02, Tolerance: 1e-3}
+}
+
+// Result reports the tuned knob and the statistical evidence behind it.
+type Result struct {
+	// Threshold is the tuned accelerator error bound (Equation 1's th).
+	Threshold float64
+	// Successes of Trials compile datasets met the desired quality loss
+	// at Threshold.
+	Successes, Trials int
+	// LowerBound is the Clopper-Pearson certified success rate.
+	LowerBound float64
+	// Certified reports whether the guarantee holds at Threshold. It is
+	// false when even an all-precise threshold cannot certify (sample too
+	// small) — the caller must then reject the compilation.
+	Certified bool
+	// Iterations counts instrumented evaluations performed.
+	Iterations int
+	// InvocationRate is the mean oracle invocation rate across datasets
+	// at Threshold.
+	InvocationRate float64
+	// Qualities holds the final quality loss per dataset at Threshold.
+	Qualities []float64
+}
+
+// evaluator memoizes instrumented evaluations at candidate thresholds.
+type evaluator struct {
+	b     axbench.Benchmark
+	ds    []Dataset
+	g     stats.Guarantee
+	cache map[float64]evalPoint
+	evals int
+}
+
+type evalPoint struct {
+	successes int
+	qualities []float64
+}
+
+func newEvaluator(b axbench.Benchmark, ds []Dataset, g stats.Guarantee) *evaluator {
+	return &evaluator{b: b, ds: ds, g: g, cache: map[float64]evalPoint{}}
+}
+
+// at runs the instrumented program at threshold th over every dataset.
+func (e *evaluator) at(th float64) evalPoint {
+	if p, ok := e.cache[th]; ok {
+		return p
+	}
+	p := evalPoint{qualities: make([]float64, len(e.ds))}
+	for i, d := range e.ds {
+		q := d.Tr.QualityAt(e.b, d.In, d.Tr.ThresholdOracle(th))
+		p.qualities[i] = q
+		if q <= e.g.QualityLoss {
+			p.successes++
+		}
+	}
+	e.evals++
+	e.cache[th] = p
+	return p
+}
+
+func (e *evaluator) certified(th float64) bool {
+	return e.g.Holds(e.at(th).successes, len(e.ds))
+}
+
+// maxError returns the largest accelerator error seen across datasets —
+// the upper end of the threshold search range.
+func maxError(ds []Dataset) float64 {
+	max := 0.0
+	for _, d := range ds {
+		for _, e := range d.Tr.MaxErr {
+			if e > max {
+				max = e
+			}
+		}
+	}
+	return max
+}
+
+func validate(ds []Dataset, g stats.Guarantee) error {
+	if len(ds) == 0 {
+		return fmt.Errorf("threshold: no datasets")
+	}
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	if g.RequiredSuccesses(len(ds)) > len(ds) {
+		return fmt.Errorf("threshold: %d datasets cannot certify %s (need more samples)",
+			len(ds), g)
+	}
+	return nil
+}
+
+// finish assembles a Result at the accepted threshold.
+func (e *evaluator) finish(th float64) Result {
+	p := e.at(th)
+	rate := 0.0
+	for _, d := range e.ds {
+		rate += d.Tr.InvocationRate(d.Tr.ThresholdOracle(th))
+	}
+	rate /= float64(len(e.ds))
+	return Result{
+		Threshold:      th,
+		Successes:      p.successes,
+		Trials:         len(e.ds),
+		LowerBound:     e.g.LowerBound(p.successes, len(e.ds)),
+		Certified:      e.g.Holds(p.successes, len(e.ds)),
+		Iterations:     e.evals,
+		InvocationRate: rate,
+		Qualities:      p.qualities,
+	}
+}
+
+// FindDeltaWalk implements Algorithm 1 as published: start from an
+// initial threshold, measure the certified success rate, loosen the
+// threshold by delta while the guarantee holds and tighten it while it
+// does not, and terminate when consecutive thresholds straddle the
+// guarantee boundary (returning the certified side).
+func FindDeltaWalk(b axbench.Benchmark, ds []Dataset, g stats.Guarantee, opts Options) (Result, error) {
+	if err := validate(ds, g); err != nil {
+		return Result{}, err
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 64
+	}
+	if opts.DeltaFrac <= 0 {
+		opts.DeltaFrac = 0.02
+	}
+	e := newEvaluator(b, ds, g)
+	maxErr := maxError(ds)
+	if maxErr == 0 {
+		// The accelerator is exact on every invocation; any threshold
+		// works and full invocation is free.
+		return e.finish(0), nil
+	}
+	delta := opts.DeltaFrac * maxErr
+
+	// Step 1: initialize (the paper says "a random value"; the midpoint
+	// is a deterministic stand-in with the same convergence behaviour).
+	th := maxErr / 2
+	lastCertified := math.NaN()
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		if e.certified(th) {
+			lastCertified = th
+			next := th + delta
+			if next > maxErr {
+				// Even full approximation certifies at this step size.
+				if e.certified(maxErr) {
+					return e.finish(maxErr), nil
+				}
+				next = maxErr
+			}
+			// Step 6: terminate when the last threshold certified and the
+			// next does not.
+			if !e.certified(next) {
+				return e.finish(th), nil
+			}
+			th = next
+		} else {
+			next := th - delta
+			if next < 0 {
+				next = 0
+			}
+			if e.certified(next) {
+				return e.finish(next), nil
+			}
+			if next == 0 {
+				// Even all-precise execution fails (quality target of 0
+				// with a lossy pipeline) — report uncertified.
+				return e.finish(0), nil
+			}
+			th = next
+		}
+	}
+	// Iteration budget exhausted: return the best certified threshold
+	// seen, or the tightest probe.
+	if !math.IsNaN(lastCertified) {
+		return e.finish(lastCertified), nil
+	}
+	return e.finish(0), nil
+}
+
+// FindBisect locates the guarantee boundary by bisection over
+// [0, maxError]: the loosest certified threshold within Tolerance. It
+// produces the same operating point as the delta-walk with an order of
+// magnitude fewer instrumented evaluations.
+func FindBisect(b axbench.Benchmark, ds []Dataset, g stats.Guarantee, opts Options) (Result, error) {
+	if err := validate(ds, g); err != nil {
+		return Result{}, err
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 64
+	}
+	if opts.Tolerance <= 0 {
+		opts.Tolerance = 1e-3
+	}
+	e := newEvaluator(b, ds, g)
+	maxErr := maxError(ds)
+	if maxErr == 0 || e.certified(maxErr) {
+		return e.finish(maxErr), nil
+	}
+	if !e.certified(0) {
+		return e.finish(0), nil
+	}
+	lo, hi := 0.0, maxErr // lo certified, hi not
+	for iter := 0; iter < opts.MaxIter && hi-lo > opts.Tolerance*maxErr; iter++ {
+		mid := (lo + hi) / 2
+		if e.certified(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return e.finish(lo), nil
+}

@@ -1,0 +1,296 @@
+// Package trace captures the per-invocation behaviour of a benchmark
+// running against an approximate accelerator, and replays the application
+// under arbitrary accelerate/fallback decision vectors without re-running
+// either the precise kernel or the accelerator.
+//
+// This is the engine room of Algorithm 1: the statistical optimizer needs
+// the final output quality at many candidate thresholds, and the paper's
+// benchmarks all have data-parallel kernels (an invocation's outputs never
+// feed a later invocation's inputs), so one capture per dataset suffices —
+// every subsequent threshold probe is a cheap replay of recorded outputs
+// through the application's post-processing.
+package trace
+
+import (
+	"fmt"
+
+	"mithra/internal/axbench"
+	"mithra/internal/npu"
+)
+
+// Trace records one dataset's invocations: the precise and approximate
+// kernel outputs, the per-invocation accelerator error, and optionally the
+// kernel inputs (needed only when generating classifier training data).
+type Trace struct {
+	N      int // number of invocations
+	InDim  int
+	OutDim int
+
+	// Precise and Approx hold N*OutDim values each, invocation-major
+	// (nil when the trace was captured compact).
+	Precise []float64
+	Approx  []float64
+	// Compact storage (float32) used for paper-scale captures, where the
+	// full-precision arrays would dominate memory. At most one of the two
+	// representations is populated.
+	Precise32 []float32
+	Approx32  []float32
+	// MaxErr[i] is the max elementwise |precise - approx| of invocation i
+	// — the quantity the paper's Equation 1 thresholds.
+	MaxErr []float64
+	// Inputs holds N*InDim values when captured with inputs, else nil
+	// (Inputs32 when compact).
+	Inputs   []float64
+	Inputs32 []float32
+
+	// PreciseOut and ApproxOut are the application's final outputs when
+	// every invocation runs precisely / on the accelerator.
+	PreciseOut []float64
+	ApproxOut  []float64
+}
+
+// Compact reports whether the trace uses float32 storage.
+func (t *Trace) Compact() bool { return t.Precise32 != nil || t.Approx32 != nil }
+
+// Options controls what Capture records.
+type Options struct {
+	// KeepInputs stores the kernel input vectors (used for classifier
+	// training data generation; costs N*InDim floats).
+	KeepInputs bool
+	// Compact stores recorded vectors as float32, halving trace memory.
+	// The ~1e-7 relative rounding is far below the accelerator errors
+	// being measured; paper-scale runs (512x512 images, 250+250 datasets)
+	// need this to stay in RAM.
+	Compact bool
+}
+
+// Capture runs the application once, evaluating both the precise kernel
+// and the accelerator for every invocation, and assembles the trace.
+func Capture(b axbench.Benchmark, in axbench.Input, acc *npu.Accelerator, opts Options) *Trace {
+	n := in.Invocations()
+	inDim, outDim := b.InputDim(), b.OutputDim()
+	t := &Trace{
+		N:      n,
+		InDim:  inDim,
+		OutDim: outDim,
+		MaxErr: make([]float64, n),
+	}
+	if opts.Compact {
+		t.Precise32 = make([]float32, n*outDim)
+		t.Approx32 = make([]float32, n*outDim)
+		if opts.KeepInputs {
+			t.Inputs32 = make([]float32, n*inDim)
+		}
+	} else {
+		t.Precise = make([]float64, n*outDim)
+		t.Approx = make([]float64, n*outDim)
+		if opts.KeepInputs {
+			t.Inputs = make([]float64, n*inDim)
+		}
+	}
+
+	scratch := acc.NewScratch()
+	pBuf := make([]float64, outDim)
+	aBuf := make([]float64, outDim)
+	idx := 0
+	recorder := func(kin, kout []float64) {
+		if idx >= n {
+			panic(fmt.Sprintf("trace: benchmark %s made more invocations (%d) than Invocations() reported (%d)",
+				b.Name(), idx+1, n))
+		}
+		b.Precise(kin, pBuf)
+		acc.Invoke(kin, aBuf, scratch)
+		maxe := 0.0
+		for i := range pBuf {
+			d := pBuf[i] - aBuf[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > maxe {
+				maxe = d
+			}
+		}
+		t.MaxErr[idx] = maxe
+		t.storeOut(idx, pBuf, aBuf)
+		if opts.KeepInputs {
+			t.storeIn(idx, kin)
+		}
+		copy(kout, aBuf)
+		idx++
+	}
+	t.ApproxOut = b.Run(in, recorder)
+	if idx != n {
+		panic(fmt.Sprintf("trace: benchmark %s made %d invocations, Invocations() reported %d",
+			b.Name(), idx, n))
+	}
+	t.PreciseOut = t.Replay(b, in, nil, allPrecise)
+	return t
+}
+
+// Decision chooses how invocation i executes during a replay. Returning
+// true means fall back to the precise kernel (the classifier "filtered
+// out" the invocation); false means use the accelerator.
+type Decision func(i int) bool
+
+func allPrecise(int) bool { return true }
+
+// AllApprox is the always-invoke decision (the conventional approximate
+// acceleration the paper improves on).
+func AllApprox(int) bool { return false }
+
+// ThresholdOracle returns the ideal decision for threshold th: fall back
+// exactly when the recorded accelerator error exceeds th (the paper's
+// oracle design).
+func (t *Trace) ThresholdOracle(th float64) Decision {
+	return func(i int) bool { return t.MaxErr[i] > th }
+}
+
+// Replay re-runs the application feeding each invocation the recorded
+// precise or approximate output according to decide, and returns the final
+// output. decisions may be nil to mean all-precise. The per-invocation
+// work is two copies — no kernel or accelerator evaluation happens.
+//
+// The optional dst slice receives the per-invocation decisions when
+// non-nil (it must have length N); sim uses this to cost the run.
+func (t *Trace) Replay(b axbench.Benchmark, in axbench.Input, dst []bool, decide Decision) []float64 {
+	if decide == nil {
+		decide = allPrecise
+	}
+	if dst != nil && len(dst) != t.N {
+		panic(fmt.Sprintf("trace: decision dst length %d, want %d", len(dst), t.N))
+	}
+	idx := 0
+	replayer := func(kin, kout []float64) {
+		if idx >= t.N {
+			panic("trace: replay exceeded recorded invocations")
+		}
+		precise := decide(idx)
+		if dst != nil {
+			dst[idx] = precise
+		}
+		t.loadOut(idx, precise, kout)
+		idx++
+	}
+	out := b.Run(in, replayer)
+	if idx != t.N {
+		panic("trace: replay made fewer invocations than recorded")
+	}
+	return out
+}
+
+// storeOut records one invocation's precise and approximate outputs.
+func (t *Trace) storeOut(idx int, p, a []float64) {
+	off := idx * t.OutDim
+	if t.Compact() {
+		for i := range p {
+			t.Precise32[off+i] = float32(p[i])
+			t.Approx32[off+i] = float32(a[i])
+		}
+		return
+	}
+	copy(t.Precise[off:off+t.OutDim], p)
+	copy(t.Approx[off:off+t.OutDim], a)
+}
+
+// loadOut writes invocation idx's recorded output (precise or approximate)
+// into kout.
+func (t *Trace) loadOut(idx int, precise bool, kout []float64) {
+	off := idx * t.OutDim
+	if t.Compact() {
+		src := t.Approx32
+		if precise {
+			src = t.Precise32
+		}
+		for i := range kout {
+			kout[i] = float64(src[off+i])
+		}
+		return
+	}
+	src := t.Approx
+	if precise {
+		src = t.Precise
+	}
+	copy(kout, src[off:off+t.OutDim])
+}
+
+// storeIn records one invocation's kernel inputs.
+func (t *Trace) storeIn(idx int, kin []float64) {
+	off := idx * t.InDim
+	if t.Inputs32 != nil {
+		for i, v := range kin {
+			t.Inputs32[off+i] = float32(v)
+		}
+		return
+	}
+	copy(t.Inputs[off:off+t.InDim], kin)
+}
+
+// QualityAt returns the final-output quality loss when replaying under
+// decide.
+func (t *Trace) QualityAt(b axbench.Benchmark, in axbench.Input, decide Decision) float64 {
+	out := t.Replay(b, in, nil, decide)
+	return b.Metric().Loss(t.PreciseOut, out)
+}
+
+// InvocationRate returns the fraction of invocations decide sends to the
+// accelerator.
+func (t *Trace) InvocationRate(decide Decision) float64 {
+	if t.N == 0 {
+		return 0
+	}
+	acc := 0
+	for i := 0; i < t.N; i++ {
+		if !decide(i) {
+			acc++
+		}
+	}
+	return float64(acc) / float64(t.N)
+}
+
+// Input returns invocation i's recorded kernel input vector. It panics if
+// inputs were not captured. For compact traces the vector is materialized
+// into a fresh slice; hot paths should use InputInto with a reused buffer.
+func (t *Trace) Input(i int) []float64 {
+	if t.Inputs == nil && t.Inputs32 == nil {
+		panic("trace: inputs were not captured (set Options.KeepInputs)")
+	}
+	if t.Inputs32 != nil {
+		return t.InputInto(i, make([]float64, t.InDim))
+	}
+	return t.Inputs[i*t.InDim : (i+1)*t.InDim]
+}
+
+// InputInto writes invocation i's recorded inputs into buf (length
+// >= InDim) and returns buf[:InDim].
+func (t *Trace) InputInto(i int, buf []float64) []float64 {
+	buf = buf[:t.InDim]
+	off := i * t.InDim
+	if t.Inputs32 != nil {
+		for j := range buf {
+			buf[j] = float64(t.Inputs32[off+j])
+		}
+		return buf
+	}
+	if t.Inputs == nil {
+		panic("trace: inputs were not captured (set Options.KeepInputs)")
+	}
+	copy(buf, t.Inputs[off:off+t.InDim])
+	return buf
+}
+
+// FullQuality returns the quality loss of always invoking the accelerator
+// — the paper's "error with full approximation" column of Table I.
+func (t *Trace) FullQuality(b axbench.Benchmark) float64 {
+	return b.Metric().Loss(t.PreciseOut, t.ApproxOut)
+}
+
+// ElementErrors returns the per-element final-output errors under full
+// approximation — the sample behind the paper's Figure 1 CDFs.
+func (t *Trace) ElementErrors(b axbench.Benchmark) []float64 {
+	m := b.Metric()
+	errs := make([]float64, len(t.PreciseOut))
+	for i := range errs {
+		errs[i] = m.ElementError(t.PreciseOut[i], t.ApproxOut[i])
+	}
+	return errs
+}

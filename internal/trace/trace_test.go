@@ -1,0 +1,270 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"mithra/internal/axbench"
+	"mithra/internal/mathx"
+	"mithra/internal/nn"
+	"mithra/internal/npu"
+)
+
+// testAccel trains a quick NPU for b from one dataset's kernel samples.
+func testAccel(t *testing.T, b axbench.Benchmark) *npu.Accelerator {
+	t.Helper()
+	in := b.GenInput(mathx.NewRNG(100), axbench.TestScale())
+	var samples []nn.Sample
+	collect := func(kin, kout []float64) {
+		b.Precise(kin, kout)
+		if len(samples) < 600 {
+			samples = append(samples, nn.Sample{
+				In:  append([]float64(nil), kin...),
+				Out: append([]float64(nil), kout...),
+			})
+		}
+	}
+	b.Run(in, collect)
+	cfg := nn.TrainConfig{Epochs: 30, LearningRate: 0.2, Momentum: 0.9, BatchSize: 16, Seed: 1}
+	approx, _ := nn.FitApproximator(b.Topology(), samples, cfg, 7)
+	return npu.New(approx)
+}
+
+func TestCaptureBasics(t *testing.T) {
+	b, err := axbench.New("sobel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := testAccel(t, b)
+	in := b.GenInput(mathx.NewRNG(1), axbench.TestScale())
+	tr := Capture(b, in, acc, Options{})
+
+	if tr.N != in.Invocations() {
+		t.Fatalf("N = %d, want %d", tr.N, in.Invocations())
+	}
+	if len(tr.MaxErr) != tr.N || len(tr.Precise) != tr.N*tr.OutDim {
+		t.Fatal("trace arrays missized")
+	}
+	if tr.Inputs != nil {
+		t.Error("inputs captured without KeepInputs")
+	}
+	for i, e := range tr.MaxErr {
+		if e < 0 || math.IsNaN(e) {
+			t.Fatalf("MaxErr[%d] = %v", i, e)
+		}
+	}
+	if len(tr.PreciseOut) != len(tr.ApproxOut) {
+		t.Fatal("final output lengths differ")
+	}
+}
+
+func TestCaptureKeepInputs(t *testing.T) {
+	b, _ := axbench.New("inversek2j")
+	acc := testAccel(t, b)
+	in := b.GenInput(mathx.NewRNG(2), axbench.TestScale())
+	tr := Capture(b, in, acc, Options{KeepInputs: true})
+	if len(tr.Inputs) != tr.N*tr.InDim {
+		t.Fatalf("inputs length %d, want %d", len(tr.Inputs), tr.N*tr.InDim)
+	}
+	v := tr.Input(3)
+	if len(v) != b.InputDim() {
+		t.Fatalf("Input(3) length %d", len(v))
+	}
+	// Re-running the precise kernel on the stored input must reproduce
+	// the stored precise output.
+	out := make([]float64, tr.OutDim)
+	b.Precise(v, out)
+	for k := range out {
+		if out[k] != tr.Precise[3*tr.OutDim+k] {
+			t.Fatal("stored input does not reproduce stored precise output")
+		}
+	}
+}
+
+func TestInputPanicsWithoutCapture(t *testing.T) {
+	tr := &Trace{N: 1, InDim: 2, OutDim: 1}
+	defer func() {
+		if recover() == nil {
+			t.Error("Input without KeepInputs should panic")
+		}
+	}()
+	tr.Input(0)
+}
+
+func TestReplayEndpoints(t *testing.T) {
+	b, _ := axbench.New("blackscholes")
+	acc := testAccel(t, b)
+	in := b.GenInput(mathx.NewRNG(3), axbench.TestScale())
+	tr := Capture(b, in, acc, Options{})
+
+	// All-approx replay must reproduce the captured approximate output.
+	gotApprox := tr.Replay(b, in, nil, AllApprox)
+	for i := range gotApprox {
+		if gotApprox[i] != tr.ApproxOut[i] {
+			t.Fatalf("all-approx replay differs at %d", i)
+		}
+	}
+	// All-precise replay must equal a fresh precise run.
+	fresh := b.Run(in, axbench.PreciseInvoker(b))
+	for i := range fresh {
+		if tr.PreciseOut[i] != fresh[i] {
+			t.Fatalf("all-precise replay differs from direct run at %d", i)
+		}
+	}
+}
+
+func TestReplayRecordsDecisions(t *testing.T) {
+	b, _ := axbench.New("fft")
+	acc := testAccel(t, b)
+	in := b.GenInput(mathx.NewRNG(4), axbench.TestScale())
+	tr := Capture(b, in, acc, Options{})
+
+	dst := make([]bool, tr.N)
+	alternate := func(i int) bool { return i%2 == 0 }
+	tr.Replay(b, in, dst, alternate)
+	for i, d := range dst {
+		if d != (i%2 == 0) {
+			t.Fatalf("decision %d not recorded correctly", i)
+		}
+	}
+	// Wrong dst length panics.
+	defer func() {
+		if recover() == nil {
+			t.Error("short dst should panic")
+		}
+	}()
+	tr.Replay(b, in, make([]bool, 1), alternate)
+}
+
+func TestThresholdOracleMonotonicity(t *testing.T) {
+	b, _ := axbench.New("sobel")
+	acc := testAccel(t, b)
+	in := b.GenInput(mathx.NewRNG(5), axbench.TestScale())
+	tr := Capture(b, in, acc, Options{})
+
+	// Invocation rate must be monotone non-decreasing in the threshold.
+	prevRate := -1.0
+	for _, th := range []float64{0, 0.001, 0.01, 0.05, 0.2, 1, math.Inf(1)} {
+		rate := tr.InvocationRate(tr.ThresholdOracle(th))
+		if rate < prevRate {
+			t.Fatalf("invocation rate not monotone at th=%v: %v < %v", th, rate, prevRate)
+		}
+		prevRate = rate
+	}
+	// Infinite threshold = always approximate.
+	if rate := tr.InvocationRate(tr.ThresholdOracle(math.Inf(1))); rate != 1 {
+		t.Errorf("rate at inf threshold = %v, want 1", rate)
+	}
+	// Sub-zero threshold = all precise (errors are >= 0; any positive
+	// error exceeds it).
+	rate := tr.InvocationRate(tr.ThresholdOracle(-1))
+	if rate > 0.05 {
+		t.Errorf("rate at negative threshold = %v, want ~0", rate)
+	}
+}
+
+func TestQualityAtThresholdShrinks(t *testing.T) {
+	b, _ := axbench.New("inversek2j")
+	acc := testAccel(t, b)
+	in := b.GenInput(mathx.NewRNG(6), axbench.TestScale())
+	tr := Capture(b, in, acc, Options{})
+
+	qFull := tr.QualityAt(b, in, AllApprox)
+	qOracleTight := tr.QualityAt(b, in, tr.ThresholdOracle(0))
+	if qOracleTight > qFull+1e-12 {
+		t.Errorf("tight oracle quality %v worse than full approximation %v", qOracleTight, qFull)
+	}
+	if qPrecise := tr.QualityAt(b, in, nil); qPrecise != 0 {
+		t.Errorf("all-precise quality = %v, want 0", qPrecise)
+	}
+}
+
+func TestFullQualityAndElementErrors(t *testing.T) {
+	b, _ := axbench.New("sobel")
+	acc := testAccel(t, b)
+	in := b.GenInput(mathx.NewRNG(7), axbench.TestScale())
+	tr := Capture(b, in, acc, Options{})
+
+	fq := tr.FullQuality(b)
+	if fq < 0 || fq > 1 {
+		t.Fatalf("full quality = %v", fq)
+	}
+	errs := tr.ElementErrors(b)
+	if len(errs) != len(tr.PreciseOut) {
+		t.Fatalf("element errors length %d", len(errs))
+	}
+	mean := 0.0
+	for _, e := range errs {
+		if e < 0 || e > 1 {
+			t.Fatalf("element error out of range: %v", e)
+		}
+		mean += e
+	}
+	mean /= float64(len(errs))
+	if math.Abs(mean-fq) > 1e-9 {
+		t.Errorf("mean element error %v != full quality %v (image diff is elementwise)", mean, fq)
+	}
+}
+
+func TestInvocationRateEmpty(t *testing.T) {
+	tr := &Trace{}
+	if got := tr.InvocationRate(AllApprox); got != 0 {
+		t.Errorf("empty trace rate = %v", got)
+	}
+}
+
+func TestCompactCaptureMatchesFull(t *testing.T) {
+	b, _ := axbench.New("inversek2j")
+	acc := testAccel(t, b)
+	in := b.GenInput(mathx.NewRNG(21), axbench.TestScale())
+	full := Capture(b, in, acc, Options{KeepInputs: true})
+	comp := Capture(b, in, acc, Options{KeepInputs: true, Compact: true})
+
+	if !comp.Compact() || full.Compact() {
+		t.Fatal("Compact flags wrong")
+	}
+	if comp.N != full.N {
+		t.Fatalf("N differs: %d vs %d", comp.N, full.N)
+	}
+	// Errors agree to float32 resolution.
+	for i := range full.MaxErr {
+		if math.Abs(full.MaxErr[i]-comp.MaxErr[i]) > 1e-5*(1+full.MaxErr[i]) {
+			t.Fatalf("MaxErr[%d]: %v vs %v", i, full.MaxErr[i], comp.MaxErr[i])
+		}
+	}
+	// Inputs round-trip through float32.
+	buf := make([]float64, comp.InDim)
+	for i := 0; i < comp.N; i += 37 {
+		fullIn := full.Input(i)
+		compIn := comp.InputInto(i, buf)
+		for j := range fullIn {
+			if math.Abs(fullIn[j]-compIn[j]) > 1e-6*(1+math.Abs(fullIn[j])) {
+				t.Fatalf("input %d dim %d: %v vs %v", i, j, fullIn[j], compIn[j])
+			}
+		}
+	}
+	// Replay under the same oracle decisions gives near-identical quality.
+	th := full.MaxErr[full.N/2]
+	qFull := full.QualityAt(b, in, full.ThresholdOracle(th))
+	qComp := comp.QualityAt(b, in, comp.ThresholdOracle(th))
+	if math.Abs(qFull-qComp) > 1e-4 {
+		t.Errorf("qualities diverge: %v vs %v", qFull, qComp)
+	}
+	// Compact Input() materializes a copy (mutating it must not corrupt
+	// the trace).
+	v := comp.Input(0)
+	v[0] += 100
+	if comp.Input(0)[0] == v[0] {
+		t.Error("compact Input returned aliased storage")
+	}
+}
+
+func TestInputIntoPanicsWithoutInputs(t *testing.T) {
+	tr := &Trace{N: 1, InDim: 2, OutDim: 1}
+	defer func() {
+		if recover() == nil {
+			t.Error("InputInto without inputs should panic")
+		}
+	}()
+	tr.InputInto(0, make([]float64, 2))
+}

@@ -1,0 +1,170 @@
+package mithra
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestBenchmarksList(t *testing.T) {
+	names := Benchmarks()
+	if len(names) != 6 {
+		t.Fatalf("Benchmarks() = %v", names)
+	}
+	for _, n := range names {
+		if _, err := NewBenchmark(n); err != nil {
+			t.Errorf("NewBenchmark(%q): %v", n, err)
+		}
+	}
+	if _, err := NewBenchmark("bogus"); err == nil {
+		t.Error("bogus benchmark should error")
+	}
+}
+
+func TestPaperGuarantee(t *testing.T) {
+	g := PaperGuarantee()
+	if g.QualityLoss != 0.05 || g.SuccessRate != 0.90 || g.Confidence != 0.95 || !g.TwoSided {
+		t.Errorf("PaperGuarantee = %+v", g)
+	}
+	if g.RequiredSuccesses(250) != 235 {
+		t.Errorf("RequiredSuccesses(250) = %d, want the paper's 235", g.RequiredSuccesses(250))
+	}
+}
+
+// sharedDeployment caches the expensive end-to-end compile for the facade
+// tests.
+var (
+	depOnce sync.Once
+	depVal  *Deployment
+	depErr  error
+)
+
+func facadeDeployment(t *testing.T) *Deployment {
+	t.Helper()
+	depOnce.Do(func() {
+		g := Guarantee{QualityLoss: 0.05, SuccessRate: 0.6, Confidence: 0.9}
+		depVal, depErr = Compile("fft", g, TestOptions())
+	})
+	if depErr != nil {
+		t.Fatal(depErr)
+	}
+	return depVal
+}
+
+func TestCompileEndToEnd(t *testing.T) {
+	dep := facadeDeployment(t)
+	if !dep.Th.Certified {
+		t.Fatalf("threshold not certified: %+v", dep.Th)
+	}
+	res := dep.EvaluateValidation(DesignTable)
+	if len(res.Qualities) == 0 {
+		t.Fatal("no validation qualities")
+	}
+	if res.Speedup <= 0 {
+		t.Errorf("speedup %v", res.Speedup)
+	}
+}
+
+func TestCompileUnknownBenchmark(t *testing.T) {
+	if _, err := Compile("nope", PaperGuarantee(), TestOptions()); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}
+
+func TestExperimentIDs(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 14 {
+		t.Fatalf("ExperimentIDs = %v", ids)
+	}
+	want := map[string]bool{"fig1": true, "fig6": true, "fig11": true, "table1": true, "soft": true}
+	for _, id := range ids {
+		delete(want, id)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing experiment ids: %v", want)
+	}
+}
+
+func TestReportSubset(t *testing.T) {
+	cfg := DefaultReportConfig()
+	cfg.Opts = TestOptions()
+	cfg.Benchmarks = []string{"fft"}
+	cfg.QualityLevels = []float64{0.05}
+	cfg.SuccessRate = 0.6
+	cfg.Confidence = 0.9
+	cfg.TwoSided = false
+	var buf bytes.Buffer
+	if err := Report(cfg, &buf, "table1"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fft") {
+		t.Errorf("report missing benchmark row:\n%s", buf.String())
+	}
+	if err := Report(cfg, &buf, "nosuch"); err == nil {
+		t.Error("unknown experiment id should error")
+	}
+}
+
+func TestFacadeProgramRoundTrip(t *testing.T) {
+	dep := facadeDeployment(t)
+	blob, err := dep.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadProgram(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Bench.Name() != "fft" {
+		t.Errorf("bench = %s", p.Bench.Name())
+	}
+	if _, err := LoadProgram([]byte("bogus")); err == nil {
+		t.Error("bogus program should fail")
+	}
+}
+
+func TestFacadeImageHelpers(t *testing.T) {
+	// Build a tiny PGM in memory and run it through the facade helpers.
+	src := "P2\n16 16\n255\n"
+	for i := 0; i < 256; i++ {
+		src += "128 "
+	}
+	im, err := ReadPGM(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.W != 16 || im.H != 16 {
+		t.Fatalf("size %dx%d", im.W, im.H)
+	}
+	in := NewImageInput(im)
+	if in.Invocations() != 256 {
+		t.Errorf("sobel invocations = %d", in.Invocations())
+	}
+	jin, err := NewJPEGInput(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jin.Invocations() != 4 {
+		t.Errorf("jpeg invocations = %d", jin.Invocations())
+	}
+	if _, err := ReadPGM(strings.NewReader("garbage")); err == nil {
+		t.Error("garbage PGM should fail")
+	}
+}
+
+func TestFacadeOptionsVariants(t *testing.T) {
+	if PaperOptions().CompileN != 250 || PaperOptions().Scale.ImageW != 512 {
+		t.Error("PaperOptions wrong")
+	}
+	if !PaperOptions().CompactTraces {
+		t.Error("paper scale should use compact traces")
+	}
+	if DefaultOptions().CompileN != 100 {
+		t.Error("DefaultOptions wrong")
+	}
+	cfg := DefaultReportConfig()
+	if len(cfg.QualityLevels) != 4 || cfg.SuccessRate != 0.90 {
+		t.Errorf("report config: %+v", cfg)
+	}
+}
