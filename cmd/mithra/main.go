@@ -99,6 +99,13 @@ func cmdList() error {
 	return nil
 }
 
+// parallelFlag registers the shared -parallel knob: the worker count for
+// every pool in the pipeline. Results are bit-identical at any setting;
+// the flag only trades wall-clock time for cores.
+func parallelFlag(fs *flag.FlagSet) *int {
+	return fs.Int("parallel", 0, "worker count for the evaluation pipeline (0 = all cores, 1 = serial)")
+}
+
 func guaranteeFlags(fs *flag.FlagSet) (quality, success, confidence *float64, twoSided *bool) {
 	quality = fs.Float64("quality", 0.05, "desired final quality loss (e.g. 0.05 for 5%)")
 	success = fs.Float64("success", 0.90, "required success rate on unseen datasets")
@@ -114,6 +121,7 @@ func cmdCompile(args []string) error {
 	seed := fs.Uint64("seed", 42, "experiment seed")
 	out := fs.String("o", "", "write the exported deployment to this file")
 	deltaWalk := fs.Bool("delta-walk", false, "use Algorithm 1's delta-walk instead of bisection")
+	par := parallelFlag(fs)
 	quality, success, confidence, twoSided := guaranteeFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -124,6 +132,7 @@ func cmdCompile(args []string) error {
 	}
 	opts.Seed = *seed
 	opts.UseDeltaWalk = *deltaWalk
+	opts.Parallelism = *par
 	g := mithra.Guarantee{QualityLoss: *quality, SuccessRate: *success,
 		Confidence: *confidence, TwoSided: *twoSided}
 
@@ -247,6 +256,7 @@ func cmdRun(args []string) error {
 	scale := fs.String("scale", "medium", "dataset scale: test|medium|paper")
 	seed := fs.Uint64("seed", 42, "experiment seed")
 	designName := fs.String("design", "table", "design: full-approx|oracle|table|neural|random|table-sw|neural-sw")
+	par := parallelFlag(fs)
 	quality, success, confidence, twoSided := guaranteeFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -256,6 +266,7 @@ func cmdRun(args []string) error {
 		return err
 	}
 	opts.Seed = *seed
+	opts.Parallelism = *par
 	g := mithra.Guarantee{QualityLoss: *quality, SuccessRate: *success,
 		Confidence: *confidence, TwoSided: *twoSided}
 
@@ -307,6 +318,7 @@ func cmdReport(args []string) error {
 	exp := fs.String("exp", "", "single experiment id (default: all)")
 	seed := fs.Uint64("seed", 42, "experiment seed")
 	benches := fs.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
+	par := parallelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -315,6 +327,7 @@ func cmdReport(args []string) error {
 		return err
 	}
 	opts.Seed = *seed
+	opts.Parallelism = *par
 	cfg := mithra.DefaultReportConfig()
 	cfg.Opts = opts
 	if *scale == "test" {

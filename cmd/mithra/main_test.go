@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mithra"
+	"mithra/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with the current output")
+
+// TestReportGolden pins the rendered output of the report command's code
+// path (mithra.Report, exactly what cmdReport invokes) at test scale on a
+// single benchmark. The pipeline is deterministic by construction — seeded
+// RNG streams and the parallel engine's bit-identical guarantee — so the
+// full report text, numbers included, is stable and diffable.
+func TestReportGolden(t *testing.T) {
+	cfg := mithra.DefaultReportConfig()
+	cfg.Opts = core.TestOptions()
+	cfg.Benchmarks = []string{"fft"}
+	cfg.QualityLevels = []float64{0.05, 0.10}
+	// Test-scale sample counts cannot certify the paper's 90%@95%
+	// guarantee; mirror cmdReport's -scale test adjustment.
+	cfg.SuccessRate = 0.6
+	cfg.Confidence = 0.9
+	cfg.TwoSided = false
+
+	var buf bytes.Buffer
+	if err := mithra.Report(cfg, &buf, "table1", "fig6"); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	path := filepath.Join("testdata", "report.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run 'go test -update' to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("report output differs from %s (run 'go test -update' after verifying):\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}

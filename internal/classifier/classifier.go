@@ -48,6 +48,18 @@ type Classifier interface {
 	SizeBytes() int
 }
 
+// ConcurrentViewer is implemented by classifiers whose trained state can
+// back several concurrent evaluation streams. Classify itself reuses
+// per-classifier scratch buffers and is never safe to share across
+// goroutines; ConcurrentView returns an equivalent classifier — identical
+// decisions, identical Overhead — with private scratch, for one worker's
+// exclusive use. Views are for read-only classification: updating a view
+// (e.g. Table.Update) does not propagate to the original.
+type ConcurrentViewer interface {
+	Classifier
+	ConcurrentView() Classifier
+}
+
 // Stats compares a classifier's decisions against the oracle's on labeled
 // samples (paper Figure 7).
 type Stats struct {

@@ -6,6 +6,7 @@ import (
 	"mithra/internal/mathx"
 	"mithra/internal/nn"
 	"mithra/internal/npu"
+	"mithra/internal/parallel"
 )
 
 // NeuralOptions controls neural-classifier training.
@@ -32,6 +33,11 @@ type NeuralOptions struct {
 	// A positive bias trades false positives for fewer misses — the
 	// quality-first asymmetry the paper's designs exhibit.
 	Bias float64
+	// Parallelism bounds the worker pool training the topology sweep's
+	// candidates (<= 0: GOMAXPROCS, 1: serial). Every candidate trains
+	// from its own deterministic seed, so the selected network is
+	// identical at any setting.
+	Parallelism int
 }
 
 // DefaultNeuralOptions mirrors the paper's sweep.
@@ -121,12 +127,21 @@ func TrainNeural(inputDim int, samples []Sample, opts NeuralOptions) (*Neural, e
 		hidden int
 		acc    float64
 	}
-	var cands []candidate
-	for _, h := range opts.HiddenSizes {
-		net := nn.New([]int{inputDim, h, 2}, nn.Classification(2),
-			mathx.NewRNG(opts.Seed).Split(uint64(h)))
-		net.Train(trainSet, opts.Train)
-		cands = append(cands, candidate{net: net, hidden: h, acc: accuracy(net, holdSet)})
+	// The sweep's candidates are independent: each trains its own network
+	// from a seed keyed by its hidden size on the shared (read-only)
+	// training set. They run on the worker pool and land in hidden-size
+	// order, so the selection below sees the same sequence the serial
+	// sweep produced.
+	cands, err := parallel.Map(opts.Parallelism, len(opts.HiddenSizes),
+		func(i int) (candidate, error) {
+			h := opts.HiddenSizes[i]
+			net := nn.New([]int{inputDim, h, 2}, nn.Classification(2),
+				mathx.NewRNG(opts.Seed).Split(uint64(h)))
+			net.Train(trainSet, opts.Train)
+			return candidate{net: net, hidden: h, acc: accuracy(net, holdSet)}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
 	// Highest accuracy wins; a smaller network within TiePct takes the
@@ -241,4 +256,12 @@ func (n *Neural) SizeBytes() int { return n.net.SizeBytes(2) }
 // Topology returns the selected network's layer sizes.
 func (n *Neural) Topology() []int { return n.net.Sizes }
 
-var _ Classifier = (*Neural)(nil)
+// ConcurrentView implements ConcurrentViewer: the view shares the trained
+// network and scaler (read-only during classification) but owns its
+// scratch buffers, so workers classify concurrently without contending.
+func (n *Neural) ConcurrentView() Classifier { return n.WithBias(n.bias) }
+
+var (
+	_ Classifier       = (*Neural)(nil)
+	_ ConcurrentViewer = (*Neural)(nil)
+)

@@ -400,4 +400,12 @@ func (t *Table) Clone() *Table {
 	return c
 }
 
-var _ Classifier = (*Table)(nil)
+// ConcurrentView implements ConcurrentViewer: a deep clone decides
+// identically to the original while owning every mutable buffer, so one
+// worker can classify with it while others use their own views.
+func (t *Table) ConcurrentView() Classifier { return t.Clone() }
+
+var (
+	_ Classifier       = (*Table)(nil)
+	_ ConcurrentViewer = (*Table)(nil)
+)

@@ -2,14 +2,12 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"mithra/internal/axbench"
 	"mithra/internal/mathx"
 	"mithra/internal/nn"
 	"mithra/internal/npu"
+	"mithra/internal/parallel"
 	"mithra/internal/threshold"
 	"mithra/internal/trace"
 )
@@ -84,7 +82,7 @@ func NewContext(b axbench.Benchmark, opts Options) (*Context, error) {
 	// scratch), so they run on a bounded pool; results land in
 	// order-indexed slots and per-index RNG labels keep the data
 	// identical to a serial build.
-	ctx.Compile = captureAll(b, accel, opts.CompileN, func(i int) (axbench.Input, trace.Options) {
+	ctx.Compile = captureAll(b, accel, opts.Parallelism, opts.CompileN, func(i int) (axbench.Input, trace.Options) {
 		return b.GenInput(root.Split(streamCompile+uint64(i)), opts.Scale),
 			trace.Options{KeepInputs: i < opts.TrainDatasets, Compact: opts.CompactTraces}
 	})
@@ -92,43 +90,28 @@ func NewContext(b axbench.Benchmark, opts Options) (*Context, error) {
 		ctx.FullQuality += d.Tr.FullQuality(b)
 	}
 	ctx.FullQuality /= float64(opts.CompileN)
-	ctx.Validate = captureAll(b, accel, opts.ValidateN, func(j int) (axbench.Input, trace.Options) {
+	ctx.Validate = captureAll(b, accel, opts.Parallelism, opts.ValidateN, func(j int) (axbench.Input, trace.Options) {
 		return b.GenInput(root.Split(streamValidate+uint64(j)), opts.Scale),
 			trace.Options{KeepInputs: true, Compact: opts.CompactTraces}
 	})
 	return ctx, nil
 }
 
-// captureAll captures n datasets concurrently. gen is called from worker
-// goroutines; it must derive all randomness from the index (root.Split is
-// read-only on the parent RNG, so concurrent splits are safe).
-func captureAll(b axbench.Benchmark, accel *npu.Accelerator, n int,
+// captureAll captures n datasets on the worker pool. gen is called from
+// worker goroutines; it must derive all randomness from the index
+// (root.Split is read-only on the parent RNG, so concurrent splits are
+// safe). Each capture lands in its order-indexed slot, so the result is
+// identical at every worker count.
+func captureAll(b axbench.Benchmark, accel *npu.Accelerator, workers, n int,
 	gen func(i int) (axbench.Input, trace.Options)) []threshold.Dataset {
 	out := make([]threshold.Dataset, n)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+	if err := parallel.ForEach(workers, n, func(i int) error {
+		in, topts := gen(i)
+		out[i] = threshold.Dataset{In: in, Tr: trace.Capture(b, in, accel, topts)}
+		return nil
+	}); err != nil {
+		panic(err)
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	var next int64 = -1
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= n {
-					return
-				}
-				in, topts := gen(i)
-				out[i] = threshold.Dataset{In: in, Tr: trace.Capture(b, in, accel, topts)}
-			}
-		}()
-	}
-	wg.Wait()
 	return out
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"mithra/internal/classifier"
 	"mithra/internal/mathx"
+	"mithra/internal/parallel"
 	"mithra/internal/stats"
 	"mithra/internal/threshold"
 	"mithra/internal/trace"
@@ -64,7 +65,11 @@ func (ctx *Context) Deploy(g stats.Guarantee) (*Deployment, error) {
 	if ctx.Opts.UseDeltaWalk {
 		find = threshold.FindDeltaWalk
 	}
-	th, err := find(ctx.Bench, ctx.Compile, g, ctx.Opts.ThOpts)
+	topts := ctx.Opts.ThOpts
+	if topts.Workers == 0 {
+		topts.Workers = ctx.Opts.Parallelism
+	}
+	th, err := find(ctx.Bench, ctx.Compile, g, topts)
 	if err != nil {
 		return nil, fmt.Errorf("core: threshold search for %s: %w", ctx.Bench.Name(), err)
 	}
@@ -199,9 +204,16 @@ func pickBest(cands []tunedCandidate, target float64) int {
 // tuples and scored on held-out training datasets.
 func (d *Deployment) autoTuneTable(tuples tupleSet) (*classifier.Table, float64, error) {
 	base := d.Ctx.Opts.TableCfg
-	var tabs []*classifier.Table
-	var guards []float64
-	var cands []tunedCandidate
+	// Enumerate the candidate grid up front: each candidate is trained and
+	// scored independently on the worker pool (samples per guard band are
+	// labeled once and shared read-only), and the selection below folds the
+	// results in the same grid order the serial sweep visited.
+	type tableSpec struct {
+		guard   float64
+		samples []classifier.Sample
+		cfg     classifier.TableConfig
+	}
+	var specs []tableSpec
 	for _, guard := range []float64{1.0, 0.7, 0.45} {
 		samples := tuples.label(d.Th.Threshold * guard)
 		for _, bits := range []int{3, 4, 6} {
@@ -209,41 +221,72 @@ func (d *Deployment) autoTuneTable(tuples tupleSet) (*classifier.Table, float64,
 				cfg := base
 				cfg.QuantBits = bits
 				cfg.Combine = comb
-				tab, err := classifier.TrainTable(cfg, samples)
-				if err != nil {
-					return nil, 0, err
-				}
-				succ, inv, fn := d.scoreClassifier(tab)
-				tabs = append(tabs, tab)
-				guards = append(guards, guard)
-				cands = append(cands, tunedCandidate{succFrac: succ, invRate: inv, fnRate: fn, idx: len(tabs) - 1})
+				specs = append(specs, tableSpec{guard: guard, samples: samples, cfg: cfg})
 			}
 		}
 	}
+	type tableCand struct {
+		tab  *classifier.Table
+		cand tunedCandidate
+	}
+	scored, err := parallel.Map(d.Ctx.Opts.Parallelism, len(specs),
+		func(i int) (tableCand, error) {
+			tab, err := classifier.TrainTable(specs[i].cfg, specs[i].samples)
+			if err != nil {
+				return tableCand{}, err
+			}
+			succ, inv, fn := d.scoreClassifier(tab)
+			return tableCand{tab: tab,
+				cand: tunedCandidate{succFrac: succ, invRate: inv, fnRate: fn, idx: i}}, nil
+		})
+	if err != nil {
+		return nil, 0, err
+	}
+	cands := make([]tunedCandidate, len(scored))
+	for i, s := range scored {
+		cands[i] = s.cand
+	}
 	best := pickBest(cands, d.G.SuccessRate)
-	return tabs[best], guards[best], nil
+	return scored[best].tab, specs[best].guard, nil
 }
 
 // autoBiasNeural trains the neural classifier once and chooses its
 // conservative decision bias on the held-out training datasets (the bias
 // only shifts the output comparison, so candidates share the network).
 func (d *Deployment) autoBiasNeural() (*classifier.Neural, error) {
-	base, err := classifier.TrainNeural(d.Ctx.Bench.InputDim(), d.samples, d.Ctx.Opts.NeuralOpts)
+	nopts := d.Ctx.Opts.NeuralOpts
+	if nopts.Parallelism == 0 {
+		nopts.Parallelism = d.Ctx.Opts.Parallelism
+	}
+	base, err := classifier.TrainNeural(d.Ctx.Bench.InputDim(), d.samples, nopts)
 	if err != nil {
 		return nil, err
 	}
-	var neus []*classifier.Neural
-	var cands []tunedCandidate
 	// The upper biases make the classifier fall back almost always —
 	// the correct degradation when a threshold is too tight for the
-	// network to separate (quality survives at the cost of gains).
-	for _, bias := range []float64{0, 0.15, 0.3, 0.5, 0.75, 0.95} {
-		neu := base.WithBias(bias)
-		succ, inv, fn := d.scoreClassifier(neu)
-		neus = append(neus, neu)
-		cands = append(cands, tunedCandidate{succFrac: succ, invRate: inv, fnRate: fn, idx: len(neus) - 1})
+	// network to separate (quality survives at the cost of gains). Each
+	// bias candidate shares the trained network but owns its scratch
+	// (WithBias), so scoring runs on the worker pool.
+	biases := []float64{0, 0.15, 0.3, 0.5, 0.75, 0.95}
+	type biasCand struct {
+		neu  *classifier.Neural
+		cand tunedCandidate
 	}
-	return neus[pickBest(cands, d.G.SuccessRate)], nil
+	scored, err := parallel.Map(d.Ctx.Opts.Parallelism, len(biases),
+		func(i int) (biasCand, error) {
+			neu := base.WithBias(biases[i])
+			succ, inv, fn := d.scoreClassifier(neu)
+			return biasCand{neu: neu,
+				cand: tunedCandidate{succFrac: succ, invRate: inv, fnRate: fn, idx: i}}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	cands := make([]tunedCandidate, len(scored))
+	for i, s := range scored {
+		cands[i] = s.cand
+	}
+	return scored[pickBest(cands, d.G.SuccessRate)].neu, nil
 }
 
 // trainingTuples samples the classifier profiling data (paper §III-B)
@@ -282,12 +325,23 @@ func (ctx *Context) trainingTuples() tupleSet {
 // random baseline maximally competitive at every quality level, as in the
 // paper's Figure 9 comparison.
 func (ctx *Context) tuneRandomRate(g stats.Guarantee) float64 {
+	// Each dataset draws its filter decisions from its own index-keyed RNG
+	// stream, so the replays are independent and run on the worker pool;
+	// successes land in per-dataset slots and fold serially.
 	certifies := func(rate float64) bool {
-		succ := 0
-		for di, d := range ctx.Compile {
+		ok := make([]bool, len(ctx.Compile))
+		if err := parallel.ForEach(ctx.Opts.Parallelism, len(ctx.Compile), func(di int) error {
+			d := ctx.Compile[di]
 			rng := mathx.NewRNG(ctx.Opts.Seed).Split(0xF00D + uint64(di))
 			dec := func(int) bool { return !rng.Bool(rate) }
-			if d.Tr.QualityAt(ctx.Bench, d.In, dec) <= g.QualityLoss {
+			ok[di] = d.Tr.QualityAt(ctx.Bench, d.In, dec) <= g.QualityLoss
+			return nil
+		}); err != nil {
+			panic(err)
+		}
+		succ := 0
+		for _, s := range ok {
+			if s {
 				succ++
 			}
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mithra/internal/classifier"
+	"mithra/internal/parallel"
 	"mithra/internal/sim"
 	"mithra/internal/threshold"
 	"mithra/internal/trace"
@@ -115,15 +116,44 @@ func (d *Deployment) simConfig(design Design) sim.Config {
 	return cfg
 }
 
+// decider maps a dataset to its decision vector. evaluateWith obtains one
+// decider per worker via a factory, because the classifier-backed deciders
+// carry scratch state that must not be shared across goroutines.
+type decider func(di int, tr *trace.Trace) trace.Decision
+
+// deciderFor returns a per-worker decider for a built-in design. Workers
+// evaluating a classifier-backed design each get a private view of the
+// classifier (shared trained state, private scratch buffers), so datasets
+// can be replayed concurrently while producing the exact decisions the
+// shared classifier would.
+func (d *Deployment) deciderFor(design Design) func() decider {
+	return func() decider {
+		w := d
+		switch design {
+		case DesignTable, DesignTableSW:
+			cp := *d
+			cp.Table = d.Table.Clone()
+			w = &cp
+		case DesignNeural, DesignNeuralSW:
+			cp := *d
+			cp.Neural = d.Neural.WithBias(d.Neural.Bias())
+			w = &cp
+		}
+		return func(di int, tr *trace.Trace) trace.Decision {
+			return w.Decisions(design, di, tr)
+		}
+	}
+}
+
 // Evaluate replays every dataset under the design's decisions and
 // aggregates quality, statistical certification, and simulated gains.
+// Datasets are replayed on the deployment's worker pool
+// (Options.Parallelism); the result is bit-identical to the serial path.
 func (d *Deployment) Evaluate(design Design, datasets []threshold.Dataset) EvalResult {
 	countFalse := design == DesignTable || design == DesignNeural ||
 		design == DesignTableSW || design == DesignNeuralSW
 	return d.evaluateWith(design, d.simConfig(design), datasets, countFalse,
-		func(di int, tr *trace.Trace) trace.Decision {
-			return d.Decisions(design, di, tr)
-		})
+		d.Ctx.Opts.Parallelism, d.deciderFor(design))
 }
 
 // EvaluateTable evaluates a custom-trained table variant (the Figure 11
@@ -134,16 +164,28 @@ func (d *Deployment) EvaluateTable(tab *classifier.Table, datasets []threshold.D
 
 // EvaluateClassifier evaluates any classifier implementation on datasets,
 // costing it with its own Overhead — the entry point for the related-work
-// baseline comparisons (decision trees, error regressors).
+// baseline comparisons (decision trees, error regressors). Classifiers
+// that implement classifier.ConcurrentViewer are evaluated on the worker
+// pool with one private view per worker; others fall back to the serial
+// path, since Classify is not safe for concurrent use.
 func (d *Deployment) EvaluateClassifier(c classifier.Classifier, datasets []threshold.Dataset) EvalResult {
 	simCfg := d.simConfig(DesignNone)
 	ov := c.Overhead()
 	simCfg.ClassifierCycles = float64(ov.Cycles)
 	simCfg.ClassifierEnergyPJ = ov.EnergyPJ
-	return d.evaluateWith(DesignTable, simCfg, datasets, true,
-		func(_ int, tr *trace.Trace) trace.Decision {
-			buf := make([]float64, tr.InDim)
-			return func(i int) bool { return c.Classify(tr.InputInto(i, buf)) }
+	workers := 1
+	view := func() classifier.Classifier { return c }
+	if cv, ok := c.(classifier.ConcurrentViewer); ok {
+		workers = d.Ctx.Opts.Parallelism
+		view = cv.ConcurrentView
+	}
+	return d.evaluateWith(DesignTable, simCfg, datasets, true, workers,
+		func() decider {
+			cw := view()
+			return func(_ int, tr *trace.Trace) trace.Decision {
+				buf := make([]float64, tr.InDim)
+				return func(i int) bool { return cw.Classify(tr.InputInto(i, buf)) }
+			}
 		})
 }
 
@@ -160,59 +202,89 @@ func (d *Deployment) EvaluateTableOnline(sampleEvery int, datasets []threshold.D
 	clone := d.Table.Clone()
 	simCfg := d.simConfig(DesignTable)
 	simCfg.ClassifierCycles += d.Ctx.Bench.Profile().KernelCycles / float64(sampleEvery)
-	return d.evaluateWith(DesignTable, simCfg, datasets, true,
-		func(_ int, tr *trace.Trace) trace.Decision {
-			buf := make([]float64, tr.InDim)
-			return func(i int) bool {
-				in := tr.InputInto(i, buf)
-				precise := clone.Classify(in)
-				if i%sampleEvery == 0 {
-					clone.Update(in, tr.MaxErr[i] > d.Th.Threshold)
+	// Online training mutates the table as datasets stream through, so the
+	// replay order is part of the semantics: this path is always serial.
+	return d.evaluateWith(DesignTable, simCfg, datasets, true, 1,
+		func() decider {
+			return func(_ int, tr *trace.Trace) trace.Decision {
+				buf := make([]float64, tr.InDim)
+				return func(i int) bool {
+					in := tr.InputInto(i, buf)
+					precise := clone.Classify(in)
+					if i%sampleEvery == 0 {
+						clone.Update(in, tr.MaxErr[i] > d.Th.Threshold)
+					}
+					return precise
 				}
-				return precise
 			}
 		})
 }
 
+// datasetEval is one dataset's contribution to an EvalResult — the
+// per-task shard the parallel replay writes into its order-indexed slot.
+type datasetEval struct {
+	quality  float64
+	nPrecise int
+	fp, fn   int
+	rep      sim.Report
+}
+
+// evaluateWith replays every dataset under the decisions produced by a
+// per-worker decider and aggregates the result. The replays run on a
+// bounded worker pool (workers <= 1 is the serial path); each dataset's
+// shard lands in its own slot and the shards are folded serially in
+// dataset order, so the floating-point accumulation — and therefore the
+// EvalResult — is bit-identical at every worker count.
 func (d *Deployment) evaluateWith(design Design, simCfg sim.Config, datasets []threshold.Dataset,
-	countFalse bool, decFor func(di int, tr *trace.Trace) trace.Decision) EvalResult {
+	countFalse bool, workers int, newDecider func() decider) EvalResult {
 	res := EvalResult{Design: design}
+
+	evals := make([]datasetEval, len(datasets))
+	err := parallel.ForEachWorker(workers, len(datasets), newDecider,
+		func(decide decider, di int) error {
+			ds := datasets[di]
+			dec := decide(di, ds.Tr)
+			decs := make([]bool, ds.Tr.N)
+			out := ds.Tr.Replay(d.Ctx.Bench, ds.In, decs, dec)
+			e := &evals[di]
+			e.quality = d.Ctx.Bench.Metric().Loss(ds.Tr.PreciseOut, out)
+			for i, p := range decs {
+				if p {
+					e.nPrecise++
+				}
+				oracleBad := ds.Tr.MaxErr[i] > d.Th.Threshold
+				switch {
+				case p && !oracleBad:
+					e.fp++
+				case !p && oracleBad:
+					e.fn++
+				}
+			}
+			e.rep = simCfg.Evaluate(ds.Tr.N, e.nPrecise)
+			return nil
+		})
+	if err != nil {
+		// Tasks only return errors by panicking (pool-converted); restore
+		// the panic semantics of the serial path.
+		panic(err)
+	}
 
 	var totalInv, totalPrecise int
 	var baseCycles, runCycles, baseEnergy, runEnergy float64
 	var fp, fn int
-
-	for di, ds := range datasets {
-		dec := decFor(di, ds.Tr)
-		decs := make([]bool, ds.Tr.N)
-		out := ds.Tr.Replay(d.Ctx.Bench, ds.In, decs, dec)
-		q := d.Ctx.Bench.Metric().Loss(ds.Tr.PreciseOut, out)
-		res.Qualities = append(res.Qualities, q)
-		if q <= d.G.QualityLoss {
+	for di, e := range evals {
+		res.Qualities = append(res.Qualities, e.quality)
+		if e.quality <= d.G.QualityLoss {
 			res.Successes++
 		}
-
-		nPrecise := 0
-		for i, p := range decs {
-			if p {
-				nPrecise++
-			}
-			oracleBad := ds.Tr.MaxErr[i] > d.Th.Threshold
-			switch {
-			case p && !oracleBad:
-				fp++
-			case !p && oracleBad:
-				fn++
-			}
-		}
-		totalInv += ds.Tr.N
-		totalPrecise += nPrecise
-
-		rep := simCfg.Evaluate(ds.Tr.N, nPrecise)
-		baseCycles += rep.BaselineCycles
-		runCycles += rep.Cycles
-		baseEnergy += rep.BaselineEnergyPJ
-		runEnergy += rep.EnergyPJ
+		totalInv += datasets[di].Tr.N
+		totalPrecise += e.nPrecise
+		fp += e.fp
+		fn += e.fn
+		baseCycles += e.rep.BaselineCycles
+		runCycles += e.rep.Cycles
+		baseEnergy += e.rep.BaselineEnergyPJ
+		runEnergy += e.rep.EnergyPJ
 	}
 
 	res.InvocationRate = float64(totalInv-totalPrecise) / float64(totalInv)

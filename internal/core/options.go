@@ -63,6 +63,13 @@ type Options struct {
 	// CompactTraces stores captured traces as float32, halving the
 	// dominant memory cost; enabled at paper scale.
 	CompactTraces bool
+	// Parallelism bounds the worker pools used throughout the pipeline
+	// (dataset capture, threshold search, classifier candidate training,
+	// design evaluation): <= 0 uses GOMAXPROCS, 1 forces the serial path,
+	// anything else is a literal worker count. Results are bit-identical
+	// at every setting (internal/parallel's invariant); the knob only
+	// trades wall-clock time for cores.
+	Parallelism int
 	// Seed keys every stochastic component of the pipeline.
 	Seed uint64
 }

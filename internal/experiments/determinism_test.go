@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestSuiteParallelismInvariant runs the same campaign serially and on
+// the worker pool and asserts the artifacts — structured points and the
+// rendered table — are identical. This exercises the whole stack at once:
+// suite fan-out, context capture, threshold search, classifier tuning,
+// and design evaluation all honor Config.Opts.Parallelism.
+func TestSuiteParallelismInvariant(t *testing.T) {
+	run := func(par int) (*Fig6Result, string) {
+		cfg := TestConfig()
+		cfg.Benchmarks = []string{"inversek2j"}
+		cfg.Opts.Parallelism = par
+		s, err := NewSuite(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Fig6()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		res.Table.Render(&buf)
+		return res, buf.String()
+	}
+	serial, serialText := run(1)
+	par, parText := run(8)
+	if !reflect.DeepEqual(serial.Points, par.Points) {
+		t.Errorf("points differ:\nserial   %+v\nparallel %+v", serial.Points, par.Points)
+	}
+	if serialText != parText {
+		t.Errorf("rendered tables differ:\nserial:\n%s\nparallel:\n%s", serialText, parText)
+	}
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with the current output")
+
+// compareGolden checks got against the named golden file, rewriting the
+// file instead when -update is set.
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run 'go test -update' to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (run 'go test -update' after verifying):\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+// TestTableRenderGolden pins the exact text format of rendered tables:
+// column alignment, separator row, trailing-space trimming, and note
+// placement. Every experiment artifact goes through this renderer, so a
+// formatting regression would silently change every report.
+func TestTableRenderGolden(t *testing.T) {
+	tab := &Table{
+		ID:     "demo",
+		Title:  "Renderer fixture",
+		Header: []string{"benchmark", "speedup", "notes column"},
+		Rows: [][]string{
+			{"sobel", "2.50x", "short"},
+			{"inversek2j", "1.9x", "a longer cell that widens the column"},
+			{"fft", "10.00x", ""},
+		},
+		Notes: []string{"first note", "second note"},
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	compareGolden(t, "table_render.golden", buf.Bytes())
+}

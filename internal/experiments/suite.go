@@ -19,6 +19,7 @@ import (
 
 	"mithra/internal/axbench"
 	"mithra/internal/core"
+	"mithra/internal/parallel"
 	"mithra/internal/stats"
 )
 
@@ -115,27 +116,15 @@ func NewSuite(cfg Config) (*Suite, error) {
 	}, nil
 }
 
-// forEachBenchmark runs f once per configured benchmark, in parallel.
-// Deployments and classifiers are not safe for concurrent use, so the
-// parallel grain is the benchmark: each goroutine owns every deployment
-// of its benchmark, and goroutines never share one.
+// forEachBenchmark runs f once per configured benchmark on the campaign's
+// worker pool (Config.Opts.Parallelism). The fan-out grain is the
+// benchmark: each task owns every deployment of its benchmark, and tasks
+// never share one, while the inner pipeline stages (capture, threshold
+// search, candidate training, evaluation) parallelize further over
+// datasets and candidates. Errors surface joined in benchmark order.
 func (s *Suite) forEachBenchmark(f func(name string) error) error {
-	var wg sync.WaitGroup
-	errs := make([]error, len(s.Cfg.Benchmarks))
-	for i, name := range s.Cfg.Benchmarks {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			errs[i] = f(name)
-		}(i, name)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return parallel.ForEach(s.Cfg.Opts.Parallelism, len(s.Cfg.Benchmarks),
+		func(i int) error { return f(s.Cfg.Benchmarks[i]) })
 }
 
 // Guarantee builds the statistical guarantee for a quality level.

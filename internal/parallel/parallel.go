@@ -1,0 +1,156 @@
+// Package parallel is the execution engine behind every fan-out in the
+// pipeline: benchmark/design cells in an experiment sweep, dataset chunks
+// during evaluation, and classifier candidates during training all run on
+// the bounded worker pools provided here.
+//
+// The package is built around one invariant: results must be bit-identical
+// regardless of GOMAXPROCS, the worker count, or goroutine scheduling
+// order. Three rules enforce it, and every caller follows them:
+//
+//  1. Tasks write into order-indexed slots; nothing is appended from a
+//     worker. Reductions over the slots happen serially, in index order,
+//     after the pool drains, so floating-point accumulation order matches
+//     the serial path exactly.
+//  2. Any randomness a task needs is derived from a root seed plus a
+//     stable task key (Seed, or mathx.RNG.Split keyed by the task index),
+//     never from shared generator state or scheduling order.
+//  3. Mutable scratch state (classifier buffers, NN scratch) is private to
+//     a worker: ForEachWorker instantiates it once per worker via a setup
+//     function.
+//
+// A worker count of 1 degenerates to a plain serial loop on the calling
+// goroutine — no goroutines are spawned — so the serial path is always
+// available for differential testing and profiling.
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism setting to a concrete worker count:
+// n <= 0 selects GOMAXPROCS (use every core), any other value is taken
+// literally. This is the shared interpretation of the -parallel flag and
+// of the Parallelism fields on the pipeline option structs.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Seed derives a deterministic per-task RNG seed from a root seed and a
+// stable task key (for example "sobel|q=0.05|design=table"). The same
+// (root, key) pair always yields the same seed, and distinct keys yield
+// decorrelated seeds, so a task's random stream is a pure function of its
+// identity — never of which worker ran it or when.
+func Seed(root uint64, key string) uint64 {
+	// FNV-1a folds the key; the SplitMix64 finalizer decorrelates nearby
+	// roots and keys (the same mixer mathx.RNG is built on).
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	z := root ^ (h + 0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// ForEach runs f(i) for every i in [0, n) on at most `workers` goroutines
+// and returns the aggregated error. Task indices are handed out
+// dynamically, so uneven task costs still fill the pool. Errors from all
+// tasks are collected into order-indexed slots and joined in index order
+// after the pool drains — the aggregate is deterministic and no failure
+// is masked by another.
+func ForEach(workers, n int, f func(i int) error) error {
+	return ForEachWorker(workers, n, func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) error { return f(i) })
+}
+
+// ForEachWorker is ForEach for tasks that need per-worker mutable state
+// (classifier scratch buffers, decision closures, ...): setup runs once on
+// each worker before it takes tasks, and its result is passed to every
+// f(state, i) call that worker makes. With workers <= 1 (or n <= 1) setup
+// runs once and the loop executes inline on the calling goroutine — the
+// serial degenerate case.
+func ForEachWorker[S any](workers, n int, setup func() S, f func(state S, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers = Workers(workers); workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers <= 1 {
+		state := setup()
+		for i := 0; i < n; i++ {
+			errs[i] = safeCall(f, state, i)
+		}
+		return joinIndexed(errs)
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			state := setup()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				errs[i] = safeCall(f, state, i)
+			}
+		}()
+	}
+	wg.Wait()
+	return joinIndexed(errs)
+}
+
+// Map runs f(i) for every i in [0, n) on at most `workers` goroutines and
+// returns the results in index order. On error the partial results are
+// still returned (failed slots hold the zero value) alongside the joined
+// error, so callers can report every failure at once.
+func Map[T any](workers, n int, f func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := f(i)
+		out[i] = v
+		return err
+	})
+	return out, err
+}
+
+// safeCall invokes f and converts a panic into an error carrying the task
+// index, so one panicking task reports its identity instead of crashing
+// the process with a goroutine dump from an arbitrary worker.
+func safeCall[S any](f func(S, int) error, state S, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("parallel: task %d panicked: %v", i, r)
+		}
+	}()
+	return f(state, i)
+}
+
+// joinIndexed joins non-nil errors in index order.
+func joinIndexed(errs []error) error {
+	any := false
+	for _, e := range errs {
+		if e != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	return errors.Join(errs...)
+}

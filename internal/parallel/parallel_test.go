@@ -1,0 +1,192 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"mithra/internal/mathx"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	for _, n := range []int{1, 2, 7, 64} {
+		if got := Workers(n); got != n {
+			t.Fatalf("Workers(%d) = %d", n, got)
+		}
+	}
+}
+
+// TestForEachCoversAllIndices checks every index runs exactly once at any
+// worker count.
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		const n = 57
+		var counts [n]int32
+		if err := ForEach(workers, n, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestForEachSerialInline proves workers=1 never spawns a goroutine: the
+// tasks must run on the calling goroutine, in index order.
+func TestForEachSerialInline(t *testing.T) {
+	var order []int
+	caller := goroutineID()
+	err := ForEach(1, 5, func(i int) error {
+		if goroutineID() != caller {
+			t.Error("workers=1 ran a task off the calling goroutine")
+		}
+		order = append(order, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order %v not ascending", order)
+		}
+	}
+}
+
+func goroutineID() string {
+	buf := make([]byte, 32)
+	return string(buf[:runtime.Stack(buf, false)])
+}
+
+// TestErrorAggregation checks that every failing task is reported, in
+// index order, regardless of worker count.
+func TestErrorAggregation(t *testing.T) {
+	sentinel := errors.New("task failed")
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 10, func(i int) error {
+			if i%3 == 0 {
+				return fmt.Errorf("%w: %d", sentinel, i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", workers)
+		}
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: lost the task error: %v", workers, err)
+		}
+		want := "task failed: 0\ntask failed: 3\ntask failed: 6\ntask failed: 9"
+		if err.Error() != want {
+			t.Fatalf("workers=%d: aggregate not deterministic:\n got %q\nwant %q", workers, err.Error(), want)
+		}
+	}
+}
+
+// TestPanicBecomesError checks a panicking task surfaces as an error that
+// names the task instead of crashing the pool.
+func TestPanicBecomesError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 6, func(i int) error {
+			if i == 4 {
+				panic("boom")
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "parallel: task 4 panicked: boom" {
+			t.Fatalf("workers=%d: got %v", workers, err)
+		}
+	}
+}
+
+// TestForEachWorkerStatePrivacy checks each worker receives its own state
+// value and that states are never shared across workers.
+func TestForEachWorkerStatePrivacy(t *testing.T) {
+	type state struct {
+		id   int32
+		uses int
+	}
+	var nextID atomic.Int32
+	var made atomic.Int32
+	err := ForEachWorker(4, 64,
+		func() *state {
+			made.Add(1)
+			return &state{id: nextID.Add(1)}
+		},
+		func(s *state, i int) error {
+			// Unsynchronized mutation: the race detector fails this test if
+			// two workers ever share a state value.
+			s.uses++
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := made.Load(); n < 1 || n > 4 {
+		t.Fatalf("setup ran %d times, want 1..4", n)
+	}
+}
+
+// TestMapDeterministic checks Map fills slots in index order with results
+// identical across worker counts.
+func TestMapDeterministic(t *testing.T) {
+	f := func(i int) (float64, error) {
+		return mathx.NewRNG(Seed(42, fmt.Sprintf("task-%d", i))).Float64(), nil
+	}
+	serial, err := Map(1, 40, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 5, 40} {
+		par, err := Map(workers, 40, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d: slot %d differs: %v vs %v", workers, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+// TestSeedProperties checks Seed is a pure function of (root, key) and
+// that distinct keys decorrelate.
+func TestSeedProperties(t *testing.T) {
+	if err := quick.Check(func(root uint64, key string) bool {
+		return Seed(root, key) == Seed(root, key)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	seen := map[uint64]string{}
+	for i := 0; i < 10000; i++ {
+		key := fmt.Sprintf("bench-%d|design-%d", i%100, i/100)
+		s := Seed(1, key)
+		if prev, ok := seen[s]; ok {
+			t.Fatalf("seed collision between %q and %q", prev, key)
+		}
+		seen[s] = key
+	}
+	if Seed(1, "a") == Seed(2, "a") {
+		t.Fatal("root seed ignored")
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

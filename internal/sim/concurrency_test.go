@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"mithra/internal/axbench"
+)
+
+// TestEvaluateConcurrentUse backs the documented contract that a single
+// Config can cost shards from many goroutines at once: under `go test
+// -race` this fails if Evaluate ever grows hidden shared state, and in
+// any build it verifies every goroutine gets the identical Report.
+func TestEvaluateConcurrentUse(t *testing.T) {
+	b, err := axbench.New("sobel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Profile:            b.Profile(),
+		NPUCycles:          60,
+		NPUEnergyPJ:        12000,
+		ClassifierCycles:   4,
+		ClassifierEnergyPJ: 90,
+	}
+	want := cfg.Evaluate(4096, 512)
+
+	const workers = 8
+	got := make([]Report, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				got[w] = cfg.Evaluate(4096, 512)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, r := range got {
+		if !reflect.DeepEqual(r, want) {
+			t.Errorf("worker %d report differs: %+v vs %+v", w, r, want)
+		}
+	}
+}

@@ -84,6 +84,11 @@ func Baseline(p axbench.Profile, n int) (cycles, energyPJ float64) {
 
 // Evaluate computes the run report when nPrecise of n invocations fall
 // back to the precise kernel and the rest run on the NPU.
+//
+// Config is a value type and Evaluate is a pure function of its inputs,
+// so one Config may be shared by any number of goroutines — the parallel
+// evaluation engine costs every dataset shard concurrently from a single
+// Config without synchronization.
 func (c Config) Evaluate(n, nPrecise int) Report {
 	if n <= 0 {
 		panic(fmt.Sprintf("sim: non-positive invocation count %d", n))

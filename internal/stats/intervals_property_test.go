@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property tests over randomized (successes, trials, confidence) domains.
+// The raw quick-generated integers are folded into the domains each
+// property is stated for; quick's default 100 iterations per property
+// keep the suite fast while covering the grid far more densely than the
+// hand-picked cases in intervals_test.go.
+
+// quickCfg raises the iteration count: each check is cheap and the
+// domains are three-dimensional.
+var quickCfg = &quick.Config{MaxCount: 400}
+
+// foldDomain maps raw quick values into a valid (successes, trials,
+// confidence) triple: trials in [1, 400], successes in [0, trials],
+// confidence in [0.05, 0.99].
+func foldDomain(a, b, c uint32) (successes, trials int, confidence float64) {
+	trials = 1 + int(a%400)
+	successes = int(b % uint32(trials+1))
+	confidence = 0.05 + 0.94*float64(c%1000)/999
+	return
+}
+
+// TestLowerBoundRange: every method's lower bound stays within [0, 1]
+// for any valid input.
+func TestLowerBoundRange(t *testing.T) {
+	for _, m := range Methods() {
+		m := m
+		f := func(a, b, c uint32) bool {
+			s, n, conf := foldDomain(a, b, c)
+			lb := m.LowerBound(s, n, conf)
+			return lb >= 0 && lb <= 1
+		}
+		if err := quick.Check(f, quickCfg); err != nil {
+			t.Errorf("%v: %v", m, err)
+		}
+	}
+}
+
+// TestLowerBoundNeverExceedsMLE: a lower confidence bound must not claim
+// more than the observed proportion p̂ = s/n (for confidence >= 1/2,
+// where the normal quantile is non-negative).
+func TestLowerBoundNeverExceedsMLE(t *testing.T) {
+	for _, m := range Methods() {
+		m := m
+		f := func(a, b, c uint32) bool {
+			s, n, _ := foldDomain(a, b, c)
+			conf := 0.5 + 0.49*float64(c%1000)/999
+			return m.LowerBound(s, n, conf) <= float64(s)/float64(n)+1e-12
+		}
+		if err := quick.Check(f, quickCfg); err != nil {
+			t.Errorf("%v: %v", m, err)
+		}
+	}
+}
+
+// TestLowerBoundMonotoneInSuccesses: with trials and confidence fixed,
+// observing more successes never weakens the certified bound. The check
+// walks every adjacent pair up to the drawn success count, so each quick
+// iteration validates a whole prefix of the success axis.
+func TestLowerBoundMonotoneInSuccesses(t *testing.T) {
+	for _, m := range Methods() {
+		m := m
+		f := func(a, b, c uint32) bool {
+			s, n, conf := foldDomain(a, b, c)
+			prev := m.LowerBound(0, n, conf)
+			for k := 1; k <= s; k++ {
+				cur := m.LowerBound(k, n, conf)
+				if cur < prev-1e-12 {
+					return false
+				}
+				prev = cur
+			}
+			return true
+		}
+		if err := quick.Check(f, quickCfg); err != nil {
+			t.Errorf("%v: %v", m, err)
+		}
+	}
+}
+
+// TestLowerBoundMonotoneInConfidence: demanding more confidence can only
+// weaken (lower) the certified bound.
+func TestLowerBoundMonotoneInConfidence(t *testing.T) {
+	for _, m := range Methods() {
+		m := m
+		f := func(a, b, c, d uint32) bool {
+			s, n, c1 := foldDomain(a, b, c)
+			_, _, c2 := foldDomain(a, b, d)
+			if c1 > c2 {
+				c1, c2 = c2, c1
+			}
+			return m.LowerBound(s, n, c2) <= m.LowerBound(s, n, c1)+1e-12
+		}
+		if err := quick.Check(f, quickCfg); err != nil {
+			t.Errorf("%v: %v", m, err)
+		}
+	}
+}
+
+// TestClopperPearsonMostConservativeBound compares the exact method
+// against the normal approximations on the regime MITHRA certifies in:
+// high success fractions (s >= 0.6n, the only region where a guarantee is
+// worth certifying) at the confidence levels the experiments sweep
+// (<= 0.975). There Clopper-Pearson's bound is the most conservative up
+// to the approximations' discretization wobble (< 2e-3 on this domain;
+// outside it, Wald's clamp-at-zero and Wilson's behaviour at p̂ -> 1 can
+// dip below the exact bound, which is exactly why the paper's choice of
+// the exact method matters — see TestWaldUndercovers in intervals_test.go
+// for the coverage consequence).
+func TestClopperPearsonMostConservativeBound(t *testing.T) {
+	f := func(a, b, c uint32) bool {
+		n := 10 + int(a%391) // [10, 400]
+		lo := int(0.6*float64(n)) + 1
+		s := lo + int(b%uint32(n-lo)) // [0.6n, n)
+		conf := 0.8 + 0.175*float64(c%1000)/999
+		cp := MethodClopperPearson.LowerBound(s, n, conf)
+		for _, m := range []IntervalMethod{MethodWilson, MethodWald} {
+			if m.LowerBound(s, n, conf) < cp-2e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClopperPearsonMostConservativeCertification is the exact form of
+// the conservatism property, stated on what actually matters to MITHRA:
+// the success count a guarantee requires. Clopper-Pearson never demands
+// fewer successes than the normal approximations at the confidences the
+// campaign uses.
+func TestClopperPearsonMostConservativeCertification(t *testing.T) {
+	f := func(a, b, c uint32) bool {
+		n := 10 + int(a%391)
+		target := 0.5 + 0.45*float64(b%1000)/999 // [0.5, 0.95]
+		conf := 0.8 + 0.175*float64(c%1000)/999  // [0.8, 0.975]
+		need := MethodClopperPearson.MinSuccessesFor(n, target, conf)
+		for _, m := range []IntervalMethod{MethodWilson, MethodWald} {
+			if need < m.MinSuccessesFor(n, target, conf) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHoeffdingConservative: the distribution-free bound never certifies
+// more than the exact binomial bound (it cannot exploit the binomial
+// shape), except for the clamp at zero where both floor out.
+func TestHoeffdingConservative(t *testing.T) {
+	f := func(a, b, c uint32) bool {
+		s, n, conf := foldDomain(a, b, c)
+		h := MethodHoeffding.LowerBound(s, n, conf)
+		cp := MethodClopperPearson.LowerBound(s, n, conf)
+		return h <= cp+2e-2 || h == 0
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"math"
 
 	"mithra/internal/axbench"
+	"mithra/internal/parallel"
 	"mithra/internal/stats"
 	"mithra/internal/trace"
 )
@@ -47,6 +48,12 @@ type Options struct {
 	// Tolerance is the bisection convergence width, also as a fraction of
 	// the maximum error.
 	Tolerance float64
+	// Workers bounds the worker pool replaying datasets inside each
+	// instrumented evaluation (<= 0: GOMAXPROCS, 1: serial). Every
+	// dataset's quality lands in its own slot and the success count folds
+	// in dataset order, so the search trajectory is identical at every
+	// setting.
+	Workers int
 }
 
 // DefaultOptions matches the evaluation setup.
@@ -78,11 +85,12 @@ type Result struct {
 
 // evaluator memoizes instrumented evaluations at candidate thresholds.
 type evaluator struct {
-	b     axbench.Benchmark
-	ds    []Dataset
-	g     stats.Guarantee
-	cache map[float64]evalPoint
-	evals int
+	b       axbench.Benchmark
+	ds      []Dataset
+	g       stats.Guarantee
+	workers int
+	cache   map[float64]evalPoint
+	evals   int
 }
 
 type evalPoint struct {
@@ -90,19 +98,27 @@ type evalPoint struct {
 	qualities []float64
 }
 
-func newEvaluator(b axbench.Benchmark, ds []Dataset, g stats.Guarantee) *evaluator {
-	return &evaluator{b: b, ds: ds, g: g, cache: map[float64]evalPoint{}}
+func newEvaluator(b axbench.Benchmark, ds []Dataset, g stats.Guarantee, workers int) *evaluator {
+	return &evaluator{b: b, ds: ds, g: g, workers: workers, cache: map[float64]evalPoint{}}
 }
 
 // at runs the instrumented program at threshold th over every dataset.
+// Replays are independent (traces are read-only under oracle decisions),
+// so they run on the worker pool; the success fold stays serial in
+// dataset order.
 func (e *evaluator) at(th float64) evalPoint {
 	if p, ok := e.cache[th]; ok {
 		return p
 	}
 	p := evalPoint{qualities: make([]float64, len(e.ds))}
-	for i, d := range e.ds {
-		q := d.Tr.QualityAt(e.b, d.In, d.Tr.ThresholdOracle(th))
-		p.qualities[i] = q
+	if err := parallel.ForEach(e.workers, len(e.ds), func(i int) error {
+		d := e.ds[i]
+		p.qualities[i] = d.Tr.QualityAt(e.b, d.In, d.Tr.ThresholdOracle(th))
+		return nil
+	}); err != nil {
+		panic(err)
+	}
+	for _, q := range p.qualities {
 		if q <= e.g.QualityLoss {
 			p.successes++
 		}
@@ -179,7 +195,7 @@ func FindDeltaWalk(b axbench.Benchmark, ds []Dataset, g stats.Guarantee, opts Op
 	if opts.DeltaFrac <= 0 {
 		opts.DeltaFrac = 0.02
 	}
-	e := newEvaluator(b, ds, g)
+	e := newEvaluator(b, ds, g, opts.Workers)
 	maxErr := maxError(ds)
 	if maxErr == 0 {
 		// The accelerator is exact on every invocation; any threshold
@@ -247,7 +263,7 @@ func FindBisect(b axbench.Benchmark, ds []Dataset, g stats.Guarantee, opts Optio
 	if opts.Tolerance <= 0 {
 		opts.Tolerance = 1e-3
 	}
-	e := newEvaluator(b, ds, g)
+	e := newEvaluator(b, ds, g, opts.Workers)
 	maxErr := maxError(ds)
 	if maxErr == 0 || e.certified(maxErr) {
 		return e.finish(maxErr), nil

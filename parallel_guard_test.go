@@ -1,0 +1,67 @@
+package mithra
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestParallelNotSlowerThanSerial is the performance guard for the
+// parallel evaluation engine: on the test-scale configuration, running
+// the deployment evaluation hot path with N=GOMAXPROCS workers must not
+// be meaningfully slower than the serial path. Correctness equality is
+// covered by the determinism tests in internal/core; this test only
+// watches for the pool's overhead regressing (e.g. per-task allocations
+// or contention swamping the work).
+//
+// The bound is deliberately lenient — CI machines can have a single core
+// (where both paths degenerate to the same inline loop plus pool
+// bookkeeping) and wall-clock noise dwarfs small effects at this scale —
+// so it only catches order-of-magnitude regressions.
+func TestParallelNotSlowerThanSerial(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation distorts timing comparisons")
+	}
+	if testing.Short() {
+		t.Skip("timing guard skipped in -short mode")
+	}
+
+	b, err := NewBenchmark("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := NewContext(b, TestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Guarantee{QualityLoss: 0.05, SuccessRate: 0.6, Confidence: 0.9}
+
+	designs := []Design{DesignOracle, DesignTable, DesignNeural, DesignRandom}
+	timeAt := func(workers int) time.Duration {
+		c := *ctx
+		c.Opts.Parallelism = workers
+		dep, err := c.Deploy(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := time.Duration(1<<63 - 1)
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			for _, d := range designs {
+				_ = dep.EvaluateValidation(d)
+			}
+			if e := time.Since(start); e < best {
+				best = e
+			}
+		}
+		return best
+	}
+
+	serial := timeAt(1)
+	par := timeAt(runtime.GOMAXPROCS(0))
+	t.Logf("serial best-of-3 %v, parallel (N=%d) best-of-3 %v",
+		serial, runtime.GOMAXPROCS(0), par)
+	if par > 2*serial+100*time.Millisecond {
+		t.Errorf("parallel evaluation (%v) much slower than serial (%v)", par, serial)
+	}
+}

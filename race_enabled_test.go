@@ -1,0 +1,9 @@
+//go:build race
+
+package mithra
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. Timing-sensitive guard tests skip under it: instrumentation
+// slows goroutine-heavy paths by design, so wall-clock comparisons are
+// meaningless there.
+const raceEnabled = true
