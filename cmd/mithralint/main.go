@@ -1,0 +1,131 @@
+// Command mithralint runs the determinism & parallel-safety analyzer
+// suite (internal/lint) over the module. It works in two modes:
+//
+// Standalone, from anywhere inside the module:
+//
+//	go run ./cmd/mithralint ./...
+//	mithralint ./internal/experiments
+//
+// As a vet tool, which reuses the go build cache and export data:
+//
+//	go build -o bin/mithralint ./cmd/mithralint
+//	go vet -vettool=$(pwd)/bin/mithralint ./...
+//
+// Exit status: 0 when the tree is clean, 2 when any diagnostic is
+// reported, 1 on usage or load failure. Findings can be waived with an
+// explained suppression on the flagged line or the line above:
+//
+//	//lint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mithra/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// Second step of the vet protocol handshake: the go command asks
+	// which flags the tool supports (JSON array on stdout). This suite
+	// takes none.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return 0
+	}
+
+	fs := flag.NewFlagSet("mithralint", flag.ExitOnError)
+	version := fs.String("V", "", "print version and exit (vet protocol handshake)")
+	list := fs.Bool("help-analyzers", false, "describe the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mithralint [packages]   (e.g. mithralint ./...)\n")
+		fmt.Fprintf(os.Stderr, "package patterns are resolved relative to the module root\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	// `go vet -vettool` first interrogates the tool's identity with
+	// -V=full; the reply must be one line of the form "name version ...".
+	if *version != "" {
+		fmt.Println("mithralint version v1.0.0")
+		return 0
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%s: %s\n\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	rest := fs.Args()
+	// Vet unit mode: the go command hands over one JSON config per
+	// package.
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return lint.UnitCheck(os.Stderr, rest[0])
+	}
+
+	patterns := rest
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mithralint: %v\n", err)
+		return 1
+	}
+	pkgs, err := lint.Load(root, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mithralint: %v\n", err)
+		return 1
+	}
+	failed := false
+	for _, p := range pkgs {
+		for _, e := range p.TypeErrors {
+			failed = true
+			fmt.Fprintf(os.Stderr, "mithralint: %s: %v\n", p.Path, e)
+		}
+	}
+	diags, err := lint.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mithralint: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s (%s)\n", d.Position, d.Message, d.Analyzer)
+	}
+	if failed {
+		return 1
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod,
+// so the tool runs correctly from any subdirectory of the module.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// pkgNameOf resolves an expression to the imported package it names, or
+// nil if it is not a package qualifier.
+func pkgNameOf(info *types.Info, x ast.Expr) *types.PkgName {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, _ := info.Uses[id].(*types.PkgName)
+	return pn
+}
+
+// pkgCall reports the (package import path, function name) of a call whose
+// callee is a package-qualified identifier like fmt.Fprintf or
+// parallel.Map[int], unwrapping explicit generic instantiation. ok is
+// false for method calls, locals, and builtins.
+func pkgCall(info *types.Info, call *ast.CallExpr) (path, name string, ok bool) {
+	fun := call.Fun
+	switch idx := fun.(type) {
+	case *ast.IndexExpr:
+		fun = idx.X
+	case *ast.IndexListExpr:
+		fun = idx.X
+	}
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	pn := pkgNameOf(info, sel.X)
+	if pn == nil {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// parallelFuncs are the fan-out entry points of the execution engine. They
+// are matched by package *name* (not path) so the analyzers work both on
+// the real mithra/internal/parallel and on the testdata fixture stub.
+var parallelFuncs = map[string]bool{
+	"ForEach":       true,
+	"ForEachWorker": true,
+	"Map":           true,
+}
+
+// parallelCall matches a call to parallel.ForEach/Map/ForEachWorker and
+// returns the function name. ok is false for anything else.
+func parallelCall(info *types.Info, call *ast.CallExpr) (name string, ok bool) {
+	fun := call.Fun
+	switch idx := fun.(type) {
+	case *ast.IndexExpr:
+		fun = idx.X
+	case *ast.IndexListExpr:
+		fun = idx.X
+	}
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	pn := pkgNameOf(info, sel.X)
+	if pn == nil || pn.Imported().Name() != "parallel" || !parallelFuncs[sel.Sel.Name] {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// closureParams flattens the parameter objects of a func literal in
+// declaration order.
+func closureParams(info *types.Info, lit *ast.FuncLit) []types.Object {
+	var out []types.Object
+	if lit.Type.Params == nil {
+		return out
+	}
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// rootIdent unwraps parens, selectors, index expressions, and derefs down
+// to the base identifier of an lvalue (out[i].f -> out), or nil if the
+// base is not an identifier.
+func rootIdent(x ast.Expr) *ast.Ident {
+	for {
+		switch v := x.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.ParenExpr:
+			x = v.X
+		case *ast.SelectorExpr:
+			x = v.X
+		case *ast.IndexExpr:
+			x = v.X
+		case *ast.IndexListExpr:
+			x = v.X
+		case *ast.StarExpr:
+			x = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// mentionsObj reports whether any identifier inside x resolves to obj.
+func mentionsObj(info *types.Info, x ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(x, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// indexedByObj reports whether the lvalue path of x contains an index
+// expression whose index mentions obj — the order-indexed slot shape
+// out[i] = v (and out[i].field, out[rows[i]], ...).
+func indexedByObj(info *types.Info, x ast.Expr, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	for {
+		switch v := x.(type) {
+		case *ast.ParenExpr:
+			x = v.X
+		case *ast.SelectorExpr:
+			x = v.X
+		case *ast.StarExpr:
+			x = v.X
+		case *ast.IndexExpr:
+			if mentionsObj(info, v.Index, obj) {
+				return true
+			}
+			x = v.X
+		case *ast.IndexListExpr:
+			x = v.X
+		default:
+			return false
+		}
+	}
+}
+
+// declaredWithin reports whether obj's declaration lies inside node's
+// source range — i.e. the object is local to that closure or block.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj != nil && obj.Pos() != 0 && node.Pos() <= obj.Pos() && obj.Pos() < node.End()
+}
+
+// isFloat reports whether t's underlying type is a floating-point scalar.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// pathBase returns the last element of a slash-separated import path.
+func pathBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatReduceAnalyzer forbids scheduling-dependent floating-point
+// reduction inside parallel task closures. Floating-point addition and
+// multiplication are not associative, so accumulating across tasks — into
+// a captured sum or into ForEachWorker's per-worker state, whose task set
+// is assigned dynamically — yields a result that depends on goroutine
+// scheduling even when every individual operation is race-free. The
+// engine's contract is: each task writes its contribution into an
+// order-indexed slot, and the fold over slots runs serially in index
+// order after the pool drains (see internal/core's evaluateWith for the
+// canonical shape).
+//
+// Accumulation into closure-local variables (per-task scratch) and into
+// slots indexed by the task index (sums[i] += v inside task i's own data)
+// is deterministic and accepted.
+var FloatReduceAnalyzer = &Analyzer{
+	Name: "floatreduce",
+	Doc: `forbid scheduling-dependent float accumulation in parallel closures
+
+Flags += / -= / *= / /= (and ++/--) on float variables inside closures
+passed to parallel.ForEach/Map/ForEachWorker when the target is captured
+state or the per-worker state parameter. Float reduction must happen
+serially, in index order, over the per-task slots.`,
+	Run: runFloatReduce,
+}
+
+// reduceOps are the compound assignments whose result depends on
+// accumulation order under floating point.
+var reduceOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true,
+	token.SUB_ASSIGN: true,
+	token.MUL_ASSIGN: true,
+	token.QUO_ASSIGN: true,
+}
+
+func runFloatReduce(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := parallelCall(pass.TypesInfo, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := call.Args[len(call.Args)-1].(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkFloatReduce(pass, fn, lit)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFloatReduce(pass *Pass, fn string, lit *ast.FuncLit) {
+	params := closureParams(pass.TypesInfo, lit)
+	var idx, state types.Object
+	if len(params) > 0 {
+		idx = params[len(params)-1]
+	}
+	if fn == "ForEachWorker" && len(params) >= 2 {
+		state = params[0]
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if reduceOps[v.Tok] && len(v.Lhs) == 1 {
+				checkAccumTarget(pass, lit, idx, state, v.Lhs[0])
+			}
+		case *ast.IncDecStmt:
+			checkAccumTarget(pass, lit, idx, state, v.X)
+		}
+		return true
+	})
+}
+
+// checkAccumTarget reports an accumulation whose target's value depends on
+// which tasks reached it in which order: captured floats and per-worker
+// state floats, unless the target is a slot indexed by the task index.
+func checkAccumTarget(pass *Pass, lit *ast.FuncLit, idx, state types.Object, lhs ast.Expr) {
+	if !isFloat(pass.TypesInfo.TypeOf(lhs)) {
+		return
+	}
+	root := rootIdent(lhs)
+	if root == nil {
+		return
+	}
+	obj := pass.TypesInfo.Uses[root]
+	if obj == nil {
+		return
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return
+	}
+	if indexedByObj(pass.TypesInfo, lhs, idx) {
+		return
+	}
+	switch {
+	case obj == state:
+		pass.Reportf(lhs.Pos(), "float accumulation into per-worker state %s depends on the dynamic task-to-worker assignment; accumulate into an order-indexed slot and reduce serially after the pool drains", obj.Name())
+	case !declaredWithin(obj, lit):
+		pass.Reportf(lhs.Pos(), "float accumulation into captured %s inside a parallel closure depends on goroutine scheduling; accumulate into an order-indexed slot and reduce serially after the pool drains", obj.Name())
+	}
+}

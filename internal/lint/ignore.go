@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DirectiveCheck is the pseudo-analyzer name attached to diagnostics about
+// the suppression mechanism itself (malformed or unexplained
+// //lint:ignore comments). It is driver-owned and cannot be suppressed.
+const DirectiveCheck = "ignoredirective"
+
+// A directive is one parsed //lint:ignore comment.
+type directive struct {
+	pos       token.Pos
+	line      int    // line the comment sits on
+	analyzers string // comma-separated analyzer list, "" if missing
+	reason    string // "" if missing
+}
+
+// covers reports whether the directive waives the named analyzer.
+func (d *directive) covers(name string) bool {
+	for _, a := range strings.Split(d.analyzers, ",") {
+		if strings.TrimSpace(a) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// directivePrefix is the comment marker. The "//lint:" namespace follows
+// staticcheck's convention so editors highlight it as a machine directive
+// (no space after //).
+const directivePrefix = "//lint:ignore"
+
+// parseDirectives extracts every //lint:ignore directive from a file,
+// keyed by the line it occupies. A directive on line L waives matching
+// diagnostics reported on line L (trailing comment) or line L+1 (comment
+// block standing above the flagged statement).
+func parseDirectives(fset *token.FileSet, f *ast.File) map[int]*directive {
+	out := map[int]*directive{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, directivePrefix)
+			d := &directive{pos: c.Pos(), line: fset.Position(c.Pos()).Line}
+			fields := strings.Fields(rest)
+			if len(fields) > 0 {
+				d.analyzers = fields[0]
+			}
+			if len(fields) > 1 {
+				d.reason = strings.Join(fields[1:], " ")
+			}
+			out[d.line] = d
+		}
+	}
+	return out
+}
+
+// checkDirective validates one directive, returning a diagnostic message
+// for a malformed one ("" when well-formed). An ignore without a reason is
+// itself a finding: an unexplained waiver is exactly the silent rot the
+// suite exists to prevent.
+func checkDirective(d *directive) string {
+	if d.analyzers == "" {
+		return "malformed //lint:ignore directive: want //lint:ignore <analyzer> <reason>"
+	}
+	for _, a := range strings.Split(d.analyzers, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" || byName(a) == nil {
+			return "//lint:ignore names unknown analyzer " + quoted(a) + " (known: nondeterminism, maporder, parallelcapture, floatreduce)"
+		}
+	}
+	if d.reason == "" {
+		return "//lint:ignore " + d.analyzers + " has no reason; an unexplained suppression is not auditable"
+	}
+	return ""
+}
+
+func quoted(s string) string { return "\"" + s + "\"" }

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path ("mithra/internal/stats")
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files, sorted by file name
+	Pkg   *types.Package
+	Info  *types.Info
+
+	// TypeErrors holds type-checker complaints. Analysis still runs on a
+	// package with type errors (the syntax and partial type info are often
+	// enough), but the driver surfaces them so a broken tree cannot pass
+	// silently.
+	TypeErrors []error
+}
+
+// Load parses and type-checks the packages matching the given patterns,
+// rooted at the module directory root. Patterns follow the go tool's
+// shape: "./..." walks recursively, anything else names one directory
+// relative to root. Test files (_test.go) are excluded: the analyzers
+// guard the production evaluation pipeline, and tests assert determinism
+// rather than implement it.
+//
+// Loading is deterministic end to end — directories, files within a
+// package, and packages in the result are all sorted — so the lint run
+// itself obeys the invariant it enforces.
+func Load(root string, patterns []string) ([]*Package, error) {
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	dirSet := map[string]bool{}
+	for _, pat := range patterns {
+		dirs, err := expandPattern(root, pat)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range dirs {
+			dirSet[d] = true
+		}
+	}
+	dirs := make([]string, 0, len(dirSet))
+	for d := range dirSet {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+
+	fset := token.NewFileSet()
+	// One shared importer so each dependency is type-checked from source
+	// exactly once across the whole run.
+	imp := importer.ForCompiler(fset, "source", nil)
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := loadDir(fset, imp, modPath, root, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// loadDir loads the single non-test package in dir, or nil if the
+// directory holds no non-test Go files.
+func loadDir(fset *token.FileSet, imp types.Importer, modPath, root, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	path := modPath
+	if rel != "." {
+		path = modPath + "/" + filepath.ToSlash(rel)
+	}
+
+	pkg := &Package{Path: path, Dir: dir, Fset: fset, Files: files}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Info = newInfo()
+	// Check never returns a usable error here: failures are collected via
+	// conf.Error so analysis can proceed on partial type information.
+	pkg.Pkg, _ = conf.Check(path, fset, files, pkg.Info)
+	return pkg, nil
+}
+
+// newInfo allocates the types.Info maps the analyzers rely on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+}
+
+// modulePath reads the module path from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("lint: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s/go.mod", root)
+}
+
+// expandPattern resolves one command-line pattern to package directories.
+func expandPattern(root, pat string) ([]string, error) {
+	pat = filepath.ToSlash(pat)
+	base := root
+	recursive := false
+	switch {
+	case pat == "./..." || pat == "...":
+		recursive = true
+	case strings.HasSuffix(pat, "/..."):
+		base = filepath.Join(root, strings.TrimSuffix(pat, "/..."))
+		recursive = true
+	default:
+		base = filepath.Join(root, pat)
+	}
+	if !recursive {
+		return []string{base}, nil
+	}
+	var dirs []string
+	err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		// testdata holds fixtures that intentionally violate the
+		// invariants; hidden directories are never package sources.
+		if p != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, p)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	return dirs, nil
+}

@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrderAnalyzer flags map iterations whose body lets Go's randomized
+// map order become observable: appending to a slice that is never sorted
+// afterwards, writing ordered output (fmt.Fprint*, Write* methods), or
+// launching a parallel fan-out. Any of these makes the artifact — a
+// rendered table, a training set, a task order — depend on the runtime's
+// per-run hash seed, which breaks bit-identical reproduction.
+//
+// The blessed patterns are (a) collect the keys, sort them in the same
+// statement list, then range the sorted slice, and (b) keyed writes
+// (m2[k] = f(v)), which are order-insensitive and not flagged.
+var MapOrderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc: `forbid map iteration order from leaking into results
+
+Flags 'for k := range m' over a map when the body appends to a slice that
+is not subsequently sorted in the same block, writes ordered output, or
+calls parallel.ForEach/Map/ForEachWorker. Collect-then-sort is the blessed
+fix: append the keys, sort.Strings (or slices.Sort) them, then range the
+slice.`,
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.BlockStmt:
+				checkStmtList(pass, v.List)
+			case *ast.CaseClause:
+				checkStmtList(pass, v.Body)
+			case *ast.CommClause:
+				checkStmtList(pass, v.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkStmtList scans one statement list for map-range loops; the
+// statements after each loop are its sort-exemption window.
+func checkStmtList(pass *Pass, stmts []ast.Stmt) {
+	for i, stmt := range stmts {
+		rs, ok := stmt.(*ast.RangeStmt)
+		if !ok || !rangesOverMap(pass.TypesInfo, rs) {
+			continue
+		}
+		checkMapRange(pass, rs, stmts[i+1:])
+	}
+}
+
+func rangesOverMap(info *types.Info, rs *ast.RangeStmt) bool {
+	tv, ok := info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkMapRange inspects one map-range body for order leaks. rest is the
+// remainder of the enclosing statement list, searched for the
+// collect-then-sort exemption. All findings are reported at the range
+// statement itself — the loop is the unit a //lint:ignore directive above
+// it waives.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	reportedParallel, reportedWrite := false, false
+	flaggedAppends := map[string]bool{}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if _, ok := parallelCall(pass.TypesInfo, v); ok && !reportedParallel {
+				reportedParallel = true
+				pass.Reportf(rs.Pos(), "parallel fan-out launched from inside map iteration: task order follows Go's randomized map order; range sorted keys instead")
+			} else if isOrderedWrite(pass.TypesInfo, v) && !reportedWrite {
+				reportedWrite = true
+				pass.Reportf(rs.Pos(), "map iteration writes output in Go's randomized map order; collect and sort the keys, then range the sorted slice")
+			}
+		case *ast.AssignStmt:
+			checkAppend(pass, rs, v, rest, flaggedAppends)
+		}
+		return true
+	})
+}
+
+// isOrderedWrite matches calls that emit ordered output: the fmt printers
+// that write to a stream, and Write/WriteString-style methods on writers,
+// builders, and hashes.
+func isOrderedWrite(info *types.Info, call *ast.CallExpr) bool {
+	if path, name, ok := pkgCall(info, call); ok {
+		return path == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint"))
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && strings.HasPrefix(sel.Sel.Name, "Write")
+}
+
+// checkAppend flags 'dst = append(dst, ...)' inside a map range unless dst
+// is sorted later in the enclosing statement list. Keyed writes through a
+// map index are order-insensitive and skipped.
+func checkAppend(pass *Pass, rs *ast.RangeStmt, as *ast.AssignStmt, rest []ast.Stmt, flagged map[string]bool) {
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass.TypesInfo, call) || i >= len(as.Lhs) {
+			continue
+		}
+		obj := appendTarget(pass.TypesInfo, as.Lhs[i])
+		if obj == nil || flagged[obj.Name()] || sortedAfter(pass.TypesInfo, rest, obj) {
+			continue
+		}
+		flagged[obj.Name()] = true
+		pass.Reportf(rs.Pos(), "append inside map iteration builds %s in Go's randomized map order and it is never sorted in this block; sort it before use or range sorted keys", obj.Name())
+	}
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// appendTarget resolves the object an append result is stored into: a
+// plain variable or a struct field. Map-index targets return nil (keyed,
+// order-insensitive).
+func appendTarget(info *types.Info, lhs ast.Expr) types.Object {
+	switch v := lhs.(type) {
+	case *ast.Ident:
+		if obj := info.Uses[v]; obj != nil {
+			return obj
+		}
+		return info.Defs[v]
+	case *ast.SelectorExpr:
+		return info.Uses[v.Sel]
+	}
+	return nil
+}
+
+// sortedAfter reports whether any statement in rest passes obj to a
+// sort/slices ordering function — the collect-then-sort exemption.
+func sortedAfter(info *types.Info, rest []ast.Stmt, obj types.Object) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := pkgCall(info, call)
+			if !ok || (path != "sort" && path != "slices") || !strings.Contains(name, "Sort") && !isSortShorthand(path, name) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if mentionsObj(info, arg, obj) {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isSortShorthand covers the sort package's type-specific helpers
+// (sort.Strings, sort.Ints, ...) that do not contain "Sort" in their name.
+func isSortShorthand(path, name string) bool {
+	if path != "sort" {
+		return false
+	}
+	switch name {
+	case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Stable":
+		return true
+	}
+	return false
+}

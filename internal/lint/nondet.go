@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// NondeterminismAnalyzer flags process-global entropy sources in the
+// measurement packages. Every random draw in the pipeline must be a pure
+// function of the experiment seed and the task's stable identity
+// (mathx.NewRNG + RNG.Split, seeded via parallel.Seed); the process-global
+// math/rand generator, wall-clock reads, and process identifiers all
+// smuggle scheduling or environment state into results that the
+// Clopper-Pearson analysis assumes are reproducible draws.
+var NondeterminismAnalyzer = &Analyzer{
+	Name: "nondeterminism",
+	Doc: `forbid process-global entropy in the measurement packages
+
+Flags math/rand's top-level convenience functions (the shared global
+generator), time.Now/Since/Until, and os.Getpid-style process identifiers
+inside ` + nondetScopeDoc + `. Seeded
+generators (rand.New) are allowed but mathx.RNG is the house source:
+derive per-task streams with mathx.NewRNG(parallel.Seed(root, key)).`,
+	Run: runNondeterminism,
+}
+
+// nondetScope lists the packages under guard, by final import-path
+// element: the statistical core and everything that feeds it. cmd/ and the
+// examples may read the clock (progress reporting); these packages must
+// not.
+var nondetScope = map[string]bool{
+	"core":        true,
+	"threshold":   true,
+	"classifier":  true,
+	"nn":          true,
+	"npu":         true,
+	"stats":       true,
+	"experiments": true,
+	"trace":       true,
+}
+
+const nondetScopeDoc = "internal/{core,threshold,classifier,nn,npu,stats,experiments,trace}"
+
+// globalRandFuncs are the math/rand (and rand/v2) top-level functions that
+// draw from the process-global generator. Constructors (New, NewSource,
+// NewZipf, NewPCG, NewChaCha8) and types are deliberately absent: a seeded
+// private generator is fine, the shared one is not.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "IntN": true, "Int31": true, "Int31n": true,
+	"Int32": true, "Int32N": true, "Int63": true, "Int63n": true,
+	"Int64": true, "Int64N": true, "N": true,
+	"Uint": true, "UintN": true, "Uint32": true, "Uint32N": true,
+	"Uint64": true, "Uint64N": true,
+	"Float32": true, "Float64": true,
+	"ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+// wallClockFuncs are the time package reads that tie a result to when it
+// ran.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// processIdentityFuncs are os functions whose value differs per process or
+// host — classic accidental entropy (seed := os.Getpid()).
+var processIdentityFuncs = map[string]bool{"Getpid": true, "Getppid": true, "Hostname": true}
+
+func runNondeterminism(pass *Pass) error {
+	if pass.Pkg == nil || !nondetScope[pathBase(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pn := pkgNameOf(pass.TypesInfo, sel.X)
+			if pn == nil {
+				return true
+			}
+			name := sel.Sel.Name
+			switch pn.Imported().Path() {
+			case "math/rand", "math/rand/v2":
+				if globalRandFuncs[name] {
+					pass.Reportf(sel.Pos(), "rand.%s draws from the process-global generator; derive a per-task stream with mathx.NewRNG(parallel.Seed(root, key)) instead", name)
+				}
+			case "time":
+				if wallClockFuncs[name] {
+					pass.Reportf(sel.Pos(), "time.%s injects wall-clock state into a measurement package; results must be pure functions of the inputs and seed", name)
+				}
+			case "os":
+				if processIdentityFuncs[name] {
+					pass.Reportf(sel.Pos(), "os.%s is per-process entropy; seeds must come from the experiment configuration, not the environment", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ParallelCaptureAnalyzer enforces rule 1 of the parallel engine's
+// contract (internal/parallel): a task closure may communicate with the
+// outside world only by writing into order-indexed slots — out[i] = v,
+// where i is the task index — so that results are a pure function of task
+// identity, not of which worker ran when. Any other write to a captured
+// variable (counters, appends, shared structs, package globals) is a data
+// race and a determinism leak even when it survives the race detector.
+//
+// The blessed patterns, all accepted:
+//
+//	out[i] = v                  // order-indexed slot
+//	e := &out[i]; e.f = v       // pointer-to-slot local
+//	acc := 0.0; acc += v        // closure-local state
+//	state.buf[0] = v            // per-worker state (ForEachWorker param)
+//
+// ForEachWorker's setup closure runs once per worker, concurrently; it has
+// no task index, so every captured write there is flagged.
+var ParallelCaptureAnalyzer = &Analyzer{
+	Name: "parallelcapture",
+	Doc: `restrict parallel task closures to order-indexed slot writes
+
+Flags writes to captured variables inside closures passed to
+parallel.ForEach/Map/ForEachWorker unless the write targets a slot indexed
+by the task-index parameter. Shared counters, appends, and captured
+accumulators depend on scheduling; give each task its own slot and reduce
+serially after the pool drains.`,
+	Run: runParallelCapture,
+}
+
+func runParallelCapture(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := parallelCall(pass.TypesInfo, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			// The task closure is always the last argument.
+			if lit, ok := call.Args[len(call.Args)-1].(*ast.FuncLit); ok {
+				checkTaskClosure(pass, fn, lit)
+			}
+			// ForEachWorker(workers, n, setup, f): setup runs concurrently
+			// on every worker with no task index — no write to captured
+			// state is blessed there.
+			if fn == "ForEachWorker" && len(call.Args) >= 4 {
+				if setup, ok := call.Args[len(call.Args)-2].(*ast.FuncLit); ok {
+					checkCapturedWrites(pass, setup, nil, "per-worker setup closure")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkTaskClosure analyzes the task function literal of one parallel
+// call. The task index is the closure's last parameter (func(i int) error
+// for ForEach/Map, func(state S, i int) error for ForEachWorker).
+func checkTaskClosure(pass *Pass, fn string, lit *ast.FuncLit) {
+	params := closureParams(pass.TypesInfo, lit)
+	var idx types.Object
+	if len(params) > 0 {
+		idx = params[len(params)-1]
+	}
+	checkCapturedWrites(pass, lit, idx, "parallel."+fn+" task closure")
+}
+
+// checkCapturedWrites walks a closure body and reports every write whose
+// target is declared outside the closure and is not an order-indexed slot.
+func checkCapturedWrites(pass *Pass, lit *ast.FuncLit, idx types.Object, what string) {
+	if lit.Body == nil {
+		return
+	}
+	report := func(lhs ast.Expr, obj types.Object) {
+		if idx == nil {
+			pass.Reportf(lhs.Pos(), "%s writes captured variable %s; setup must only build private per-worker state", what, obj.Name())
+			return
+		}
+		pass.Reportf(lhs.Pos(), "%s writes captured variable %s outside the order-indexed slot pattern; write into a slot indexed by the task index %s and reduce serially after the pool drains", what, obj.Name(), idx.Name())
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				if obj := capturedWriteTarget(pass, lit, idx, lhs); obj != nil {
+					report(lhs, obj)
+				}
+			}
+		case *ast.IncDecStmt:
+			if obj := capturedWriteTarget(pass, lit, idx, v.X); obj != nil {
+				report(v.X, obj)
+			}
+		}
+		return true
+	})
+}
+
+// capturedWriteTarget resolves an assignment target to the captured
+// object it mutates, or nil when the write is harmless: a blank, a local,
+// a parameter, or a slot indexed by the task index.
+func capturedWriteTarget(pass *Pass, lit *ast.FuncLit, idx types.Object, lhs ast.Expr) types.Object {
+	root := rootIdent(lhs)
+	if root == nil || root.Name == "_" {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[root]
+	if obj == nil {
+		// Defs hit means ':=' — a fresh local, never a capture.
+		return nil
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return nil
+	}
+	if declaredWithin(obj, lit) {
+		return nil
+	}
+	if indexedByObj(pass.TypesInfo, lhs, idx) {
+		return nil
+	}
+	return obj
+}

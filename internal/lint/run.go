@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"sort"
+)
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics sorted by position. Suppression via //lint:ignore is applied
+// here — centrally, so all analyzers honor it identically — and malformed
+// directives are converted into diagnostics of their own (see
+// DirectiveCheck).
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := runPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// runPackage runs the analyzers on one package and applies its
+// suppression directives.
+func runPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d Diagnostic) {
+			d.Analyzer = a.Name
+			d.Position = pkg.Fset.Position(d.Pos)
+			raw = append(raw, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+
+	// Directives: filename -> line -> directive.
+	perFile := map[string]map[int]*directive{}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		dirs := parseDirectives(pkg.Fset, f)
+		perFile[pkg.Fset.Position(f.Pos()).Filename] = dirs
+		// Validate every directive, well-placed or not.
+		lines := make([]int, 0, len(dirs))
+		for line := range dirs {
+			lines = append(lines, line)
+		}
+		sort.Ints(lines)
+		for _, line := range lines {
+			d := dirs[line]
+			if msg := checkDirective(d); msg != "" {
+				diags = append(diags, Diagnostic{
+					Analyzer: DirectiveCheck,
+					Pos:      d.pos,
+					Position: pkg.Fset.Position(d.pos),
+					Message:  msg,
+				})
+			}
+		}
+	}
+
+	for _, d := range raw {
+		if suppressed(perFile[d.Position.Filename], d) {
+			continue
+		}
+		diags = append(diags, d)
+	}
+	return diags, nil
+}
+
+// suppressed reports whether a well-formed directive on the diagnostic's
+// line (trailing comment) or the line above (standalone comment) waives
+// it. Malformed directives never suppress anything.
+func suppressed(dirs map[int]*directive, d Diagnostic) bool {
+	if dirs == nil {
+		return false
+	}
+	for _, line := range [2]int{d.Position.Line, d.Position.Line - 1} {
+		if dir, ok := dirs[line]; ok && checkDirective(dir) == "" && dir.covers(d.Analyzer) {
+			return true
+		}
+	}
+	return false
+}

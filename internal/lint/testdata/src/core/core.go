@@ -1,0 +1,45 @@
+// Fixture for the nondeterminism analyzer: the package path ends in
+// "core", which is inside the guarded scope.
+package core
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Positives: process-global entropy.
+
+func globalRand() int {
+	return rand.Intn(10) // want "rand.Intn draws from the process-global generator"
+}
+
+func globalFloat() float64 {
+	rand.Shuffle(3, func(i, j int) {}) // want "rand.Shuffle draws from the process-global generator"
+	return rand.Float64()              // want "rand.Float64 draws from the process-global generator"
+}
+
+func wallClock() time.Duration {
+	start := time.Now()      // want "time.Now injects wall-clock state"
+	return time.Since(start) // want "time.Since injects wall-clock state"
+}
+
+func pidSeed() int64 {
+	return int64(os.Getpid()) // want "os.Getpid is per-process entropy"
+}
+
+// Negatives: a private seeded generator is the allowed escape hatch, and
+// non-entropy uses of the same packages are untouched.
+
+func seededRand(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+func duration() time.Duration {
+	return 3 * time.Millisecond
+}
+
+func envRead() string {
+	return os.Getenv("MITHRA_HOME")
+}

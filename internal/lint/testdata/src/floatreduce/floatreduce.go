@@ -1,0 +1,73 @@
+// Fixture for the floatreduce analyzer.
+package floatreduce
+
+import "parallel"
+
+type accum struct {
+	sum float64
+	n   int
+}
+
+// Positives: float accumulation whose order depends on scheduling.
+
+func capturedSum(xs []float64) (float64, error) {
+	total := 0.0
+	err := parallel.ForEach(4, len(xs), func(i int) error {
+		total += xs[i] // want "float accumulation into captured total inside a parallel closure"
+		return nil
+	})
+	return total, err
+}
+
+func capturedProduct(xs []float64) (float64, error) {
+	prod := 1.0
+	err := parallel.ForEach(4, len(xs), func(i int) error {
+		prod *= xs[i] // want "float accumulation into captured prod inside a parallel closure"
+		return nil
+	})
+	return prod, err
+}
+
+func workerStateSum(xs []float64) error {
+	return parallel.ForEachWorker(4, len(xs),
+		func() *accum { return &accum{} },
+		func(state *accum, i int) error {
+			state.sum += xs[i] // want "float accumulation into per-worker state state depends on the dynamic task-to-worker assignment"
+			state.n++
+			return nil
+		})
+}
+
+// Negatives: per-task locals, order-indexed slots, and integer counters
+// (integer addition is associative; parallelcapture governs those
+// separately).
+
+func localAccum(xss [][]float64) ([]float64, error) {
+	return parallel.Map(4, len(xss), func(i int) (float64, error) {
+		acc := 0.0
+		for _, v := range xss[i] {
+			acc += v
+		}
+		return acc, nil
+	})
+}
+
+func slotAccum(xss [][]float64) ([]float64, error) {
+	sums := make([]float64, len(xss))
+	err := parallel.ForEach(4, len(xss), func(i int) error {
+		for _, v := range xss[i] {
+			sums[i] += v
+		}
+		return nil
+	})
+	return sums, err
+}
+
+func intCounter(xs []int) (int, error) {
+	count := 0
+	err := parallel.ForEach(4, len(xs), func(i int) error {
+		count += xs[i] // integer: not a floatreduce finding
+		return nil
+	})
+	return count, err
+}

@@ -1,0 +1,59 @@
+// Fixture for the //lint:ignore suppression mechanism, exercised through
+// the maporder analyzer (whose findings anchor on the range statement).
+package ignore
+
+import (
+	"fmt"
+	"io"
+)
+
+// A well-formed directive on the line above the finding suppresses it: no
+// maporder diagnostic expected in this function.
+func explainedIgnore(w io.Writer, m map[string]int) {
+	//lint:ignore maporder debug dump, order is irrelevant to the reader
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// A trailing same-line directive works too.
+func trailingIgnore(m map[string]int) []string {
+	var keys []string
+	for k := range m { //lint:ignore maporder keys feed a set, order never observed
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// An unexplained ignore is itself a finding, and suppresses nothing.
+func unexplainedIgnore(w io.Writer, m map[string]int) {
+	/* want "has no reason; an unexplained suppression is not auditable" */ //lint:ignore maporder
+	for k, v := range m {                                                   // want "map iteration writes output in Go's randomized map order"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Naming an unknown analyzer is a finding (a typo would otherwise disable
+// a check silently), and suppresses nothing.
+func typoIgnore(w io.Writer, m map[string]int) {
+	//lint:ignore mapporder sorted upstream, see want "unknown analyzer \"mapporder\""
+	for k, v := range m { // want "map iteration writes output in Go's randomized map order"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// A directive for a different (valid) analyzer does not suppress this one.
+func wrongAnalyzer(w io.Writer, m map[string]int) {
+	//lint:ignore floatreduce no floats here
+	for k, v := range m { // want "map iteration writes output in Go's randomized map order"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// A comma list covers each named analyzer.
+func listIgnore(w io.Writer, m map[string]int) {
+	//lint:ignore maporder,floatreduce golden-tested rendering of a singleton map
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}

@@ -1,0 +1,94 @@
+// Fixture for the maporder analyzer. Diagnostics anchor on the range
+// statement, so the wants sit on the 'for' lines.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"parallel"
+)
+
+// Positives: map order reaching ordered output, slice order, or the
+// parallel engine.
+
+func renderUnsorted(w io.Writer, m map[string]float64) {
+	for k, v := range m { // want "map iteration writes output in Go's randomized map order"
+		fmt.Fprintf(w, "%s=%g\n", k, v)
+	}
+}
+
+func buildUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "append inside map iteration builds keys in Go's randomized map order"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func fanOutUnsorted(m map[string]int) error {
+	for k := range m { // want "parallel fan-out launched from inside map iteration"
+		_ = k
+		err := parallel.ForEach(2, 3, func(i int) error { return nil })
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func stringBuild(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m { // want "map iteration writes output in Go's randomized map order"
+		sb.WriteString(k)
+	}
+	return sb.String()
+}
+
+// Negatives: collect-then-sort, keyed writes, and order-insensitive
+// bodies.
+
+func renderSorted(w io.Writer, m map[string]float64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%g\n", k, m[k])
+	}
+}
+
+func keyedCopy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v + 1
+	}
+	return out
+}
+
+func countValues(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func sliceSortedLater(m map[int]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// Ranging a slice is always fine, whatever the body does.
+func sliceRange(w io.Writer, xs []string) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x)
+	}
+}

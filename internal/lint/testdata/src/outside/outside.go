@@ -1,0 +1,12 @@
+// Fixture for the nondeterminism analyzer's scoping: this package path is
+// outside the guarded set, so wall-clock reads here are legal (the cmd/
+// binaries report elapsed time to humans). No diagnostics expected.
+package outside
+
+import "time"
+
+func Elapsed(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}

@@ -1,0 +1,42 @@
+// Package parallel is a fixture stub mirroring the API surface of
+// mithra/internal/parallel, so analyzer fixtures can exercise the
+// fan-out entry points without importing the real module.
+package parallel
+
+func Workers(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return n
+}
+
+func ForEach(workers, n int, f func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := f(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func ForEachWorker[S any](workers, n int, setup func() S, f func(state S, i int) error) error {
+	state := setup()
+	for i := 0; i < n; i++ {
+		if err := f(state, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func Map[T any](workers, n int, f func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	for i := 0; i < n; i++ {
+		v, err := f(i)
+		if err != nil {
+			return out, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,104 @@
+// Fixture for the parallelcapture analyzer.
+package parallelcapture
+
+import "parallel"
+
+type result struct {
+	val  float64
+	done bool
+}
+
+// Positives: captured writes outside the slot pattern.
+
+func sharedCounter(n int) (int, error) {
+	count := 0
+	err := parallel.ForEach(4, n, func(i int) error {
+		count++ // want "writes captured variable count outside the order-indexed slot pattern"
+		return nil
+	})
+	return count, err
+}
+
+func sharedAppend(n int) ([]int, error) {
+	var out []int
+	err := parallel.ForEach(4, n, func(i int) error {
+		out = append(out, i*i) // want "writes captured variable out outside the order-indexed slot pattern"
+		return nil
+	})
+	return out, err
+}
+
+func wrongIndex(n int) ([]float64, error) {
+	out := make([]float64, n)
+	j := 0
+	err := parallel.ForEach(4, n, func(i int) error {
+		out[j] = float64(i) // want "writes captured variable out outside the order-indexed slot pattern"
+		j++                 // want "writes captured variable j outside the order-indexed slot pattern"
+		return nil
+	})
+	return out, err
+}
+
+var global int
+
+func globalWrite(n int) error {
+	return parallel.ForEach(4, n, func(i int) error {
+		global = i // want "writes captured variable global outside the order-indexed slot pattern"
+		return nil
+	})
+}
+
+func setupCapture(n int) error {
+	workers := 0
+	return parallel.ForEachWorker(4, n,
+		func() []byte {
+			workers++ // want "per-worker setup closure writes captured variable workers"
+			return make([]byte, 8)
+		},
+		func(buf []byte, i int) error { return nil })
+}
+
+// Negatives: the blessed patterns.
+
+func slotWrites(n int) ([]result, error) {
+	out := make([]result, n)
+	err := parallel.ForEach(4, n, func(i int) error {
+		out[i] = result{val: float64(i), done: true}
+		out[i].done = true
+		return nil
+	})
+	return out, err
+}
+
+func pointerToSlot(n int) ([]result, error) {
+	out := make([]result, n)
+	err := parallel.ForEach(4, n, func(i int) error {
+		e := &out[i]
+		e.val = float64(i)
+		e.done = true
+		return nil
+	})
+	return out, err
+}
+
+func localState(n int) ([]float64, error) {
+	return parallel.Map(4, n, func(i int) (float64, error) {
+		acc := 0.0
+		for j := 0; j < i; j++ {
+			acc += float64(j)
+		}
+		return acc, nil
+	})
+}
+
+func workerScratch(n int) ([]uint32, error) {
+	out := make([]uint32, n)
+	err := parallel.ForEachWorker(4, n,
+		func() []uint32 { return make([]uint32, 16) },
+		func(scratch []uint32, i int) error {
+			scratch[0] = uint32(i)
+			out[i] = scratch[0] * 2
+			return nil
+		})
+	return out, err
+}

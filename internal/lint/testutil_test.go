@@ -1,0 +1,168 @@
+package lint
+
+// An analysistest-style fixture runner on the standard library alone.
+// Fixtures live under testdata/src/<pkg>; a `// want "regexp"` comment on
+// a line declares that exactly one diagnostic matching the regexp must be
+// reported on that line, and every reported diagnostic must be claimed by
+// a want. Fixture packages may import each other by directory name (the
+// "parallel" stub mirrors the real engine's API); everything else falls
+// through to the stdlib source importer.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantRe matches one expectation inside a comment. Escaped quotes are
+// allowed so messages containing quotes stay expressible.
+var wantRe = regexp.MustCompile(`want "((?:[^"\\]|\\.)*)"`)
+
+// runFixture loads testdata/src/<pkgdir>, applies the analyzers through
+// the real driver (so //lint:ignore handling is exercised too), and
+// compares the surviving diagnostics against the fixture's wants.
+func runFixture(t *testing.T, pkgdir string, analyzers ...*Analyzer) {
+	t.Helper()
+	pkg := loadFixture(t, pkgdir)
+	diags, err := runPackage(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("runPackage(%s): %v", pkgdir, err)
+	}
+
+	type want struct {
+		re      *regexp.Regexp
+		claimed bool
+	}
+	wants := map[string][]*want{} // "file:line" -> expectations
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, m[1], err)
+					}
+					key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", filepath.Base(d.Position.Filename), d.Position.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.claimed && w.re.MatchString(d.Message) {
+				w.claimed = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pkgdir, d)
+		}
+	}
+	keys := make([]string, 0, len(wants))
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.claimed {
+				t.Errorf("%s: %s: expected diagnostic matching %q, got none", pkgdir, k, w.re)
+			}
+		}
+	}
+}
+
+// loadFixture parses and type-checks one fixture package.
+func loadFixture(t *testing.T, pkgdir string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	fi := &fixtureImporter{
+		fset:     fset,
+		src:      filepath.Join("testdata", "src"),
+		fallback: importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:     map[string]*types.Package{},
+	}
+	pkg, err := fi.load(pkgdir)
+	if err != nil {
+		t.Fatalf("loadFixture(%s): %v", pkgdir, err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture %s has type errors: %v", pkgdir, pkg.TypeErrors)
+	}
+	return pkg
+}
+
+// fixtureImporter resolves import paths against testdata/src first, so
+// fixtures can import the parallel stub, and defers to the stdlib source
+// importer for everything else.
+type fixtureImporter struct {
+	fset     *token.FileSet
+	src      string
+	fallback types.ImporterFrom
+	pkgs     map[string]*types.Package
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	return fi.ImportFrom(path, "", 0)
+}
+
+func (fi *fixtureImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := fi.pkgs[path]; ok {
+		return p, nil
+	}
+	if st, err := os.Stat(filepath.Join(fi.src, path)); err == nil && st.IsDir() {
+		pkg, err := fi.load(path)
+		if err != nil {
+			return nil, err
+		}
+		fi.pkgs[path] = pkg.Pkg
+		return pkg.Pkg, nil
+	}
+	return fi.fallback.ImportFrom(path, dir, mode)
+}
+
+// load parses and checks testdata/src/<path> as a fixture package.
+func (fi *fixtureImporter) load(path string) (*Package, error) {
+	dir := filepath.Join(fi.src, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(fi.fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: fi.fset, Files: files, Info: newInfo()}
+	conf := types.Config{
+		Importer: fi,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Pkg, _ = conf.Check(path, fi.fset, files, pkg.Info)
+	return pkg, nil
+}

@@ -1,0 +1,136 @@
+package lint
+
+// Vet-tool mode: `go vet -vettool=bin/mithralint ./...` drives the binary
+// through the unit-checker protocol. For every package the go command
+// writes a JSON config file (GoFiles, the import map, and the export-data
+// file of each dependency, already compiled) and invokes the tool with
+// that file as its sole argument. This file implements the protocol on
+// the standard library: export data is read through go/importer's gc
+// lookup mode, so no source re-type-checking happens — vet mode is
+// incremental and build-cached like the rest of the go toolchain.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// vetConfig mirrors the fields of the go command's vet config file that
+// this tool consumes (the file carries more; unknown fields are ignored).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// UnitCheck runs the analyzer suite on one vet unit described by cfgFile
+// and returns the process exit code: 0 clean, 2 findings, 1 protocol or
+// I/O failure. Diagnostics go to w in file:line:col form (the format the
+// go command relays).
+func UnitCheck(w io.Writer, cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(w, "mithralint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(w, "mithralint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// The go command requires the facts file to exist afterwards, even
+	// though this suite records no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(w, "mithralint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var all, nonTest []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(w, "mithralint: %v\n", err)
+			return 1
+		}
+		all = append(all, f)
+		if !strings.HasSuffix(name, "_test.go") {
+			nonTest = append(nonTest, f)
+		}
+	}
+
+	// Dependencies resolve through the export data the go command already
+	// compiled, keyed by the unit's import map.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	pkg := &Package{Path: cfg.ImportPath, Dir: cfg.Dir, Fset: fset, Files: nonTest, Info: newInfo()}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Type-check every file of the unit (a package missing half its
+	// declarations mis-types the rest), but analyze only non-test files.
+	pkg.Pkg, _ = conf.Check(cfg.ImportPath, fset, all, pkg.Info)
+	if len(pkg.TypeErrors) > 0 && cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+
+	diags, err := runPackage(pkg, Analyzers())
+	if err != nil {
+		fmt.Fprintf(w, "mithralint: %v\n", err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s (%s)\n", relPosition(d.Position), d.Message, d.Analyzer)
+	}
+	return 2
+}
+
+// relPosition shortens an absolute diagnostic path relative to the
+// working directory when possible, matching go vet's own output style.
+func relPosition(pos token.Position) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return pos.String()
+	}
+	if rel, err := filepath.Rel(wd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		pos.Filename = rel
+	}
+	return pos.String()
+}

@@ -1,0 +1,131 @@
+package parallel
+
+// Edge-case coverage for the pool's degenerate inputs: empty and negative
+// task counts, the single-element serial path, and worker-count clamping.
+// The happy paths live in parallel_test.go; these pin the contract at the
+// boundaries, where regressions would silently change which code path
+// (inline serial vs. pooled) a caller gets.
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+// TestWorkersExtremes: every non-positive request resolves to the full
+// machine (never zero, never negative), and huge explicit requests are
+// taken literally — the pool itself clamps to the task count.
+func TestWorkersExtremes(t *testing.T) {
+	for _, n := range []int{0, -1, -1000, math.MinInt} {
+		if got := Workers(n); got < 1 {
+			t.Fatalf("Workers(%d) = %d, want >= 1", n, got)
+		}
+	}
+	if got := Workers(math.MaxInt); got != math.MaxInt {
+		t.Fatalf("Workers(MaxInt) = %d, want MaxInt (literal)", got)
+	}
+}
+
+// TestMapEmpty: n = 0 returns an empty (but allocated) result without
+// ever invoking f, at any worker setting.
+func TestMapEmpty(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 8} {
+		called := int32(0)
+		out, err := Map(workers, 0, func(i int) (string, error) {
+			atomic.AddInt32(&called, 1)
+			return "x", nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if out == nil || len(out) != 0 {
+			t.Fatalf("workers=%d: Map(_, 0) = %v, want empty non-nil slice", workers, out)
+		}
+		if called != 0 {
+			t.Fatalf("workers=%d: f called %d times for n=0", workers, called)
+		}
+	}
+}
+
+// TestMapSingleElement: n = 1 runs inline on the calling goroutine (the
+// pool degenerates to the serial loop) and still propagates both the
+// value and the error.
+func TestMapSingleElement(t *testing.T) {
+	out, err := Map(8, 1, func(i int) (int, error) { return 41 + i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != 41 {
+		t.Fatalf("Map(8, 1) = %v, want [41]", out)
+	}
+
+	boom := errors.New("boom")
+	out, err = Map(8, 1, func(i int) (int, error) { return 7, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	// Partial results survive errors: the failed slot keeps what f
+	// returned alongside the error.
+	if len(out) != 1 || out[0] != 7 {
+		t.Fatalf("partial result = %v, want [7]", out)
+	}
+}
+
+// TestForEachNegativeTasks: a negative task count is an empty range, not
+// a panic and not an infinite dispatch loop.
+func TestForEachNegativeTasks(t *testing.T) {
+	called := int32(0)
+	if err := ForEach(4, -3, func(i int) error {
+		atomic.AddInt32(&called, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if called != 0 {
+		t.Fatalf("f called %d times for n=-3", called)
+	}
+}
+
+// TestForEachWorkerEmptyInput: with nothing to do, setup must not run —
+// per-worker state can be expensive (cloned classifiers, NN scratch).
+func TestForEachWorkerEmptyInput(t *testing.T) {
+	setups := int32(0)
+	err := ForEachWorker(8, 0,
+		func() int { atomic.AddInt32(&setups, 1); return 0 },
+		func(state, i int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if setups != 0 {
+		t.Fatalf("setup ran %d times for n=0", setups)
+	}
+}
+
+// TestForEachWorkerClampsToTasks: requesting far more workers than tasks
+// must instantiate at most one state per task, and exactly one for the
+// single-task serial path.
+func TestForEachWorkerClampsToTasks(t *testing.T) {
+	for _, tc := range []struct {
+		workers, n int
+		maxSetups  int32
+	}{
+		{workers: 100, n: 3, maxSetups: 3},
+		{workers: 100, n: 1, maxSetups: 1},
+	} {
+		setups := int32(0)
+		ran := int32(0)
+		err := ForEachWorker(tc.workers, tc.n,
+			func() int { return int(atomic.AddInt32(&setups, 1)) },
+			func(state, i int) error { atomic.AddInt32(&ran, 1); return nil })
+		if err != nil {
+			t.Fatalf("workers=%d n=%d: %v", tc.workers, tc.n, err)
+		}
+		if setups > tc.maxSetups || setups < 1 {
+			t.Fatalf("workers=%d n=%d: %d setups, want 1..%d", tc.workers, tc.n, setups, tc.maxSetups)
+		}
+		if ran != int32(tc.n) {
+			t.Fatalf("workers=%d n=%d: %d tasks ran", tc.workers, tc.n, ran)
+		}
+	}
+}
