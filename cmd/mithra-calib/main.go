@@ -6,6 +6,10 @@
 // output at the released settings).
 //
 //	mithra-calib [-scale test|medium|paper] [-quality 0.05] [bench ...]
+//
+// Progress and errors print to stderr through the shared obs.Logger
+// (-quiet, -v, -log-json). Exit codes: 0 success, 1 runtime failure,
+// 2 usage.
 package main
 
 import (
@@ -15,13 +19,26 @@ import (
 
 	"mithra/internal/axbench"
 	"mithra/internal/core"
+	"mithra/internal/obs"
 	"mithra/internal/stats"
 )
 
 func main() {
 	scale := flag.String("scale", "medium", "dataset scale: test|medium|paper")
 	quality := flag.Float64("quality", 0.05, "desired quality loss")
+	quiet := flag.Bool("quiet", false, "suppress progress output (errors still print)")
+	verbose := flag.Bool("v", false, "verbose progress output")
+	logJSON := flag.Bool("log-json", false, "emit progress and errors as JSON lines")
 	flag.Parse()
+
+	level := obs.LevelNormal
+	switch {
+	case *quiet:
+		level = obs.LevelQuiet
+	case *verbose:
+		level = obs.LevelVerbose
+	}
+	lg := obs.NewLogger(os.Stderr, "mithra-calib", level, *logJSON)
 
 	var opts core.Options
 	switch *scale {
@@ -32,9 +49,10 @@ func main() {
 	case "paper":
 		opts = core.PaperOptions()
 	default:
-		fmt.Fprintf(os.Stderr, "mithra-calib: unknown scale %q\n", *scale)
+		lg.Errorf("usage", "unknown scale %q", *scale)
 		os.Exit(2)
 	}
+	opts.Obs, _ = obs.New(obs.Options{Log: lg})
 	g := stats.Guarantee{QualityLoss: *quality, SuccessRate: 0.9, Confidence: 0.95, TwoSided: true}
 	if *scale == "test" {
 		g.SuccessRate, g.Confidence, g.TwoSided = 0.6, 0.9, false
@@ -47,17 +65,18 @@ func main() {
 	for _, name := range benches {
 		b, err := axbench.New(name)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mithra-calib:", err)
+			lg.Errorf("config", "%v", err)
 			os.Exit(1)
 		}
+		lg.Infof("calibrating %s at quality %.3f (scale=%s)", name, *quality, *scale)
 		ctx, err := core.NewContext(b, opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mithra-calib:", err)
+			lg.Errorf("run", "%v", err)
 			os.Exit(1)
 		}
 		d, err := ctx.Deploy(g)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mithra-calib:", err)
+			lg.Errorf("run", "%v", err)
 			os.Exit(1)
 		}
 		tc := d.Table.Config()

@@ -5,6 +5,10 @@
 //	mithra-report                 # medium scale, all experiments
 //	mithra-report -scale test     # quick smoke run
 //	mithra-report -o report.txt   # write to a file
+//
+// Progress and errors print to stderr through the shared obs.Logger:
+// -quiet silences progress, -v adds detail, -log-json switches to JSON
+// lines. Exit codes: 0 success, 1 runtime failure, 2 usage.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"mithra"
 	"mithra/internal/core"
 	"mithra/internal/experiments"
+	"mithra/internal/obs"
 )
 
 func main() {
@@ -24,7 +29,19 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	seed := flag.Uint64("seed", 42, "experiment seed")
 	format := flag.String("format", "text", "output format: text|csv|json")
+	quiet := flag.Bool("quiet", false, "suppress progress output (errors still print)")
+	verbose := flag.Bool("v", false, "verbose progress output")
+	logJSON := flag.Bool("log-json", false, "emit progress and errors as JSON lines")
 	flag.Parse()
+
+	level := obs.LevelNormal
+	switch {
+	case *quiet:
+		level = obs.LevelQuiet
+	case *verbose:
+		level = obs.LevelVerbose
+	}
+	lg := obs.NewLogger(os.Stderr, "mithra-report", level, *logJSON)
 
 	var opts core.Options
 	switch *scale {
@@ -35,16 +52,17 @@ func main() {
 	case "paper":
 		opts = core.PaperOptions()
 	default:
-		fmt.Fprintf(os.Stderr, "mithra-report: unknown scale %q\n", *scale)
+		lg.Errorf("usage", "unknown scale %q", *scale)
 		os.Exit(2)
 	}
 	opts.Seed = *seed
+	opts.Obs, _ = obs.New(obs.Options{Log: lg})
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mithra-report:", err)
+			lg.Errorf("io", "%v", err)
 			os.Exit(1)
 		}
 		defer f.Close()
@@ -70,11 +88,11 @@ func main() {
 	}
 	s, err := experiments.NewSuite(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mithra-report:", err)
+		lg.Errorf("config", "%v", err)
 		os.Exit(1)
 	}
 	if err := experiments.RunAllFormat(s, w, experiments.Format(*format)); err != nil {
-		fmt.Fprintln(os.Stderr, "mithra-report:", err)
+		lg.Errorf("run", "%v", err)
 		os.Exit(1)
 	}
 	if *format == "text" {

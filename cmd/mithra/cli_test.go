@@ -1,0 +1,218 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// mithraCLI invokes run() the way the shell would and returns the exit
+// code with captured output.
+func mithraCLI(args ...string) (code int, stdout, stderr string) {
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestExitCodesAndStructuredErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantErr  string // substring of stderr ("" = stderr must be empty)
+	}{
+		{"no args", nil, 2, ""},
+		{"unknown command", []string{"bogus"}, 2, `error[usage]: unknown command "bogus"`},
+		{"unknown flag", []string{"run", "-no-such-flag"}, 2, "error[usage]: run: flag provided but not defined"},
+		{"bad scale", []string{"run", "-scale", "huge"}, 2, `error[usage]: run: unknown scale "huge"`},
+		{"bad design", []string{"run", "-scale", "test", "-design", "magic"}, 2, `error[usage]: run: unknown design "magic"`},
+		{"exec without config", []string{"exec"}, 2, "error[usage]: exec: -config is required"},
+		{"exec missing file", []string{"exec", "-config", "definitely-missing.bin"}, 1, "error[io]: exec:"},
+		{"journal no subcommand", []string{"journal"}, 2, "error[usage]: journal: usage:"},
+		{"journal bad subcommand", []string{"journal", "frobnicate"}, 2, `error[usage]: journal: unknown journal subcommand "frobnicate"`},
+		{"journal show missing file", []string{"journal", "show", "definitely-missing.jsonl"}, 1, "error[io]: journal:"},
+		{"help", []string{"help"}, 0, "usage: mithra"},
+		{"command help", []string{"compile", "-h"}, 0, "usage: mithra compile"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			code, _, stderr := mithraCLI(c.args...)
+			if code != c.wantCode {
+				t.Errorf("exit = %d, want %d (stderr: %s)", code, c.wantCode, stderr)
+			}
+			if c.wantErr != "" && !strings.Contains(stderr, c.wantErr) {
+				t.Errorf("stderr %q missing %q", stderr, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestJSONErrorLine(t *testing.T) {
+	code, _, stderr := mithraCLI("run", "-log-json", "-scale", "nope")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	var line struct {
+		T, Kind, Msg string
+	}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(stderr)), &line); err != nil {
+		t.Fatalf("stderr is not a JSON line: %q (%v)", stderr, err)
+	}
+	if line.T != "error" || line.Kind != "usage" {
+		t.Errorf("json error line = %+v, want t=error kind=usage", line)
+	}
+}
+
+func TestListRuns(t *testing.T) {
+	code, stdout, stderr := mithraCLI("list")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"benchmarks:", "sobel", "experiments:", "fig6"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+// pipelineArgs runs the full compile+evaluate pipeline at test scale with
+// a guarantee the small sample can certify.
+func pipelineArgs(journal string, seed uint64, parallelism int) []string {
+	return []string{"run", "-bench", "fft", "-scale", "test",
+		"-quality", "0.10", "-success", "0.6", "-confidence", "0.9", "-two-sided=false",
+		"-seed", fmt.Sprint(seed), "-parallel", fmt.Sprint(parallelism),
+		"-trace", "-metrics", "-journal", journal, "-quiet"}
+}
+
+// TestPipelineJournalAcceptance is the PR's acceptance test: a full run
+// with -trace -metrics emits a journal with at least 5 distinct span
+// names and 6 distinct metric names, `journal diff` reports two same-seed
+// runs identical even at different worker counts, and a different seed
+// is detected as a real difference.
+func TestPipelineJournalAcceptance(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	other := filepath.Join(dir, "other-seed.jsonl")
+
+	for _, c := range []struct {
+		journal     string
+		seed        uint64
+		parallelism int
+	}{{a, 42, 1}, {b, 42, 4}, {other, 7, 1}} {
+		code, _, stderr := mithraCLI(pipelineArgs(c.journal, c.seed, c.parallelism)...)
+		if code != 0 {
+			t.Fatalf("pipeline run (seed=%d par=%d) exit %d: %s", c.seed, c.parallelism, code, stderr)
+		}
+	}
+
+	spans, metrics := journalInventory(t, a)
+	if len(spans) < 5 {
+		t.Errorf("journal has %d span names %v, want >= 5", len(spans), spans)
+	}
+	if len(metrics) < 6 {
+		t.Errorf("journal has %d metric names %v, want >= 6", len(metrics), metrics)
+	}
+
+	code, stdout, stderr := mithraCLI("journal", "diff", a, b)
+	if code != 0 {
+		t.Errorf("same-seed diff across worker counts: exit %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "journals identical") {
+		t.Errorf("diff output %q missing identical verdict", stdout)
+	}
+
+	code, stdout, _ = mithraCLI("journal", "diff", a, other)
+	if code != 1 {
+		t.Errorf("different-seed diff: exit %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "line 1") {
+		t.Errorf("different-seed diff output %q does not show the run_start difference", stdout)
+	}
+
+	// journal show renders the run without error.
+	code, stdout, stderr = mithraCLI("journal", "show", a)
+	if code != 0 {
+		t.Fatalf("journal show: exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"run run seed=42", "threshold.search", "counter npu.invocations", "status ok"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("journal show output missing %q", want)
+		}
+	}
+}
+
+// journalInventory returns the distinct span and metric names in a
+// journal file.
+func journalInventory(t *testing.T, path string) (spans, metrics []string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spanSet := map[string]bool{}
+	metricSet := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var e struct {
+			T       string `json:"t"`
+			Name    string `json:"name"`
+			Metrics *struct {
+				Counters []struct {
+					Name string `json:"name"`
+				} `json:"counters"`
+				Gauges []struct {
+					Name string `json:"name"`
+				} `json:"gauges"`
+				Histograms []struct {
+					Name string `json:"name"`
+				} `json:"histograms"`
+			} `json:"metrics"`
+		}
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("bad journal line %q: %v", line, err)
+		}
+		if e.T == "span" {
+			spanSet[e.Name] = true
+		}
+		if e.Metrics != nil {
+			for _, c := range e.Metrics.Counters {
+				metricSet[c.Name] = true
+			}
+			for _, g := range e.Metrics.Gauges {
+				metricSet[g.Name] = true
+			}
+			for _, h := range e.Metrics.Histograms {
+				metricSet[h.Name] = true
+			}
+		}
+	}
+	for s := range spanSet {
+		spans = append(spans, s)
+	}
+	for m := range metricSet {
+		metrics = append(metrics, m)
+	}
+	return spans, metrics
+}
+
+// TestQuietSilencesProgress proves -quiet removes progress lines while
+// results still print.
+func TestQuietSilencesProgress(t *testing.T) {
+	dir := t.TempDir()
+	code, stdout, stderr := mithraCLI("run", "-bench", "fft", "-scale", "test",
+		"-quality", "0.10", "-success", "0.6", "-confidence", "0.9", "-two-sided=false",
+		"-journal", filepath.Join(dir, "q.jsonl"), "-trace", "-quiet")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	if stderr != "" {
+		t.Errorf("-quiet left stderr output: %q", stderr)
+	}
+	if !strings.Contains(stdout, "design") {
+		t.Errorf("results missing from stdout: %q", stdout)
+	}
+}

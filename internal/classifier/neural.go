@@ -6,6 +6,7 @@ import (
 	"mithra/internal/mathx"
 	"mithra/internal/nn"
 	"mithra/internal/npu"
+	"mithra/internal/obs"
 	"mithra/internal/parallel"
 )
 
@@ -38,6 +39,9 @@ type NeuralOptions struct {
 	// from its own deterministic seed, so the selected network is
 	// identical at any setting.
 	Parallelism int
+	// Obs receives training telemetry (spans, counters). Nil disables;
+	// the selected network is identical either way.
+	Obs *obs.Obs
 }
 
 // DefaultNeuralOptions mirrors the paper's sweep.
@@ -89,6 +93,10 @@ func TrainNeural(inputDim int, samples []Sample, opts NeuralOptions) (*Neural, e
 			return nil, fmt.Errorf("classifier: sample dim %d, want %d", len(s.In), inputDim)
 		}
 	}
+	span := opts.Obs.StartSpan("classifier.neural.train",
+		obs.A("candidates", len(opts.HiddenSizes)), obs.A("samples", len(samples)))
+	defer span.End()
+	opts.Obs.Counter("classifier.neural.candidates").Add(int64(len(opts.HiddenSizes)))
 	if opts.MaxSamples > 0 && len(samples) > opts.MaxSamples {
 		stride := len(samples)/opts.MaxSamples + 1
 		sub := make([]Sample, 0, opts.MaxSamples)

@@ -7,6 +7,7 @@ import (
 	"mithra/internal/mathx"
 	"mithra/internal/nn"
 	"mithra/internal/npu"
+	"mithra/internal/obs"
 	"mithra/internal/parallel"
 	"mithra/internal/threshold"
 	"mithra/internal/trace"
@@ -56,7 +57,12 @@ func NewContext(b axbench.Benchmark, opts Options) (*Context, error) {
 	}
 	root := mathx.NewRNG(opts.Seed)
 
+	span := opts.Obs.StartSpan("context.build", obs.A("bench", b.Name()))
+	defer span.End()
+
+	npuSpan := span.Child("npu.train")
 	accel, err := trainNPU(b, opts, root)
+	npuSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -82,18 +88,34 @@ func NewContext(b axbench.Benchmark, opts Options) (*Context, error) {
 	// scratch), so they run on a bounded pool; results land in
 	// order-indexed slots and per-index RNG labels keep the data
 	// identical to a serial build.
+	capSpan := span.Child("capture.compile", obs.A("datasets", opts.CompileN))
 	ctx.Compile = captureAll(b, accel, opts.Parallelism, opts.CompileN, func(i int) (axbench.Input, trace.Options) {
 		return b.GenInput(root.Split(streamCompile+uint64(i)), opts.Scale),
 			trace.Options{KeepInputs: i < opts.TrainDatasets, Compact: opts.CompactTraces}
 	})
+	capSpan.End()
 	for _, d := range ctx.Compile {
 		ctx.FullQuality += d.Tr.FullQuality(b)
 	}
 	ctx.FullQuality /= float64(opts.CompileN)
+	valSpan := span.Child("capture.validate", obs.A("datasets", opts.ValidateN))
 	ctx.Validate = captureAll(b, accel, opts.Parallelism, opts.ValidateN, func(j int) (axbench.Input, trace.Options) {
 		return b.GenInput(root.Split(streamValidate+uint64(j)), opts.Scale),
 			trace.Options{KeepInputs: true, Compact: opts.CompactTraces}
 	})
+	valSpan.End()
+
+	// Capture runs the accelerator once per recorded invocation; the fold
+	// is serial, so the counters are exact and order-independent.
+	opts.Obs.Counter("capture.datasets").Add(int64(opts.CompileN + opts.ValidateN))
+	var npuInv int64
+	for _, d := range ctx.Compile {
+		npuInv += int64(d.Tr.N)
+	}
+	for _, d := range ctx.Validate {
+		npuInv += int64(d.Tr.N)
+	}
+	opts.Obs.Counter("npu.invocations").Add(npuInv)
 	return ctx, nil
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"mithra/internal/classifier"
 	"mithra/internal/mathx"
+	"mithra/internal/obs"
 	"mithra/internal/parallel"
 	"mithra/internal/stats"
 	"mithra/internal/threshold"
@@ -38,6 +39,10 @@ type Deployment struct {
 	// baselines).
 	samples    []classifier.Sample
 	sampleErrs []float64
+	// obs is the context's telemetry scoped under this deployment's span,
+	// so training and evaluation spans nest under the deployment that
+	// produced them.
+	obs *obs.Obs
 }
 
 // TrainingSamples exposes the labeled tuples this deployment's
@@ -61,6 +66,11 @@ func (ctx *Context) Deploy(g stats.Guarantee) (*Deployment, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	span := ctx.Opts.Obs.StartSpan("deploy",
+		obs.A("bench", ctx.Bench.Name()), obs.A("quality", g.QualityLoss))
+	defer span.End()
+	oscope := ctx.Opts.Obs.Scope(span)
+
 	find := threshold.FindBisect
 	if ctx.Opts.UseDeltaWalk {
 		find = threshold.FindDeltaWalk
@@ -69,6 +79,7 @@ func (ctx *Context) Deploy(g stats.Guarantee) (*Deployment, error) {
 	if topts.Workers == 0 {
 		topts.Workers = ctx.Opts.Parallelism
 	}
+	topts.Obs = oscope
 	th, err := find(ctx.Bench, ctx.Compile, g, topts)
 	if err != nil {
 		return nil, fmt.Errorf("core: threshold search for %s: %w", ctx.Bench.Name(), err)
@@ -79,12 +90,14 @@ func (ctx *Context) Deploy(g stats.Guarantee) (*Deployment, error) {
 		guard = 1
 	}
 	tuples := ctx.trainingTuples()
-	d := &Deployment{Ctx: ctx, G: g, Th: th,
+	d := &Deployment{Ctx: ctx, G: g, Th: th, obs: oscope,
 		samples: tuples.label(th.Threshold * guard), sampleErrs: tuples.errs}
 
 	d.TableGuard = 1
+	tabSpan := span.Child("classifier.table.train")
 	if ctx.Opts.TableAutoTune {
 		tab, tabGuard, err := d.autoTuneTable(tuples)
+		tabSpan.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: table tuning for %s: %w", ctx.Bench.Name(), err)
 		}
@@ -92,6 +105,7 @@ func (ctx *Context) Deploy(g stats.Guarantee) (*Deployment, error) {
 		d.TableGuard = tabGuard
 	} else {
 		tab, err := classifier.TrainTable(ctx.Opts.TableCfg, d.samples)
+		tabSpan.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: table training for %s: %w", ctx.Bench.Name(), err)
 		}
@@ -102,7 +116,9 @@ func (ctx *Context) Deploy(g stats.Guarantee) (*Deployment, error) {
 		return nil, fmt.Errorf("core: neural training for %s: %w", ctx.Bench.Name(), err)
 	}
 	d.Neural = neu
+	randSpan := span.Child("random.tune")
 	d.RandomRate = ctx.tuneRandomRate(g)
+	randSpan.End()
 	return d, nil
 }
 
@@ -229,6 +245,7 @@ func (d *Deployment) autoTuneTable(tuples tupleSet) (*classifier.Table, float64,
 		tab  *classifier.Table
 		cand tunedCandidate
 	}
+	d.obs.Counter("classifier.table.candidates").Add(int64(len(specs)))
 	scored, err := parallel.Map(d.Ctx.Opts.Parallelism, len(specs),
 		func(i int) (tableCand, error) {
 			tab, err := classifier.TrainTable(specs[i].cfg, specs[i].samples)
@@ -258,6 +275,7 @@ func (d *Deployment) autoBiasNeural() (*classifier.Neural, error) {
 	if nopts.Parallelism == 0 {
 		nopts.Parallelism = d.Ctx.Opts.Parallelism
 	}
+	nopts.Obs = d.obs
 	base, err := classifier.TrainNeural(d.Ctx.Bench.InputDim(), d.samples, nopts)
 	if err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mithra/internal/classifier"
+	"mithra/internal/obs"
 	"mithra/internal/parallel"
 	"mithra/internal/sim"
 	"mithra/internal/threshold"
@@ -114,6 +115,15 @@ func (d *Deployment) simConfig(design Design) sim.Config {
 	cfg.ClassifierCycles = float64(ov.Cycles)
 	cfg.ClassifierEnergyPJ = ov.EnergyPJ
 	return cfg
+}
+
+// obsScope returns the deployment's telemetry scope: the deploy-span
+// scope when the deployment came from Deploy, else the context's.
+func (d *Deployment) obsScope() *obs.Obs {
+	if d.obs != nil {
+		return d.obs
+	}
+	return d.Ctx.Opts.Obs
 }
 
 // decider maps a dataset to its decision vector. evaluateWith obtains one
@@ -238,6 +248,10 @@ type datasetEval struct {
 func (d *Deployment) evaluateWith(design Design, simCfg sim.Config, datasets []threshold.Dataset,
 	countFalse bool, workers int, newDecider func() decider) EvalResult {
 	res := EvalResult{Design: design}
+	o := d.obsScope()
+	span := o.StartSpan("evaluate",
+		obs.A("design", design.String()), obs.A("datasets", len(datasets)))
+	defer span.End()
 
 	evals := make([]datasetEval, len(datasets))
 	err := parallel.ForEachWorker(workers, len(datasets), newDecider,
@@ -272,6 +286,7 @@ func (d *Deployment) evaluateWith(design Design, simCfg sim.Config, datasets []t
 	var totalInv, totalPrecise int
 	var baseCycles, runCycles, baseEnergy, runEnergy float64
 	var fp, fn int
+	qualityHist := o.Histogram("eval.quality_loss", obs.QualityBuckets())
 	for di, e := range evals {
 		res.Qualities = append(res.Qualities, e.quality)
 		if e.quality <= d.G.QualityLoss {
@@ -285,6 +300,15 @@ func (d *Deployment) evaluateWith(design Design, simCfg sim.Config, datasets []t
 		runCycles += e.rep.Cycles
 		baseEnergy += e.rep.BaselineEnergyPJ
 		runEnergy += e.rep.EnergyPJ
+		qualityHist.Observe(e.quality)
+		e.rep.Observe(o.Metrics())
+	}
+	o.Counter("eval.datasets").Add(int64(len(datasets)))
+	o.Counter("classifier.accepted").Add(int64(totalInv - totalPrecise))
+	o.Counter("classifier.filtered").Add(int64(totalPrecise))
+	if countFalse {
+		o.Counter("classifier.false_positives").Add(int64(fp))
+		o.Counter("classifier.false_negatives").Add(int64(fn))
 	}
 
 	res.InvocationRate = float64(totalInv-totalPrecise) / float64(totalInv)

@@ -12,6 +12,7 @@ import (
 	"mithra/internal/axbench"
 	"mithra/internal/classifier"
 	"mithra/internal/nn"
+	"mithra/internal/obs"
 	"mithra/internal/threshold"
 )
 
@@ -72,6 +73,11 @@ type Options struct {
 	Parallelism int
 	// Seed keys every stochastic component of the pipeline.
 	Seed uint64
+	// Obs receives pipeline telemetry: tracing spans, counters, and
+	// histograms (see internal/obs and DESIGN.md §9). Nil — the default —
+	// disables all instrumentation; results are bit-identical either way,
+	// since telemetry never feeds back into the result path.
+	Obs *obs.Obs
 }
 
 // DefaultOptions returns the medium-scale configuration used by the

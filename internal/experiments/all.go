@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"io"
+
+	"mithra/internal/obs"
 )
 
 // Runner executes one named experiment and returns its rendered table.
@@ -109,14 +111,30 @@ func (r *Fig11Result) table() *Table  { return r.Table }
 func (r *SoftResult) table() *Table   { return r.Table }
 
 // RunAll executes every experiment, rendering each to w as it completes.
+// Progress goes through the campaign's logger and each experiment runs
+// under its own span (telemetry is a no-op when Config.Opts.Obs is nil).
 func RunAll(s *Suite, w io.Writer) error {
+	o := s.Cfg.Opts.Obs
 	for _, r := range Runners() {
-		t, err := r.Run(s)
-		if err != nil {
-			return fmt.Errorf("experiments: %s: %w", r.ID, err)
+		o.Log().Infof("running %s: %s", r.ID, r.Descr)
+		if err := runObserved(s, r, w); err != nil {
+			return err
 		}
-		t.Render(w)
 	}
+	return nil
+}
+
+// runObserved executes one experiment inside its span.
+func runObserved(s *Suite, r Runner, w io.Writer) error {
+	o := s.Cfg.Opts.Obs
+	span := o.StartSpan("experiment", obs.A("id", r.ID))
+	t, err := r.Run(s)
+	span.End()
+	o.Counter("experiments.runs").Inc()
+	if err != nil {
+		return fmt.Errorf("experiments: %s: %w", r.ID, err)
+	}
+	t.Render(w)
 	return nil
 }
 
@@ -124,12 +142,8 @@ func RunAll(s *Suite, w io.Writer) error {
 func RunOne(s *Suite, id string, w io.Writer) error {
 	for _, r := range Runners() {
 		if r.ID == id {
-			t, err := r.Run(s)
-			if err != nil {
-				return fmt.Errorf("experiments: %s: %w", r.ID, err)
-			}
-			t.Render(w)
-			return nil
+			s.Cfg.Opts.Obs.Log().Infof("running %s: %s", r.ID, r.Descr)
+			return runObserved(s, r, w)
 		}
 	}
 	ids := make([]string, 0, len(Runners()))

@@ -153,6 +153,7 @@ func (s *Suite) Context(name string) (*core.Context, error) {
 			e.err = err
 			return
 		}
+		s.Cfg.Opts.Obs.Log().Verbosef("building context for %s", name)
 		e.ctx, e.err = core.NewContext(b, s.Cfg.Opts)
 	})
 	return e.ctx, e.err

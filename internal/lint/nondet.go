@@ -36,9 +36,14 @@ var nondetScope = map[string]bool{
 	"stats":       true,
 	"experiments": true,
 	"trace":       true,
+	// obs is the observability layer: its telemetry never feeds results,
+	// but keeping it in scope forces every wall-clock read through the
+	// single audited obs.Clock chokepoint instead of scattered time.Now
+	// calls.
+	"obs": true,
 }
 
-const nondetScopeDoc = "internal/{core,threshold,classifier,nn,npu,stats,experiments,trace}"
+const nondetScopeDoc = "internal/{core,threshold,classifier,nn,npu,stats,experiments,trace,obs}"
 
 // globalRandFuncs are the math/rand (and rand/v2) top-level functions that
 // draw from the process-global generator. Constructors (New, NewSource,

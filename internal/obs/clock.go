@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts wall-clock reads so that every telemetry timestamp in
+// the pipeline flows through one injected source. Production code uses
+// RealClock; tests inject a FakeClock, which makes journals byte-for-byte
+// reproducible (the determinism tests compare them across worker counts).
+//
+// This is the only place the observability layer touches the wall clock,
+// and the suppression below is the audited escape hatch the
+// nondeterminism analyzer (internal/lint) requires: telemetry timestamps
+// are explicitly outside the deterministic result path.
+type Clock interface {
+	Now() time.Time
+}
+
+// RealClock returns the process wall clock.
+func RealClock() Clock { return realClock{} }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time {
+	//lint:ignore nondeterminism the observability clock is the single audited wall-clock chokepoint; timestamps only annotate telemetry and never feed results
+	return time.Now()
+}
+
+// FakeClock is a manually advanced clock for tests. The zero value is not
+// usable; construct with NewFakeClock.
+type FakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewFakeClock returns a fake clock frozen at start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{t: start}
+}
+
+// Now returns the current fake time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the fake clock forward by d.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}

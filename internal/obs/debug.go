@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// DebugServer is the opt-in diagnostics endpoint: pprof profiles,
+// expvar, and the live metrics snapshot. It binds a local address and
+// serves until closed; the pipeline never depends on it.
+//
+//	/metrics          registry snapshot in the text export format
+//	/debug/vars       expvar (includes the published registry snapshot)
+//	/debug/pprof/     CPU, heap, goroutine, block, mutex profiles
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// expvarOnce guards the process-wide expvar publication (expvar.Publish
+// panics on duplicate names).
+var expvarOnce sync.Once
+
+// StartDebug serves the debug endpoint on addr (e.g. "localhost:6060";
+// port 0 picks a free port). reg may be nil, in which case /metrics
+// serves an empty snapshot.
+func StartDebug(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener: %w", err)
+	}
+	expvarOnce.Do(func() {
+		expvar.Publish("mithra.metrics", expvar.Func(func() any { return reg.Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		reg.Snapshot().WriteText(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	d := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go d.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return d, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the server.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestDebugServer starts the endpoint on an ephemeral port and checks the
+// /metrics and pprof routes respond.
+func TestDebugServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("smoke.hits").Add(3)
+	srv, err := StartDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, "counter smoke.hits 3") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "mithra.metrics") {
+		t.Errorf("/debug/vars missing published registry:\n%s", body)
+	}
+	if body := get("/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline returned empty body")
+	}
+}

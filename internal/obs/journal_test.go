@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// buildJournal exercises the full Obs path — spans from concurrent
+// workers, commutative counters, a histogram, and a final metrics
+// snapshot — and returns the journal bytes. startOrder permutes the
+// goroutine launch order to emulate scheduling differences between
+// worker counts.
+func buildJournal(t *testing.T, startOrder []int) []byte {
+	t.Helper()
+	clock, _ := fakeNow()
+	var buf bytes.Buffer
+	o, err := New(Options{
+		Clock: clock, Trace: true, Metrics: true, JournalWriter: &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.RunStart("test", 42, map[string]any{"bench": "fft"},
+		map[string]any{"workers": len(startOrder)})
+	root := o.StartSpan("run", A("cmd", "test"))
+	scoped := o.Scope(root)
+
+	var wg sync.WaitGroup
+	for _, i := range startOrder {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := scoped.StartSpan("work", A("item", i))
+			scoped.Counter("work.done").Inc()
+			scoped.Histogram("work.size", QualityBuckets()).Observe(float64(i) / 10)
+			s.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	if err := o.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestJournalDeterministicAcrossSchedules proves the journal bytes are
+// identical regardless of goroutine start order (the stand-in for
+// different -parallel worker counts): spans sort canonically, counters
+// commute, and the fake clock freezes timestamps.
+func TestJournalDeterministicAcrossSchedules(t *testing.T) {
+	a := buildJournal(t, []int{0, 1, 2, 3, 4, 5})
+	b := buildJournal(t, []int{5, 3, 1, 4, 2, 0})
+	if !bytes.Equal(a, b) {
+		t.Errorf("journal bytes differ across schedules:\nA:\n%s\nB:\n%s", a, b)
+	}
+}
+
+func TestJournalEventShape(t *testing.T) {
+	out := buildJournal(t, []int{0, 1})
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	// run_start + run span + 2 work spans + metrics + run_end.
+	if len(lines) != 6 {
+		t.Fatalf("journal lines = %d, want 6:\n%s", len(lines), out)
+	}
+	wantOrder := []string{"run_start", "span", "span", "span", "metrics", "run_end"}
+	for i, l := range lines {
+		if !strings.Contains(l, `"t":"`+wantOrder[i]+`"`) {
+			t.Errorf("line %d: want t=%q, got %s", i, wantOrder[i], l)
+		}
+	}
+	if !strings.Contains(lines[0], `"seed":42`) {
+		t.Errorf("run_start missing seed: %s", lines[0])
+	}
+	if !strings.Contains(lines[5], `"status":"ok"`) {
+		t.Errorf("run_end missing ok status: %s", lines[5])
+	}
+}
+
+func TestJournalErrorStatus(t *testing.T) {
+	var buf bytes.Buffer
+	clock, _ := fakeNow()
+	o, err := New(Options{Clock: clock, Trace: true, JournalWriter: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(errors.New("boom")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"status":"error"`) ||
+		!strings.Contains(buf.String(), `"error":"boom"`) {
+		t.Errorf("error close not recorded: %s", buf.String())
+	}
+}
+
+func TestJournalCloseIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf, NewFakeClock(time.Unix(0, 0)))
+	j.RunStart("x", 1, nil, nil)
+	if err := j.Close("ok", nil); err != nil {
+		t.Fatal(err)
+	}
+	n := buf.Len()
+	if err := j.Close("ok", nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != n {
+		t.Error("second Close wrote more bytes")
+	}
+}
+
+func TestNilObsSafe(t *testing.T) {
+	var o *Obs
+	span := o.StartSpan("x", A("k", "v"))
+	span.Child("c").End()
+	span.End()
+	o.Counter("c").Inc()
+	o.Gauge("g").Set(1)
+	o.Histogram("h", QualityBuckets()).Observe(0.5)
+	o.RunStart("cmd", 0, nil, nil)
+	o.Log().Infof("dropped")
+	if o.Scope(span) != nil {
+		t.Error("nil Obs Scope should return nil")
+	}
+	if err := o.Close(nil); err != nil {
+		t.Errorf("nil Close = %v", err)
+	}
+}

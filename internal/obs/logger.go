@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Level selects how much progress output a Logger emits. Errors always
+// print, including at LevelQuiet.
+type Level int
+
+const (
+	// LevelQuiet suppresses all progress output.
+	LevelQuiet Level = iota
+	// LevelNormal prints Infof progress lines.
+	LevelNormal
+	// LevelVerbose additionally prints Verbosef detail lines.
+	LevelVerbose
+)
+
+// Logger is the single funnel for CLI progress and error output: every
+// ad-hoc stderr print in the commands and the experiments suite routes
+// through one of these, so -quiet, -v, and -log-json behave uniformly.
+// It is safe for concurrent use (experiment workers log through it) and
+// nil-safe (a nil logger drops everything).
+type Logger struct {
+	mu     sync.Mutex
+	w      io.Writer
+	prefix string
+	level  Level
+	json   bool
+}
+
+// NewLogger writes to w, prefixing text lines with prefix (typically the
+// program name). With jsonMode, lines are JSON objects instead:
+// {"t":"log","level":...,"msg":...} and {"t":"error","kind":...,"msg":...}.
+func NewLogger(w io.Writer, prefix string, level Level, jsonMode bool) *Logger {
+	return &Logger{w: w, prefix: prefix, level: level, json: jsonMode}
+}
+
+// Infof logs a progress line at normal verbosity. Nil-safe.
+func (l *Logger) Infof(format string, args ...any) {
+	l.emit(LevelNormal, "info", format, args...)
+}
+
+// Verbosef logs a detail line shown only with -v. Nil-safe.
+func (l *Logger) Verbosef(format string, args ...any) {
+	l.emit(LevelVerbose, "verbose", format, args...)
+}
+
+// Errorf logs a structured error line that prints at every level. kind
+// classifies the failure mode for journal/log consumers: "usage" (bad
+// flags or arguments), "config" (invalid configuration values), "io"
+// (missing or unwritable files), "run" (pipeline failure). Nil-safe.
+func (l *Logger) Errorf(kind, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.json {
+		line, _ := json.Marshal(struct {
+			T    string `json:"t"`
+			Kind string `json:"kind"`
+			Msg  string `json:"msg"`
+		}{"error", kind, msg})
+		fmt.Fprintf(l.w, "%s\n", line)
+		return
+	}
+	fmt.Fprintf(l.w, "%s: error[%s]: %s\n", l.prefix, kind, msg)
+}
+
+func (l *Logger) emit(min Level, levelName, format string, args ...any) {
+	if l == nil || l.level < min {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.json {
+		line, _ := json.Marshal(struct {
+			T     string `json:"t"`
+			Level string `json:"level"`
+			Msg   string `json:"msg"`
+		}{"log", levelName, msg})
+		fmt.Fprintf(l.w, "%s\n", line)
+		return
+	}
+	fmt.Fprintf(l.w, "%s: %s\n", l.prefix, msg)
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLoggerLevels(t *testing.T) {
+	cases := []struct {
+		level                 Level
+		wantInfo, wantVerbose bool
+	}{
+		{LevelQuiet, false, false},
+		{LevelNormal, true, false},
+		{LevelVerbose, true, true},
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		lg := NewLogger(&buf, "p", c.level, false)
+		lg.Infof("info %d", 1)
+		lg.Verbosef("detail")
+		lg.Errorf("run", "bad %s", "thing")
+		out := buf.String()
+		if got := strings.Contains(out, "p: info 1"); got != c.wantInfo {
+			t.Errorf("level %d: info printed = %v, want %v", c.level, got, c.wantInfo)
+		}
+		if got := strings.Contains(out, "p: detail"); got != c.wantVerbose {
+			t.Errorf("level %d: verbose printed = %v, want %v", c.level, got, c.wantVerbose)
+		}
+		if !strings.Contains(out, "p: error[run]: bad thing") {
+			t.Errorf("level %d: error line missing from %q", c.level, out)
+		}
+	}
+}
+
+func TestLoggerJSON(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLogger(&buf, "p", LevelNormal, true)
+	lg.Infof("hello")
+	lg.Errorf("io", "gone")
+	want := `{"t":"log","level":"info","msg":"hello"}` + "\n" +
+		`{"t":"error","kind":"io","msg":"gone"}` + "\n"
+	if buf.String() != want {
+		t.Errorf("json log:\ngot  %q\nwant %q", buf.String(), want)
+	}
+}
+
+func TestNilLoggerSafe(t *testing.T) {
+	var lg *Logger
+	lg.Infof("x")
+	lg.Verbosef("x")
+	lg.Errorf("run", "x")
+}

@@ -1,0 +1,299 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a concurrency-safe metrics registry. Instruments are
+// created on first use and live for the registry's lifetime; updates are
+// lock-free (atomics), so workers on the hot path never contend on the
+// registry lock.
+//
+// Determinism contract: counters and histograms are commutative — their
+// final values depend only on the multiset of updates, never on
+// scheduling order — so they may be updated from parallel workers.
+// Gauges are last-write-wins and must only be set from serial
+// (orchestration or CLI) code; a gauge written from a fan-out would make
+// the exported snapshot depend on goroutine scheduling.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil counter, whose methods are no-ops.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil registry
+// returns a nil gauge, whose methods are no-ops.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named fixed-bucket histogram, creating it with
+// the given ascending upper bounds on first use (later calls reuse the
+// first registration's bounds). A nil registry returns a nil histogram,
+// whose methods are no-ops.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n. Nil-safe.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. Nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the current count. Nil-safe (returns 0).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-write-wins float metric. Set it only from serial code
+// (see the Registry determinism contract).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v. Nil-safe.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(floatBits(v))
+}
+
+// Value reads the current value. Nil-safe (returns 0).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return bitsFloat(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Only bucket counts
+// are kept (no floating-point sum), so concurrent observations from any
+// number of workers produce an exactly deterministic final state.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Int64 // len(bounds)+1
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records v into its bucket (first bound >= v, else +Inf).
+// Nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+}
+
+// Total returns the number of observations. Nil-safe (returns 0).
+func (h *Histogram) Total() int64 {
+	if h == nil {
+		return 0
+	}
+	var t int64
+	for i := range h.counts {
+		t += h.counts[i].Load()
+	}
+	return t
+}
+
+// QualityBuckets returns the standard bucket bounds for quality-loss
+// histograms (fractions of output error).
+func QualityBuckets() []float64 {
+	return []float64{0.01, 0.025, 0.05, 0.075, 0.10, 0.15, 0.25, 0.50, 1}
+}
+
+// CounterSnap, GaugeSnap, BucketSnap, and HistSnap are the exported
+// snapshot rows. LE is the bucket's upper bound formatted as a string so
+// the +Inf bucket survives JSON encoding.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+type GaugeSnap struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+type BucketSnap struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+type HistSnap struct {
+	Name    string       `json:"name"`
+	Total   int64        `json:"total"`
+	Buckets []BucketSnap `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of every instrument, sorted by name so
+// two snapshots of equal registries are deeply equal and serialize to
+// identical bytes.
+type Snapshot struct {
+	Counters   []CounterSnap `json:"counters,omitempty"`
+	Gauges     []GaugeSnap   `json:"gauges,omitempty"`
+	Histograms []HistSnap    `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current state. Safe to call while
+// writers are updating instruments; each instrument is read atomically.
+// A nil registry yields a zero snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+
+	var cnames []string
+	for n := range r.counters {
+		cnames = append(cnames, n)
+	}
+	sort.Strings(cnames)
+	for _, n := range cnames {
+		s.Counters = append(s.Counters, CounterSnap{Name: n, Value: r.counters[n].Value()})
+	}
+
+	var gnames []string
+	for n := range r.gauges {
+		gnames = append(gnames, n)
+	}
+	sort.Strings(gnames)
+	for _, n := range gnames {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: n, Value: r.gauges[n].Value()})
+	}
+
+	var hnames []string
+	for n := range r.hists {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	for _, n := range hnames {
+		h := r.hists[n]
+		hs := HistSnap{Name: n}
+		for i := range h.counts {
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = formatFloat(h.bounds[i])
+			}
+			c := h.counts[i].Load()
+			hs.Total += c
+			hs.Buckets = append(hs.Buckets, BucketSnap{LE: le, Count: c})
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+	return s
+}
+
+// WriteText renders the snapshot in the stable line-oriented export
+// format (the golden-tested shape served on the debug endpoint's
+// /metrics page):
+//
+//	counter <name> <value>
+//	gauge <name> <value>
+//	histogram <name> total=<n>
+//	  le=<bound> <count>
+func (s Snapshot) WriteText(w io.Writer) {
+	for _, c := range s.Counters {
+		fmt.Fprintf(w, "counter %s %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(w, "gauge %s %s\n", g.Name, formatFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(w, "histogram %s total=%d\n", h.Name, h.Total)
+		for _, b := range h.Buckets {
+			fmt.Fprintf(w, "  le=%s %d\n", b.LE, b.Count)
+		}
+	}
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g")
+	g.Set(2.5)
+	g.Set(-1.25)
+	if got := g.Value(); got != -1.25 {
+		t.Errorf("gauge = %v, want -1.25", got)
+	}
+	h := r.Histogram("h", []float64{1, 10})
+	for _, v := range []float64{0.5, 1, 1.5, 10, 100} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms = %d, want 1", len(snap.Histograms))
+	}
+	hs := snap.Histograms[0]
+	if hs.Total != 5 {
+		t.Errorf("total = %d, want 5", hs.Total)
+	}
+	// Buckets are cumulative-exclusive per bound: v <= bound goes in the
+	// first bucket whose bound is >= v; larger values land in +Inf.
+	want := map[string]int64{"1": 2, "10": 2, "+Inf": 1}
+	for _, b := range hs.Buckets {
+		if b.Count != want[b.LE] {
+			t.Errorf("bucket le=%s count = %d, want %d", b.LE, b.Count, want[b.LE])
+		}
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Error("Counter did not return the same instance for the same name")
+	}
+	if r.Gauge("y") != r.Gauge("y") {
+		t.Error("Gauge did not return the same instance for the same name")
+	}
+	if r.Histogram("z", QualityBuckets()) != r.Histogram("z", QualityBuckets()) {
+		t.Error("Histogram did not return the same instance for the same name")
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(1)
+	r.Histogram("h", QualityBuckets()).Observe(0.5)
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Error("nil registry snapshot is not empty")
+	}
+	var buf bytes.Buffer
+	snap.WriteText(&buf)
+}
+
+// TestRegistryRace hammers one registry from many goroutines — counters,
+// gauges (distinct names per goroutine, honoring the serial-writer
+// contract), histograms, and concurrent snapshots. Run with -race.
+func TestRegistryRace(t *testing.T) {
+	r := NewRegistry()
+	const workers, rounds = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := r.Gauge("gauge." + string(rune('a'+w)))
+			for i := 0; i < rounds; i++ {
+				r.Counter("shared.counter").Inc()
+				r.Counter("shared.total").Add(2)
+				r.Histogram("shared.hist", QualityBuckets()).Observe(float64(i) / rounds)
+				g.Set(float64(i))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	byName := map[string]int64{}
+	for _, c := range snap.Counters {
+		byName[c.Name] = c.Value
+	}
+	if byName["shared.counter"] != workers*rounds {
+		t.Errorf("shared.counter = %d, want %d", byName["shared.counter"], workers*rounds)
+	}
+	if byName["shared.total"] != 2*workers*rounds {
+		t.Errorf("shared.total = %d, want %d", byName["shared.total"], 2*workers*rounds)
+	}
+	for _, h := range snap.Histograms {
+		if h.Name == "shared.hist" && h.Total != workers*rounds {
+			t.Errorf("shared.hist total = %d, want %d", h.Total, workers*rounds)
+		}
+	}
+}
+
+// TestSnapshotGolden pins the text export format.
+func TestSnapshotGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("npu.invocations").Add(5080)
+	r.Counter("threshold.searches").Inc()
+	r.Gauge("threshold.value").Set(0.04154865892010075)
+	h := r.Histogram("eval.quality_loss", QualityBuckets())
+	for _, v := range []float64{0.003, 0.02, 0.04, 0.09, 0.3, 2} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	r.Snapshot().WriteText(&buf)
+	checkGolden(t, "snapshot.golden", buf.Bytes())
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run 'go test ./internal/obs -update' to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch (re-run with -update after intentional changes)\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}

@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// JournalEntry is one decoded journal line, kept generic so the reader
+// tolerates journals written by newer versions with extra fields.
+type JournalEntry map[string]any
+
+// volatileKeys are the journal fields that legitimately differ between
+// two runs of the same workload: wall-clock stamps and the runtime
+// block (worker count, toolchain, host). DiffJournals strips them; the
+// determinism contract covers everything else.
+var volatileKeys = []string{"ts", "dur_ns", "runtime"}
+
+// ReadJournal decodes a JSONL journal stream.
+func ReadJournal(r io.Reader) ([]JournalEntry, error) {
+	var out []JournalEntry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var e JournalEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			return nil, fmt.Errorf("obs: journal line %d: %w", lineNo, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: read journal: %w", err)
+	}
+	return out, nil
+}
+
+// ReadJournalFile decodes the journal at path.
+func ReadJournalFile(path string) ([]JournalEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: open journal: %w", err)
+	}
+	defer f.Close()
+	return ReadJournal(f)
+}
+
+// RenderJournal pretty-prints a journal: run header, the span tree
+// indented by path depth, metric snapshots in the text export format,
+// and the final status.
+func RenderJournal(w io.Writer, entries []JournalEntry) {
+	for _, e := range entries {
+		switch str(e["t"]) {
+		case "run_start":
+			fmt.Fprintf(w, "run %s seed=%v\n", str(e["cmd"]), e["seed"])
+			renderKV(w, "  config", e["config"])
+			renderKV(w, "  runtime", e["runtime"])
+		case "span":
+			path := str(e["path"])
+			depth := strings.Count(path, "/")
+			fmt.Fprintf(w, "%s%s %s%s\n",
+				strings.Repeat("  ", depth+1), str(e["name"]),
+				humanDur(e["dur_ns"]), attrSuffix(e["attrs"]))
+		case "metrics":
+			fmt.Fprintf(w, "metrics:\n")
+			renderMetrics(w, e["metrics"])
+		case "run_end":
+			line := "status " + str(e["status"])
+			if msg := str(e["error"]); msg != "" {
+				line += ": " + msg
+			}
+			fmt.Fprintf(w, "%s\n", line)
+		}
+	}
+}
+
+// DiffJournals compares two journals after stripping the volatile keys,
+// returning one human-readable line per difference (empty: identical).
+// Entries are compared positionally — the journals are canonically
+// ordered at write time, so positional mismatch is a real difference.
+func DiffJournals(a, b []JournalEntry) []string {
+	var diffs []string
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case i >= len(a):
+			diffs = append(diffs, fmt.Sprintf("line %d: only in B: %s", i+1, canonical(b[i])))
+		case i >= len(b):
+			diffs = append(diffs, fmt.Sprintf("line %d: only in A: %s", i+1, canonical(a[i])))
+		default:
+			ca, cb := canonical(a[i]), canonical(b[i])
+			if ca != cb {
+				diffs = append(diffs, fmt.Sprintf("line %d:\n  A: %s\n  B: %s", i+1, ca, cb))
+			}
+		}
+	}
+	return diffs
+}
+
+// canonical re-marshals an entry with volatile keys removed; JSON object
+// keys marshal sorted, so equal content yields equal strings.
+func canonical(e JournalEntry) string {
+	cp := make(map[string]any, len(e))
+	for k, v := range e {
+		cp[k] = v
+	}
+	for _, k := range volatileKeys {
+		delete(cp, k)
+	}
+	stripVolatile(cp)
+	b, _ := json.Marshal(cp)
+	return string(b)
+}
+
+// stripVolatile removes timestamp-like keys from nested objects (metric
+// snapshots carry a "ts" of their own).
+func stripVolatile(m map[string]any) {
+	for _, v := range m {
+		if nested, ok := v.(map[string]any); ok {
+			for _, vk := range volatileKeys {
+				delete(nested, vk)
+			}
+			stripVolatile(nested)
+		}
+	}
+}
+
+func str(v any) string {
+	s, _ := v.(string)
+	return s
+}
+
+func humanDur(v any) string {
+	ns, ok := v.(float64)
+	if !ok {
+		return "0s"
+	}
+	return time.Duration(int64(ns)).Round(time.Microsecond).String()
+}
+
+func attrSuffix(v any) string {
+	m, ok := v.(map[string]any)
+	if !ok || len(m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%v", k, m[k]))
+	}
+	return " {" + strings.Join(parts, " ") + "}"
+}
+
+func renderKV(w io.Writer, label string, v any) {
+	m, ok := v.(map[string]any)
+	if !ok || len(m) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%v", k, m[k]))
+	}
+	fmt.Fprintf(w, "%s: %s\n", label, strings.Join(parts, " "))
+}
+
+// renderMetrics renders the decoded snapshot object in the same shape as
+// Snapshot.WriteText.
+func renderMetrics(w io.Writer, v any) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return
+	}
+	if cs, ok := m["counters"].([]any); ok {
+		for _, c := range cs {
+			cm, _ := c.(map[string]any)
+			fmt.Fprintf(w, "  counter %s %v\n", str(cm["name"]), num(cm["value"]))
+		}
+	}
+	if gs, ok := m["gauges"].([]any); ok {
+		for _, g := range gs {
+			gm, _ := g.(map[string]any)
+			fmt.Fprintf(w, "  gauge %s %v\n", str(gm["name"]), gm["value"])
+		}
+	}
+	if hs, ok := m["histograms"].([]any); ok {
+		for _, h := range hs {
+			hm, _ := h.(map[string]any)
+			fmt.Fprintf(w, "  histogram %s total=%v\n", str(hm["name"]), num(hm["total"]))
+			if bs, ok := hm["buckets"].([]any); ok {
+				for _, b := range bs {
+					bm, _ := b.(map[string]any)
+					fmt.Fprintf(w, "    le=%s %v\n", str(bm["le"]), num(bm["count"]))
+				}
+			}
+		}
+	}
+}
+
+// num renders JSON numbers (decoded as float64) without a trailing ".0"
+// for integral values.
+func num(v any) any {
+	f, ok := v.(float64)
+	if !ok {
+		return v
+	}
+	if f == float64(int64(f)) {
+		return int64(f)
+	}
+	return f
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// journalFixture builds a deterministic journal via the real Obs path
+// (FakeClock) and decodes it.
+func journalFixture(t *testing.T) []JournalEntry {
+	t.Helper()
+	raw := buildJournal(t, []int{0, 1, 2})
+	entries, err := ReadJournal(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return entries
+}
+
+// TestRenderJournalGolden pins the `mithra journal show` output format.
+// The fixture is byte-deterministic (fake clock, canonical span order),
+// so the golden file is stable.
+func TestRenderJournalGolden(t *testing.T) {
+	var buf bytes.Buffer
+	RenderJournal(&buf, journalFixture(t))
+	checkGolden(t, "journal_show.golden", buf.Bytes())
+}
+
+func TestReadJournalErrors(t *testing.T) {
+	if _, err := ReadJournal(strings.NewReader("{\"t\":\"run_start\"}\nnot json\n")); err == nil {
+		t.Error("malformed line did not error")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error %q does not name the bad line", err)
+	}
+	entries, err := ReadJournal(strings.NewReader("\n\n{\"t\":\"run_end\"}\n\n"))
+	if err != nil || len(entries) != 1 {
+		t.Errorf("blank lines not skipped: %v, %v", entries, err)
+	}
+	if _, err := ReadJournalFile("testdata/definitely-missing.jsonl"); err == nil {
+		t.Error("missing file did not error")
+	}
+}
+
+func TestDiffJournalsIgnoresVolatile(t *testing.T) {
+	a := journalFixture(t)
+	b := journalFixture(t)
+	// Perturb only volatile fields: timestamps, durations, runtime block,
+	// and the nested ts inside later events.
+	for _, e := range b {
+		if _, ok := e["ts"]; ok {
+			e["ts"] = "2099-01-01T00:00:00Z"
+		}
+		if _, ok := e["dur_ns"]; ok {
+			e["dur_ns"] = float64(999999)
+		}
+		if _, ok := e["runtime"]; ok {
+			e["runtime"] = map[string]any{"workers": float64(64), "go": "go9.99"}
+		}
+	}
+	if diffs := DiffJournals(a, b); len(diffs) != 0 {
+		t.Errorf("volatile-only changes reported as diffs:\n%s", strings.Join(diffs, "\n"))
+	}
+}
+
+func TestDiffJournalsReportsRealChanges(t *testing.T) {
+	a := journalFixture(t)
+	b := journalFixture(t)
+	b[0]["seed"] = float64(7)
+	diffs := DiffJournals(a, b)
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "line 1") {
+		t.Errorf("seed change diffs = %v, want one line-1 diff", diffs)
+	}
+
+	// Length mismatch: a truncated journal reports the missing tail.
+	diffs = DiffJournals(a, a[:len(a)-1])
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "only in A") {
+		t.Errorf("truncation diffs = %v, want one only-in-A line", diffs)
+	}
+}

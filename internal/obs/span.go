@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one span attribute. Values should be strings, bools, integers,
+// or floats — anything else must marshal deterministically to JSON.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// A constructs an attribute.
+func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// Tracer collects hierarchical spans. Spans are held in memory and
+// serialized when the journal closes; at serialization time siblings are
+// ordered canonically (by name, then attributes), not by wall order, so
+// spans started from concurrent workers produce the same journal bytes
+// regardless of goroutine scheduling. Spans created serially with unique
+// names therefore appear in a stable, meaningful order, and concurrent
+// same-shape spans collapse onto a scheduling-independent order.
+type Tracer struct {
+	clock  Clock
+	nextID atomic.Int64
+
+	mu    sync.Mutex
+	roots []*Span
+}
+
+// NewTracer returns a tracer stamping spans from clock (nil: RealClock).
+func NewTracer(clock Clock) *Tracer {
+	if clock == nil {
+		clock = RealClock()
+	}
+	return &Tracer{clock: clock}
+}
+
+// Start opens a span under parent (nil parent: a root span). A nil tracer
+// returns a nil span; every Span method is nil-safe, so instrumented code
+// needs no telemetry-enabled checks.
+func (t *Tracer) Start(parent *Span, name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{
+		tracer: t,
+		id:     t.nextID.Add(1),
+		name:   name,
+		start:  t.clock.Now(),
+		attrs:  append([]Attr(nil), attrs...),
+	}
+	if parent != nil {
+		parent.mu.Lock()
+		parent.children = append(parent.children, s)
+		parent.mu.Unlock()
+	} else {
+		t.mu.Lock()
+		t.roots = append(t.roots, s)
+		t.mu.Unlock()
+	}
+	return s
+}
+
+// Span is one timed region of the pipeline with attributes and child
+// spans. All methods are safe on a nil receiver (telemetry disabled).
+type Span struct {
+	tracer *Tracer
+	id     int64
+	name   string
+	start  time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	ended    bool
+	attrs    []Attr
+	children []*Span
+}
+
+// Child opens a sub-span. Nil-safe.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tracer.Start(s, name, attrs...)
+}
+
+// SetAttr sets (or replaces) an attribute. Nil-safe.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End closes the span at the tracer clock's current time. Ending twice is
+// a no-op. Nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := s.tracer.clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		s.ended = true
+		s.end = now
+	}
+}
+
+// SpanEvent is one serialized span, ready for the journal.
+type SpanEvent struct {
+	Name  string
+	Path  string // slash-joined ancestry, including the span itself
+	Attrs map[string]any
+	Start time.Time
+	Dur   time.Duration
+}
+
+// Drain serializes every span tree depth-first into journal events and
+// clears the tracer. Unended spans are closed at now. Siblings are
+// ordered by (name, canonical attrs JSON, start id) — see the Tracer doc
+// for why wall order is not used. Nil-safe (returns nil).
+func (t *Tracer) Drain(now time.Time) []SpanEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	roots := t.roots
+	t.roots = nil
+	t.mu.Unlock()
+
+	var out []SpanEvent
+	var walk func(s *Span, prefix string)
+	walk = func(s *Span, prefix string) {
+		s.mu.Lock()
+		if !s.ended {
+			s.ended = true
+			s.end = now
+		}
+		ev := SpanEvent{
+			Name:  s.name,
+			Path:  prefix + s.name,
+			Attrs: attrMap(s.attrs),
+			Start: s.start,
+			Dur:   s.end.Sub(s.start),
+		}
+		children := append([]*Span(nil), s.children...)
+		s.mu.Unlock()
+
+		out = append(out, ev)
+		sortSpans(children)
+		for _, c := range children {
+			walk(c, ev.Path+"/")
+		}
+	}
+	sortSpans(roots)
+	for _, r := range roots {
+		walk(r, "")
+	}
+	return out
+}
+
+// sortSpans orders siblings canonically: name, then attrs (as sorted-key
+// JSON), then start id as a stable tiebreak for identical shapes.
+func sortSpans(ss []*Span) {
+	key := func(s *Span) string {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		b, _ := json.Marshal(attrMap(s.attrs))
+		return s.name + "\x00" + string(b)
+	}
+	keys := make(map[*Span]string, len(ss))
+	for _, s := range ss {
+		keys[s] = key(s)
+	}
+	sort.Slice(ss, func(i, j int) bool {
+		if keys[ss[i]] != keys[ss[j]] {
+			return keys[ss[i]] < keys[ss[j]]
+		}
+		return ss[i].id < ss[j].id
+	})
+}
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fakeNow() (*FakeClock, time.Time) {
+	start := time.Date(2020, 1, 2, 3, 4, 5, 0, time.UTC)
+	return NewFakeClock(start), start
+}
+
+func TestTracerHierarchy(t *testing.T) {
+	clock, start := fakeNow()
+	tr := NewTracer(clock)
+	root := tr.Start(nil, "run", A("cmd", "test"))
+	clock.Advance(time.Millisecond)
+	child := root.Child("deploy", A("bench", "fft"))
+	clock.Advance(time.Millisecond)
+	child.End()
+	root.End()
+	events := tr.Drain(clock.Now())
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	if events[0].Path != "run" || events[1].Path != "run/deploy" {
+		t.Errorf("paths = %q, %q", events[0].Path, events[1].Path)
+	}
+	if events[1].Dur != time.Millisecond {
+		t.Errorf("child dur = %v, want 1ms", events[1].Dur)
+	}
+	if events[0].Start != start {
+		t.Errorf("root start = %v, want %v", events[0].Start, start)
+	}
+}
+
+// TestDrainEndsOpenSpans proves Drain closes spans that were never
+// explicitly ended, stamping them with the drain time.
+func TestDrainEndsOpenSpans(t *testing.T) {
+	clock, _ := fakeNow()
+	tr := NewTracer(clock)
+	tr.Start(nil, "open")
+	clock.Advance(5 * time.Millisecond)
+	events := tr.Drain(clock.Now())
+	if len(events) != 1 {
+		t.Fatalf("events = %d, want 1", len(events))
+	}
+	if events[0].Dur != 5*time.Millisecond {
+		t.Errorf("dur = %v, want 5ms", events[0].Dur)
+	}
+}
+
+// TestSiblingOrderCanonical proves sibling spans serialize in the same
+// order regardless of the order concurrent workers started them in.
+func TestSiblingOrderCanonical(t *testing.T) {
+	names := func(order []string) []string {
+		clock, _ := fakeNow()
+		tr := NewTracer(clock)
+		root := tr.Start(nil, "run")
+		var wg sync.WaitGroup
+		for _, n := range order {
+			wg.Add(1)
+			go func(n string) {
+				defer wg.Done()
+				root.Child("work", A("item", n)).End()
+			}(n)
+		}
+		wg.Wait()
+		root.End()
+		events := tr.Drain(clock.Now())
+		var got []string
+		for _, e := range events[1:] {
+			got = append(got, e.Attrs["item"].(string))
+		}
+		return got
+	}
+	a := names([]string{"c", "a", "b"})
+	b := names([]string{"b", "c", "a"})
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("sibling order not canonical: %v vs %v", a, b)
+	}
+}
+
+func TestSetAttrReplaces(t *testing.T) {
+	clock, _ := fakeNow()
+	tr := NewTracer(clock)
+	s := tr.Start(nil, "s", A("k", 1))
+	s.SetAttr("k", 2)
+	s.SetAttr("other", "x")
+	s.End()
+	events := tr.Drain(clock.Now())
+	if len(events[0].Attrs) != 2 {
+		t.Fatalf("attrs = %v, want 2 entries", events[0].Attrs)
+	}
+	if events[0].Attrs["k"] != 2 {
+		t.Errorf("k = %v, want 2 (SetAttr should replace)", events[0].Attrs["k"])
+	}
+}
+
+func TestNilTracerAndSpanSafe(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start(nil, "x")
+	if s != nil {
+		t.Error("nil tracer Start should return nil span")
+	}
+	s.SetAttr("k", 1)
+	s.Child("c").End()
+	s.End()
+	if got := tr.Drain(time.Time{}); len(got) != 0 {
+		t.Errorf("nil tracer drain = %v, want empty", got)
+	}
+}

@@ -1,0 +1,30 @@
+package parallel
+
+import "sync/atomic"
+
+// PoolHook observes pool launches for telemetry. The hook fires once per
+// logical pool (ForEach, ForEachWorker, and Map each launch exactly one),
+// before any task runs, with the task count — both numbers depend only on
+// the call pattern, never on the worker count or scheduling, so the
+// observed totals obey the package's determinism invariant.
+type PoolHook struct {
+	// Pool is called with the number of tasks the pool will run.
+	Pool func(tasks int)
+}
+
+// poolHook is process-global telemetry state, installed by the CLI when
+// metrics are enabled. An atomic pointer keeps installation race-free
+// against pools already running in other goroutines.
+var poolHook atomic.Pointer[PoolHook]
+
+// SetPoolHook installs h as the process-wide pool observer (nil removes
+// it). Intended for the observability layer; library code should not
+// depend on a hook being present.
+func SetPoolHook(h *PoolHook) { poolHook.Store(h) }
+
+// notifyPool fires the installed hook, if any.
+func notifyPool(tasks int) {
+	if h := poolHook.Load(); h != nil && h.Pool != nil {
+		h.Pool(tasks)
+	}
+}

@@ -82,6 +82,7 @@ func ForEachWorker[S any](workers, n int, setup func() S, f func(state S, i int)
 	if n <= 0 {
 		return nil
 	}
+	notifyPool(n)
 	if workers = Workers(workers); workers > n {
 		workers = n
 	}

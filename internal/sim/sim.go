@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"mithra/internal/axbench"
+	"mithra/internal/obs"
 )
 
 // Operating point (paper §V-A: 2080 MHz at 0.9 V, 45 nm).
@@ -129,6 +130,16 @@ func (c Config) Evaluate(n, nPrecise int) Report {
 	r.EnergyReduction = baseEnergy / energy
 	r.EDPImprovement = (baseCycles * baseEnergy) / (cycles * energy)
 	return r
+}
+
+// Observe records the report's invocation counts into the metrics
+// registry: sim.invocations (kernel invocations costed by the model) and
+// sim.precise_fallbacks (the subset that ran the precise kernel). Both
+// are commutative counter adds, so callers may observe reports from any
+// fold; the evaluation engine does it in its serial reduction. Nil-safe.
+func (r Report) Observe(reg *obs.Registry) {
+	reg.Counter("sim.invocations").Add(int64(r.Invocations))
+	reg.Counter("sim.precise_fallbacks").Add(int64(r.PreciseCount))
 }
 
 // SoftwareClassifierCycles estimates the per-invocation cost of running a

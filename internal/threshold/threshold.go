@@ -25,6 +25,7 @@ import (
 	"math"
 
 	"mithra/internal/axbench"
+	"mithra/internal/obs"
 	"mithra/internal/parallel"
 	"mithra/internal/stats"
 	"mithra/internal/trace"
@@ -54,6 +55,9 @@ type Options struct {
 	// in dataset order, so the search trajectory is identical at every
 	// setting.
 	Workers int
+	// Obs receives search telemetry (spans, counters). Nil disables; the
+	// search result is identical either way.
+	Obs *obs.Obs
 }
 
 // DefaultOptions matches the evaluation setup.
@@ -91,6 +95,8 @@ type evaluator struct {
 	workers int
 	cache   map[float64]evalPoint
 	evals   int
+	obs     *obs.Obs
+	span    *obs.Span
 }
 
 type evalPoint struct {
@@ -98,8 +104,9 @@ type evalPoint struct {
 	qualities []float64
 }
 
-func newEvaluator(b axbench.Benchmark, ds []Dataset, g stats.Guarantee, workers int) *evaluator {
-	return &evaluator{b: b, ds: ds, g: g, workers: workers, cache: map[float64]evalPoint{}}
+func newEvaluator(b axbench.Benchmark, ds []Dataset, g stats.Guarantee, opts Options, span *obs.Span) *evaluator {
+	return &evaluator{b: b, ds: ds, g: g, workers: opts.Workers,
+		cache: map[float64]evalPoint{}, obs: opts.Obs, span: span}
 }
 
 // at runs the instrumented program at threshold th over every dataset.
@@ -124,6 +131,7 @@ func (e *evaluator) at(th float64) evalPoint {
 		}
 	}
 	e.evals++
+	e.obs.Counter("threshold.evaluations").Inc()
 	e.cache[th] = p
 	return p
 }
@@ -160,7 +168,8 @@ func validate(ds []Dataset, g stats.Guarantee) error {
 	return nil
 }
 
-// finish assembles a Result at the accepted threshold.
+// finish assembles a Result at the accepted threshold and closes out the
+// search telemetry (each Find* invocation reaches finish exactly once).
 func (e *evaluator) finish(th float64) Result {
 	p := e.at(th)
 	rate := 0.0
@@ -168,6 +177,10 @@ func (e *evaluator) finish(th float64) Result {
 		rate += d.Tr.InvocationRate(d.Tr.ThresholdOracle(th))
 	}
 	rate /= float64(len(e.ds))
+	e.obs.Counter("threshold.iterations").Add(int64(e.evals))
+	e.span.SetAttr("threshold", th)
+	e.span.SetAttr("iterations", e.evals)
+	e.span.SetAttr("certified", e.g.Holds(p.successes, len(e.ds)))
 	return Result{
 		Threshold:      th,
 		Successes:      p.successes,
@@ -195,7 +208,11 @@ func FindDeltaWalk(b axbench.Benchmark, ds []Dataset, g stats.Guarantee, opts Op
 	if opts.DeltaFrac <= 0 {
 		opts.DeltaFrac = 0.02
 	}
-	e := newEvaluator(b, ds, g, opts.Workers)
+	span := opts.Obs.StartSpan("threshold.search",
+		obs.A("algo", "delta-walk"), obs.A("bench", b.Name()))
+	defer span.End()
+	opts.Obs.Counter("threshold.searches").Inc()
+	e := newEvaluator(b, ds, g, opts, span)
 	maxErr := maxError(ds)
 	if maxErr == 0 {
 		// The accelerator is exact on every invocation; any threshold
@@ -263,7 +280,11 @@ func FindBisect(b axbench.Benchmark, ds []Dataset, g stats.Guarantee, opts Optio
 	if opts.Tolerance <= 0 {
 		opts.Tolerance = 1e-3
 	}
-	e := newEvaluator(b, ds, g, opts.Workers)
+	span := opts.Obs.StartSpan("threshold.search",
+		obs.A("algo", "bisect"), obs.A("bench", b.Name()))
+	defer span.End()
+	opts.Obs.Counter("threshold.searches").Inc()
+	e := newEvaluator(b, ds, g, opts, span)
 	maxErr := maxError(ds)
 	if maxErr == 0 || e.certified(maxErr) {
 		return e.finish(maxErr), nil
