@@ -65,6 +65,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdReport(rest, stdout, stderr)
 	case "journal":
 		return cmdJournal(rest, stdout, stderr)
+	case "decide":
+		return cmdDecide(rest, stdout, stderr)
+	case "loadgen":
+		return cmdLoadgen(rest, stdout, stderr)
 	case "-h", "--help", "help":
 		usage(stderr)
 		return 0
@@ -84,6 +88,8 @@ commands:
   exec      execute a compiled deployment on real input (e.g. a PGM image)
   report    regenerate the paper's tables and figures
   journal   pretty-print (show) or compare (diff) run journals
+  decide    compute a dataset's offline decision vector and journal
+  loadgen   replay a dataset against a mithrad server and measure it
 
 run 'mithra <command> -h' for flags.`)
 }

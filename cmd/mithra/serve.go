@@ -1,0 +1,304 @@
+package main
+
+// The serving client commands (DESIGN.md §10):
+//
+//	mithra decide   -config prog.bin -scale test -seed 7 -decisions offline.jsonl
+//	mithra loadgen  -addr 127.0.0.1:7433 -config prog.bin -scale test -seed 7 \
+//	                -conns 4 -pipeline 64 -decisions served.jsonl
+//
+// Both derive the same invocation-input sequence from (benchmark, scale,
+// seed) — decide classifies offline with the compiled table classifier,
+// loadgen ships the inputs to a mithrad server — and both can write a
+// decision journal, so `mithra journal diff offline.jsonl served.jsonl`
+// is the end-to-end determinism check: clean exactly when every served
+// decision matched the offline replay.
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	iofs "io/fs"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"mithra/internal/axbench"
+	"mithra/internal/core"
+	"mithra/internal/mathx"
+	"mithra/internal/obs"
+	"mithra/internal/serve"
+)
+
+// scaleFor maps the -scale flag to dataset dimensions.
+func scaleFor(scale string) (axbench.Scale, error) {
+	switch scale {
+	case "test":
+		return axbench.TestScale(), nil
+	case "medium", "":
+		return axbench.MediumScale(), nil
+	case "paper":
+		return axbench.PaperScale(), nil
+	}
+	return axbench.Scale{}, usageErrf("unknown scale %q (test|medium|paper)", scale)
+}
+
+// loadProgramInputs loads a compiled deployment and synthesizes its
+// dataset's invocation inputs in invocation order, running only the
+// precise path (no accelerator evaluation — the decisions are the
+// server's or the offline classifier's job).
+func loadProgramInputs(cfgPath, scale string, seed uint64) (*core.Program, [][]float64, error) {
+	if cfgPath == "" {
+		return nil, nil, usageErrf("-config is required")
+	}
+	sc, err := scaleFor(scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	blob, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, err := core.LoadProgram(blob)
+	if err != nil {
+		return nil, nil, err
+	}
+	in := prog.Bench.GenInput(mathx.NewRNG(seed), sc)
+	inputs := make([][]float64, 0, in.Invocations())
+	prog.Bench.Run(in, func(kin, kout []float64) {
+		inputs = append(inputs, append([]float64(nil), kin...))
+		prog.Bench.Precise(kin, kout)
+	})
+	return prog, inputs, nil
+}
+
+// cmdDecide computes the offline decision vector for one dataset — the
+// reference a served run is compared against.
+func cmdDecide(args []string, stdout, stderr io.Writer) int {
+	var (
+		cfgPath, scale, decisions *string
+		seed                      *uint64
+	)
+	return command("decide", args, stderr, func(fs *flag.FlagSet, of *obsFlags) {
+		cfgPath = fs.String("config", "", "exported deployment file (from 'mithra compile -o')")
+		scale = fs.String("scale", "test", "dataset scale: test|medium|paper")
+		seed = fs.Uint64("seed", 7, "dataset generation seed")
+		decisions = fs.String("decisions", "", "write the decision journal to this file")
+		of.registerLog(fs)
+	}, func(_ *flag.FlagSet, _ *obsFlags, lg *obs.Logger) error {
+		prog, inputs, err := loadProgramInputs(*cfgPath, *scale, *seed)
+		if err != nil {
+			return err
+		}
+		ds := serve.NewDecisionSet(prog.Bench.Name())
+		precise := 0
+		for _, in := range inputs {
+			p := prog.Table.Classify(in)
+			if p {
+				precise++
+			}
+			ds.Append(p)
+		}
+		fmt.Fprintf(stdout, "bench      %s (offline, threshold %.6f)\n", prog.Bench.Name(), prog.Threshold)
+		fmt.Fprintf(stdout, "decisions  %d (%d precise, %.1f%% invocation rate)\n",
+			ds.Len(), precise, 100*float64(ds.Len()-precise)/float64(max(1, ds.Len())))
+		fmt.Fprintf(stdout, "digest     %s\n", ds.Digest())
+		if *decisions != "" {
+			if err := ds.WriteJournal(*decisions, *seed); err != nil {
+				return err
+			}
+			lg.Infof("decision journal written to %s", *decisions)
+		}
+		return nil
+	})
+}
+
+// benchRow is one BENCH_serve.json entry; the file accumulates rows
+// ({"runs":[...]}) so successive loadgen invocations (e.g. the CI smoke
+// at server -workers 1 then 4) land in one artifact.
+type benchRow struct {
+	Label           string  `json:"label,omitempty"`
+	Bench           string  `json:"bench"`
+	Conns           int     `json:"conns"`
+	Pipeline        int     `json:"pipeline"`
+	Decisions       int     `json:"decisions"`
+	Seconds         float64 `json:"seconds"`
+	DecisionsPerSec float64 `json:"decisions_per_sec"`
+	P50us           float64 `json:"p50_us"`
+	P99us           float64 `json:"p99_us"`
+}
+
+// cmdLoadgen replays a dataset's invocation inputs against a mithrad
+// server and reports throughput and batch round-trip latency.
+func cmdLoadgen(args []string, stdout, stderr io.Writer) int {
+	var (
+		addr, unixPath, cfgPath, scale *string
+		decisions, benchJSON, label    *string
+		seed                           *uint64
+		conns, pipeline, repeat        *int
+		qps                            *float64
+	)
+	return command("loadgen", args, stderr, func(fs *flag.FlagSet, of *obsFlags) {
+		addr = fs.String("addr", "", "mithrad TCP address (e.g. 127.0.0.1:7433)")
+		unixPath = fs.String("unix", "", "mithrad Unix socket path")
+		cfgPath = fs.String("config", "", "the compiled deployment the server loaded (defines the input stream)")
+		scale = fs.String("scale", "test", "dataset scale: test|medium|paper")
+		seed = fs.Uint64("seed", 7, "dataset generation seed")
+		conns = fs.Int("conns", 1, "parallel client connections")
+		pipeline = fs.Int("pipeline", 64, "requests pipelined per batch")
+		repeat = fs.Int("repeat", 1, "times to replay the input set (load amplification)")
+		qps = fs.Float64("qps", 0, "target decisions/sec (0 = as fast as possible)")
+		decisions = fs.String("decisions", "", "write the served decision journal to this file (first pass only when -repeat > 1)")
+		benchJSON = fs.String("bench-json", "", "append a run row to this BENCH_serve.json file")
+		label = fs.String("label", "", "label recorded in the bench row (e.g. workers4)")
+		of.registerLog(fs)
+	}, func(_ *flag.FlagSet, _ *obsFlags, lg *obs.Logger) error {
+		if (*addr == "") == (*unixPath == "") {
+			return usageErrf("need exactly one of -addr / -unix")
+		}
+		if *conns < 1 || *pipeline < 1 || *repeat < 1 {
+			return usageErrf("-conns, -pipeline, -repeat must be >= 1")
+		}
+		network, target := "tcp", *addr
+		if *unixPath != "" {
+			network, target = "unix", *unixPath
+		}
+		prog, inputs, err := loadProgramInputs(*cfgPath, *scale, *seed)
+		if err != nil {
+			return err
+		}
+		bench := prog.Bench.Name()
+		n := len(inputs)
+		total := n * *repeat
+		lg.Infof("loadgen: %d invocations x%d over %d conn(s), pipeline %d, to %s %s",
+			n, *repeat, *conns, *pipeline, network, target)
+
+		// precise[global] collects decisions by invocation index — slot
+		// writes from disjoint ranges, so conns never contend.
+		precise := make([]bool, total)
+		rtts := make([][]time.Duration, *conns)
+		errs := make([]error, *conns)
+		// Pacing: with C conns each sending P-sized batches, the fleet hits
+		// qps when every conn starts a batch each P*C/qps seconds.
+		var interval time.Duration
+		if *qps > 0 {
+			interval = time.Duration(float64(*pipeline) * float64(*conns) / *qps * float64(time.Second))
+		}
+
+		start := time.Now()
+		var wg sync.WaitGroup
+		for c := 0; c < *conns; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				cl, err := serve.Dial(network, target)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				defer cl.Close()
+				next := time.Now()
+				// Conn c owns every total-index t with (t/pipeline) % conns == c.
+				for base := c * *pipeline; base < total; base += *conns * *pipeline {
+					if interval > 0 {
+						time.Sleep(time.Until(next))
+						next = next.Add(interval)
+					}
+					hi := min(base+*pipeline, total)
+					batch := make([][]float64, hi-base)
+					for i := range batch {
+						batch[i] = inputs[(base+i)%n]
+					}
+					t0 := time.Now()
+					resps, err := cl.DecideBatch(bench, uint32(base), batch)
+					if err != nil {
+						errs[c] = err
+						return
+					}
+					rtts[c] = append(rtts[c], time.Since(t0))
+					for i, r := range resps {
+						precise[base+i] = r.Precise
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+
+		var all []time.Duration
+		for _, r := range rtts {
+			all = append(all, r...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		pct := func(p float64) float64 {
+			if len(all) == 0 {
+				return 0
+			}
+			return float64(all[int(p*float64(len(all)-1))].Microseconds())
+		}
+		dps := float64(total) / elapsed.Seconds()
+
+		ds := serve.NewDecisionSet(bench)
+		ds.AppendBools(precise[:n]) // first pass = the offline-comparable vector
+		nPrecise := 0
+		for _, p := range precise {
+			if p {
+				nPrecise++
+			}
+		}
+		fmt.Fprintf(stdout, "bench      %s (served)\n", bench)
+		fmt.Fprintf(stdout, "decisions  %d (%d precise) in %.3fs = %.0f decisions/sec\n",
+			total, nPrecise, elapsed.Seconds(), dps)
+		fmt.Fprintf(stdout, "batch rtt  p50 %.0fus  p99 %.0fus (%d batches of <=%d)\n",
+			pct(0.50), pct(0.99), len(all), *pipeline)
+		fmt.Fprintf(stdout, "digest     %s\n", ds.Digest())
+
+		if *decisions != "" {
+			if err := ds.WriteJournal(*decisions, *seed); err != nil {
+				return err
+			}
+			lg.Infof("decision journal written to %s", *decisions)
+		}
+		if *benchJSON != "" {
+			row := benchRow{
+				Label: *label, Bench: bench, Conns: *conns, Pipeline: *pipeline,
+				Decisions: total, Seconds: elapsed.Seconds(), DecisionsPerSec: dps,
+				P50us: pct(0.50), P99us: pct(0.99),
+			}
+			if err := appendBenchRow(*benchJSON, row); err != nil {
+				return err
+			}
+			lg.Infof("bench row appended to %s", *benchJSON)
+		}
+		return nil
+	})
+}
+
+// appendBenchRow merges one row into the {"runs":[...]} bench file.
+func appendBenchRow(path string, row benchRow) error {
+	var doc struct {
+		Runs []benchRow `json:"runs"`
+	}
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("existing %s is not a bench file: %w", path, err)
+		}
+	case !errors.Is(err, iofs.ErrNotExist):
+		return err
+	}
+	doc.Runs = append(doc.Runs, row)
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -1,0 +1,219 @@
+// Command mithrad is the online decision server: it loads compiled
+// deployment snapshots (from `mithra compile -o`) and answers
+// accept/reject decisions over the length-prefixed binary protocol on
+// TCP and/or Unix sockets, with an HTTP/JSON fallback on the obs debug
+// mux (POST /decide, GET /snapshots next to /metrics and /debug/pprof/).
+//
+//	mithra compile -bench sobel -scale test -o sobel.bin
+//	mithrad -snapshot sobel.bin -listen 127.0.0.1:7433 -debug-addr localhost:6060
+//	mithra loadgen -addr 127.0.0.1:7433 -config sobel.bin -scale test
+//
+// The sporadic error-sampling path (-sample-rate) routes a deterministic
+// fraction of invocations through the precise kernel, re-checks the
+// Clopper-Pearson guarantee over each sampling window, and swaps
+// repaired table snapshots in atomically; -freeze keeps sampling's
+// measurements but pins the snapshots, which makes served decisions
+// byte-identical to an offline replay (DESIGN.md §10).
+//
+// Shutdown (SIGINT/SIGTERM) drains gracefully: listeners close, queued
+// requests are answered, then connections close — bounded by
+// -drain-timeout, shared with the debug endpoint's HTTP drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mithra/internal/obs"
+	"mithra/internal/serve"
+)
+
+func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, stop))
+}
+
+// run is the testable entry point: it serves until stop delivers (or
+// both listeners fail) and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) int {
+	fs := flag.NewFlagSet("mithrad", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	fs.Usage = func() {}
+	var (
+		snapshots    = fs.String("snapshot", "", "comma-separated compiled deployment files (from 'mithra compile -o'); required")
+		listen       = fs.String("listen", "", "TCP listen address (e.g. 127.0.0.1:7433)")
+		unixPath     = fs.String("unix", "", "Unix socket path")
+		debugAddr    = fs.String("debug-addr", "", "debug/JSON endpoint address (metrics, pprof, POST /decide)")
+		workers      = fs.Int("workers", 0, "decision workers per benchmark shard (0 = all cores)")
+		queueDepth   = fs.Int("queue-depth", 256, "bounded request queue depth per shard")
+		maxBatch     = fs.Int("max-batch", 32, "max requests one worker drains per wakeup")
+		sampleRate   = fs.Float64("sample-rate", 0, "sporadic error-sampling rate (0 disables online updates)")
+		sampleSeed   = fs.Uint64("sample-seed", 42, "deterministic sampler seed")
+		updateEvery  = fs.Int("update-every", 64, "sampled observations per guarantee re-check window")
+		freeze       = fs.Bool("freeze", false, "measure but never swap snapshots (replay mode)")
+		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown bound")
+		journal      = fs.String("journal", "", "write a run journal (with the serving metrics snapshot) to this file")
+		quiet        = fs.Bool("quiet", false, "suppress progress output")
+		logJSON      = fs.Bool("log-json", false, "emit progress and errors as JSON lines")
+	)
+	err := fs.Parse(args)
+	if errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintln(stderr, "usage: mithrad -snapshot <file>[,<file>...] [-listen addr] [-unix path] [flags]\nflags:")
+		fs.SetOutput(stderr)
+		fs.PrintDefaults()
+		return 0
+	}
+	level := obs.LevelNormal
+	if *quiet {
+		level = obs.LevelQuiet
+	}
+	lg := obs.NewLogger(stderr, "mithrad", level, *logJSON)
+	if err != nil {
+		lg.Errorf("usage", "%v", err)
+		return 2
+	}
+	if *snapshots == "" {
+		lg.Errorf("usage", "-snapshot is required")
+		return 2
+	}
+	if *listen == "" && *unixPath == "" {
+		lg.Errorf("usage", "need at least one of -listen / -unix")
+		return 2
+	}
+
+	o, err := obs.New(obs.Options{Metrics: true, JournalPath: *journal, Log: lg})
+	if err != nil {
+		lg.Errorf("io", "%v", err)
+		return 1
+	}
+
+	reg := serve.NewRegistry()
+	for _, path := range strings.Split(*snapshots, ",") {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			lg.Errorf("io", "%v", err)
+			return 1
+		}
+		snap, err := serve.LoadSnapshot(blob)
+		if err != nil {
+			lg.Errorf("run", "load %s: %v", path, err)
+			return 1
+		}
+		reg.Install(snap)
+		lg.Infof("loaded %s: bench=%s threshold=%.6f dim=%d",
+			path, snap.Bench, snap.Threshold, snap.Table.InputDim())
+	}
+
+	srv, err := serve.NewServer(reg, serve.Config{
+		Workers:     *workers,
+		QueueDepth:  *queueDepth,
+		MaxBatch:    *maxBatch,
+		SampleRate:  *sampleRate,
+		SampleSeed:  *sampleSeed,
+		UpdateEvery: *updateEvery,
+		Freeze:      *freeze,
+		Obs:         o,
+	})
+	if err != nil {
+		lg.Errorf("run", "%v", err)
+		return 1
+	}
+	o.RunStart("mithrad", *sampleSeed, map[string]any{
+		"snapshots": *snapshots, "sample_rate": *sampleRate,
+		"update_every": *updateEvery, "freeze": *freeze,
+	}, nil)
+
+	var dbg *obs.DebugServer
+	if *debugAddr != "" {
+		dbg, err = obs.StartDebugMux(*debugAddr, o.Metrics(), srv.HTTPHandlers())
+		if err != nil {
+			lg.Errorf("io", "%v", err)
+			return 1
+		}
+		lg.Infof("debug/JSON endpoint: http://%s/ (POST /decide, GET /snapshots, /metrics)", dbg.Addr())
+	}
+
+	// serveErrs carries listener failures; a failed listener counts like a
+	// stop request once every listener is down.
+	serveErrs := make(chan error, 2)
+	listeners := 0
+	startListener := func(network, addr string) error {
+		ln, err := net.Listen(network, addr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "listening on %s %s\n", network, ln.Addr())
+		lg.Infof("serving %s on %s %s", strings.Join(reg.Benches(), ","), network, ln.Addr())
+		listeners++
+		go func() { serveErrs <- srv.Serve(ln) }()
+		return nil
+	}
+	if *listen != "" {
+		if err := startListener("tcp", *listen); err != nil {
+			lg.Errorf("io", "%v", err)
+			return 1
+		}
+	}
+	if *unixPath != "" {
+		os.Remove(*unixPath) //nolint:errcheck // stale socket from a previous run
+		if err := startListener("unix", *unixPath); err != nil {
+			lg.Errorf("io", "%v", err)
+			return 1
+		}
+	}
+
+	exit := 0
+	running := true
+	for running {
+		select {
+		case sig := <-stop:
+			lg.Infof("received %v, draining (timeout %s)", sig, *drainTimeout)
+			running = false
+		case err := <-serveErrs:
+			if err != nil {
+				lg.Errorf("run", "%v", err)
+				exit = 1
+			}
+			listeners--
+			if listeners == 0 {
+				running = false
+			}
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		lg.Errorf("run", "drain incomplete: %v", err)
+		exit = 1
+	}
+	if dbg != nil {
+		if err := dbg.Shutdown(ctx); err != nil {
+			lg.Errorf("run", "debug drain incomplete: %v", err)
+		}
+	}
+	if *unixPath != "" {
+		os.Remove(*unixPath) //nolint:errcheck // best-effort socket cleanup
+	}
+	var closeErr error
+	if exit != 0 {
+		closeErr = fmt.Errorf("mithrad exited with failures")
+	}
+	if err := o.Close(closeErr); err != nil {
+		lg.Errorf("io", "%v", err)
+		exit = 1
+	}
+	lg.Infof("drained: %d snapshot swap(s), %d decision(s) served",
+		reg.Swaps(), o.Counter("serve.decisions.precise").Value()+o.Counter("serve.decisions.approx").Value())
+	return exit
+}

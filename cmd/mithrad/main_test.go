@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"mithra/internal/axbench"
+	"mithra/internal/core"
+	"mithra/internal/serve"
+	"mithra/internal/stats"
+)
+
+// compiledBlob builds one exported deployment (test scale) shared by
+// every test in the package — compilation dominates the test's cost.
+var compiledBlob = sync.OnceValues(func() ([]byte, error) {
+	b, err := axbench.New("fft")
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := core.NewContext(b, core.TestOptions())
+	if err != nil {
+		return nil, err
+	}
+	dep, err := ctx.Deploy(stats.Guarantee{QualityLoss: 0.05, SuccessRate: 0.6, Confidence: 0.9})
+	if err != nil {
+		return nil, err
+	}
+	return dep.Export()
+})
+
+func snapshotFile(t *testing.T) string {
+	t.Helper()
+	blob, err := compiledBlob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "prog.bin")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// syncBuffer makes the output buffers safe to inspect while run() is
+// still writing from its own goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no snapshot", []string{"-listen", "127.0.0.1:0"}, 2},
+		{"no listener", []string{"-snapshot", "x.bin"}, 2},
+		{"unknown flag", []string{"-bogus"}, 2},
+		{"help", []string{"-h"}, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out, errw syncBuffer
+			stop := make(chan os.Signal, 1)
+			if code := run(c.args, &out, &errw, stop); code != c.want {
+				t.Errorf("exit = %d, want %d (stderr: %s)", code, c.want, errw.String())
+			}
+		})
+	}
+	var out, errw syncBuffer
+	if code := run([]string{"-snapshot", "definitely-missing.bin", "-listen", "127.0.0.1:0"},
+		&out, &errw, make(chan os.Signal, 1)); code != 1 {
+		t.Errorf("missing snapshot file: exit %d, want 1", code)
+	}
+}
+
+// TestServeAndDrain boots mithrad on a Unix socket, serves a decision
+// over the wire, then delivers SIGTERM and checks the daemon drains
+// cleanly: exit 0, socket removed, journal written.
+func TestServeAndDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a full deployment")
+	}
+	prog := snapshotFile(t)
+	dir := t.TempDir()
+	sock := filepath.Join(dir, "mithrad.sock")
+	journal := filepath.Join(dir, "run.jsonl")
+
+	var out, errw syncBuffer
+	stop := make(chan os.Signal, 1)
+	exited := make(chan int, 1)
+	go func() {
+		exited <- run([]string{
+			"-snapshot", prog, "-unix", sock,
+			"-sample-rate", "0.25", "-sample-seed", "17", "-freeze",
+			"-journal", journal, "-drain-timeout", "5s",
+		}, &out, &errw, stop)
+	}()
+
+	// Wait for the socket to accept.
+	var cl *serve.Client
+	var err error
+	for i := 0; i < 1000; i++ {
+		if cl, err = serve.Dial("unix", sock); err == nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("daemon never came up: %v (stderr: %s)", err, errw.String())
+	}
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := compiledBlob()
+	snap, err := serve.LoadSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]float64, snap.Table.InputDim())
+	for i := range in {
+		in[i] = 0.25 * float64(i+1)
+	}
+	resp, err := cl.Decide(snap.Bench, 42, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := snap.Table.ConcurrentView().Classify(in); resp.Precise != want {
+		t.Fatalf("served decision %v, offline classifier %v", resp.Precise, want)
+	}
+	cl.Close()
+
+	stop <- syscall.SIGTERM
+	select {
+	case code := <-exited:
+		if code != 0 {
+			t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errw.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+	if !strings.Contains(out.String(), "listening on unix") {
+		t.Errorf("stdout missing listener line:\n%s", out.String())
+	}
+	if _, err := os.Stat(sock); !os.IsNotExist(err) {
+		t.Errorf("socket not removed on drain: %v", err)
+	}
+	if raw, err := os.ReadFile(journal); err != nil || !strings.Contains(string(raw), `"mithrad"`) {
+		t.Errorf("run journal missing or empty: %v", err)
+	}
+}

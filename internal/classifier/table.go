@@ -381,6 +381,10 @@ func (t *Table) Density() float64 {
 // Config returns the classifier's configuration.
 func (t *Table) Config() TableConfig { return t.cfg }
 
+// InputDim returns the input vector width the table was fit for —
+// Classify and Update expect inputs of exactly this length.
+func (t *Table) InputDim() int { return t.quant.Dim() }
+
 // Clone returns a deep copy whose online updates do not affect the
 // original (used to evaluate online training without mutating the
 // deployed classifier).

@@ -53,6 +53,21 @@ func (d *Deployment) TrainingSamples() []classifier.Sample { return d.samples }
 // TrainingSamples (the error-value a Rumba-style regressor predicts).
 func (d *Deployment) TrainingErrors() []float64 { return d.sampleErrs }
 
+// Program assembles the runnable deployment in-process — the same shape
+// LoadProgram reconstructs from an Export blob, without the gob round
+// trip (the serving layer builds snapshots from it when a compiled
+// program hasn't been written to disk).
+func (d *Deployment) Program() *Program {
+	return &Program{
+		Bench:     d.Ctx.Bench,
+		Accel:     d.Ctx.Accel,
+		Table:     d.Table,
+		Neural:    d.Neural,
+		Threshold: d.Th.Threshold,
+		G:         d.G,
+	}
+}
+
 // TrainTableVariant trains a table-based classifier with an alternative
 // configuration against this deployment's threshold (the Figure 11 design
 // space exploration).

@@ -41,9 +41,13 @@ var nondetScope = map[string]bool{
 	// single audited obs.Clock chokepoint instead of scattered time.Now
 	// calls.
 	"obs": true,
+	// serve is the online decision runtime: served decisions must be
+	// byte-identical to offline replay, so batching and sampling may not
+	// consult the clock (latency measurement belongs to clients).
+	"serve": true,
 }
 
-const nondetScopeDoc = "internal/{core,threshold,classifier,nn,npu,stats,experiments,trace,obs}"
+const nondetScopeDoc = "internal/{core,threshold,classifier,nn,npu,stats,experiments,trace,obs,serve}"
 
 // globalRandFuncs are the math/rand (and rand/v2) top-level functions that
 // draw from the process-global generator. Constructors (New, NewSource,

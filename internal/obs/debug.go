@@ -1,11 +1,13 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"sync"
 )
 
@@ -16,6 +18,9 @@ import (
 //	/metrics          registry snapshot in the text export format
 //	/debug/vars       expvar (includes the published registry snapshot)
 //	/debug/pprof/     CPU, heap, goroutine, block, mutex profiles
+//
+// Extra handlers (mithrad mounts its HTTP/JSON decision fallback here)
+// ride on the same mux via StartDebugMux.
 type DebugServer struct {
 	ln  net.Listener
 	srv *http.Server
@@ -29,6 +34,14 @@ var expvarOnce sync.Once
 // port 0 picks a free port). reg may be nil, in which case /metrics
 // serves an empty snapshot.
 func StartDebug(addr string, reg *Registry) (*DebugServer, error) {
+	return StartDebugMux(addr, reg, nil)
+}
+
+// StartDebugMux is StartDebug with extra routes: each pattern/handler
+// pair in extra is mounted on the debug mux alongside the built-in
+// pages. This is how mithrad exposes its HTTP/JSON decision fallback
+// without a second listener.
+func StartDebugMux(addr string, reg *Registry, extra map[string]http.Handler) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug listener: %w", err)
@@ -47,13 +60,30 @@ func StartDebug(addr string, reg *Registry) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	patterns := make([]string, 0, len(extra))
+	for p := range extra {
+		patterns = append(patterns, p)
+	}
+	sort.Strings(patterns)
+	for _, p := range patterns {
+		mux.Handle(p, extra[p])
+	}
 	d := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
-	go d.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	go d.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close/Shutdown
 	return d, nil
 }
 
 // Addr returns the bound address (useful with port 0).
 func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
 
-// Close stops the server.
+// Shutdown drains the server gracefully: the listener closes, idle
+// connections close, and in-flight requests are allowed to finish until
+// ctx expires (then they are cut off, and ctx's error is returned).
+// mithrad's drain path shares this context with the decision server's
+// drain, so one deadline bounds both.
+func (d *DebugServer) Shutdown(ctx context.Context) error {
+	return d.srv.Shutdown(ctx)
+}
+
+// Close stops the server immediately, cutting off in-flight requests.
 func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+)
+
+// Client is a pipelining wire-protocol client (used by `mithra loadgen`
+// and the serve tests). It is not goroutine-safe: one client per
+// goroutine, many clients per server.
+type Client struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// Dial connects to a mithrad listener ("tcp", "unix").
+func Dial(network, addr string) (*Client, error) {
+	c, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial %s %s: %w", network, addr, err)
+	}
+	return NewClient(c), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(c net.Conn) *Client {
+	return &Client{c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c)}
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.c.Close() }
+
+// Ping round-trips a liveness probe.
+func (c *Client) Ping() error {
+	if err := WriteMessage(c.bw, Ping{}); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	msg, err := ReadMessage(c.br)
+	if err != nil {
+		return err
+	}
+	if _, ok := msg.(Pong); !ok {
+		return protoErrf("ping answered with %T", msg)
+	}
+	return nil
+}
+
+// Decide asks for one decision (a single round trip).
+func (c *Client) Decide(bench string, id uint32, in []float64) (*DecideResponse, error) {
+	resps, err := c.DecideBatch(bench, id, [][]float64{in})
+	if err != nil {
+		return nil, err
+	}
+	return &resps[0], nil
+}
+
+// DecideBatch pipelines one request per input (IDs baseID, baseID+1, ...)
+// and reassembles the responses into input order, whatever order the
+// server's shard workers answered in. A per-request server error
+// (unknown benchmark, bad input width, draining) aborts the batch and is
+// returned as an error.
+func (c *Client) DecideBatch(bench string, baseID uint32, inputs [][]float64) ([]DecideResponse, error) {
+	req := DecideRequest{Bench: bench}
+	for i, in := range inputs {
+		req.ID = baseID + uint32(i)
+		req.In = in
+		if err := WriteMessage(c.bw, &req); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, fmt.Errorf("serve: flush requests: %w", err)
+	}
+	out := make([]DecideResponse, len(inputs))
+	for range inputs {
+		msg, err := ReadMessage(c.br)
+		if err != nil {
+			return nil, fmt.Errorf("serve: read response: %w", err)
+		}
+		switch m := msg.(type) {
+		case *DecideResponse:
+			i := int(m.ID - baseID)
+			if i < 0 || i >= len(inputs) {
+				return nil, protoErrf("response id %d outside batch [%d,%d)",
+					m.ID, baseID, baseID+uint32(len(inputs)))
+			}
+			out[i] = *m
+		case *ErrorResponse:
+			return nil, fmt.Errorf("serve: request %d failed: code %d: %s", m.ID, m.Code, m.Msg)
+		default:
+			return nil, protoErrf("unexpected response %T", msg)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// HTTP/JSON fallback: the binary wire protocol is the serving path; the
+// JSON handlers ride on the obs debug mux (obs.StartDebugMux) for
+// curl-ability and quick inspection. Decisions answered here bypass the
+// batching queues — they classify synchronously against the current
+// snapshot — so they are for poking, not throughput.
+
+// httpDecideReq mirrors DecideRequest for the JSON fallback.
+type httpDecideReq struct {
+	Bench string    `json:"bench"`
+	ID    uint32    `json:"id"`
+	In    []float64 `json:"in"`
+}
+
+// httpDecideResp mirrors DecideResponse.
+type httpDecideResp struct {
+	ID      uint32 `json:"id"`
+	Precise bool   `json:"precise"`
+	Version uint32 `json:"version"`
+}
+
+// httpSnapshot is one /snapshots row.
+type httpSnapshot struct {
+	Bench     string  `json:"bench"`
+	Version   uint32  `json:"version"`
+	Threshold float64 `json:"threshold"`
+	InputDim  int     `json:"input_dim"`
+}
+
+// HTTPHandlers returns the JSON fallback routes, shaped for
+// obs.StartDebugMux's extra-handler map:
+//
+//	POST /decide     {"bench","id","in":[...]} -> {"id","precise","version"}
+//	GET  /snapshots  current registry contents
+func (s *Server) HTTPHandlers() map[string]http.Handler {
+	return map[string]http.Handler{
+		"/decide":    http.HandlerFunc(s.handleDecide),
+		"/snapshots": http.HandlerFunc(s.handleSnapshots),
+	}
+}
+
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req httpDecideReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	snap := s.reg.Get(req.Bench)
+	if snap == nil {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("no snapshot for benchmark %q", req.Bench))
+		return
+	}
+	if len(req.In) != snap.Table.InputDim() {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("input dim %d, want %d", len(req.In), snap.Table.InputDim()))
+		return
+	}
+	// Synchronous classification against a throwaway view: correct and
+	// simple; the batched wire path is the one built for load.
+	precise := snap.view().Classify(req.In)
+	s.o.Counter("serve.http.decisions").Inc()
+	writeJSON(w, httpDecideResp{ID: req.ID, Precise: precise, Version: snap.Version})
+}
+
+func (s *Server) handleSnapshots(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	out := make([]httpSnapshot, 0, 4)
+	for _, b := range s.reg.Benches() {
+		snap := s.reg.Get(b)
+		out = append(out, httpSnapshot{
+			Bench:     snap.Bench,
+			Version:   snap.Version,
+			Threshold: snap.Threshold,
+			InputDim:  snap.Table.InputDim(),
+		})
+	}
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client-side failure
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg}) //nolint:errcheck
+}

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHTTPHandlers(t *testing.T) {
+	snap := syntheticSnapshot(t, "synth", nil)
+	srv, _ := startServer(t, Config{}, snap)
+	mux := http.NewServeMux()
+	for pattern, h := range srv.HTTPHandlers() {
+		mux.Handle(pattern, h)
+	}
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	// POST /decide agrees with the classifier.
+	in := []float64{0.95, 0.5, 0.5}
+	resp, err := http.Post(ts.URL+"/decide", "application/json",
+		strings.NewReader(`{"bench":"synth","id":7,"in":[0.95,0.5,0.5]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec httpDecideResp
+	if err := json.NewDecoder(resp.Body).Decode(&dec); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/decide status %d", resp.StatusCode)
+	}
+	if want := snap.Table.ConcurrentView().Classify(in); dec.Precise != want || dec.ID != 7 || dec.Version != 1 {
+		t.Fatalf("/decide = %+v, want precise=%v id=7 version=1", dec, want)
+	}
+
+	// Error statuses: unknown bench 404, bad dim 400, GET on /decide 405.
+	for _, c := range []struct {
+		body string
+		want int
+	}{
+		{`{"bench":"nope","in":[1,2,3]}`, http.StatusNotFound},
+		{`{"bench":"synth","in":[1]}`, http.StatusBadRequest},
+		{`{not json`, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(ts.URL+"/decide", "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("POST %s: status %d, want %d", c.body, resp.StatusCode, c.want)
+		}
+	}
+	resp, err = http.Get(ts.URL + "/decide")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /decide status %d, want 405", resp.StatusCode)
+	}
+
+	// GET /snapshots lists the registry.
+	resp, err = http.Get(ts.URL + "/snapshots")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []httpSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(rows) != 1 || rows[0].Bench != "synth" || rows[0].Version != 1 || rows[0].InputDim != 3 {
+		t.Fatalf("/snapshots = %+v", rows)
+	}
+}

@@ -1,0 +1,90 @@
+package serve
+
+import "sync"
+
+// observation is one sampled invocation's ground truth, produced by the
+// decision workers and consumed by the shard's updater goroutine.
+type observation struct {
+	in      []float64
+	bad     bool // true accelerator error exceeded the snapshot threshold
+	precise bool // the classifier had already routed this input precisely
+}
+
+// updater is one shard's online update loop — the serving counterpart of
+// the paper's §IV-C1 online training: sporadically sampled invocations
+// accumulate into a window; at each window boundary the Clopper-Pearson
+// guarantee is re-checked over the window, and when it no longer holds
+// the misclassified inputs are folded into a copy of the table
+// classifier (the update rule is monotone — bad inputs set bits, entries
+// are never cleared) and the refreshed snapshot is installed atomically.
+//
+// A single goroutine owns all updater state, so the window counters and
+// the pending-input list need no locks; workers hand observations over a
+// channel. Installs happen between batches by construction: workers load
+// the registry pointer once per batch, so an in-flight batch keeps
+// deciding against the snapshot it started with.
+type updater struct {
+	s      *Server
+	sh     *shard
+	cfg    Config
+	ch     chan observation
+	window struct {
+		trials    int
+		successes int
+		// bad holds the window's misclassified-as-approximable inputs —
+		// the false negatives the table update rule repairs.
+		bad [][]float64
+	}
+}
+
+func newUpdater(s *Server, sh *shard, cfg Config) *updater {
+	return &updater{s: s, sh: sh, cfg: cfg, ch: make(chan observation, cfg.QueueDepth)}
+}
+
+// observe hands one sampled result to the update loop. Called by decision
+// workers; blocks only if the updater is behind by a full channel.
+func (u *updater) observe(ob observation) { u.ch <- ob }
+
+// run consumes observations until the channel closes (server drain).
+func (u *updater) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for ob := range u.ch {
+		u.window.trials++
+		// A precise-routed invocation never degrades output quality; an
+		// approx-routed one succeeds only when the true error was in bound.
+		if ob.precise || !ob.bad {
+			u.window.successes++
+		}
+		if ob.bad && !ob.precise {
+			in := append([]float64(nil), ob.in...)
+			u.window.bad = append(u.window.bad, in)
+		}
+		if u.window.trials >= u.cfg.UpdateEvery {
+			u.recheck()
+		}
+	}
+}
+
+// recheck closes one sampling window: re-certify the guarantee over the
+// window's observations, and when it fails, repair and swap the snapshot.
+func (u *updater) recheck() {
+	o := u.s.o
+	o.Counter("serve.guarantee.rechecks").Inc()
+	snap := u.s.reg.Get(u.sh.bench)
+	holds := snap.G.Holds(u.window.successes, u.window.trials)
+	if !holds {
+		o.Counter("serve.guarantee.violations").Inc()
+		if !u.cfg.Freeze && len(u.window.bad) > 0 {
+			tab := snap.Table.Clone()
+			for _, in := range u.window.bad {
+				tab.Update(in, true)
+			}
+			u.s.reg.Install(snap.withTable(tab))
+			o.Counter("serve.snapshot.swaps").Inc()
+			o.Counter("serve.update.inputs").Add(int64(len(u.window.bad)))
+		}
+	}
+	u.window.trials = 0
+	u.window.successes = 0
+	u.window.bad = u.window.bad[:0]
+}

@@ -1,0 +1,505 @@
+// Package serve is mithrad's engine: a long-running decision service
+// that answers per-invocation accept/reject queries against immutable
+// model snapshots (pre-trained classifier + tuned threshold), batched
+// through bounded per-benchmark queues, with the paper's online update
+// path — sporadic error sampling feeding table-classifier updates and a
+// Clopper-Pearson guarantee re-check that swaps refreshed snapshots in
+// atomically.
+//
+// The package honors the repository determinism contract: a served
+// decision is a pure function of (snapshot, input), so replaying a
+// captured trace through a frozen-snapshot server yields decisions
+// byte-identical to an offline trace.Replay at any worker count, and the
+// sporadic sampler derives its choices from the sampling seed and the
+// request's invocation ID, never from the wall clock or scheduling
+// order. No code in this package reads the wall clock (it is inside the
+// nondeterminism lint scope); latency measurement belongs to clients.
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"mithra/internal/classifier"
+	"mithra/internal/mathx"
+	"mithra/internal/obs"
+	"mithra/internal/parallel"
+)
+
+// Config sizes the decision server.
+type Config struct {
+	// Workers is the per-benchmark decision worker count (<= 0:
+	// GOMAXPROCS, 1: serial). Decisions are identical at every setting.
+	Workers int
+	// QueueDepth bounds each benchmark shard's request queue; a full
+	// queue exerts backpressure on the connection readers (and through
+	// TCP, on clients).
+	QueueDepth int
+	// MaxBatch bounds how many queued requests one worker drains per
+	// wakeup. Batching amortizes snapshot lookups and per-connection
+	// write flushes.
+	MaxBatch int
+	// SampleRate is the sporadic error-sampling rate (paper §IV-C1):
+	// this fraction of served invocations is routed through the precise
+	// path to measure the true accelerator error. 0 disables the online
+	// update machinery.
+	SampleRate float64
+	// SampleSeed keys the deterministic sampler: whether invocation ID i
+	// of benchmark b is sampled depends only on (SampleSeed, b, i).
+	SampleSeed uint64
+	// UpdateEvery is the sampled-observation window between guarantee
+	// re-checks (default 64).
+	UpdateEvery int
+	// Freeze pins the serving snapshots: sampling still measures and
+	// counts, but updated snapshots are never installed. Replay/benchmark
+	// runs use this to keep decisions byte-identical to the offline path.
+	Freeze bool
+	// Obs receives serving telemetry (counters and histograms only — all
+	// commutative, so the hot path may update them from any worker).
+	Obs *obs.Obs
+}
+
+// withDefaults fills unset knobs.
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.UpdateEvery <= 0 {
+		c.UpdateEvery = 64
+	}
+	return c
+}
+
+// task is one queued decision.
+type task struct {
+	req *DecideRequest
+	c   *conn
+}
+
+// shard owns one benchmark's bounded queue, workers, and online updater.
+type shard struct {
+	bench      string
+	inDim      int
+	q          chan task
+	sampleSeed uint64 // parallel.Seed(cfg.SampleSeed, bench)
+	up         *updater
+}
+
+// Server is the decision service. Construct with NewServer, feed it
+// listeners via Serve, stop it with Shutdown.
+type Server struct {
+	cfg Config
+	reg *Registry
+	o   *obs.Obs
+
+	shards     map[string]*shard
+	shardOrder []string // sorted; deterministic startup/teardown order
+
+	quit      chan struct{}
+	quitOnce  sync.Once
+	drainOnce sync.Once
+	drainDone chan struct{}
+
+	lnMu sync.Mutex
+	lns  []net.Listener
+
+	connMu sync.Mutex
+	conns  map[*conn]struct{}
+
+	readerWG  sync.WaitGroup
+	workerWG  sync.WaitGroup
+	updaterWG sync.WaitGroup
+}
+
+// NewServer builds a server over the registry's current benchmarks. Each
+// registered benchmark gets its own shard (queue + workers + updater);
+// snapshots installed later for *new* benchmarks are not served.
+func NewServer(reg *Registry, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	benches := reg.Benches()
+	if len(benches) == 0 {
+		return nil, fmt.Errorf("serve: registry holds no snapshots")
+	}
+	s := &Server{
+		cfg:        cfg,
+		reg:        reg,
+		o:          cfg.Obs,
+		shards:     make(map[string]*shard, len(benches)),
+		shardOrder: benches,
+		quit:       make(chan struct{}),
+		drainDone:  make(chan struct{}),
+		conns:      make(map[*conn]struct{}),
+	}
+	workers := parallel.Workers(cfg.Workers)
+	for _, b := range benches {
+		snap := reg.Get(b)
+		sh := &shard{
+			bench:      b,
+			inDim:      snap.Table.InputDim(),
+			q:          make(chan task, cfg.QueueDepth),
+			sampleSeed: parallel.Seed(cfg.SampleSeed, b),
+		}
+		sh.up = newUpdater(s, sh, cfg)
+		s.shards[b] = sh
+		s.updaterWG.Add(1)
+		go sh.up.run(&s.updaterWG)
+		for w := 0; w < workers; w++ {
+			s.workerWG.Add(1)
+			go s.worker(sh)
+		}
+	}
+	return s, nil
+}
+
+// Registry exposes the server's snapshot registry (the online updater
+// installs into it; tests and the HTTP handler read it).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Serve accepts connections on ln until Shutdown (or a listener error).
+// It may be called concurrently for several listeners (e.g. a TCP and a
+// Unix socket).
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	select {
+	case <-s.quit:
+		s.lnMu.Unlock()
+		ln.Close()
+		return fmt.Errorf("serve: server is shut down")
+	default:
+	}
+	s.lns = append(s.lns, ln)
+	s.lnMu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+				return nil // drain closed the listener
+			default:
+				return fmt.Errorf("serve: accept: %w", err)
+			}
+		}
+		c := &conn{c: nc}
+		s.connMu.Lock()
+		s.conns[c] = struct{}{}
+		s.connMu.Unlock()
+		s.o.Counter("serve.connections").Inc()
+		s.readerWG.Add(1)
+		go s.reader(c)
+	}
+}
+
+// reader parses one connection's request stream and enqueues decisions.
+func (s *Server) reader(c *conn) {
+	defer s.readerWG.Done()
+	br := bufio.NewReader(c.c)
+	for {
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
+		payload, err := ReadFrame(br)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				select {
+				case <-s.quit: // drain deadline fired; not a client fault
+				default:
+					s.o.Counter("serve.errors.frame").Inc()
+				}
+			}
+			s.dropConn(c)
+			return
+		}
+		msg, err := ParseMessage(payload)
+		if err != nil {
+			// The framing survived, only the payload was malformed: report
+			// and keep the connection.
+			s.o.Counter("serve.errors.malformed").Inc()
+			c.send(&ErrorResponse{Code: CodeMalformed, Msg: err.Error()})
+			continue
+		}
+		switch m := msg.(type) {
+		case *DecideRequest:
+			s.enqueue(c, m)
+		case Ping:
+			c.send(Pong{})
+		default:
+			s.o.Counter("serve.errors.malformed").Inc()
+			c.send(&ErrorResponse{Code: CodeMalformed, Msg: fmt.Sprintf("unexpected message %T", msg)})
+		}
+	}
+}
+
+// enqueue routes a request to its benchmark shard. A full queue blocks
+// (backpressure through the reader and TCP); a draining server rejects.
+func (s *Server) enqueue(c *conn, req *DecideRequest) {
+	sh := s.shards[req.Bench]
+	if sh == nil {
+		s.o.Counter("serve.errors.unknown_bench").Inc()
+		c.send(&ErrorResponse{ID: req.ID, Code: CodeUnknownBench,
+			Msg: fmt.Sprintf("no snapshot for benchmark %q", req.Bench)})
+		return
+	}
+	t := task{req: req, c: c}
+	select {
+	case sh.q <- t:
+		return
+	default:
+	}
+	s.o.Counter("serve.backpressure").Inc()
+	select {
+	case sh.q <- t:
+	case <-s.quit:
+		c.send(&ErrorResponse{ID: req.ID, Code: CodeDraining, Msg: "server draining"})
+	}
+}
+
+// connFrames groups one batch's response frames by connection in
+// first-appearance order, so each connection gets a single write per
+// batch regardless of how its requests interleaved.
+type connFrames struct {
+	c   *conn
+	buf []byte
+}
+
+// worker drains one shard's queue in bounded batches. The snapshot is
+// loaded once per batch (never mid-request); the worker keeps a private
+// classifier view and error probe per snapshot version.
+func (s *Server) worker(sh *shard) {
+	defer s.workerWG.Done()
+	var (
+		view        classifier.Classifier
+		probe       ErrorProbe
+		viewVersion uint32
+		batch       = make([]task, 0, s.cfg.MaxBatch)
+		out         = make([]connFrames, 0, 4)
+	)
+	for {
+		t, ok := <-sh.q
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], t)
+	fill:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case t2, ok2 := <-sh.q:
+				if !ok2 {
+					break fill // finish this batch; next receive exits
+				}
+				batch = append(batch, t2)
+			default:
+				break fill
+			}
+		}
+
+		snap := s.reg.Get(sh.bench)
+		if view == nil || viewVersion != snap.Version {
+			view = snap.view()
+			probe = snap.NewProbe()
+			viewVersion = snap.Version
+		}
+
+		out = out[:0]
+		for _, t := range batch {
+			resp, ob := s.decide(sh, snap, view, probe, t.req)
+			frames, err := AppendFrame(frameBufFor(&out, t.c), resp)
+			if err != nil { // unreachable for our own responses; keep the codec honest
+				s.o.Counter("serve.errors.encode").Inc()
+				continue
+			}
+			setFrameBuf(&out, t.c, frames)
+			if ob != nil {
+				sh.up.observe(*ob)
+			}
+		}
+		for _, cf := range out {
+			cf.c.sendRaw(cf.buf)
+		}
+		s.o.Counter("serve.batches").Inc()
+		s.o.Histogram("serve.batch.size", []float64{1, 2, 4, 8, 16, 32, 64}).
+			Observe(float64(len(batch)))
+	}
+}
+
+// decide serves one request against the batch's snapshot and, when the
+// sporadic sampler hits, measures the true accelerator error through the
+// precise path. The measurement never alters the served decision — it
+// feeds the online updater.
+func (s *Server) decide(sh *shard, snap *Snapshot, view classifier.Classifier,
+	probe ErrorProbe, req *DecideRequest) (Message, *observation) {
+	if len(req.In) != sh.inDim {
+		s.o.Counter("serve.errors.bad_dim").Inc()
+		return &ErrorResponse{ID: req.ID, Code: CodeBadDim,
+			Msg: fmt.Sprintf("input dim %d, want %d", len(req.In), sh.inDim)}, nil
+	}
+	precise := view.Classify(req.In)
+	if precise {
+		s.o.Counter("serve.decisions.precise").Inc()
+	} else {
+		s.o.Counter("serve.decisions.approx").Inc()
+	}
+	sampled := probe != nil && sampleHit(sh.sampleSeed, req.ID, s.cfg.SampleRate)
+	resp := &DecideResponse{ID: req.ID, Precise: precise, Sampled: sampled, Version: snap.Version}
+	if !sampled {
+		return resp, nil
+	}
+	s.o.Counter("serve.sampled").Inc()
+	err := probe(req.In)
+	bad := err > snap.Threshold
+	if bad != precise {
+		s.o.Counter("serve.sample.misclassified").Inc()
+	}
+	return resp, &observation{in: req.In, bad: bad, precise: precise}
+}
+
+// sampleHit reports whether invocation id is error-sampled: a pure
+// function of (shard sampling seed, id, rate), so a replayed trace
+// samples the same invocations at any worker count.
+func sampleHit(shardSeed uint64, id uint32, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	return mathx.NewRNG(shardSeed).Split(uint64(id)).Float64() < rate
+}
+
+// frameBufFor finds (or starts) the response buffer for c in this batch.
+func frameBufFor(out *[]connFrames, c *conn) []byte {
+	for i := range *out {
+		if (*out)[i].c == c {
+			return (*out)[i].buf
+		}
+	}
+	*out = append(*out, connFrames{c: c})
+	return nil
+}
+
+// setFrameBuf stores the extended buffer back.
+func setFrameBuf(out *[]connFrames, c *conn, buf []byte) {
+	for i := range *out {
+		if (*out)[i].c == c {
+			(*out)[i].buf = buf
+			return
+		}
+	}
+}
+
+// Shutdown drains the server: listeners close, connection readers stop,
+// queued requests are decided and their responses written, updaters
+// drain, and connections close — in that order. If ctx expires first,
+// remaining connections are force-closed and ctx's error is returned.
+// The obs debug endpoint (mithrad's HTTP fallback) shares this
+// context-bounded drain discipline via obs.DebugServer.Shutdown.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.quitOnce.Do(func() { close(s.quit) })
+	s.lnMu.Lock()
+	for _, ln := range s.lns {
+		ln.Close()
+	}
+	s.lnMu.Unlock()
+	// Unblock readers parked in Read: an already-expired deadline fails
+	// pending and future reads immediately. time.Unix is a constant
+	// conversion, not a wall-clock read, so the determinism lint scope
+	// stays clean.
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.c.SetReadDeadline(time.Unix(1, 0))
+	}
+	s.connMu.Unlock()
+
+	s.drainOnce.Do(func() {
+		go func() {
+			defer close(s.drainDone)
+			s.readerWG.Wait()
+			for _, b := range s.shardOrder {
+				close(s.shards[b].q)
+			}
+			s.workerWG.Wait()
+			for _, b := range s.shardOrder {
+				close(s.shards[b].up.ch)
+			}
+			s.updaterWG.Wait()
+			s.closeConns()
+		}()
+	})
+	select {
+	case <-s.drainDone:
+		return nil
+	case <-ctx.Done():
+		s.closeConns()
+		<-s.drainDone
+		return ctx.Err()
+	}
+}
+
+// closeConns closes every tracked connection (idempotent).
+func (s *Server) closeConns() {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	for c := range s.conns {
+		c.close()
+	}
+	s.conns = map[*conn]struct{}{}
+}
+
+// dropConn closes and untracks one connection (reader exit).
+func (s *Server) dropConn(c *conn) {
+	s.connMu.Lock()
+	delete(s.conns, c)
+	s.connMu.Unlock()
+	c.close()
+}
+
+// conn wraps one client connection with a write lock, so responses from
+// several shard workers (and error replies from the reader) interleave
+// whole frames, never bytes.
+type conn struct {
+	c      net.Conn
+	mu     sync.Mutex
+	closed bool
+}
+
+// send frames and writes one message. Write errors are swallowed: the
+// client is gone, and the reader will observe the failure on its side.
+func (c *conn) send(msg Message) {
+	frame, err := AppendFrame(nil, msg)
+	if err != nil {
+		return
+	}
+	c.sendRaw(frame)
+}
+
+// sendRaw writes pre-framed bytes in one locked write.
+func (c *conn) sendRaw(buf []byte) {
+	if len(buf) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.c.Write(buf) //nolint:errcheck // client-side failure; reader cleans up
+}
+
+func (c *conn) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		c.c.Close()
+	}
+}

@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mithra/internal/classifier"
+	"mithra/internal/core"
+	"mithra/internal/stats"
+)
+
+// ErrorProbe measures the true accelerator error for one input — the
+// precise path the sporadic sampler routes invocations through. A probe
+// instance owns its scratch buffers and is used by exactly one worker;
+// NewProbe on the snapshot mints per-worker instances.
+type ErrorProbe func(in []float64) float64
+
+// Snapshot is one benchmark's immutable serving state: the pre-trained
+// classifier, the tuned threshold, and the guarantee it certifies — the
+// online counterpart of what the paper's compiler encodes into the
+// program binary. Snapshots are never mutated after Install; the online
+// update path builds a new one and swaps it in atomically.
+type Snapshot struct {
+	// Bench names the benchmark this snapshot serves.
+	Bench string
+	// Version is assigned by Registry.Install: 1 for the initial
+	// snapshot, incremented on every online-update swap.
+	Version uint32
+	// Threshold is the tuned accelerator error bound (Equation 1's th).
+	Threshold float64
+	// G is the quality guarantee the threshold was certified for; the
+	// online updater re-checks it over sampled invocations.
+	G stats.Guarantee
+	// Table is the serving classifier (the design with an online update
+	// rule, paper §IV-C1).
+	Table *classifier.Table
+	// Neural optionally rides along for the HTTP inspection endpoint and
+	// future designs; decisions are served by Table.
+	Neural *classifier.Neural
+	// probe mints per-worker error probes (nil: sampling measures
+	// nothing and the online path is disabled).
+	probe func() ErrorProbe
+}
+
+// NewSnapshot assembles a serving snapshot. probeFactory may be nil,
+// which disables the error-sampling path.
+func NewSnapshot(bench string, tab *classifier.Table, neu *classifier.Neural,
+	threshold float64, g stats.Guarantee, probeFactory func() ErrorProbe) (*Snapshot, error) {
+	if bench == "" {
+		return nil, fmt.Errorf("serve: snapshot needs a benchmark name")
+	}
+	if tab == nil {
+		return nil, fmt.Errorf("serve: snapshot for %s has no table classifier", bench)
+	}
+	return &Snapshot{
+		Bench:     bench,
+		Threshold: threshold,
+		G:         g,
+		Table:     tab,
+		Neural:    neu,
+		probe:     probeFactory,
+	}, nil
+}
+
+// SnapshotFromProgram builds a serving snapshot from a loaded compiled
+// program (`mithra compile -o` → core.LoadProgram). The error probe runs
+// the real precise kernel and the real accelerator, exactly as the
+// paper's runtime sampling does.
+func SnapshotFromProgram(p *core.Program) (*Snapshot, error) {
+	probe := func() ErrorProbe {
+		scratch := p.Accel.NewScratch()
+		pBuf := make([]float64, p.Bench.OutputDim())
+		aBuf := make([]float64, p.Bench.OutputDim())
+		return func(in []float64) float64 {
+			p.Bench.Precise(in, pBuf)
+			p.Accel.Invoke(in, aBuf, scratch)
+			maxe := 0.0
+			for i := range pBuf {
+				d := pBuf[i] - aBuf[i]
+				if d < 0 {
+					d = -d
+				}
+				if d > maxe {
+					maxe = d
+				}
+			}
+			return maxe
+		}
+	}
+	return NewSnapshot(p.Bench.Name(), p.Table, p.Neural, p.Threshold, p.G, probe)
+}
+
+// LoadSnapshot decodes an exported deployment blob and builds its serving
+// snapshot.
+func LoadSnapshot(blob []byte) (*Snapshot, error) {
+	p, err := core.LoadProgram(blob)
+	if err != nil {
+		return nil, err
+	}
+	return SnapshotFromProgram(p)
+}
+
+// NewProbe mints a per-worker error probe, or nil when sampling is
+// disabled for this snapshot.
+func (s *Snapshot) NewProbe() ErrorProbe {
+	if s.probe == nil {
+		return nil
+	}
+	return s.probe()
+}
+
+// view returns a private-scratch classifier equivalent to the snapshot's
+// serving classifier, for one worker's exclusive use.
+func (s *Snapshot) view() classifier.Classifier {
+	return s.Table.ConcurrentView()
+}
+
+// withTable returns a copy of s serving an updated table (the online
+// update path's copy-on-write step). The copy has no version yet;
+// Registry.Install assigns the next one.
+func (s *Snapshot) withTable(tab *classifier.Table) *Snapshot {
+	cp := *s
+	cp.Table = tab
+	cp.Version = 0
+	return &cp
+}
+
+// snapshotMap is the registry's published state: benchmark name →
+// current snapshot.
+type snapshotMap map[string]*Snapshot
+
+// Registry holds the current snapshot per benchmark behind an atomic
+// pointer to an immutable map. Readers (the decision hot path) load the
+// pointer once per batch and never lock; writers copy the map, replace
+// one entry, and publish the copy — a snapshot swap is therefore atomic
+// and never observed mid-request.
+type Registry struct {
+	mu    sync.Mutex // serializes writers
+	cur   atomic.Pointer[snapshotMap]
+	swaps atomic.Int64
+}
+
+// NewRegistry builds a registry and installs the given snapshots.
+func NewRegistry(snaps ...*Snapshot) *Registry {
+	r := &Registry{}
+	empty := snapshotMap{}
+	r.cur.Store(&empty)
+	for _, s := range snaps {
+		r.Install(s)
+	}
+	return r
+}
+
+// Get returns the current snapshot for bench, or nil.
+func (r *Registry) Get(bench string) *Snapshot {
+	return (*r.cur.Load())[bench]
+}
+
+// Install publishes s as the current snapshot for its benchmark and
+// returns the snapshot it replaced (nil for a first install). The
+// installed snapshot's version is the predecessor's plus one.
+func (r *Registry) Install(s *Snapshot) *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := *r.cur.Load()
+	prev := old[s.Bench]
+	if prev != nil {
+		s.Version = prev.Version + 1
+		r.swaps.Add(1)
+	} else if s.Version == 0 {
+		s.Version = 1
+	}
+	next := make(snapshotMap, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[s.Bench] = s
+	r.cur.Store(&next)
+	return prev
+}
+
+// Swaps returns how many times an installed snapshot replaced a previous
+// one (the online-update counter; first installs don't count).
+func (r *Registry) Swaps() int64 { return r.swaps.Load() }
+
+// Benches lists the registered benchmark names in sorted order.
+func (r *Registry) Benches() []string {
+	m := *r.cur.Load()
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

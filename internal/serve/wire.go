@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The wire protocol is a length-prefixed binary framing designed for the
+// decision hot path: one frame per message, fixed-size headers, float64
+// input vectors as raw IEEE-754 bits. Every frame is
+//
+//	uint32 (big-endian)  payload length
+//	payload              magic 'M', version, message type, body
+//
+// The codec never panics on malformed input: every parse failure is
+// reported as an error wrapping ErrProtocol, so a hostile or buggy client
+// can at worst earn itself an error response and a closed connection.
+const (
+	wireMagic   = 'M'
+	wireVersion = 1
+
+	// MaxFrame bounds a frame's payload; anything larger is rejected
+	// before allocation (a four-byte prefix could otherwise demand 4 GiB).
+	MaxFrame = 1 << 20
+	// MaxInputDim bounds the decision input vector width.
+	MaxInputDim = 4096
+	// maxBenchName bounds the benchmark-name field.
+	maxBenchName = 255
+)
+
+// Message types.
+const (
+	msgDecideReq  = 1
+	msgDecideResp = 2
+	msgPing       = 3
+	msgPong       = 4
+	msgError      = 5
+)
+
+// Error codes carried by msgError frames.
+const (
+	// CodeMalformed: the request frame did not parse.
+	CodeMalformed = 1
+	// CodeUnknownBench: the server holds no snapshot for the benchmark.
+	CodeUnknownBench = 2
+	// CodeBadDim: the input width does not match the snapshot's kernel.
+	CodeBadDim = 3
+	// CodeDraining: the server is shutting down and not accepting work.
+	CodeDraining = 4
+)
+
+// ErrProtocol is the sentinel every malformed-frame error wraps.
+var ErrProtocol = errors.New("serve: protocol error")
+
+// protoErrf builds an ErrProtocol-wrapping error.
+func protoErrf(format string, a ...any) error {
+	return fmt.Errorf("%w: %s", ErrProtocol, fmt.Sprintf(format, a...))
+}
+
+// DecideRequest asks for one accept/reject decision.
+type DecideRequest struct {
+	// ID is echoed in the response, so clients may pipeline requests and
+	// reassemble decisions in invocation order.
+	ID uint32
+	// Bench selects the snapshot shard.
+	Bench string
+	// In is the accelerator input vector.
+	In []float64
+}
+
+// DecideResponse carries one decision.
+type DecideResponse struct {
+	ID uint32
+	// Precise is true when the invocation must fall back to the precise
+	// function (the classifier filtered it out).
+	Precise bool
+	// Sampled is true when the server routed this invocation through the
+	// sporadic error-sampling path (the decision itself is unaffected).
+	Sampled bool
+	// Version is the snapshot version that made the decision.
+	Version uint32
+}
+
+// ErrorResponse reports a per-request failure.
+type ErrorResponse struct {
+	ID   uint32
+	Code uint8
+	Msg  string
+}
+
+// Ping and Pong are connection liveness probes.
+type (
+	Ping struct{}
+	Pong struct{}
+)
+
+// Message is one decoded protocol message: *DecideRequest,
+// *DecideResponse, *ErrorResponse, Ping, or Pong.
+type Message any
+
+// AppendFrame appends a complete frame (length prefix + payload) for msg
+// to dst and returns the extended slice.
+func AppendFrame(dst []byte, msg Message) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length backpatched below
+	dst = append(dst, wireMagic, wireVersion)
+	switch m := msg.(type) {
+	case *DecideRequest:
+		if len(m.Bench) > maxBenchName {
+			return nil, protoErrf("bench name %d bytes exceeds %d", len(m.Bench), maxBenchName)
+		}
+		if len(m.In) > MaxInputDim {
+			return nil, protoErrf("input dim %d exceeds %d", len(m.In), MaxInputDim)
+		}
+		dst = append(dst, msgDecideReq)
+		dst = binary.BigEndian.AppendUint32(dst, m.ID)
+		dst = append(dst, byte(len(m.Bench)))
+		dst = append(dst, m.Bench...)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.In)))
+		for _, v := range m.In {
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	case *DecideResponse:
+		dst = append(dst, msgDecideResp)
+		dst = binary.BigEndian.AppendUint32(dst, m.ID)
+		var flags byte
+		if m.Precise {
+			flags |= 1
+		}
+		if m.Sampled {
+			flags |= 2
+		}
+		dst = append(dst, flags)
+		dst = binary.BigEndian.AppendUint32(dst, m.Version)
+	case *ErrorResponse:
+		if len(m.Msg) > math.MaxUint16 {
+			return nil, protoErrf("error message %d bytes too long", len(m.Msg))
+		}
+		dst = append(dst, msgError)
+		dst = binary.BigEndian.AppendUint32(dst, m.ID)
+		dst = append(dst, m.Code)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Msg)))
+		dst = append(dst, m.Msg...)
+	case Ping:
+		dst = append(dst, msgPing)
+	case Pong:
+		dst = append(dst, msgPong)
+	default:
+		return nil, protoErrf("unencodable message type %T", msg)
+	}
+	payload := len(dst) - start - 4
+	if payload > MaxFrame {
+		return nil, protoErrf("frame payload %d exceeds %d", payload, MaxFrame)
+	}
+	binary.BigEndian.PutUint32(dst[start:start+4], uint32(payload))
+	return dst, nil
+}
+
+// ReadFrame reads one frame's payload from r. It returns io.EOF verbatim
+// on a clean end-of-stream (no bytes read) and an ErrProtocol-wrapping
+// error on oversized or truncated frames.
+func ReadFrame(r *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, protoErrf("short frame header: %v", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, protoErrf("frame payload %d exceeds %d", n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, protoErrf("truncated frame (want %d bytes): %v", n, err)
+	}
+	return payload, nil
+}
+
+// ParseMessage decodes one frame payload. It never panics: malformed
+// payloads return an ErrProtocol-wrapping error.
+func ParseMessage(payload []byte) (Message, error) {
+	if len(payload) < 3 {
+		return nil, protoErrf("payload %d bytes, want >= 3", len(payload))
+	}
+	if payload[0] != wireMagic {
+		return nil, protoErrf("bad magic 0x%02x", payload[0])
+	}
+	if payload[1] != wireVersion {
+		return nil, protoErrf("unsupported protocol version %d", payload[1])
+	}
+	body := payload[3:]
+	switch payload[2] {
+	case msgDecideReq:
+		return parseDecideReq(body)
+	case msgDecideResp:
+		if len(body) != 9 {
+			return nil, protoErrf("decide response body %d bytes, want 9", len(body))
+		}
+		return &DecideResponse{
+			ID:      binary.BigEndian.Uint32(body[:4]),
+			Precise: body[4]&1 != 0,
+			Sampled: body[4]&2 != 0,
+			Version: binary.BigEndian.Uint32(body[5:9]),
+		}, nil
+	case msgError:
+		if len(body) < 7 {
+			return nil, protoErrf("error body %d bytes, want >= 7", len(body))
+		}
+		msgLen := int(binary.BigEndian.Uint16(body[5:7]))
+		if len(body) != 7+msgLen {
+			return nil, protoErrf("error body %d bytes, want %d", len(body), 7+msgLen)
+		}
+		return &ErrorResponse{
+			ID:   binary.BigEndian.Uint32(body[:4]),
+			Code: body[4],
+			Msg:  string(body[7:]),
+		}, nil
+	case msgPing:
+		if len(body) != 0 {
+			return nil, protoErrf("ping carries %d stray bytes", len(body))
+		}
+		return Ping{}, nil
+	case msgPong:
+		if len(body) != 0 {
+			return nil, protoErrf("pong carries %d stray bytes", len(body))
+		}
+		return Pong{}, nil
+	}
+	return nil, protoErrf("unknown message type %d", payload[2])
+}
+
+func parseDecideReq(body []byte) (Message, error) {
+	if len(body) < 5 {
+		return nil, protoErrf("decide request body %d bytes, want >= 5", len(body))
+	}
+	id := binary.BigEndian.Uint32(body[:4])
+	nameLen := int(body[4])
+	body = body[5:]
+	if len(body) < nameLen+2 {
+		return nil, protoErrf("decide request truncated inside bench name")
+	}
+	bench := string(body[:nameLen])
+	body = body[nameLen:]
+	dim := int(binary.BigEndian.Uint16(body[:2]))
+	body = body[2:]
+	if dim > MaxInputDim {
+		return nil, protoErrf("input dim %d exceeds %d", dim, MaxInputDim)
+	}
+	if len(body) != 8*dim {
+		return nil, protoErrf("decide request input is %d bytes, want %d", len(body), 8*dim)
+	}
+	in := make([]float64, dim)
+	for i := range in {
+		in[i] = math.Float64frombits(binary.BigEndian.Uint64(body[8*i : 8*i+8]))
+	}
+	return &DecideRequest{ID: id, Bench: bench, In: in}, nil
+}
+
+// WriteMessage frames msg and writes it to w in one call.
+func WriteMessage(w io.Writer, msg Message) error {
+	frame, err := AppendFrame(nil, msg)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(frame)
+	return err
+}
+
+// ReadMessage reads and parses one message from r.
+func ReadMessage(r *bufio.Reader) (Message, error) {
+	payload, err := ReadFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	return ParseMessage(payload)
+}

@@ -260,6 +260,20 @@ func (t *Trace) Input(i int) []float64 {
 	return t.Inputs[i*t.InDim : (i+1)*t.InDim]
 }
 
+// CollectInputs materializes every captured invocation input as its own
+// slice, in invocation order — the shape serving clients (mithra
+// loadgen, the serve tests) feed over the wire. This is sound because
+// the paper's benchmarks are data-parallel (an invocation's outputs
+// never feed a later invocation's inputs), so the input sequence is
+// fixed at capture time and independent of any decisions taken later.
+func (t *Trace) CollectInputs() [][]float64 {
+	out := make([][]float64, t.N)
+	for i := range out {
+		out[i] = t.InputInto(i, make([]float64, t.InDim))
+	}
+	return out
+}
+
 // InputInto writes invocation i's recorded inputs into buf (length
 // >= InDim) and returns buf[:InDim].
 func (t *Trace) InputInto(i int, buf []float64) []float64 {
