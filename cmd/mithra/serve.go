@@ -139,6 +139,7 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) int {
 		seed                           *uint64
 		conns, pipeline, repeat        *int
 		qps                            *float64
+		chaos                          *bool
 	)
 	return command("loadgen", args, stderr, func(fs *flag.FlagSet, of *obsFlags) {
 		addr = fs.String("addr", "", "mithrad TCP address (e.g. 127.0.0.1:7433)")
@@ -153,6 +154,7 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) int {
 		decisions = fs.String("decisions", "", "write the served decision journal to this file (first pass only when -repeat > 1)")
 		benchJSON = fs.String("bench-json", "", "append a run row to this BENCH_serve.json file")
 		label = fs.String("label", "", "label recorded in the bench row (e.g. workers4)")
+		chaos = fs.Bool("chaos", false, "resilient mode: retry across connection faults and server restarts, and re-ask fallback decisions until the classifier answers (chaos testing)")
 		of.registerLog(fs)
 	}, func(_ *flag.FlagSet, _ *obsFlags, lg *obs.Logger) error {
 		if (*addr == "") == (*unixPath == "") {
@@ -180,6 +182,8 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) int {
 		precise := make([]bool, total)
 		rtts := make([][]time.Duration, *conns)
 		errs := make([]error, *conns)
+		rclients := make([]*serve.ResilientClient, *conns)
+		fallbacksSeen := make([]int, *conns)
 		// Pacing: with C conns each sending P-sized batches, the fleet hits
 		// qps when every conn starts a batch each P*C/qps seconds.
 		var interval time.Duration
@@ -193,12 +197,30 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) int {
 			wg.Add(1)
 			go func(c int) {
 				defer wg.Done()
-				cl, err := serve.Dial(network, target)
-				if err != nil {
-					errs[c] = err
-					return
+				var decide func(baseID uint32, batch [][]float64) ([]serve.DecideResponse, error)
+				if *chaos {
+					rcl, err := serve.DialResilient(network, target,
+						serve.RetryConfig{Seed: *seed + uint64(c) + 1})
+					if err != nil {
+						errs[c] = err
+						return
+					}
+					defer rcl.Close()
+					rclients[c] = rcl
+					decide = func(baseID uint32, batch [][]float64) ([]serve.DecideResponse, error) {
+						return rcl.DecideBatch(bench, baseID, batch)
+					}
+				} else {
+					cl, err := serve.Dial(network, target)
+					if err != nil {
+						errs[c] = err
+						return
+					}
+					defer cl.Close()
+					decide = func(baseID uint32, batch [][]float64) ([]serve.DecideResponse, error) {
+						return cl.DecideBatch(bench, baseID, batch)
+					}
 				}
-				defer cl.Close()
 				next := time.Now()
 				// Conn c owns every total-index t with (t/pipeline) % conns == c.
 				for base := c * *pipeline; base < total; base += *conns * *pipeline {
@@ -212,13 +234,32 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) int {
 						batch[i] = inputs[(base+i)%n]
 					}
 					t0 := time.Now()
-					resps, err := cl.DecideBatch(bench, uint32(base), batch)
+					resps, err := decide(uint32(base), batch)
 					if err != nil {
 						errs[c] = err
 						return
 					}
 					rtts[c] = append(rtts[c], time.Since(t0))
 					for i, r := range resps {
+						// A fallback answer is quality-safe but not the
+						// classifier's decision; in chaos mode re-ask (same ID —
+						// decisions are idempotent) until the classifier answers,
+						// so the final vector stays offline-comparable. Each
+						// re-ask also drives the open breaker toward its
+						// half-open probe.
+						for attempt := 0; *chaos && r.Fallback && attempt < 512; attempt++ {
+							fallbacksSeen[c]++
+							nr, err := rclients[c].Decide(bench, r.ID, batch[i])
+							if err != nil {
+								errs[c] = err
+								return
+							}
+							r = *nr
+						}
+						if *chaos && r.Fallback {
+							errs[c] = fmt.Errorf("request %d still answered by fallback after 512 re-asks", r.ID)
+							return
+						}
 						precise[base+i] = r.Precise
 					}
 				}
@@ -259,6 +300,18 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "batch rtt  p50 %.0fus  p99 %.0fus (%d batches of <=%d)\n",
 			pct(0.50), pct(0.99), len(all), *pipeline)
 		fmt.Fprintf(stdout, "digest     %s\n", ds.Digest())
+		if *chaos {
+			retries, reconnects, fallbacks := 0, 0, 0
+			for c, rcl := range rclients {
+				if rcl != nil {
+					retries += rcl.Retries
+					reconnects += rcl.Reconnects
+				}
+				fallbacks += fallbacksSeen[c]
+			}
+			fmt.Fprintf(stdout, "chaos      %d retries, %d reconnects, %d fallback answers (all resolved)\n",
+				retries, reconnects, fallbacks)
+		}
 
 		if *decisions != "" {
 			if err := ds.WriteJournal(*decisions, *seed); err != nil {

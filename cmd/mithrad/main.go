@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"mithra/internal/fault"
 	"mithra/internal/obs"
 	"mithra/internal/serve"
 )
@@ -65,6 +66,10 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) int {
 		journal      = fs.String("journal", "", "write a run journal (with the serving metrics snapshot) to this file")
 		quiet        = fs.Bool("quiet", false, "suppress progress output")
 		logJSON      = fs.Bool("log-json", false, "emit progress and errors as JSON lines")
+		walDir       = fs.String("wal-dir", "", "crash-safe state directory: snapshots and sampling windows persist here and are recovered on restart")
+		faultPlan    = fs.String("fault-plan", "", "deterministic fault-injection plan, e.g. 'seed=42,conn.reset=0.01,worker.panic=0.05@64' (chaos testing)")
+		rejectFull   = fs.Bool("reject-when-full", false, "shed load in-band (CodeQueueFull) instead of exerting backpressure when a shard queue saturates")
+		noBreaker    = fs.Bool("no-breaker", false, "disable the per-benchmark circuit breaker (fail-safe degradation)")
 	)
 	err := fs.Parse(args)
 	if errors.Is(err, flag.ErrHelp) {
@@ -97,7 +102,45 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) int {
 		return 1
 	}
 
+	var faults *fault.Set
+	if *faultPlan != "" {
+		plan, err := fault.ParsePlan(*faultPlan)
+		if err != nil {
+			lg.Errorf("usage", "%v", err)
+			return 2
+		}
+		faults = fault.NewSet(plan)
+		lg.Infof("fault injection active: %s", plan.String())
+		o.Note("fault_plan", map[string]any{"plan": plan.String()})
+	}
+
+	// Crash-safe state: open the WAL and recover the pre-crash snapshots
+	// and sampling windows before anything is installed, and attach the
+	// write-ahead persist hook before the boot installs so every snapshot
+	// the registry ever publishes is durable first.
+	var (
+		wal       *serve.WAL
+		recovered *serve.Recovered
+	)
 	reg := serve.NewRegistry()
+	if *walDir != "" {
+		wal, err = serve.OpenWAL(*walDir)
+		if err != nil {
+			lg.Errorf("io", "%v", err)
+			return 1
+		}
+		recovered, err = wal.Recover()
+		if err != nil {
+			lg.Errorf("io", "%v", err)
+			return 1
+		}
+		for _, skip := range recovered.Skipped {
+			lg.Errorf("run", "wal: skipped %s", skip)
+			o.Note("wal_skipped", map[string]any{"record": skip})
+		}
+		serve.AttachWAL(reg, wal, faults, o)
+	}
+
 	for _, path := range strings.Split(*snapshots, ",") {
 		blob, err := os.ReadFile(path)
 		if err != nil {
@@ -109,21 +152,48 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) int {
 			lg.Errorf("run", "load %s: %v", path, err)
 			return 1
 		}
-		reg.Install(snap)
-		lg.Infof("loaded %s: bench=%s threshold=%.6f dim=%d",
-			path, snap.Bench, snap.Threshold, snap.Table.InputDim())
+		// A WAL record for this benchmark supersedes the shipped file: it
+		// is the exact pre-crash serving state, online updates included.
+		if recovered != nil {
+			if rec, ok := recovered.Snapshots[snap.Bench]; ok {
+				rsnap, rerr := serve.LoadSnapshot(rec.Blob)
+				if rerr != nil {
+					lg.Errorf("run", "wal: recover %s v%d: %v", rec.Bench, rec.Version, rerr)
+					o.Note("wal_skipped", map[string]any{"record": fmt.Sprintf("%s v%d: %v", rec.Bench, rec.Version, rerr)})
+				} else {
+					rsnap.Version = rec.Version
+					snap = rsnap
+					lg.Infof("wal: recovered bench=%s at version %d", rec.Bench, rec.Version)
+					o.Note("wal_recovered", map[string]any{"bench": rec.Bench, "version": rec.Version})
+				}
+			}
+		}
+		if _, err := reg.Install(snap); err != nil {
+			lg.Errorf("run", "install %s: %v", path, err)
+			return 1
+		}
+		lg.Infof("loaded %s: bench=%s threshold=%.6f dim=%d version=%d",
+			path, snap.Bench, snap.Threshold, snap.Table.InputDim(), snap.Version)
 	}
 
-	srv, err := serve.NewServer(reg, serve.Config{
-		Workers:     *workers,
-		QueueDepth:  *queueDepth,
-		MaxBatch:    *maxBatch,
-		SampleRate:  *sampleRate,
-		SampleSeed:  *sampleSeed,
-		UpdateEvery: *updateEvery,
-		Freeze:      *freeze,
-		Obs:         o,
-	})
+	cfg := serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		MaxBatch:       *maxBatch,
+		SampleRate:     *sampleRate,
+		SampleSeed:     *sampleSeed,
+		UpdateEvery:    *updateEvery,
+		Freeze:         *freeze,
+		Obs:            o,
+		Faults:         faults,
+		RejectWhenFull: *rejectFull,
+		Breaker:        serve.BreakerConfig{Disabled: *noBreaker},
+		WAL:            wal,
+	}
+	if recovered != nil {
+		cfg.RecoveredWindows = recovered.Windows
+	}
+	srv, err := serve.NewServer(reg, cfg)
 	if err != nil {
 		lg.Errorf("run", "%v", err)
 		return 1
@@ -131,6 +201,7 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) int {
 	o.RunStart("mithrad", *sampleSeed, map[string]any{
 		"snapshots": *snapshots, "sample_rate": *sampleRate,
 		"update_every": *updateEvery, "freeze": *freeze,
+		"wal": *walDir != "", "fault_plan": *faultPlan,
 	}, nil)
 
 	var dbg *obs.DebugServer
@@ -204,6 +275,9 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) int {
 	}
 	if *unixPath != "" {
 		os.Remove(*unixPath) //nolint:errcheck // best-effort socket cleanup
+	}
+	if wal != nil {
+		wal.Close() //nolint:errcheck // snapshot records are already durable
 	}
 	var closeErr error
 	if exit != 0 {

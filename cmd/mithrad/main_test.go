@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"os"
+	"os/exec"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -166,5 +168,149 @@ func TestServeAndDrain(t *testing.T) {
 	}
 	if raw, err := os.ReadFile(journal); err != nil || !strings.Contains(string(raw), `"mithrad"`) {
 		t.Errorf("run journal missing or empty: %v", err)
+	}
+}
+
+// TestMithradHelperProcess is not a test: it is the daemon body for the
+// kill/restart test below, entered only when the test binary re-execs
+// itself with MITHRAD_HELPER=1. Everything after "--" is mithrad's argv.
+func TestMithradHelperProcess(t *testing.T) {
+	if os.Getenv("MITHRAD_HELPER") != "1" {
+		t.Skip("daemon body for TestKillRestartRecoversWALVersion")
+	}
+	var args []string
+	for i, a := range os.Args {
+		if a == "--" {
+			args = os.Args[i+1:]
+			break
+		}
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGTERM, syscall.SIGINT)
+	os.Exit(run(args, os.Stdout, os.Stderr, stop))
+}
+
+// TestKillRestartRecoversWALVersion is the crash-safety acceptance test
+// at the process level: a mithrad serving a WAL-recovered snapshot is
+// SIGKILLed mid-run — no drain, no cleanup — and a restart on the same
+// state directory must come back serving the exact pre-crash snapshot
+// version with identical decisions.
+func TestKillRestartRecoversWALVersion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a full deployment and re-execs the test binary")
+	}
+	prog := snapshotFile(t)
+	blob, err := compiledBlob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := serve.LoadSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+	sock := filepath.Join(dir, "mithrad.sock")
+
+	// Seed the WAL with a version-3 record so recovery is distinguishable
+	// from simply re-loading the snapshot file (which serves version 1).
+	w, err := serve.OpenWAL(walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.StoreSnapshot(snap.Bench, 3, blob); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	boot := func() (*exec.Cmd, *syncBuffer) {
+		t.Helper()
+		self, err := os.Executable()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var logs syncBuffer // stdout+stderr interleaved; syncBuffer serializes writers
+		cmd := exec.Command(self, "-test.run=TestMithradHelperProcess", "--",
+			"-snapshot", prog, "-unix", sock, "-wal-dir", walDir, "-freeze")
+		cmd.Env = append(os.Environ(), "MITHRAD_HELPER=1")
+		cmd.Stdout = &logs
+		cmd.Stderr = &logs
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return cmd, &logs
+	}
+	dialUp := func(errw *syncBuffer) *serve.Client {
+		t.Helper()
+		var cl *serve.Client
+		var err error
+		for i := 0; i < 1000; i++ {
+			if cl, err = serve.Dial("unix", sock); err == nil {
+				return cl
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("daemon never came up: %v (stderr: %s)", err, errw.String())
+		return nil
+	}
+	in := make([]float64, snap.Table.InputDim())
+	for i := range in {
+		in[i] = 0.25 * float64(i+1)
+	}
+
+	cmd1, errw1 := boot()
+	cl := dialUp(errw1)
+	resp, err := cl.Decide(snap.Bench, 1, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Version != 3 {
+		t.Fatalf("pre-kill daemon serves version %d, want the WAL-recovered 3 (stderr: %s)",
+			resp.Version, errw1.String())
+	}
+	preKill := resp.Precise
+	cl.Close()
+
+	// Hard kill: SIGKILL cannot be caught, so nothing drains and the
+	// socket file is left stale — exactly a crash.
+	if err := cmd1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd1.Wait() //nolint:errcheck // exit status is "signal: killed" by design
+
+	cmd2, errw2 := boot()
+	defer func() {
+		cmd2.Process.Signal(syscall.SIGTERM) //nolint:errcheck
+		cmd2.Wait()                          //nolint:errcheck
+	}()
+	cl2 := dialUp(errw2)
+	defer cl2.Close()
+	resp2, err := cl2.Decide(snap.Bench, 2, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Version != 3 {
+		t.Fatalf("restarted daemon serves version %d, want the pre-crash 3 (stderr: %s)",
+			resp2.Version, errw2.String())
+	}
+	if resp2.Precise != preKill {
+		t.Fatalf("restarted decision %v differs from pre-crash %v", resp2.Precise, preKill)
+	}
+	if !strings.Contains(errw2.String(), "wal: recovered bench="+snap.Bench+" at version 3") {
+		t.Errorf("restart log missing WAL recovery line:\n%s", errw2.String())
+	}
+
+	// Graceful shutdown of the restarted daemon still works on the
+	// recovered state (SIGTERM → drain → exit 0).
+	cmd2.Process.Signal(syscall.SIGTERM) //nolint:errcheck
+	done := make(chan error, 1)
+	go func() { done <- cmd2.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("restarted daemon did not drain cleanly: %v\nstderr: %s", err, errw2.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("restarted daemon did not exit after SIGTERM")
 	}
 }

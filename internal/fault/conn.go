@@ -1,0 +1,62 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// ErrInjected is the sentinel every injected connection fault wraps, so
+// tests (and curious error paths) can tell a chaos fault from a real
+// network failure with errors.Is.
+var ErrInjected = errors.New("fault: injected")
+
+// WrapConn wraps nc with this set's connection-level faults, scoping the
+// injector streams by key (one independent stream per connection). When
+// the set is nil or the plan names no connection sites, nc is returned
+// unwrapped — the hot path pays nothing for disabled chaos.
+func (s *Set) WrapConn(nc net.Conn, key string) net.Conn {
+	if s == nil {
+		return nc
+	}
+	reset := s.Scoped(SiteConnReset, key)
+	slow := s.Scoped(SiteConnSlowRead, key)
+	partial := s.Scoped(SiteFramePartial, key)
+	if reset == nil && slow == nil && partial == nil {
+		return nc
+	}
+	return &faultConn{Conn: nc, reset: reset, slow: slow, partial: partial, sleep: s.plan.Sleep}
+}
+
+// faultConn injects read resets, read delays, and torn writes around a
+// real connection. Every fault closes the underlying socket, so the peer
+// observes exactly what a crashed or reset remote would produce.
+type faultConn struct {
+	net.Conn
+	reset, slow, partial *Injector
+	sleep                time.Duration
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	if c.slow.Hit() && c.sleep > 0 {
+		time.Sleep(c.sleep)
+	}
+	if c.reset.Hit() {
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w: connection reset", ErrInjected)
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if c.partial.Hit() {
+		n := 0
+		if half := len(p) / 2; half > 0 {
+			n, _ = c.Conn.Write(p[:half])
+		}
+		c.Conn.Close()
+		return n, fmt.Errorf("%w: partial frame write", ErrInjected)
+	}
+	return c.Conn.Write(p)
+}

@@ -1,0 +1,176 @@
+// Package fault is the deterministic fault-injection framework behind
+// mithrad's chaos testing (DESIGN.md §11). A fault plan names injection
+// sites and per-site firing rates; every injector derives its decision
+// stream from the plan seed and the site's stable identity via
+// mathx.NewRNG(parallel.Seed(seed, site)), never from the wall clock or
+// scheduling order — so a chaos run is replayable: the same plan makes
+// the same site fire on the same sequence of checks every time.
+//
+// The package is inside the nondeterminism lint scope: injectors may
+// sleep (a latency fault is a delay, not a clock read) but never read
+// time.Now, the process-global RNG, or process identity.
+//
+// A nil *Set (fault injection disabled, the default) turns every site
+// lookup and Hit check into a no-op, so instrumented serving code
+// carries no conditionals.
+package fault
+
+import (
+	"sync"
+
+	"mithra/internal/mathx"
+	"mithra/internal/parallel"
+)
+
+// The well-known injection sites threaded through the serving stack.
+// A plan may name any site string; these are the ones mithrad honors.
+const (
+	// SiteConnReset fails a connection read and closes the socket, as a
+	// peer reset would.
+	SiteConnReset = "conn.reset"
+	// SiteConnSlowRead delays a connection read by the plan's sleep
+	// duration (a latency fault).
+	SiteConnSlowRead = "conn.slowread"
+	// SiteFramePartial writes only half of a buffer and closes the
+	// socket, tearing a frame mid-write.
+	SiteFramePartial = "frame.partial"
+	// SiteWorkerPanic panics inside a shard decision worker.
+	SiteWorkerPanic = "worker.panic"
+	// SiteSnapshotInstall fails the durable snapshot-install (WAL) step.
+	SiteSnapshotInstall = "snapshot.install"
+	// SiteQueueSaturate makes a shard queue behave as if full, forcing
+	// the overload-shedding path.
+	SiteQueueSaturate = "queue.saturate"
+)
+
+// Injector decides, deterministically, whether the n-th check of one
+// site fires. The decision stream is a pure function of the injector's
+// derived seed; the mutex only serializes the sequence counter so
+// concurrent callers each consume one draw.
+type Injector struct {
+	mu     sync.Mutex
+	rng    *mathx.RNG
+	rate   float64
+	limit  int // fire at most this many times (0: unlimited)
+	fired  int
+	checks int
+}
+
+func newInjector(seed uint64, site SiteConfig) *Injector {
+	return &Injector{rng: mathx.NewRNG(seed), rate: site.Rate, limit: site.Limit}
+}
+
+// Hit consumes one draw and reports whether the fault fires. Nil-safe:
+// a nil injector never fires.
+func (i *Injector) Hit() bool {
+	if i == nil {
+		return false
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.checks++
+	if i.limit > 0 && i.fired >= i.limit {
+		return false
+	}
+	if i.rng.Float64() >= i.rate {
+		return false
+	}
+	i.fired++
+	return true
+}
+
+// Fired reports how many times the injector has fired. Nil-safe.
+func (i *Injector) Fired() int {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.fired
+}
+
+// Checks reports how many draws the injector has consumed. Nil-safe.
+func (i *Injector) Checks() int {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.checks
+}
+
+// Set is a live injector collection built from a plan. Injectors are
+// memoized per site (and per scope key), so every check of one site
+// consumes the next draw of that site's private stream.
+type Set struct {
+	plan  *Plan
+	mu    sync.Mutex
+	sites map[string]*Injector
+}
+
+// NewSet builds the runtime injectors for a plan (nil plan: nil set,
+// every site disabled).
+func NewSet(p *Plan) *Set {
+	if p == nil {
+		return nil
+	}
+	return &Set{plan: p, sites: make(map[string]*Injector)}
+}
+
+// Plan returns the plan the set was built from (nil for a nil set).
+func (s *Set) Plan() *Plan {
+	if s == nil {
+		return nil
+	}
+	return s.plan
+}
+
+// Site returns the process-wide injector for one site, or nil when the
+// set is nil or the plan does not name the site.
+func (s *Set) Site(name string) *Injector {
+	return s.scoped(name, name)
+}
+
+// Scoped returns an injector for site whose decision stream is derived
+// from (plan seed, site, key) — e.g. one stream per accepted connection,
+// so each connection's fault sequence is independent of how other
+// connections interleave. The site's rate and limit apply per scope.
+func (s *Set) Scoped(site, key string) *Injector {
+	return s.scoped(site, site+"\x00"+key)
+}
+
+func (s *Set) scoped(site, full string) *Injector {
+	if s == nil {
+		return nil
+	}
+	cfg, ok := s.plan.Sites[site]
+	if !ok || cfg.Rate <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inj := s.sites[full]
+	if inj == nil {
+		inj = newInjector(parallel.Seed(s.plan.Seed, full), cfg)
+		s.sites[full] = inj
+	}
+	return inj
+}
+
+// Fired sums how many times the named site fired across every scope.
+// Nil-safe.
+func (s *Set) Fired(site string) int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	// Summation is commutative, so the map's iteration order is immaterial.
+	for full, inj := range s.sites {
+		if full == site || (len(full) > len(site) && full[:len(site)] == site && full[len(site)] == '\x00') {
+			n += inj.Fired()
+		}
+	}
+	return n
+}

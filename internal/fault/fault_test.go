@@ -1,0 +1,194 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("seed=42,sleep=5ms,conn.reset=0.25,worker.panic=1@8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 || p.Sleep != 5*time.Millisecond {
+		t.Fatalf("seed/sleep = %d/%s", p.Seed, p.Sleep)
+	}
+	if got := p.Sites[SiteConnReset]; got.Rate != 0.25 || got.Limit != 0 {
+		t.Fatalf("conn.reset = %+v", got)
+	}
+	if got := p.Sites[SiteWorkerPanic]; got.Rate != 1 || got.Limit != 8 {
+		t.Fatalf("worker.panic = %+v", got)
+	}
+	// String() renders canonically and round-trips.
+	s := p.String()
+	p2, err := ParsePlan(s)
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", s, err)
+	}
+	if p2.String() != s {
+		t.Fatalf("canonical form unstable: %q != %q", p2.String(), s)
+	}
+	if !strings.Contains(s, "worker.panic=1@8") {
+		t.Fatalf("String() = %q lost the limit", s)
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, spec := range []string{
+		"", "seed=42", "conn.reset", "conn.reset=2", "conn.reset=-0.1",
+		"conn.reset=0.5@0", "conn.reset=0.5@x", "seed=abc,conn.reset=0.1",
+		"sleep=-1s,conn.reset=0.1",
+	} {
+		if _, err := ParsePlan(spec); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", spec)
+		}
+	}
+}
+
+func TestInjectorDeterminismAndLimit(t *testing.T) {
+	plan, err := ParsePlan("seed=7,site.a=0.5@3,site.b=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	draw := func() ([]bool, []bool) {
+		set := NewSet(plan)
+		a := make([]bool, 64)
+		b := make([]bool, 64)
+		for i := range a {
+			a[i] = set.Site("site.a").Hit()
+			b[i] = set.Site("site.b").Hit()
+		}
+		return a, b
+	}
+	a1, b1 := draw()
+	a2, b2 := draw()
+	fires := 0
+	for i := range a1 {
+		if a1[i] != a2[i] || b1[i] != b2[i] {
+			t.Fatalf("decision stream diverged at check %d between identical plans", i)
+		}
+		if a1[i] {
+			fires++
+		}
+	}
+	if fires != 3 {
+		t.Fatalf("site.a fired %d times, limit is 3", fires)
+	}
+	// Distinct sites draw from decorrelated streams.
+	same := true
+	for i := range a1 {
+		if a1[i] != b1[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("site.a and site.b produced identical decision streams")
+	}
+	// Scoped streams are independent of the site-wide stream and of each
+	// other, but each is reproducible.
+	set := NewSet(plan)
+	if set.Scoped("site.b", "conn/0") == set.Site("site.b") {
+		t.Fatal("scoped injector must not alias the site-wide injector")
+	}
+	if set.Scoped("site.b", "conn/0") != set.Scoped("site.b", "conn/0") {
+		t.Fatal("same scope key must memoize to one injector")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var s *Set
+	if s.Site("anything") != nil || s.Scoped("a", "b") != nil {
+		t.Fatal("nil set must return nil injectors")
+	}
+	var inj *Injector
+	if inj.Hit() || inj.Fired() != 0 || inj.Checks() != 0 {
+		t.Fatal("nil injector must be inert")
+	}
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	if got := s.WrapConn(c1, "k"); got != c1 {
+		t.Fatal("nil set must not wrap connections")
+	}
+	if NewSet(nil) != nil {
+		t.Fatal("NewSet(nil) must be nil")
+	}
+}
+
+func TestWrapConnInjectsFaults(t *testing.T) {
+	// A reset-always plan: the first read errors and closes the socket.
+	plan, err := ParsePlan("seed=1,conn.reset=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := NewSet(plan)
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := set.WrapConn(a, "conn/0")
+	if _, err := fc.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read error = %v, want ErrInjected", err)
+	}
+	if _, err := a.Read(make([]byte, 1)); !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("underlying conn not closed: %v", err)
+	}
+
+	// A partial-write plan: half the bytes land, then the socket closes.
+	plan, err = ParsePlan("seed=1,frame.partial=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set = NewSet(plan)
+	c, d := net.Pipe()
+	defer d.Close()
+	fc = set.WrapConn(c, "conn/0")
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 16)
+		n, _ := d.Read(buf)
+		got <- buf[:n]
+	}()
+	n, err := fc.Write([]byte("12345678"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("write error = %v, want ErrInjected", err)
+	}
+	if n != 4 {
+		t.Fatalf("partial write wrote %d bytes, want 4", n)
+	}
+	if b := <-got; string(b) != "1234" {
+		t.Fatalf("peer saw %q, want the torn half", b)
+	}
+
+	// A plan without connection sites returns the conn unwrapped.
+	plan, err = ParsePlan("seed=1,worker.panic=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, f := net.Pipe()
+	defer e.Close()
+	defer f.Close()
+	if got := NewSet(plan).WrapConn(e, "k"); got != e {
+		t.Fatal("conn wrapped despite no connection sites in plan")
+	}
+}
+
+func TestSetFiredAggregatesScopes(t *testing.T) {
+	plan, err := ParsePlan("seed=3,site.x=1@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := NewSet(plan)
+	set.Scoped("site.x", "a").Hit()
+	set.Scoped("site.x", "b").Hit()
+	set.Site("site.x").Hit()
+	if got := set.Fired("site.x"); got != 3 {
+		t.Fatalf("Fired = %d, want 3", got)
+	}
+	if got := set.Fired("site.y"); got != 0 {
+		t.Fatalf("unknown site Fired = %d", got)
+	}
+}

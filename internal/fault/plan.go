@@ -1,0 +1,125 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SiteConfig is one site's firing behavior.
+type SiteConfig struct {
+	// Rate is the per-check firing probability in [0, 1].
+	Rate float64
+	// Limit caps how many times the site fires per injector stream
+	// (0: unlimited). A limited site lets a chaos run exercise the
+	// recovery path: inject hard for a while, then go quiet.
+	Limit int
+}
+
+// Plan is a parsed fault plan: the seed that makes the run replayable
+// plus the named sites and their rates. The textual form accepted by
+// ParsePlan (and mithrad's -fault-plan flag) is
+//
+//	seed=42,sleep=2ms,conn.reset=0.01,worker.panic=1@64
+//
+// where each site entry is <site>=<rate> or <site>=<rate>@<limit>, and
+// the reserved keys are "seed" (uint64, default 1) and "sleep" (the
+// latency-fault delay, default 2ms).
+type Plan struct {
+	// Seed keys every injector's decision stream.
+	Seed uint64
+	// Sleep is the delay a latency fault (SiteConnSlowRead) injects.
+	Sleep time.Duration
+	// Sites maps site name to firing behavior.
+	Sites map[string]SiteConfig
+}
+
+// ParsePlan parses the textual plan form. An empty spec is an error:
+// "no faults" is expressed by not passing a plan at all.
+func ParsePlan(spec string) (*Plan, error) {
+	p := &Plan{Seed: 1, Sleep: 2 * time.Millisecond, Sites: map[string]SiteConfig{}}
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("fault: empty plan")
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if !ok || key == "" || val == "" {
+			return nil, fmt.Errorf("fault: plan entry %q is not key=value", part)
+		}
+		switch key {
+		case "seed":
+			seed, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: plan seed %q: %w", val, err)
+			}
+			p.Seed = seed
+		case "sleep":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("fault: plan sleep %q is not a non-negative duration", val)
+			}
+			p.Sleep = d
+		default:
+			cfg, err := parseSite(val)
+			if err != nil {
+				return nil, fmt.Errorf("fault: site %s: %w", key, err)
+			}
+			p.Sites[key] = cfg
+		}
+	}
+	if len(p.Sites) == 0 {
+		return nil, fmt.Errorf("fault: plan names no injection sites")
+	}
+	return p, nil
+}
+
+func parseSite(val string) (SiteConfig, error) {
+	rateStr, limitStr, hasLimit := strings.Cut(val, "@")
+	rate, err := strconv.ParseFloat(rateStr, 64)
+	if err != nil || rate < 0 || rate > 1 {
+		return SiteConfig{}, fmt.Errorf("rate %q must be a probability in [0,1]", rateStr)
+	}
+	cfg := SiteConfig{Rate: rate}
+	if hasLimit {
+		limit, err := strconv.Atoi(limitStr)
+		if err != nil || limit <= 0 {
+			return SiteConfig{}, fmt.Errorf("limit %q must be a positive integer", limitStr)
+		}
+		cfg.Limit = limit
+	}
+	return cfg, nil
+}
+
+// String renders the plan in canonical form (sorted sites), parseable by
+// ParsePlan — the form journals and logs record so a chaos run can be
+// replayed exactly.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	parts := []string{
+		fmt.Sprintf("seed=%d", p.Seed),
+		fmt.Sprintf("sleep=%s", p.Sleep),
+	}
+	sites := make([]string, 0, len(p.Sites))
+	for s := range p.Sites {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	for _, s := range sites {
+		cfg := p.Sites[s]
+		if cfg.Limit > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g@%d", s, cfg.Rate, cfg.Limit))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s=%g", s, cfg.Rate))
+		}
+	}
+	return strings.Join(parts, ",")
+}

@@ -45,9 +45,13 @@ var nondetScope = map[string]bool{
 	// byte-identical to offline replay, so batching and sampling may not
 	// consult the clock (latency measurement belongs to clients).
 	"serve": true,
+	// fault is the chaos-injection framework: an injected fault schedule
+	// must replay identically from its plan seed, so the injectors may
+	// not draw entropy from anywhere but their seeded streams.
+	"fault": true,
 }
 
-const nondetScopeDoc = "internal/{core,threshold,classifier,nn,npu,stats,experiments,trace,obs,serve}"
+const nondetScopeDoc = "internal/{core,threshold,classifier,nn,npu,stats,experiments,trace,obs,serve,fault}"
 
 // globalRandFuncs are the math/rand (and rand/v2) top-level functions that
 // draw from the process-global generator. Constructors (New, NewSource,

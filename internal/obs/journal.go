@@ -89,6 +89,22 @@ func (j *Journal) RunStart(cmd string, seed uint64, config, runtime map[string]a
 	})
 }
 
+// Note appends a freeform named event — resilience bookkeeping like
+// circuit-breaker transitions, WAL recoveries, and fault-plan activation
+// that belongs in the run record but is neither a span nor a metric.
+// Nil-safe and concurrency-safe; events buffer until Close like every
+// other journal line.
+func (j *Journal) Note(name string, attrs map[string]any) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append(j.events, event{
+		T: "note", TS: j.stamp(j.clock.Now()), Name: name, Attrs: attrs,
+	})
+}
+
 // AddSpans appends serialized spans (from Tracer.Drain). Nil-safe.
 func (j *Journal) AddSpans(evs []SpanEvent) {
 	if j == nil {

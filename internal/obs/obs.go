@@ -139,6 +139,12 @@ func (o *Obs) Histogram(name string, bounds []float64) *Histogram {
 	return o.Metrics().Histogram(name, bounds)
 }
 
+// Note records a freeform named journal event (breaker transitions, WAL
+// recovery, fault-plan activation). Nil-safe.
+func (o *Obs) Note(name string, attrs map[string]any) {
+	o.Journal().Note(name, attrs)
+}
+
 // RunStart records the run identity in the journal. Nil-safe.
 func (o *Obs) RunStart(cmd string, seed uint64, config, runtime map[string]any) {
 	o.Journal().RunStart(cmd, seed, config, runtime)

@@ -71,6 +71,8 @@ func RenderJournal(w io.Writer, entries []JournalEntry) {
 			fmt.Fprintf(w, "%s%s %s%s\n",
 				strings.Repeat("  ", depth+1), str(e["name"]),
 				humanDur(e["dur_ns"]), attrSuffix(e["attrs"]))
+		case "note":
+			fmt.Fprintf(w, "note %s%s\n", str(e["name"]), attrSuffix(e["attrs"]))
 		case "metrics":
 			fmt.Fprintf(w, "metrics:\n")
 			renderMetrics(w, e["metrics"])

@@ -8,11 +8,13 @@ import (
 
 // Client is a pipelining wire-protocol client (used by `mithra loadgen`
 // and the serve tests). It is not goroutine-safe: one client per
-// goroutine, many clients per server.
+// goroutine, many clients per server. Every failure it returns is typed
+// (errors.go): connection-level failures and in-band retryable codes
+// match errors.Is(err, ErrRetryable), so callers — notably the
+// ResilientClient — can branch on retryability instead of strings.
 type Client struct {
 	c  net.Conn
 	br *bufio.Reader
-	bw *bufio.Writer
 }
 
 // Dial connects to a mithrad listener ("tcp", "unix").
@@ -26,18 +28,42 @@ func Dial(network, addr string) (*Client, error) {
 
 // NewClient wraps an established connection.
 func NewClient(c net.Conn) *Client {
-	return &Client{c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c)}
+	return &Client{c: c, br: bufio.NewReader(c)}
 }
+
+// Conn exposes the underlying connection (deadline control).
+func (c *Client) Conn() net.Conn { return c.c }
 
 // Close tears the connection down.
 func (c *Client) Close() error { return c.c.Close() }
 
+// writeFrames writes pre-framed bytes in one call, distinguishing a torn
+// frame from a clean failure: a partial write on a closing connection
+// returns ErrPartialWrite (retryable — the server saw at most a frame
+// prefix, which its codec rejects, so re-sending the whole batch on a
+// fresh connection can never double-apply anything), never a silent
+// short write.
+func (c *Client) writeFrames(buf []byte) error {
+	n, err := c.c.Write(buf)
+	if err == nil && n < len(buf) {
+		err = fmt.Errorf("short write")
+	}
+	if err != nil {
+		if n > 0 && n < len(buf) {
+			return fmt.Errorf("serve: wrote %d of %d request bytes: %w: %v", n, len(buf), ErrPartialWrite, err)
+		}
+		return fmt.Errorf("serve: write request: %w: %v", ErrRetryable, err)
+	}
+	return nil
+}
+
 // Ping round-trips a liveness probe.
 func (c *Client) Ping() error {
-	if err := WriteMessage(c.bw, Ping{}); err != nil {
+	frame, err := AppendFrame(nil, Ping{})
+	if err != nil {
 		return err
 	}
-	if err := c.bw.Flush(); err != nil {
+	if err := c.writeFrames(frame); err != nil {
 		return err
 	}
 	msg, err := ReadMessage(c.br)
@@ -61,26 +87,30 @@ func (c *Client) Decide(bench string, id uint32, in []float64) (*DecideResponse,
 
 // DecideBatch pipelines one request per input (IDs baseID, baseID+1, ...)
 // and reassembles the responses into input order, whatever order the
-// server's shard workers answered in. A per-request server error
-// (unknown benchmark, bad input width, draining) aborts the batch and is
-// returned as an error.
+// server's shard workers answered in. All frames are encoded up front
+// and written in one call, so a failure is always a whole-batch failure
+// with a typed cause. A per-request server error (unknown benchmark, bad
+// input width, draining, shed load) aborts the batch and returns as a
+// typed wire error.
 func (c *Client) DecideBatch(bench string, baseID uint32, inputs [][]float64) ([]DecideResponse, error) {
 	req := DecideRequest{Bench: bench}
+	var frames []byte
 	for i, in := range inputs {
 		req.ID = baseID + uint32(i)
 		req.In = in
-		if err := WriteMessage(c.bw, &req); err != nil {
+		var err error
+		if frames, err = AppendFrame(frames, &req); err != nil {
 			return nil, err
 		}
 	}
-	if err := c.bw.Flush(); err != nil {
-		return nil, fmt.Errorf("serve: flush requests: %w", err)
+	if err := c.writeFrames(frames); err != nil {
+		return nil, err
 	}
 	out := make([]DecideResponse, len(inputs))
 	for range inputs {
 		msg, err := ReadMessage(c.br)
 		if err != nil {
-			return nil, fmt.Errorf("serve: read response: %w", err)
+			return nil, fmt.Errorf("serve: read response: %w: %v", ErrRetryable, err)
 		}
 		switch m := msg.(type) {
 		case *DecideResponse:
@@ -91,7 +121,7 @@ func (c *Client) DecideBatch(bench string, baseID uint32, inputs [][]float64) ([
 			}
 			out[i] = *m
 		case *ErrorResponse:
-			return nil, fmt.Errorf("serve: request %d failed: code %d: %s", m.ID, m.Code, m.Msg)
+			return nil, wireError(m)
 		default:
 			return nil, protoErrf("unexpected response %T", msg)
 		}

@@ -23,6 +23,13 @@ type observation struct {
 // channel. Installs happen between batches by construction: workers load
 // the registry pointer once per batch, so an in-flight batch keeps
 // deciding against the snapshot it started with.
+//
+// Crash safety: when the server has a WAL, every observation is appended
+// to the bench's window log before it mutates the in-memory window, and
+// the log resets at each window boundary — so a killed daemon resumes
+// the exact partial window it was accumulating (the recovered
+// observations are replayed through ingest at startup, marked as already
+// persisted).
 type updater struct {
 	s      *Server
 	sh     *shard
@@ -45,28 +52,50 @@ func newUpdater(s *Server, sh *shard, cfg Config) *updater {
 // workers; blocks only if the updater is behind by a full channel.
 func (u *updater) observe(ob observation) { u.ch <- ob }
 
-// run consumes observations until the channel closes (server drain).
+// run consumes observations until the channel closes (server drain). Any
+// window observations recovered from the WAL are replayed first, so the
+// pre-crash sampling window continues rather than restarting.
 func (u *updater) run(wg *sync.WaitGroup) {
 	defer wg.Done()
+	for _, rec := range u.cfg.RecoveredWindows[u.sh.bench] {
+		u.ingest(observation{in: rec.In, bad: rec.Bad, precise: rec.Precise}, false)
+	}
 	for ob := range u.ch {
-		u.window.trials++
-		// A precise-routed invocation never degrades output quality; an
-		// approx-routed one succeeds only when the true error was in bound.
-		if ob.precise || !ob.bad {
-			u.window.successes++
+		u.ingest(ob, true)
+	}
+}
+
+// ingest folds one observation into the window; persist=false replays a
+// WAL-recovered observation that is already durable.
+func (u *updater) ingest(ob observation, persist bool) {
+	if persist && u.cfg.WAL != nil {
+		err := u.cfg.WAL.AppendWindow(u.sh.bench, WindowObs{In: ob.in, Bad: ob.bad, Precise: ob.precise})
+		if err != nil {
+			// Losing window durability is quality-safe (a shorter recovered
+			// window only delays a re-check); count it and keep serving.
+			u.s.o.Counter("serve.wal.window_errors").Inc()
 		}
-		if ob.bad && !ob.precise {
-			in := append([]float64(nil), ob.in...)
-			u.window.bad = append(u.window.bad, in)
-		}
-		if u.window.trials >= u.cfg.UpdateEvery {
-			u.recheck()
-		}
+	}
+	u.window.trials++
+	// A precise-routed invocation never degrades output quality; an
+	// approx-routed one succeeds only when the true error was in bound.
+	if ob.precise || !ob.bad {
+		u.window.successes++
+	}
+	if ob.bad && !ob.precise {
+		in := append([]float64(nil), ob.in...)
+		u.window.bad = append(u.window.bad, in)
+	}
+	if u.window.trials >= u.cfg.UpdateEvery {
+		u.recheck()
 	}
 }
 
 // recheck closes one sampling window: re-certify the guarantee over the
 // window's observations, and when it fails, repair and swap the snapshot.
+// If the repaired snapshot cannot be installed (WAL persist failure,
+// injected or real), the shard's breaker force-opens: when the guarantee
+// cannot be restored by repair, it is restored by serving precise.
 func (u *updater) recheck() {
 	o := u.s.o
 	o.Counter("serve.guarantee.rechecks").Inc()
@@ -79,12 +108,21 @@ func (u *updater) recheck() {
 			for _, in := range u.window.bad {
 				tab.Update(in, true)
 			}
-			u.s.reg.Install(snap.withTable(tab))
-			o.Counter("serve.snapshot.swaps").Inc()
-			o.Counter("serve.update.inputs").Add(int64(len(u.window.bad)))
+			if _, err := u.s.reg.Install(snap.withTable(tab)); err != nil {
+				o.Counter("serve.snapshot.install_errors").Inc()
+				u.sh.brk.forceOpen("snapshot install failed: " + err.Error())
+			} else {
+				o.Counter("serve.snapshot.swaps").Inc()
+				o.Counter("serve.update.inputs").Add(int64(len(u.window.bad)))
+			}
 		}
 	}
 	u.window.trials = 0
 	u.window.successes = 0
 	u.window.bad = u.window.bad[:0]
+	if u.cfg.WAL != nil {
+		if err := u.cfg.WAL.ResetWindow(u.sh.bench); err != nil {
+			u.s.o.Counter("serve.wal.window_errors").Inc()
+		}
+	}
 }

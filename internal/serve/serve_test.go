@@ -87,7 +87,11 @@ func TestRegistryVersioningAndCOW(t *testing.T) {
 	}
 	old := reg.Get("alpha")
 	upd := old.withTable(old.Table.Clone())
-	if prev := reg.Install(upd); prev != old {
+	prev, err := reg.Install(upd)
+	if err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	if prev != old {
 		t.Fatal("Install did not return the replaced snapshot")
 	}
 	if v := reg.Get("alpha").Version; v != 2 {

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"mithra/internal/classifier"
+	"mithra/internal/fault"
 	"mithra/internal/mathx"
 	"mithra/internal/obs"
 	"mithra/internal/parallel"
@@ -63,6 +64,24 @@ type Config struct {
 	// Obs receives serving telemetry (counters and histograms only — all
 	// commutative, so the hot path may update them from any worker).
 	Obs *obs.Obs
+	// Breaker configures the per-benchmark circuit breaker (zero value:
+	// defaults; Disabled turns it off).
+	Breaker BreakerConfig
+	// Faults is the active fault-injection plan (nil: no injection).
+	// Injected faults exercise the degradation paths: connection faults,
+	// worker panics, queue saturation, snapshot-install failures.
+	Faults *fault.Set
+	// RejectWhenFull sheds load instead of exerting backpressure: a full
+	// shard queue answers CodeQueueFull in-band (a retryable error) and
+	// counts as a breaker failure — the clock-free latency budget.
+	RejectWhenFull bool
+	// WAL, when non-nil, persists the online sampling windows (snapshot
+	// persistence is wired separately via AttachWAL so it also covers
+	// boot-time installs).
+	WAL *WAL
+	// RecoveredWindows seeds each shard's sampling window with the
+	// observations recovered from the WAL after a crash.
+	RecoveredWindows map[string][]WindowObs
 }
 
 // withDefaults fills unset knobs.
@@ -85,13 +104,15 @@ type task struct {
 	c   *conn
 }
 
-// shard owns one benchmark's bounded queue, workers, and online updater.
+// shard owns one benchmark's bounded queue, workers, online updater, and
+// circuit breaker.
 type shard struct {
 	bench      string
 	inDim      int
 	q          chan task
 	sampleSeed uint64 // parallel.Seed(cfg.SampleSeed, bench)
 	up         *updater
+	brk        *breaker
 }
 
 // Server is the decision service. Construct with NewServer, feed it
@@ -112,8 +133,9 @@ type Server struct {
 	lnMu sync.Mutex
 	lns  []net.Listener
 
-	connMu sync.Mutex
-	conns  map[*conn]struct{}
+	connMu  sync.Mutex
+	conns   map[*conn]struct{}
+	connSeq uint64 // guarded by connMu; keys per-connection fault scopes
 
 	readerWG  sync.WaitGroup
 	workerWG  sync.WaitGroup
@@ -147,6 +169,7 @@ func NewServer(reg *Registry, cfg Config) (*Server, error) {
 			inDim:      snap.Table.InputDim(),
 			q:          make(chan task, cfg.QueueDepth),
 			sampleSeed: parallel.Seed(cfg.SampleSeed, b),
+			brk:        newBreaker(b, cfg.Breaker, cfg.Obs),
 		}
 		sh.up = newUpdater(s, sh, cfg)
 		s.shards[b] = sh
@@ -188,7 +211,11 @@ func (s *Server) Serve(ln net.Listener) error {
 				return fmt.Errorf("serve: accept: %w", err)
 			}
 		}
-		c := &conn{c: nc}
+		s.connMu.Lock()
+		s.connSeq++
+		key := fmt.Sprintf("srv-%d", s.connSeq)
+		s.connMu.Unlock()
+		c := &conn{c: s.cfg.Faults.WrapConn(nc, key)}
 		s.connMu.Lock()
 		s.conns[c] = struct{}{}
 		s.connMu.Unlock()
@@ -210,6 +237,16 @@ func (s *Server) reader(c *conn) {
 		}
 		payload, err := ReadFrame(br)
 		if err != nil {
+			// An oversized frame leaves its payload unread: discard exactly
+			// the advertised bytes, answer in-band, keep the connection.
+			var ftl *FrameTooLargeError
+			if errors.As(err, &ftl) {
+				s.o.Counter("serve.errors.frame_too_large").Inc()
+				if _, derr := io.CopyN(io.Discard, br, int64(ftl.N)); derr == nil {
+					c.send(&ErrorResponse{Code: CodeFrameTooLarge, Msg: ftl.Error()})
+					continue
+				}
+			}
 			if !errors.Is(err, io.EOF) {
 				select {
 				case <-s.quit: // drain deadline fired; not a client fault
@@ -240,8 +277,10 @@ func (s *Server) reader(c *conn) {
 	}
 }
 
-// enqueue routes a request to its benchmark shard. A full queue blocks
-// (backpressure through the reader and TCP); a draining server rejects.
+// enqueue routes a request to its benchmark shard. With the breaker open
+// the request gets the precise fallback immediately; a full queue blocks
+// (backpressure through the reader and TCP) unless RejectWhenFull sheds
+// it in-band; a draining server rejects.
 func (s *Server) enqueue(c *conn, req *DecideRequest) {
 	sh := s.shards[req.Bench]
 	if sh == nil {
@@ -250,11 +289,30 @@ func (s *Server) enqueue(c *conn, req *DecideRequest) {
 			Msg: fmt.Sprintf("no snapshot for benchmark %q", req.Bench)})
 		return
 	}
-	t := task{req: req, c: c}
-	select {
-	case sh.q <- t:
+	if !sh.brk.admit() {
+		// Fail-safe degradation: the precise function is always
+		// quality-safe, so an open breaker answers DecisionPrecise rather
+		// than queueing into an unhealthy shard.
+		s.o.Counter("serve.decisions.fallback").Inc()
+		c.send(&DecideResponse{ID: req.ID, Precise: true, Fallback: true})
 		return
-	default:
+	}
+	saturated := s.cfg.Faults.Scoped(fault.SiteQueueSaturate, sh.bench).Hit()
+	t := task{req: req, c: c}
+	if !saturated {
+		select {
+		case sh.q <- t:
+			return
+		default:
+		}
+	}
+	if s.cfg.RejectWhenFull || saturated {
+		// Load shedding doubles as the clock-free latency budget: a shed
+		// request is a latency violation, so it feeds the breaker.
+		s.o.Counter("serve.errors.queue_full").Inc()
+		sh.brk.onFailure("queue saturated")
+		c.send(&ErrorResponse{ID: req.ID, Code: CodeQueueFull, Msg: "shard queue saturated"})
+		return
 	}
 	s.o.Counter("serve.backpressure").Inc()
 	select {
@@ -312,7 +370,7 @@ func (s *Server) worker(sh *shard) {
 
 		out = out[:0]
 		for _, t := range batch {
-			resp, ob := s.decide(sh, snap, view, probe, t.req)
+			resp, ob := s.decideSafe(sh, snap, view, probe, t.req)
 			frames, err := AppendFrame(frameBufFor(&out, t.c), resp)
 			if err != nil { // unreachable for our own responses; keep the codec honest
 				s.o.Counter("serve.errors.encode").Inc()
@@ -330,6 +388,33 @@ func (s *Server) worker(sh *shard) {
 		s.o.Histogram("serve.batch.size", []float64{1, 2, 4, 8, 16, 32, 64}).
 			Observe(float64(len(batch)))
 	}
+}
+
+// decideSafe is decide behind a panic barrier — fail-safe degradation at
+// the single-request granularity. A panicking decision (a poisoned
+// snapshot, a bug, or an injected fault.SiteWorkerPanic) never kills the
+// worker goroutine: the request gets the precise fallback (always
+// quality-safe), the panic counts against the shard's breaker, and the
+// batch loop resumes with the next request.
+func (s *Server) decideSafe(sh *shard, snap *Snapshot, view classifier.Classifier,
+	probe ErrorProbe, req *DecideRequest) (resp Message, ob *observation) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.o.Counter("serve.worker.panics").Inc()
+			sh.brk.onFailure(fmt.Sprintf("worker panic: %v", r))
+			resp = &DecideResponse{ID: req.ID, Precise: true, Fallback: true}
+			ob = nil
+			s.o.Counter("serve.decisions.fallback").Inc()
+		}
+	}()
+	if s.cfg.Faults.Scoped(fault.SiteWorkerPanic, sh.bench).Hit() {
+		panic(fmt.Sprintf("%v: worker panic for %s", fault.ErrInjected, sh.bench))
+	}
+	resp, ob = s.decide(sh, snap, view, probe, req)
+	if _, decided := resp.(*DecideResponse); decided {
+		sh.brk.onSuccess()
+	}
+	return resp, ob
 }
 
 // decide serves one request against the batch's snapshot and, when the

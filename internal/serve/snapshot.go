@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"sort"
 	"sync"
@@ -8,6 +10,8 @@ import (
 
 	"mithra/internal/classifier"
 	"mithra/internal/core"
+	"mithra/internal/fault"
+	"mithra/internal/obs"
 	"mithra/internal/stats"
 )
 
@@ -42,6 +46,12 @@ type Snapshot struct {
 	// probe mints per-worker error probes (nil: sampling measures
 	// nothing and the online path is disabled).
 	probe func() ErrorProbe
+	// blob is the serialized compiled program this snapshot was loaded
+	// from (nil when built in-process via NewSnapshot). It is what makes
+	// snapshots WAL-persistable: Export splices the current table into
+	// this blob, so a WAL record is self-contained and recovery is just
+	// LoadSnapshot.
+	blob []byte
 }
 
 // NewSnapshot assembles a serving snapshot. probeFactory may be nil,
@@ -93,13 +103,51 @@ func SnapshotFromProgram(p *core.Program) (*Snapshot, error) {
 }
 
 // LoadSnapshot decodes an exported deployment blob and builds its serving
-// snapshot.
+// snapshot. The blob is retained so the snapshot (and every online-update
+// descendant of it) can be persisted to the WAL via Export.
 func LoadSnapshot(blob []byte) (*Snapshot, error) {
 	p, err := core.LoadProgram(blob)
 	if err != nil {
 		return nil, err
 	}
-	return SnapshotFromProgram(p)
+	s, err := SnapshotFromProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	s.blob = append([]byte(nil), blob...)
+	return s, nil
+}
+
+// Export serializes the snapshot as a self-contained compiled-program
+// blob: the original deployment blob with the current classifier table
+// spliced in, so online-update state survives a crash. Snapshots built
+// in-process without a source blob (NewSnapshot) are not exportable.
+func (s *Snapshot) Export() ([]byte, error) {
+	if s.blob == nil {
+		return nil, fmt.Errorf("serve: snapshot %s has no source blob to export", s.Bench)
+	}
+	var cp core.CompiledProgram
+	if err := gob.NewDecoder(bytes.NewReader(s.blob)).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("serve: export snapshot %s: %w", s.Bench, err)
+	}
+	tab, err := s.Table.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("serve: export snapshot %s: %w", s.Bench, err)
+	}
+	cp.Table = tab
+	cp.Threshold = s.Threshold
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
+		return nil, fmt.Errorf("serve: export snapshot %s: %w", s.Bench, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// SetProbe overrides the snapshot's error-probe factory — test scaffolding
+// for exercising the online path against a synthetic error model while
+// keeping the snapshot loadable from a real compiled blob.
+func (s *Snapshot) SetProbe(probeFactory func() ErrorProbe) {
+	s.probe = probeFactory
 }
 
 // NewProbe mints a per-worker error probe, or nil when sampling is
@@ -137,9 +185,10 @@ type snapshotMap map[string]*Snapshot
 // one entry, and publish the copy — a snapshot swap is therefore atomic
 // and never observed mid-request.
 type Registry struct {
-	mu    sync.Mutex // serializes writers
-	cur   atomic.Pointer[snapshotMap]
-	swaps atomic.Int64
+	mu      sync.Mutex // serializes writers
+	cur     atomic.Pointer[snapshotMap]
+	swaps   atomic.Int64
+	persist func(*Snapshot) error // guarded by mu
 }
 
 // NewRegistry builds a registry and installs the given snapshots.
@@ -148,7 +197,7 @@ func NewRegistry(snaps ...*Snapshot) *Registry {
 	empty := snapshotMap{}
 	r.cur.Store(&empty)
 	for _, s := range snaps {
-		r.Install(s)
+		r.Install(s) //nolint:errcheck // no persist hook yet, cannot fail
 	}
 	return r
 }
@@ -158,19 +207,41 @@ func (r *Registry) Get(bench string) *Snapshot {
 	return (*r.cur.Load())[bench]
 }
 
+// SetPersist installs the write-ahead persistence hook. Install calls it
+// with the version-stamped snapshot before publishing; a hook error
+// aborts the install, so a snapshot is never observable by readers
+// unless it is durable on disk first.
+func (r *Registry) SetPersist(fn func(*Snapshot) error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.persist = fn
+}
+
 // Install publishes s as the current snapshot for its benchmark and
 // returns the snapshot it replaced (nil for a first install). The
-// installed snapshot's version is the predecessor's plus one.
-func (r *Registry) Install(s *Snapshot) *Snapshot {
+// installed snapshot's version is the predecessor's plus one; a first
+// install keeps a preset nonzero version, which is how WAL recovery
+// reinstates the exact pre-crash version. When a persist hook is set
+// and fails, nothing is published and the previous snapshot keeps
+// serving — the caller decides how to degrade (the online updater
+// force-opens the breaker).
+func (r *Registry) Install(s *Snapshot) (*Snapshot, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	old := *r.cur.Load()
 	prev := old[s.Bench]
 	if prev != nil {
 		s.Version = prev.Version + 1
-		r.swaps.Add(1)
 	} else if s.Version == 0 {
 		s.Version = 1
+	}
+	if r.persist != nil {
+		if err := r.persist(s); err != nil {
+			return prev, fmt.Errorf("serve: persist snapshot %s v%d: %w", s.Bench, s.Version, err)
+		}
+	}
+	if prev != nil {
+		r.swaps.Add(1)
 	}
 	next := make(snapshotMap, len(old)+1)
 	for k, v := range old {
@@ -178,7 +249,28 @@ func (r *Registry) Install(s *Snapshot) *Snapshot {
 	}
 	next[s.Bench] = s
 	r.cur.Store(&next)
-	return prev
+	return prev, nil
+}
+
+// AttachWAL wires crash-safe persistence into the registry: every
+// subsequent Install exports the snapshot and stores it write-ahead in
+// the WAL before readers can see it. faults may inject install failures
+// (fault.SiteSnapshotInstall); o counts successful persists.
+func AttachWAL(reg *Registry, wal *WAL, faults *fault.Set, o *obs.Obs) {
+	reg.SetPersist(func(s *Snapshot) error {
+		if faults.Site(fault.SiteSnapshotInstall).Hit() {
+			return fmt.Errorf("%w: snapshot install", fault.ErrInjected)
+		}
+		blob, err := s.Export()
+		if err != nil {
+			return err
+		}
+		if err := wal.StoreSnapshot(s.Bench, s.Version, blob); err != nil {
+			return err
+		}
+		o.Counter("serve.wal.snapshots").Inc()
+		return nil
+	})
 }
 
 // Swaps returns how many times an installed snapshot replaced a previous

@@ -1,0 +1,369 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// The WAL makes mithrad's serving state crash-safe: every installed
+// snapshot (the boot-time loads and every online-update swap) and the
+// online updater's in-flight sampling window persist to disk, so a
+// killed daemon restarts into the exact pre-crash snapshot version and
+// resumes the sampling window it was accumulating.
+//
+// Two record families, two durability disciplines:
+//
+//   - Snapshot installs are write-ahead with atomic rename: the record
+//     is written to a temp file, fsynced, and renamed to
+//     snap-<seq>.wal. A crash mid-install leaves either the old state
+//     or the new state, never a torn record — a rename is atomic and a
+//     temp file that never got renamed is simply ignored at recovery.
+//   - Window observations append to win-<bench>.wlog, one checksummed
+//     record per observation. A crash can tear the tail; recovery keeps
+//     the valid prefix and discards the torn record, which loses at
+//     most one sampled observation — statistically immaterial and
+//     always quality-safe (fewer observations only delays a re-check).
+//
+// Every record is guarded by CRC32-C; recovery skips anything that does
+// not checksum, so disk corruption degrades to "older snapshot" rather
+// than "wrong snapshot".
+const (
+	walSnapMagic   = 0x4d57414c // "MWAL"
+	walWindowMagic = 0x4d57494e // "MWIN"
+)
+
+// ErrWALCorrupt wraps per-record corruption findings (reported via
+// Recovered.Skipped, never as a hard error — recovery is best-valid).
+var ErrWALCorrupt = errors.New("serve: wal record corrupt")
+
+var walCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// WAL is a directory-backed write-ahead log. One WAL belongs to one
+// daemon; concurrent use from several processes is not supported.
+type WAL struct {
+	dir string
+
+	mu  sync.Mutex
+	seq uint64
+	win map[string]*os.File // bench -> open window log
+}
+
+// OpenWAL opens (creating if needed) the WAL directory.
+func OpenWAL(dir string) (*WAL, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: open wal: %w", err)
+	}
+	w := &WAL{dir: dir, win: map[string]*os.File{}}
+	names, err := filepath.Glob(filepath.Join(dir, "snap-*.wal"))
+	if err != nil {
+		return nil, fmt.Errorf("serve: scan wal: %w", err)
+	}
+	for _, name := range names {
+		if seq, ok := walSeqOf(name); ok && seq > w.seq {
+			w.seq = seq
+		}
+	}
+	return w, nil
+}
+
+// Dir returns the WAL directory.
+func (w *WAL) Dir() string { return w.dir }
+
+func walSeqOf(path string) (uint64, bool) {
+	base := filepath.Base(path)
+	base = strings.TrimPrefix(base, "snap-")
+	base = strings.TrimSuffix(base, ".wal")
+	seq, err := strconv.ParseUint(base, 16, 64)
+	return seq, err == nil
+}
+
+// StoreSnapshot durably records one installed snapshot: temp write,
+// fsync, atomic rename. The blob is the snapshot's self-contained
+// serialized program (Snapshot.Export), so recovery needs nothing else.
+func (w *WAL) StoreSnapshot(bench string, version uint32, blob []byte) error {
+	if len(bench) == 0 || len(bench) > maxBenchName {
+		return fmt.Errorf("serve: wal snapshot bench name %d bytes", len(bench))
+	}
+	w.mu.Lock()
+	w.seq++
+	seq := w.seq
+	w.mu.Unlock()
+
+	// Record: magic, seq, bench, version, blob, then CRC32-C over all of
+	// the preceding bytes.
+	buf := make([]byte, 0, len(blob)+len(bench)+32)
+	buf = binary.BigEndian.AppendUint32(buf, walSnapMagic)
+	buf = binary.BigEndian.AppendUint64(buf, seq)
+	buf = append(buf, byte(len(bench)))
+	buf = append(buf, bench...)
+	buf = binary.BigEndian.AppendUint32(buf, version)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(blob)))
+	buf = append(buf, blob...)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(buf, walCRC))
+
+	tmp, err := os.CreateTemp(w.dir, "tmp-snap-*")
+	if err != nil {
+		return fmt.Errorf("serve: wal temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf); err == nil {
+		err = tmp.Sync()
+	} else {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("serve: wal write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("serve: wal close: %w", err)
+	}
+	final := filepath.Join(w.dir, fmt.Sprintf("snap-%016x.wal", seq))
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("serve: wal install: %w", err)
+	}
+	syncDir(w.dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename survives power loss.
+// Best-effort: some filesystems refuse directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() //nolint:errcheck // best-effort durability
+		d.Close()
+	}
+}
+
+// WALSnapshot is one recovered snapshot record.
+type WALSnapshot struct {
+	Bench   string
+	Version uint32
+	Blob    []byte
+	seq     uint64
+}
+
+// WindowObs is one persisted sampling-window observation (mirrors the
+// updater's observation type; exported for recovery plumbing).
+type WindowObs struct {
+	In      []float64
+	Bad     bool
+	Precise bool
+}
+
+// Recovered is the crash-recovery result: the newest valid snapshot per
+// benchmark, the surviving sampling-window observations per benchmark,
+// and what was skipped as corrupt.
+type Recovered struct {
+	Snapshots map[string]WALSnapshot
+	Windows   map[string][]WindowObs
+	// Skipped lists corrupt or torn records dropped during recovery
+	// (file and reason), for the journal and the operator log.
+	Skipped []string
+}
+
+// Recover scans the WAL and reconstructs the pre-crash state. Corrupt
+// records are skipped, never fatal: the WAL degrades toward older valid
+// state, and serving older state is quality-safe (the guarantee was
+// certified for it too).
+func (w *WAL) Recover() (*Recovered, error) {
+	rec := &Recovered{
+		Snapshots: map[string]WALSnapshot{},
+		Windows:   map[string][]WindowObs{},
+	}
+	names, err := filepath.Glob(filepath.Join(w.dir, "snap-*.wal"))
+	if err != nil {
+		return nil, fmt.Errorf("serve: wal recover: %w", err)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		snap, err := readSnapRecord(name)
+		if err != nil {
+			rec.Skipped = append(rec.Skipped, fmt.Sprintf("%s: %v", filepath.Base(name), err))
+			continue
+		}
+		cur, ok := rec.Snapshots[snap.Bench]
+		if !ok || snap.seq > cur.seq {
+			rec.Snapshots[snap.Bench] = snap
+		}
+	}
+	wins, err := filepath.Glob(filepath.Join(w.dir, "win-*.wlog"))
+	if err != nil {
+		return nil, fmt.Errorf("serve: wal recover windows: %w", err)
+	}
+	sort.Strings(wins)
+	for _, name := range wins {
+		bench, ok := benchOfWindowFile(name)
+		if !ok {
+			rec.Skipped = append(rec.Skipped, fmt.Sprintf("%s: unparseable window file name", filepath.Base(name)))
+			continue
+		}
+		obs, torn := readWindowLog(name)
+		if torn != "" {
+			rec.Skipped = append(rec.Skipped, fmt.Sprintf("%s: %s", filepath.Base(name), torn))
+		}
+		if len(obs) > 0 {
+			rec.Windows[bench] = obs
+		}
+	}
+	return rec, nil
+}
+
+func readSnapRecord(path string) (WALSnapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return WALSnapshot{}, err
+	}
+	// magic(4) seq(8) benchLen(1) bench version(4) blobLen(4) blob crc(4)
+	if len(raw) < 4+8+1+4+4+4 {
+		return WALSnapshot{}, fmt.Errorf("%w: truncated (%d bytes)", ErrWALCorrupt, len(raw))
+	}
+	body, crc := raw[:len(raw)-4], binary.BigEndian.Uint32(raw[len(raw)-4:])
+	if crc32.Checksum(body, walCRC) != crc {
+		return WALSnapshot{}, fmt.Errorf("%w: checksum mismatch", ErrWALCorrupt)
+	}
+	if binary.BigEndian.Uint32(body[:4]) != walSnapMagic {
+		return WALSnapshot{}, fmt.Errorf("%w: bad magic", ErrWALCorrupt)
+	}
+	seq := binary.BigEndian.Uint64(body[4:12])
+	benchLen := int(body[12])
+	rest := body[13:]
+	if len(rest) < benchLen+8 {
+		return WALSnapshot{}, fmt.Errorf("%w: truncated bench name", ErrWALCorrupt)
+	}
+	bench := string(rest[:benchLen])
+	rest = rest[benchLen:]
+	version := binary.BigEndian.Uint32(rest[:4])
+	blobLen := int(binary.BigEndian.Uint32(rest[4:8]))
+	rest = rest[8:]
+	if len(rest) != blobLen {
+		return WALSnapshot{}, fmt.Errorf("%w: blob is %d bytes, want %d", ErrWALCorrupt, len(rest), blobLen)
+	}
+	return WALSnapshot{Bench: bench, Version: version, Blob: append([]byte(nil), rest...), seq: seq}, nil
+}
+
+// windowFileFor hex-encodes the bench name into the window log file
+// name, so arbitrary benchmark names cannot escape the WAL directory.
+func (w *WAL) windowFileFor(bench string) string {
+	return filepath.Join(w.dir, "win-"+hex.EncodeToString([]byte(bench))+".wlog")
+}
+
+func benchOfWindowFile(path string) (string, bool) {
+	base := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(path), "win-"), ".wlog")
+	raw, err := hex.DecodeString(base)
+	return string(raw), err == nil
+}
+
+// AppendWindow durably appends one sampling observation to the bench's
+// window log (write-ahead of the in-memory window update).
+func (w *WAL) AppendWindow(bench string, ob WindowObs) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	f := w.win[bench]
+	if f == nil {
+		var err error
+		f, err = os.OpenFile(w.windowFileFor(bench), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("serve: wal window: %w", err)
+		}
+		w.win[bench] = f
+	}
+	// Record: magic(4) flags(1) dim(2) floats crc(4).
+	buf := make([]byte, 0, 16+8*len(ob.In))
+	buf = binary.BigEndian.AppendUint32(buf, walWindowMagic)
+	var flags byte
+	if ob.Bad {
+		flags |= 1
+	}
+	if ob.Precise {
+		flags |= 2
+	}
+	buf = append(buf, flags)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(ob.In)))
+	for _, v := range ob.In {
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(buf, walCRC))
+	if _, err := f.Write(buf); err != nil {
+		return fmt.Errorf("serve: wal window append: %w", err)
+	}
+	return nil
+}
+
+// ResetWindow truncates the bench's window log — called at each
+// guarantee re-check boundary, when the in-memory window resets too.
+func (w *WAL) ResetWindow(bench string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if f := w.win[bench]; f != nil {
+		f.Close()
+		delete(w.win, bench)
+	}
+	if err := os.Remove(w.windowFileFor(bench)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("serve: wal window reset: %w", err)
+	}
+	return nil
+}
+
+// readWindowLog parses the valid prefix of a window log. The second
+// return names the torn/corrupt suffix ("" when the whole log parsed).
+func readWindowLog(path string) ([]WindowObs, string) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err.Error()
+	}
+	var out []WindowObs
+	for off := 0; off < len(raw); {
+		rest := raw[off:]
+		if len(rest) < 4+1+2+4 {
+			return out, fmt.Sprintf("torn record at byte %d", off)
+		}
+		if binary.BigEndian.Uint32(rest[:4]) != walWindowMagic {
+			return out, fmt.Sprintf("bad magic at byte %d", off)
+		}
+		dim := int(binary.BigEndian.Uint16(rest[5:7]))
+		recLen := 4 + 1 + 2 + 8*dim + 4
+		if dim > MaxInputDim || len(rest) < recLen {
+			return out, fmt.Sprintf("torn record at byte %d", off)
+		}
+		body, crc := rest[:recLen-4], binary.BigEndian.Uint32(rest[recLen-4:recLen])
+		if crc32.Checksum(body, walCRC) != crc {
+			return out, fmt.Sprintf("checksum mismatch at byte %d", off)
+		}
+		ob := WindowObs{Bad: rest[4]&1 != 0, Precise: rest[4]&2 != 0, In: make([]float64, dim)}
+		for i := range ob.In {
+			ob.In[i] = math.Float64frombits(binary.BigEndian.Uint64(rest[7+8*i : 15+8*i]))
+		}
+		out = append(out, ob)
+		off += recLen
+	}
+	return out, ""
+}
+
+// Close releases the open window logs. The snapshot records are already
+// durable; Close is not a commit point.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var first error
+	for bench, f := range w.win {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(w.win, bench)
+	}
+	return first
+}
+
+var _ = io.EOF // placate unused-import churn during refactors

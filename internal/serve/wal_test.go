@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWALSnapshotRoundTripAndSequencing(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.StoreSnapshot("fft", 1, []byte("blob-v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.StoreSnapshot("fft", 2, []byte("blob-v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.StoreSnapshot("sobel", 1, []byte("sobel-v1")); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := w.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Skipped) != 0 {
+		t.Fatalf("clean WAL skipped records: %v", rec.Skipped)
+	}
+	if got := rec.Snapshots["fft"]; got.Version != 2 || string(got.Blob) != "blob-v2" {
+		t.Fatalf("fft recovery = v%d %q, want v2 blob-v2", got.Version, got.Blob)
+	}
+	if got := rec.Snapshots["sobel"]; got.Version != 1 || string(got.Blob) != "sobel-v1" {
+		t.Fatalf("sobel recovery = v%d %q", got.Version, got.Blob)
+	}
+	w.Close()
+
+	// A reopened WAL continues the sequence: the newest record still wins.
+	w2, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if err := w2.StoreSnapshot("fft", 3, []byte("blob-v3")); err != nil {
+		t.Fatal(err)
+	}
+	rec, err = w2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Snapshots["fft"]; got.Version != 3 || string(got.Blob) != "blob-v3" {
+		t.Fatalf("post-reopen fft recovery = v%d %q, want v3 blob-v3", got.Version, got.Blob)
+	}
+}
+
+func TestWALCorruptSnapshotDegradesToOlderVersion(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.StoreSnapshot("fft", 1, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.StoreSnapshot("fft", 2, []byte("corrupted-later")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte in the newest record: its checksum must fail
+	// and recovery must fall back to version 1.
+	names, _ := filepath.Glob(filepath.Join(dir, "snap-*.wal"))
+	if len(names) != 2 {
+		t.Fatalf("expected 2 records, found %v", names)
+	}
+	newest := names[len(names)-1]
+	raw, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(newest, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := w.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Skipped) != 1 {
+		t.Fatalf("skipped = %v, want exactly the corrupt record", rec.Skipped)
+	}
+	if got := rec.Snapshots["fft"]; got.Version != 1 || string(got.Blob) != "good" {
+		t.Fatalf("recovery = v%d %q, want the older valid v1", got.Version, got.Blob)
+	}
+}
+
+func TestWALWindowAppendTornTailAndReset(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	obs := []WindowObs{
+		{In: []float64{0.1, 0.2}, Bad: false, Precise: false},
+		{In: []float64{0.3, 0.4}, Bad: true, Precise: false},
+		{In: []float64{0.5, 0.6}, Bad: true, Precise: true},
+	}
+	for _, ob := range obs {
+		if err := w.AppendWindow("fft", ob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tear the tail: a crash mid-append leaves a partial record.
+	winFile := w.windowFileFor("fft")
+	f, err := os.OpenFile(winFile, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x4d, 0x57, 0x49}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	rec, err := w.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Skipped) != 1 {
+		t.Fatalf("skipped = %v, want the torn tail reported once", rec.Skipped)
+	}
+	got := rec.Windows["fft"]
+	if len(got) != len(obs) {
+		t.Fatalf("recovered %d window observations, want %d", len(got), len(obs))
+	}
+	for i := range obs {
+		if got[i].Bad != obs[i].Bad || got[i].Precise != obs[i].Precise ||
+			len(got[i].In) != len(obs[i].In) || got[i].In[0] != obs[i].In[0] || got[i].In[1] != obs[i].In[1] {
+			t.Fatalf("observation %d = %+v, want %+v", i, got[i], obs[i])
+		}
+	}
+
+	// ResetWindow wipes the log: the next recovery sees no window.
+	if err := w.ResetWindow("fft"); err != nil {
+		t.Fatal(err)
+	}
+	rec, err = w.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Windows["fft"]) != 0 {
+		t.Fatalf("window survived reset: %v", rec.Windows["fft"])
+	}
+	// Appends keep working after a reset (new file handle).
+	if err := w.AppendWindow("fft", obs[0]); err != nil {
+		t.Fatal(err)
+	}
+	rec, err = w.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Windows["fft"]) != 1 {
+		t.Fatalf("post-reset append not recovered: %v", rec.Windows["fft"])
+	}
+}

@@ -51,6 +51,12 @@ const (
 	CodeBadDim = 3
 	// CodeDraining: the server is shutting down and not accepting work.
 	CodeDraining = 4
+	// CodeQueueFull: the shard queue is saturated and shedding load; the
+	// request was not decided and is safe to retry.
+	CodeQueueFull = 5
+	// CodeFrameTooLarge: the request frame exceeded MaxFrame; it was
+	// discarded in-band and the connection survives.
+	CodeFrameTooLarge = 6
 )
 
 // ErrProtocol is the sentinel every malformed-frame error wraps.
@@ -81,6 +87,12 @@ type DecideResponse struct {
 	// Sampled is true when the server routed this invocation through the
 	// sporadic error-sampling path (the decision itself is unaffected).
 	Sampled bool
+	// Fallback is true when the decision is the fail-safe degradation
+	// path (circuit breaker open, or a worker fault mid-decision), not
+	// the classifier's answer. A fallback decision is always Precise —
+	// running the precise function is the quality-safe direction — so a
+	// client that wants the classifier's answer may retry later.
+	Fallback bool
 	// Version is the snapshot version that made the decision.
 	Version uint32
 }
@@ -134,6 +146,9 @@ func AppendFrame(dst []byte, msg Message) ([]byte, error) {
 		if m.Sampled {
 			flags |= 2
 		}
+		if m.Fallback {
+			flags |= 4
+		}
 		dst = append(dst, flags)
 		dst = binary.BigEndian.AppendUint32(dst, m.Version)
 	case *ErrorResponse:
@@ -160,9 +175,24 @@ func AppendFrame(dst []byte, msg Message) ([]byte, error) {
 	return dst, nil
 }
 
+// FrameTooLargeError reports an oversized frame before its payload is
+// read. It wraps both ErrFrameTooLarge and ErrProtocol; N is the
+// advertised payload size, so a server can discard exactly that many
+// bytes, answer in-band, and keep the connection.
+type FrameTooLargeError struct{ N uint32 }
+
+func (e *FrameTooLargeError) Error() string {
+	return fmt.Sprintf("serve: frame payload %d exceeds %d", e.N, MaxFrame)
+}
+
+func (e *FrameTooLargeError) Is(target error) bool {
+	return target == ErrFrameTooLarge || target == ErrProtocol
+}
+
 // ReadFrame reads one frame's payload from r. It returns io.EOF verbatim
-// on a clean end-of-stream (no bytes read) and an ErrProtocol-wrapping
-// error on oversized or truncated frames.
+// on a clean end-of-stream (no bytes read), a *FrameTooLargeError (with
+// the payload still unread) on oversized frames, and an
+// ErrProtocol-wrapping error on truncated frames.
 func ReadFrame(r *bufio.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -173,7 +203,7 @@ func ReadFrame(r *bufio.Reader) ([]byte, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
-		return nil, protoErrf("frame payload %d exceeds %d", n, MaxFrame)
+		return nil, &FrameTooLargeError{N: n}
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
@@ -203,10 +233,11 @@ func ParseMessage(payload []byte) (Message, error) {
 			return nil, protoErrf("decide response body %d bytes, want 9", len(body))
 		}
 		return &DecideResponse{
-			ID:      binary.BigEndian.Uint32(body[:4]),
-			Precise: body[4]&1 != 0,
-			Sampled: body[4]&2 != 0,
-			Version: binary.BigEndian.Uint32(body[5:9]),
+			ID:       binary.BigEndian.Uint32(body[:4]),
+			Precise:  body[4]&1 != 0,
+			Sampled:  body[4]&2 != 0,
+			Fallback: body[4]&4 != 0,
+			Version:  binary.BigEndian.Uint32(body[5:9]),
 		}, nil
 	case msgError:
 		if len(body) < 7 {
