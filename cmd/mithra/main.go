@@ -69,6 +69,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdDecide(rest, stdout, stderr)
 	case "loadgen":
 		return cmdLoadgen(rest, stdout, stderr)
+	case "bench":
+		return cmdBench(rest, stdout, stderr)
 	case "-h", "--help", "help":
 		usage(stderr)
 		return 0
@@ -90,6 +92,7 @@ commands:
   journal   pretty-print (show) or compare (diff) run journals
   decide    compute a dataset's offline decision vector and journal
   loadgen   replay a dataset against a mithrad server and measure it
+  bench     run the perf harness and update or gate BENCH_serve.json
 
 run 'mithra <command> -h' for flags.`)
 }

@@ -14,18 +14,17 @@ package main
 // decision matched the offline replay.
 
 import (
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
-	iofs "io/fs"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"mithra/internal/axbench"
+	"mithra/internal/bench"
 	"mithra/internal/core"
 	"mithra/internal/mathx"
 	"mithra/internal/obs"
@@ -115,21 +114,6 @@ func cmdDecide(args []string, stdout, stderr io.Writer) int {
 	})
 }
 
-// benchRow is one BENCH_serve.json entry; the file accumulates rows
-// ({"runs":[...]}) so successive loadgen invocations (e.g. the CI smoke
-// at server -workers 1 then 4) land in one artifact.
-type benchRow struct {
-	Label           string  `json:"label,omitempty"`
-	Bench           string  `json:"bench"`
-	Conns           int     `json:"conns"`
-	Pipeline        int     `json:"pipeline"`
-	Decisions       int     `json:"decisions"`
-	Seconds         float64 `json:"seconds"`
-	DecisionsPerSec float64 `json:"decisions_per_sec"`
-	P50us           float64 `json:"p50_us"`
-	P99us           float64 `json:"p99_us"`
-}
-
 // cmdLoadgen replays a dataset's invocation inputs against a mithrad
 // server and reports throughput and batch round-trip latency.
 func cmdLoadgen(args []string, stdout, stderr io.Writer) int {
@@ -171,7 +155,7 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return err
 		}
-		bench := prog.Bench.Name()
+		benchName := prog.Bench.Name()
 		n := len(inputs)
 		total := n * *repeat
 		lg.Infof("loadgen: %d invocations x%d over %d conn(s), pipeline %d, to %s %s",
@@ -191,6 +175,12 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) int {
 			interval = time.Duration(float64(*pipeline) * float64(*conns) / *qps * float64(time.Second))
 		}
 
+		// Allocation accounting brackets the whole run: per-decision cost
+		// is a whole-process average (floor-divided, so sub-one-per-op
+		// noise reads as zero), comparable run over run at fixed settings.
+		runtime.GC()
+		var mem0, mem1 runtime.MemStats
+		runtime.ReadMemStats(&mem0)
 		start := time.Now()
 		var wg sync.WaitGroup
 		for c := 0; c < *conns; c++ {
@@ -208,7 +198,7 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) int {
 					defer rcl.Close()
 					rclients[c] = rcl
 					decide = func(baseID uint32, batch [][]float64) ([]serve.DecideResponse, error) {
-						return rcl.DecideBatch(bench, baseID, batch)
+						return rcl.DecideBatch(benchName, baseID, batch)
 					}
 				} else {
 					cl, err := serve.Dial(network, target)
@@ -218,7 +208,7 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) int {
 					}
 					defer cl.Close()
 					decide = func(baseID uint32, batch [][]float64) ([]serve.DecideResponse, error) {
-						return cl.DecideBatch(bench, baseID, batch)
+						return cl.DecideBatch(benchName, baseID, batch)
 					}
 				}
 				next := time.Now()
@@ -249,7 +239,7 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) int {
 						// half-open probe.
 						for attempt := 0; *chaos && r.Fallback && attempt < 512; attempt++ {
 							fallbacksSeen[c]++
-							nr, err := rclients[c].Decide(bench, r.ID, batch[i])
+							nr, err := rclients[c].Decide(benchName, r.ID, batch[i])
 							if err != nil {
 								errs[c] = err
 								return
@@ -267,6 +257,7 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) int {
 		}
 		wg.Wait()
 		elapsed := time.Since(start)
+		runtime.ReadMemStats(&mem1)
 		for _, err := range errs {
 			if err != nil {
 				return err
@@ -286,7 +277,7 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) int {
 		}
 		dps := float64(total) / elapsed.Seconds()
 
-		ds := serve.NewDecisionSet(bench)
+		ds := serve.NewDecisionSet(benchName)
 		ds.AppendBools(precise[:n]) // first pass = the offline-comparable vector
 		nPrecise := 0
 		for _, p := range precise {
@@ -294,7 +285,7 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) int {
 				nPrecise++
 			}
 		}
-		fmt.Fprintf(stdout, "bench      %s (served)\n", bench)
+		fmt.Fprintf(stdout, "bench      %s (served)\n", benchName)
 		fmt.Fprintf(stdout, "decisions  %d (%d precise) in %.3fs = %.0f decisions/sec\n",
 			total, nPrecise, elapsed.Seconds(), dps)
 		fmt.Fprintf(stdout, "batch rtt  p50 %.0fus  p99 %.0fus (%d batches of <=%d)\n",
@@ -320,38 +311,22 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) int {
 			lg.Infof("decision journal written to %s", *decisions)
 		}
 		if *benchJSON != "" {
-			row := benchRow{
-				Label: *label, Bench: bench, Conns: *conns, Pipeline: *pipeline,
+			// Shared schema with `mithra bench` (internal/bench): merge
+			// replaces the row with the same (label, bench, conns, pipeline)
+			// identity and renders deterministically, so re-running at the
+			// same settings updates the file in place instead of growing it.
+			row := bench.Row{
+				Label: *label, Bench: benchName, Conns: *conns, Pipeline: *pipeline,
 				Decisions: total, Seconds: elapsed.Seconds(), DecisionsPerSec: dps,
 				P50us: pct(0.50), P99us: pct(0.99),
+				AllocsPerOp: int64(mem1.Mallocs-mem0.Mallocs) / int64(total),
+				BytesPerOp:  int64(mem1.TotalAlloc-mem0.TotalAlloc) / int64(total),
 			}
-			if err := appendBenchRow(*benchJSON, row); err != nil {
+			if err := bench.MergeFile(*benchJSON, row); err != nil {
 				return err
 			}
-			lg.Infof("bench row appended to %s", *benchJSON)
+			lg.Infof("bench row merged into %s", *benchJSON)
 		}
 		return nil
 	})
-}
-
-// appendBenchRow merges one row into the {"runs":[...]} bench file.
-func appendBenchRow(path string, row benchRow) error {
-	var doc struct {
-		Runs []benchRow `json:"runs"`
-	}
-	raw, err := os.ReadFile(path)
-	switch {
-	case err == nil:
-		if err := json.Unmarshal(raw, &doc); err != nil {
-			return fmt.Errorf("existing %s is not a bench file: %w", path, err)
-		}
-	case !errors.Is(err, iofs.ErrNotExist):
-		return err
-	}
-	doc.Runs = append(doc.Runs, row)
-	out, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(out, '\n'), 0o644)
 }

@@ -161,6 +161,8 @@ func TestServedMatchesOfflineCLI(t *testing.T) {
 			Bench           string  `json:"bench"`
 			Decisions       int     `json:"decisions"`
 			DecisionsPerSec float64 `json:"decisions_per_sec"`
+			AllocsPerOp     *int64  `json:"allocs_per_op"`
+			BytesPerOp      *int64  `json:"bytes_per_op"`
 		} `json:"runs"`
 	}
 	if err := json.Unmarshal(raw, &doc); err != nil {
@@ -170,8 +172,14 @@ func TestServedMatchesOfflineCLI(t *testing.T) {
 		doc.Runs[0].Decisions == 0 || doc.Runs[0].DecisionsPerSec <= 0 {
 		t.Fatalf("bench rows = %+v", doc.Runs)
 	}
+	// The allocation fields are part of the schema even when zero —
+	// they are the regression-gated half of the perf trajectory.
+	if doc.Runs[0].AllocsPerOp == nil || doc.Runs[0].BytesPerOp == nil {
+		t.Fatalf("bench row missing allocs_per_op/bytes_per_op: %s", raw)
+	}
 
-	// A second loadgen run appends rather than clobbers.
+	// A second loadgen run with a new identity merges in, sorted into the
+	// canonical row order (label asc), rather than clobbering the file.
 	code, _, stderr = mithraCLI("loadgen", "-addr", ln.Addr().String(),
 		"-config", prog, "-scale", "test", "-seed", "7", "-repeat", "2",
 		"-bench-json", benchJSON, "-label", "repeat2", "-quiet")
@@ -182,7 +190,23 @@ func TestServedMatchesOfflineCLI(t *testing.T) {
 	if err := json.Unmarshal(raw, &doc); err != nil {
 		t.Fatal(err)
 	}
-	if len(doc.Runs) != 2 || doc.Runs[1].Label != "repeat2" {
-		t.Fatalf("bench rows after append = %+v", doc.Runs)
+	if len(doc.Runs) != 2 || doc.Runs[0].Label != "repeat2" || doc.Runs[1].Label != "workers4" {
+		t.Fatalf("bench rows after merge = %+v", doc.Runs)
+	}
+
+	// Re-running an identity replaces its row in place: the file is a
+	// trajectory (one row per configuration), not a log.
+	code, _, stderr = mithraCLI("loadgen", "-addr", ln.Addr().String(),
+		"-config", prog, "-scale", "test", "-seed", "7", "-repeat", "2",
+		"-bench-json", benchJSON, "-label", "repeat2", "-quiet")
+	if code != 0 {
+		t.Fatalf("third loadgen exit %d: %s", code, stderr)
+	}
+	raw, _ = os.ReadFile(benchJSON)
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Runs) != 2 {
+		t.Fatalf("same-identity rerun grew the file: %+v", doc.Runs)
 	}
 }

@@ -1,0 +1,78 @@
+package bench
+
+import "fmt"
+
+// RTTAllocSlack is the allocs/op headroom granted to RTT rows when
+// comparing: a loopback round trip is zero-alloc steady state, but the
+// runtime may account a stray allocation to the measurement window
+// (netpoll wakeups, a late finalizer), and the floor division only
+// absorbs those below one-per-op. Hermetic stages get no slack — their
+// alloc counts are exact by construction.
+const RTTAllocSlack = 2
+
+// DefaultRatio is the timing tolerance for Compare: a fresh measurement
+// may be up to this factor slower than the committed one. It is
+// deliberately loose — machines differ and CI runners are noisy; the
+// hard regression gate is the exact allocation contract, with the ratio
+// as a gross-regression backstop.
+const DefaultRatio = 10.0
+
+// Compare checks a fresh report against the committed perf trajectory
+// and returns one human-readable problem per violated contract (empty:
+// pass). Contracts, per committed row with a matching fresh identity:
+//
+//   - allocs/op must not exceed the committed value — exactly for
+//     hermetic stages, within RTTAllocSlack for RTT rows;
+//   - ns/op must not exceed committed × ratio (ratio <= 0: DefaultRatio);
+//   - throughput rows must not fall below committed ÷ ratio;
+//   - every committed row must still be produced (a vanished stage is a
+//     silently dropped gate).
+//
+// Fresh rows with no committed counterpart are new coverage, not
+// violations; commit the regenerated file to adopt them.
+func Compare(committed, fresh *Report, ratio float64) []string {
+	if ratio <= 0 {
+		ratio = DefaultRatio
+	}
+	freshByKey := make(map[string]Row, len(fresh.Runs))
+	for _, r := range fresh.Runs {
+		freshByKey[r.key()] = r
+	}
+	var problems []string
+	for _, want := range committed.Runs {
+		got, ok := freshByKey[want.key()]
+		name := rowName(want)
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: committed row not produced by this run", name))
+			continue
+		}
+		slack := int64(0)
+		if !IsHermetic(want.Stage) {
+			slack = RTTAllocSlack
+		}
+		if got.AllocsPerOp > want.AllocsPerOp+slack {
+			problems = append(problems, fmt.Sprintf(
+				"%s: allocs/op regressed: %d > committed %d (slack %d)",
+				name, got.AllocsPerOp, want.AllocsPerOp, slack))
+		}
+		if want.NsPerOp > 0 && got.NsPerOp > want.NsPerOp*ratio {
+			problems = append(problems, fmt.Sprintf(
+				"%s: ns/op regressed: %.1f > committed %.1f × %.1f",
+				name, got.NsPerOp, want.NsPerOp, ratio))
+		}
+		if want.DecisionsPerSec > 0 && got.DecisionsPerSec < want.DecisionsPerSec/ratio {
+			problems = append(problems, fmt.Sprintf(
+				"%s: throughput regressed: %.0f/s < committed %.0f/s ÷ %.1f",
+				name, got.DecisionsPerSec, want.DecisionsPerSec, ratio))
+		}
+	}
+	return problems
+}
+
+// rowName renders a row identity for problem messages.
+func rowName(r Row) string {
+	if r.Stage != "" {
+		return fmt.Sprintf("[%s %s]", r.Label, r.Stage)
+	}
+	return fmt.Sprintf("[%s %s c%d p%d]", r.Label, r.Bench, r.Conns, r.Pipeline)
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func committedFresh() (*Report, *Report) {
+	committed := &Report{}
+	committed.Merge(
+		Row{Label: "bench", Stage: "decide_steady", Bench: "synthetic", NsPerOp: 300, AllocsPerOp: 0},
+		Row{Label: "bench", Stage: "rtt_p1", Bench: "synthetic", Conns: 1, Pipeline: 1,
+			NsPerOp: 17000, DecisionsPerSec: 58000, AllocsPerOp: 0},
+	)
+	fresh := &Report{}
+	fresh.Merge(
+		Row{Label: "bench", Stage: "decide_steady", Bench: "synthetic", NsPerOp: 320, AllocsPerOp: 0},
+		Row{Label: "bench", Stage: "rtt_p1", Bench: "synthetic", Conns: 1, Pipeline: 1,
+			NsPerOp: 18000, DecisionsPerSec: 55000, AllocsPerOp: 0},
+	)
+	return committed, fresh
+}
+
+func TestCompareCleanRunPasses(t *testing.T) {
+	committed, fresh := committedFresh()
+	if probs := Compare(committed, fresh, 10); len(probs) != 0 {
+		t.Fatalf("clean run flagged: %v", probs)
+	}
+}
+
+func TestCompareHermeticAllocsAreExact(t *testing.T) {
+	committed, fresh := committedFresh()
+	fresh.Merge(Row{Label: "bench", Stage: "decide_steady", Bench: "synthetic", NsPerOp: 320, AllocsPerOp: 1})
+	probs := Compare(committed, fresh, 10)
+	if len(probs) != 1 || !strings.Contains(probs[0], "allocs/op regressed") {
+		t.Fatalf("one extra alloc on a hermetic stage must fail exactly: %v", probs)
+	}
+}
+
+func TestCompareRTTAllocSlack(t *testing.T) {
+	committed, fresh := committedFresh()
+	// Within slack: tolerated.
+	fresh.Merge(Row{Label: "bench", Stage: "rtt_p1", Bench: "synthetic", Conns: 1, Pipeline: 1,
+		NsPerOp: 18000, DecisionsPerSec: 55000, AllocsPerOp: RTTAllocSlack})
+	if probs := Compare(committed, fresh, 10); len(probs) != 0 {
+		t.Fatalf("RTT allocs within slack flagged: %v", probs)
+	}
+	// Beyond slack: flagged.
+	fresh.Merge(Row{Label: "bench", Stage: "rtt_p1", Bench: "synthetic", Conns: 1, Pipeline: 1,
+		NsPerOp: 18000, DecisionsPerSec: 55000, AllocsPerOp: RTTAllocSlack + 1})
+	probs := Compare(committed, fresh, 10)
+	if len(probs) != 1 || !strings.Contains(probs[0], "allocs/op regressed") {
+		t.Fatalf("RTT allocs beyond slack must fail: %v", probs)
+	}
+}
+
+func TestCompareTimingRatio(t *testing.T) {
+	committed, fresh := committedFresh()
+	fresh.Merge(Row{Label: "bench", Stage: "decide_steady", Bench: "synthetic", NsPerOp: 300 * 11, AllocsPerOp: 0})
+	probs := Compare(committed, fresh, 10)
+	if len(probs) != 1 || !strings.Contains(probs[0], "ns/op regressed") {
+		t.Fatalf("11× slowdown under ratio 10 must fail: %v", probs)
+	}
+	// Default ratio kicks in for ratio <= 0.
+	if probs := Compare(committed, fresh, 0); len(probs) != 1 {
+		t.Fatalf("default ratio: %v", probs)
+	}
+}
+
+func TestCompareThroughputRatio(t *testing.T) {
+	committed, fresh := committedFresh()
+	fresh.Merge(Row{Label: "bench", Stage: "rtt_p1", Bench: "synthetic", Conns: 1, Pipeline: 1,
+		NsPerOp: 18000, DecisionsPerSec: 58000/10 - 1, AllocsPerOp: 0})
+	probs := Compare(committed, fresh, 10)
+	if len(probs) != 1 || !strings.Contains(probs[0], "throughput regressed") {
+		t.Fatalf("throughput collapse must fail: %v", probs)
+	}
+}
+
+func TestCompareMissingRowIsAViolation(t *testing.T) {
+	committed, fresh := committedFresh()
+	fresh.Runs = fresh.Runs[:1]
+	probs := Compare(committed, fresh, 10)
+	if len(probs) != 1 || !strings.Contains(probs[0], "not produced") {
+		t.Fatalf("vanished committed row must fail: %v", probs)
+	}
+}
+
+func TestCompareNewFreshRowsAreAdoptable(t *testing.T) {
+	committed, fresh := committedFresh()
+	fresh.Merge(Row{Label: "bench", Stage: "brand_new", Bench: "synthetic", NsPerOp: 1, AllocsPerOp: 5})
+	if probs := Compare(committed, fresh, 10); len(probs) != 0 {
+		t.Fatalf("new coverage flagged as regression: %v", probs)
+	}
+}

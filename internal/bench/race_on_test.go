@@ -1,0 +1,6 @@
+//go:build race
+
+package bench
+
+// raceEnabled mirrors the -race build flag.
+const raceEnabled = true

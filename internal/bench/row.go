@@ -1,0 +1,131 @@
+// Package bench is the deterministic performance harness behind `mithra
+// bench` (DESIGN.md §12): it drives every stage of the serving decide
+// path — wire codec, MISR hashing, snapshot lookup, table classify, the
+// hermetic end-to-end decide, and loadgen-style RTT runs over loopback
+// TCP — and renders the results into the committed BENCH_serve.json.
+//
+// The file is the repo's perf trajectory: allocation counts are exact
+// and reproducible (the zero-alloc stages must report 0 on every machine,
+// every run), while timing fields are measured and compared by ratio.
+// `mithra loadgen -bench-json` writes the same Row schema, so CI smoke
+// runs and local bench runs accumulate into one artifact.
+//
+// This package measures wall-clock time and is deliberately outside the
+// repository's determinism lint scope; nothing under internal/{core,...,
+// serve} may import it.
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sort"
+)
+
+// Row is one benchmark result: a hermetic stage (Stage set, RTT fields
+// zero) or a loadgen-style RTT run (Pipeline/Conns set). Allocation
+// fields are always present — they are the regression-gated part of the
+// schema — while zero-valued timing fields are omitted.
+type Row struct {
+	// Label groups rows from one producer ("bench", "bench-smoke", or a
+	// loadgen run's -label).
+	Label string `json:"label,omitempty"`
+	// Stage names a hermetic harness stage (e.g. "decide_steady"); empty
+	// for RTT rows.
+	Stage string `json:"stage,omitempty"`
+	// Bench is the benchmark the decisions were served for.
+	Bench string `json:"bench,omitempty"`
+
+	Conns           int     `json:"conns,omitempty"`
+	Pipeline        int     `json:"pipeline,omitempty"`
+	Decisions       int     `json:"decisions,omitempty"`
+	Seconds         float64 `json:"seconds,omitempty"`
+	DecisionsPerSec float64 `json:"decisions_per_sec,omitempty"`
+	P50us           float64 `json:"p50_us,omitempty"`
+	P99us           float64 `json:"p99_us,omitempty"`
+
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// key is a row's identity: merging replaces the row with the same key
+// instead of accumulating duplicates run after run.
+func (r Row) key() string {
+	return fmt.Sprintf("%s\x00%s\x00%s\x00%d\x00%d", r.Label, r.Stage, r.Bench, r.Conns, r.Pipeline)
+}
+
+// Report is the BENCH_serve.json document.
+type Report struct {
+	Runs []Row `json:"runs"`
+}
+
+// Merge folds rows into the report: a row whose identity (label, stage,
+// bench, conns, pipeline) matches an existing one replaces it, new rows
+// append, and the result is sorted into the canonical order — so
+// regenerating the file yields a byte-stable layout whose only diffs are
+// genuinely remeasured values.
+func (rep *Report) Merge(rows ...Row) {
+	for _, row := range rows {
+		replaced := false
+		for i := range rep.Runs {
+			if rep.Runs[i].key() == row.key() {
+				rep.Runs[i] = row
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			rep.Runs = append(rep.Runs, row)
+		}
+	}
+	sort.SliceStable(rep.Runs, func(i, j int) bool {
+		return rep.Runs[i].key() < rep.Runs[j].key()
+	})
+}
+
+// Render marshals the report deterministically (sorted rows, fixed key
+// order, trailing newline).
+func (rep *Report) Render() ([]byte, error) {
+	sort.SliceStable(rep.Runs, func(i, j int) bool {
+		return rep.Runs[i].key() < rep.Runs[j].key()
+	})
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// ReadFile loads a BENCH_serve.json document; a missing file is an empty
+// report, a malformed one is an error.
+func ReadFile(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return &Report{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("bench: %s is not a bench report: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// MergeFile folds rows into the report at path (created if missing).
+func MergeFile(path string, rows ...Row) error {
+	rep, err := ReadFile(path)
+	if err != nil {
+		return err
+	}
+	rep.Merge(rows...)
+	out, err := rep.Render()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}

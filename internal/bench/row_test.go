@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func sampleReport() *Report {
+	rep := &Report{}
+	rep.Merge(
+		Row{Label: "loadgen", Bench: "fft", Conns: 4, Pipeline: 16, Decisions: 4000,
+			Seconds: 0.5, DecisionsPerSec: 8000, P50us: 120.5, P99us: 900.25,
+			AllocsPerOp: 0, BytesPerOp: 0},
+		Row{Label: "bench", Stage: "decide_steady", Bench: "synthetic", Decisions: 20000,
+			NsPerOp: 306.5, AllocsPerOp: 0, BytesPerOp: 0},
+		Row{Label: "bench", Stage: "rtt_p1", Bench: "synthetic", Conns: 1, Pipeline: 1,
+			Decisions: 3000, Seconds: 0.05, DecisionsPerSec: 60000,
+			P50us: 16.5, P99us: 40.125, NsPerOp: 16666.0, AllocsPerOp: 0, BytesPerOp: 0},
+	)
+	return rep
+}
+
+// TestRenderGolden pins the canonical BENCH_serve.json layout: key
+// order, indentation, row sort, trailing newline. Regenerate with
+// `go test ./internal/bench -run Golden -update`.
+func TestRenderGolden(t *testing.T) {
+	out, err := sampleReport().Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "report.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, want) {
+		t.Fatalf("rendered report diverges from %s (run with -update to refresh):\n%s", golden, out)
+	}
+}
+
+func TestRenderIsDeterministic(t *testing.T) {
+	a, err := sampleReport().Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same rows merged in a different order must render byte-identically.
+	rep := &Report{}
+	rows := sampleReport().Runs
+	for i := len(rows) - 1; i >= 0; i-- {
+		rep.Merge(rows[i])
+	}
+	b, err := rep.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("render depends on merge order:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestMergeReplacesSameIdentity(t *testing.T) {
+	rep := sampleReport()
+	n := len(rep.Runs)
+	rep.Merge(Row{Label: "bench", Stage: "decide_steady", Bench: "synthetic",
+		Decisions: 20000, NsPerOp: 299.0, AllocsPerOp: 0, BytesPerOp: 0})
+	if len(rep.Runs) != n {
+		t.Fatalf("re-merge of same identity grew runs: %d -> %d", n, len(rep.Runs))
+	}
+	found := false
+	for _, r := range rep.Runs {
+		if r.Stage == "decide_steady" {
+			found = true
+			if r.NsPerOp != 299.0 {
+				t.Fatalf("merge did not replace: ns/op = %v", r.NsPerOp)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("decide_steady row vanished on merge")
+	}
+}
+
+func TestMergeFileRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	if err := MergeFile(path, sampleReport().Runs...); err != nil {
+		t.Fatal(err)
+	}
+	// Second merge with one updated row: file stays one-row-per-identity.
+	if err := MergeFile(path, Row{Label: "loadgen", Bench: "fft", Conns: 4, Pipeline: 16,
+		Decisions: 8000, Seconds: 1, DecisionsPerSec: 8000, AllocsPerOp: 1, BytesPerOp: 64}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 3 {
+		t.Fatalf("runs = %d, want 3", len(rep.Runs))
+	}
+	for _, r := range rep.Runs {
+		if r.Label == "loadgen" && r.Decisions != 8000 {
+			t.Fatalf("loadgen row not replaced: %+v", r)
+		}
+	}
+}
+
+func TestReadFileMissingIsEmpty(t *testing.T) {
+	rep, err := ReadFile(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 0 {
+		t.Fatalf("missing file produced %d runs", len(rep.Runs))
+	}
+}
+
+func TestReadFileRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("garbage file read as a report")
+	}
+}

@@ -122,6 +122,14 @@ type Table struct {
 	bitsets [][]uint64
 	scratch []uint16
 	gather  []uint16
+	// Batch scratch (ClassifyBatch): per-row quantized words, per-row
+	// word-slice headers, per-row hashed indices, per-row flag counts.
+	// Grown on demand, reused across batches — steady state allocates
+	// nothing.
+	batchWords []uint16
+	batchRows  [][]uint16
+	batchIdx   []uint32
+	batchFlags []uint8
 }
 
 // projection returns the element subset pool configuration c hashes, for
@@ -299,16 +307,57 @@ func getBit(bs []uint64, idx uint32) bool {
 func (*Table) Name() string { return "table" }
 
 // Classify implements Classifier: hash the input through every table's
-// MISR in parallel and combine the single-bit reads.
+// MISR in parallel and combine the single-bit reads. The projected
+// elements are hashed in place (HashIndexed), so a decision allocates
+// nothing.
 func (t *Table) Classify(in []float64) bool {
 	q := t.quant.Quantize(in, t.scratch)
 	flags := 0
 	for i, h := range t.hashers {
-		if getBit(t.bitsets[i], h.Hash(gatherWords(q, t.proj[i], t.gather))) {
+		if getBit(t.bitsets[i], h.HashIndexed(q, t.proj[i])) {
 			flags++
 		}
 	}
 	return combineFlags(t.cfg.Combine, flags, len(t.hashers))
+}
+
+// ClassifyBatch implements BatchClassifier: decisions identical to
+// per-input Classify, computed tables-outer — every input is quantized
+// once, then each MISR configuration sweeps the whole batch
+// (misr.HashBatchIndexed) before its bitset is probed, so the hasher's
+// step tables and the 0.5 KB bitset stay cache-hot across the batch.
+// Steady state allocates nothing: all scratch lives on the Table and is
+// grown once.
+func (t *Table) ClassifyBatch(ins [][]float64, dst []bool) []bool {
+	n := len(ins)
+	dim := t.quant.Dim()
+	if cap(t.batchWords) < n*dim {
+		t.batchWords = make([]uint16, n*dim)
+		t.batchRows = make([][]uint16, n)
+		t.batchIdx = make([]uint32, n)
+		t.batchFlags = make([]uint8, n)
+	}
+	rows := t.batchRows[:n]
+	flags := t.batchFlags[:n]
+	idx := t.batchIdx[:n]
+	for r, in := range ins {
+		rows[r] = t.quant.Quantize(in, t.batchWords[r*dim:(r+1)*dim])
+		flags[r] = 0
+	}
+	for i, h := range t.hashers {
+		h.HashBatchIndexed(rows, t.proj[i], idx)
+		bs := t.bitsets[i]
+		for r, ix := range idx {
+			if getBit(bs, ix) {
+				flags[r]++
+			}
+		}
+	}
+	dst = dst[:n]
+	for r := range dst {
+		dst[r] = combineFlags(t.cfg.Combine, int(flags[r]), len(t.hashers))
+	}
+	return dst
 }
 
 // Update applies the online training rule (paper §IV-C1, "Online training

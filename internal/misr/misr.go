@@ -73,6 +73,14 @@ type Hasher struct {
 	mask  uint16
 	taps  uint16
 	seed  uint16
+	// stepLo/stepHi byte-slice the register's Steps-step transition.
+	// A Galois LFSR step is linear over GF(2) — step(a^b) == step(a)^step(b)
+	// — so the k-step image of any state is the XOR of the images of its
+	// two bytes. Two 256-entry lookups replace the per-word step loop on
+	// the serving hot path; the tables are filled from the same loop, so
+	// the fast path is bit-identical to the reference by construction.
+	stepLo [256]uint16
+	stepHi [256]uint16
 }
 
 // NewHasher builds a hasher for a table with 2^width entries. width must
@@ -95,7 +103,26 @@ func NewHasher(cfg Config, width int) *Hasher {
 	if seed == 0 {
 		seed = 1
 	}
-	return &Hasher{cfg: cfg, width: uint(width), mask: mask, taps: taps, seed: seed}
+	h := &Hasher{cfg: cfg, width: uint(width), mask: mask, taps: taps, seed: seed}
+	for b := 0; b < 256; b++ {
+		h.stepLo[b] = h.stepRef(uint16(b))
+		h.stepHi[b] = h.stepRef(uint16(b) << 8)
+	}
+	return h
+}
+
+// stepRef advances state by the configured number of LFSR steps using the
+// reference bit-serial loop. It seeds the stepLo/stepHi tables and anchors
+// the equivalence tests.
+func (h *Hasher) stepRef(state uint16) uint16 {
+	for s := 0; s < h.cfg.Steps; s++ {
+		lsb := state & 1
+		state >>= 1
+		if lsb != 0 {
+			state ^= h.taps
+		}
+	}
+	return state
 }
 
 // Hash folds the quantized input words into a table index in
@@ -110,24 +137,49 @@ func NewHasher(cfg Config, width int) *Hasher {
 func (h *Hasher) Hash(words []uint16) uint32 {
 	state := h.seed
 	for i, w := range words {
-		// Input pre-permutation.
-		if h.cfg.ByteSwap {
-			w = w>>8 | w<<8
-		}
-		w = bits.RotateLeft16(w, h.cfg.InRot+7*i)
-		// Galois LFSR steps.
-		for s := 0; s < h.cfg.Steps; s++ {
-			lsb := state & 1
-			state >>= 1
-			if lsb != 0 {
-				state ^= h.taps
-			}
-		}
-		// Fold the 16-bit word into the register width.
-		state ^= foldWord(w, h.width) & h.mask
-		state &= h.mask
+		state = h.fold(state, w, i)
 	}
 	return uint32(state)
+}
+
+// fold advances the register by one input word at position i: input
+// pre-permutation, the table-driven LFSR steps, and the width fold.
+func (h *Hasher) fold(state, w uint16, i int) uint16 {
+	if h.cfg.ByteSwap {
+		w = w>>8 | w<<8
+	}
+	w = bits.RotateLeft16(w, h.cfg.InRot+7*i)
+	state = h.stepLo[state&0xff] ^ h.stepHi[state>>8]
+	state ^= foldWord(w, h.width) & h.mask
+	return state & h.mask
+}
+
+// HashIndexed hashes the projected word sequence words[idx[0]],
+// words[idx[1]], ... without materializing the gathered slice — the
+// position-dependent rotation is keyed by the position within idx, so the
+// result is bit-identical to Hash over a pre-gathered copy.
+func (h *Hasher) HashIndexed(words []uint16, idx []int) uint32 {
+	state := h.seed
+	for i, p := range idx {
+		state = h.fold(state, words[p], i)
+	}
+	return uint32(state)
+}
+
+// HashBatchIndexed hashes one projected word sequence per batch row into
+// out (len(out) >= len(batch)), with the per-configuration loads hoisted
+// out of the row loop. Each batch row is one quantized accelerator input
+// vector; this is the serving batch loop's vectorized form — one hasher
+// sweeps a whole request batch before the next table's hasher runs, so
+// the step tables and the table's bitset stay cache-hot.
+func (h *Hasher) HashBatchIndexed(batch [][]uint16, idx []int, out []uint32) {
+	for r, words := range batch {
+		state := h.seed
+		for i, p := range idx {
+			state = h.fold(state, words[p], i)
+		}
+		out[r] = uint32(state)
+	}
 }
 
 // foldWord XOR-compresses a 16-bit word into the low `width` bits.

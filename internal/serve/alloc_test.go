@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"testing"
+
+	"mithra/internal/classifier"
+)
+
+// Allocation-regression tests (DESIGN.md §12): the steady-state decide
+// path — frame parse → classify → encode — must allocate nothing, and
+// the client round trip must stay within its documented budget. These
+// are hard gates, not benchmarks: a regression fails `go test ./...`.
+// They skip under the race detector, whose instrumentation allocates on
+// its own behalf.
+
+// decideFixture is a hermetic server fixture the allocation tests and
+// micro-benchmarks drive without a network: a live server (workers
+// idle), its one shard, and a pre-encoded decide-request frame payload.
+type decideFixture struct {
+	s       *Server
+	sh      *shard
+	snap    *Snapshot
+	view    classifier.Classifier
+	probe   ErrorProbe
+	payload []byte // frame payload (header stripped) of one decide request
+}
+
+func newDecideFixture(t testing.TB) *decideFixture {
+	t.Helper()
+	snap := syntheticSnapshot(t, "bench", nil)
+	s, _ := startServer(t, Config{Workers: 1, Freeze: true}, snap)
+	frame, err := AppendFrame(nil, &DecideRequest{ID: 7, Bench: "bench", In: []float64{0.2, 0.5, 0.8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := s.shards["bench"]
+	return &decideFixture{
+		s:       s,
+		sh:      sh,
+		snap:    s.reg.Get("bench"),
+		view:    snap.view(),
+		probe:   snap.NewProbe(),
+		payload: frame[4:],
+	}
+}
+
+// decideOnce runs the full hermetic decide path the way the reader and a
+// shard worker compose it: pooled request, zero-copy parse, intern via
+// the shard map, decide, encode into a reused frame buffer, recycle.
+func (f *decideFixture) decideOnce(buf []byte, dresp *DecideResponse, eresp *ErrorResponse) []byte {
+	req := getReq()
+	bench, err := ParseDecideRequestInto(f.payload, req)
+	if err != nil {
+		panic(err)
+	}
+	sh := f.s.shards[string(bench)]
+	req.Bench = sh.bench
+	resp, _, _ := f.s.decideSafe(sh, f.snap, f.view, f.probe, req, false, false, dresp, eresp)
+	out, err := AppendFrame(buf[:0], resp)
+	if err != nil {
+		panic(err)
+	}
+	putReq(req)
+	return out
+}
+
+func skipUnderRace(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under the race detector")
+	}
+}
+
+func TestDecidePathZeroAlloc(t *testing.T) {
+	skipUnderRace(t)
+	f := newDecideFixture(t)
+	var (
+		buf   = make([]byte, 0, 64)
+		dresp DecideResponse
+		eresp ErrorResponse
+	)
+	f.decideOnce(buf, &dresp, &eresp) // warm the request pool
+	if avg := testing.AllocsPerRun(200, func() {
+		buf = f.decideOnce(buf, &dresp, &eresp)
+	}); avg != 0 {
+		t.Fatalf("steady-state decide path allocates %v per run, want 0", avg)
+	}
+}
+
+func TestWireParseZeroAlloc(t *testing.T) {
+	skipUnderRace(t)
+	f := newDecideFixture(t)
+	var req DecideRequest
+	if _, err := ParseDecideRequestInto(f.payload, &req); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := ParseDecideRequestInto(f.payload, &req); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("ParseDecideRequestInto allocates %v per run, want 0", avg)
+	}
+}
+
+func TestWireEncodeZeroAlloc(t *testing.T) {
+	skipUnderRace(t)
+	buf := make([]byte, 0, 64)
+	resp := &DecideResponse{ID: 9, Precise: true, Version: 3}
+	if avg := testing.AllocsPerRun(200, func() {
+		out, err := AppendFrame(buf[:0], resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = out[:0]
+	}); avg != 0 {
+		t.Fatalf("AppendFrame(DecideResponse) allocates %v per run, want 0", avg)
+	}
+}
+
+func TestParseDecideResponseZeroAlloc(t *testing.T) {
+	skipUnderRace(t)
+	frame, err := AppendFrame(nil, &DecideResponse{ID: 9, Precise: true, Version: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp DecideResponse
+	if avg := testing.AllocsPerRun(200, func() {
+		if err := ParseDecideResponseInto(frame[4:], &resp); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("ParseDecideResponseInto allocates %v per run, want 0", avg)
+	}
+}
+
+func TestRegistryGetZeroAlloc(t *testing.T) {
+	skipUnderRace(t)
+	reg := NewRegistry(syntheticSnapshot(t, "bench", nil))
+	if avg := testing.AllocsPerRun(200, func() {
+		if reg.Get("bench") == nil {
+			t.Fatal("lost snapshot")
+		}
+	}); avg != 0 {
+		t.Fatalf("Registry.Get allocates %v per run, want 0", avg)
+	}
+}
+
+func TestSampleHitZeroAlloc(t *testing.T) {
+	skipUnderRace(t)
+	var hits int
+	if avg := testing.AllocsPerRun(200, func() {
+		if sampleHit(12345, 678, 0.25) {
+			hits++
+		}
+	}); avg != 0 {
+		t.Fatalf("sampleHit allocates %v per run, want 0 (the RNG chain must stay inlined)", avg)
+	}
+}
+
+func TestClassifyZeroAlloc(t *testing.T) {
+	skipUnderRace(t)
+	snap := syntheticSnapshot(t, "bench", nil)
+	view := snap.view()
+	in := []float64{0.2, 0.5, 0.8}
+	view.Classify(in) // warm scratch
+	if avg := testing.AllocsPerRun(200, func() {
+		view.Classify(in)
+	}); avg != 0 {
+		t.Fatalf("table Classify allocates %v per run, want 0", avg)
+	}
+	bc, ok := view.(classifier.BatchClassifier)
+	if !ok {
+		t.Fatal("table view does not batch")
+	}
+	ins := make([][]float64, 32)
+	for i := range ins {
+		ins[i] = in
+	}
+	dst := make([]bool, len(ins))
+	bc.ClassifyBatch(ins, dst) // warm batch scratch
+	if avg := testing.AllocsPerRun(100, func() {
+		bc.ClassifyBatch(ins, dst)
+	}); avg != 0 {
+		t.Fatalf("table ClassifyBatch allocates %v per run, want 0", avg)
+	}
+}
+
+// TestClientRoundTripAllocs pins one DecideBatchInto round trip — client
+// encode, loopback TCP, the server's whole reader/worker path, client
+// parse — to the documented budget. Allocation counting is process-wide,
+// so this covers the server goroutines too: a leak on either side of the
+// wire fails here.
+func TestClientRoundTripAllocs(t *testing.T) {
+	skipUnderRace(t)
+	snap := syntheticSnapshot(t, "bench", nil)
+	_, addr := startServer(t, Config{Workers: 1, Freeze: true}, snap)
+	c, err := Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	inputs := [][]float64{{0.2, 0.5, 0.8}}
+	out := make([]DecideResponse, 1)
+	for i := 0; i < 50; i++ { // warm pools, bufio, TCP autotuning
+		if _, err := c.DecideBatchInto("bench", uint32(i), inputs, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := c.DecideBatchInto("bench", 1000, inputs, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > RoundTripAllocs {
+		t.Fatalf("client round trip allocates %v per run, budget %d (see Client.RoundTripAllocs)", avg, RoundTripAllocs)
+	}
+}

@@ -15,7 +15,19 @@ import (
 type Client struct {
 	c  net.Conn
 	br *bufio.Reader
+	// wbuf and rbuf are the reusable encode and frame-read buffers behind
+	// the zero-allocation DecideBatchInto path. rbuf is drawn from the
+	// serve buffer pool by ReadFrameInto and returned on Close.
+	wbuf []byte
+	rbuf []byte
 }
+
+// RoundTripAllocs is the steady-state allocation budget of one
+// single-request DecideBatchInto round trip, counted process-wide —
+// client encode and parse, the server's reader/worker decide path, and
+// both TCP stacks. The allocation-regression test pins it; raising it is
+// a perf regression and needs a DESIGN.md §12 note.
+const RoundTripAllocs = 0
 
 // Dial connects to a mithrad listener ("tcp", "unix").
 func Dial(network, addr string) (*Client, error) {
@@ -34,8 +46,12 @@ func NewClient(c net.Conn) *Client {
 // Conn exposes the underlying connection (deadline control).
 func (c *Client) Conn() net.Conn { return c.c }
 
-// Close tears the connection down.
-func (c *Client) Close() error { return c.c.Close() }
+// Close tears the connection down and releases the pooled read buffer.
+func (c *Client) Close() error {
+	putBuf(c.rbuf)
+	c.rbuf = nil
+	return c.c.Close()
+}
 
 // writeFrames writes pre-framed bytes in one call, distinguishing a torn
 // frame from a clean failure: a partial write on a closing connection
@@ -93,38 +109,60 @@ func (c *Client) Decide(bench string, id uint32, in []float64) (*DecideResponse,
 // input width, draining, shed load) aborts the batch and returns as a
 // typed wire error.
 func (c *Client) DecideBatch(bench string, baseID uint32, inputs [][]float64) ([]DecideResponse, error) {
+	return c.DecideBatchInto(bench, baseID, inputs, make([]DecideResponse, len(inputs)))
+}
+
+// DecideBatchInto is DecideBatch writing into caller-provided storage
+// (out must hold len(inputs) entries; the filled prefix is returned).
+// Steady state it allocates nothing: requests encode into the client's
+// reusable write buffer, response frames land in its pooled read buffer,
+// and decisions parse in place — this is the loadgen and bench-harness
+// hot path, and the allocation-regression tests pin it at zero allocs
+// per call. Error handling stays on the generic decoder: any in-band
+// error aborts the batch with a typed wire error, exactly as before.
+func (c *Client) DecideBatchInto(bench string, baseID uint32, inputs [][]float64, out []DecideResponse) ([]DecideResponse, error) {
+	if len(out) < len(inputs) {
+		return nil, fmt.Errorf("serve: response storage holds %d, need %d", len(out), len(inputs))
+	}
 	req := DecideRequest{Bench: bench}
-	var frames []byte
+	frames := c.wbuf[:0]
 	for i, in := range inputs {
 		req.ID = baseID + uint32(i)
 		req.In = in
 		var err error
-		if frames, err = AppendFrame(frames, &req); err != nil {
+		if frames, err = AppendDecideRequest(frames, &req); err != nil {
 			return nil, err
 		}
 	}
+	c.wbuf = frames
 	if err := c.writeFrames(frames); err != nil {
 		return nil, err
 	}
-	out := make([]DecideResponse, len(inputs))
+	out = out[:len(inputs)]
+	var resp DecideResponse
 	for range inputs {
-		msg, err := ReadMessage(c.br)
+		payload, err := ReadFrameInto(c.br, c.rbuf)
+		c.rbuf = payload
 		if err != nil {
 			return nil, fmt.Errorf("serve: read response: %w: %v", ErrRetryable, err)
 		}
-		switch m := msg.(type) {
-		case *DecideResponse:
-			i := int(m.ID - baseID)
-			if i < 0 || i >= len(inputs) {
-				return nil, protoErrf("response id %d outside batch [%d,%d)",
-					m.ID, baseID, baseID+uint32(len(inputs)))
+		if perr := ParseDecideResponseInto(payload, &resp); perr != nil {
+			// Not a decide response: decode generically for a typed error.
+			msg, merr := ParseMessage(payload)
+			if merr != nil {
+				return nil, fmt.Errorf("serve: read response: %w: %v", ErrRetryable, merr)
 			}
-			out[i] = *m
-		case *ErrorResponse:
-			return nil, wireError(m)
-		default:
+			if e, ok := msg.(*ErrorResponse); ok {
+				return nil, wireError(e)
+			}
 			return nil, protoErrf("unexpected response %T", msg)
 		}
+		i := int(resp.ID - baseID)
+		if i < 0 || i >= len(inputs) {
+			return nil, protoErrf("response id %d outside batch [%d,%d)",
+				resp.ID, baseID, baseID+uint32(len(inputs)))
+		}
+		out[i] = resp
 	}
 	return out, nil
 }

@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Pooled frame buffers (DESIGN.md §12). The serve hot path frames one
+// small message per decision; allocating each frame would put the
+// garbage collector on the decide path. Instead, buffers come from
+// size-classed sync.Pools and return after the connection write
+// completes (writes are synchronous under the conn lock, so a returned
+// buffer is never still referenced by the network stack).
+//
+// Ownership rule: a buffer obtained from getBuf is owned by exactly one
+// goroutine until putBuf; putBuf transfers ownership back to the pool.
+// Returning a buffer twice, or writing through a stale alias after
+// putBuf, is a corruption bug — the debug canary below exists to catch
+// exactly that class of fault under the chaos tests.
+
+// bufClasses are the pooled capacity classes. Decide responses are ~20
+// bytes, request frames for wide inputs run to a few KiB, and MaxFrame
+// bounds everything else.
+var bufClasses = [...]int{64, 256, 1024, 4096, 16384, 65536, MaxFrame + 4}
+
+var bufPools [len(bufClasses)]sync.Pool
+
+// classFor returns the index of the smallest class holding n bytes, or
+// -1 when n exceeds every class (the caller falls back to the heap).
+func classFor(n int) int {
+	for i, c := range bufClasses {
+		if n <= c {
+			return i
+		}
+	}
+	return -1
+}
+
+// getBuf returns a zero-length buffer with capacity >= n. Steady state
+// it is pool-hit and allocation-free; a cold pool (or n beyond the
+// largest class) allocates.
+func getBuf(n int) []byte {
+	ci := classFor(n)
+	if ci < 0 {
+		return make([]byte, 0, n)
+	}
+	var b []byte
+	if v := bufPools[ci].Get(); v != nil {
+		b = v.([]byte)[:0]
+	} else {
+		b = make([]byte, 0, bufClasses[ci])
+	}
+	poolDebugGet(b)
+	return b
+}
+
+// putBuf returns a buffer to its capacity class. Buffers that grew past
+// their class via append (oversized error messages) are dropped to the
+// GC rather than polluting a class with odd capacities. Safe on
+// nil/zero-cap buffers.
+func putBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	ci := classFor(cap(b))
+	if ci < 0 || bufClasses[ci] != cap(b) {
+		return
+	}
+	poolDebugPut(b)
+	bufPools[ci].Put(b[:0]) //nolint:staticcheck // slices are pointer-shaped; this does not allocate per op
+}
+
+// reqPool recycles decode targets for the reader fast path. A request
+// flows reader → shard queue → worker; the worker (or the reader, on
+// inline-response paths) returns it once the response is encoded.
+var reqPool = sync.Pool{New: func() any { return new(DecideRequest) }}
+
+func getReq() *DecideRequest {
+	r := reqPool.Get().(*DecideRequest)
+	poolDebugGetReq(r)
+	return r
+}
+
+func putReq(r *DecideRequest) {
+	if r == nil {
+		return
+	}
+	poolDebugPutReq(r)
+	r.ID = 0
+	r.Bench = ""
+	r.In = r.In[:0]
+	reqPool.Put(r)
+}
+
+// --- debug canary -----------------------------------------------------
+//
+// The chaos tests flip pool-debug mode on to make pool misuse loud:
+// every checked-out buffer/request is tracked, returning one that is not
+// checked out (a double put, or a foreign buffer) panics with the
+// capacity, and returned buffers are poisoned with 0xDB — a stale alias
+// read after return yields bytes that can never parse as a valid frame
+// (0xDB is not the wire magic), so aliasing surfaces as loud protocol
+// errors instead of silently serving another request's decision.
+
+var (
+	poolDebug   atomic.Bool
+	poolDebugMu sync.Mutex
+	// liveBufs keys each checked-out buffer by the address of its first
+	// backing byte; liveReqs tracks checked-out request structs.
+	liveBufs map[*byte]bool
+	liveReqs map[*DecideRequest]bool
+)
+
+// SetPoolDebug toggles pool misuse tracking (tests only: it serializes
+// pool traffic through a mutex). Enabling resets the tracking state.
+func SetPoolDebug(on bool) {
+	poolDebugMu.Lock()
+	defer poolDebugMu.Unlock()
+	liveBufs = map[*byte]bool{}
+	liveReqs = map[*DecideRequest]bool{}
+	poolDebug.Store(on)
+}
+
+// bufKey identifies a buffer by its backing array.
+func bufKey(b []byte) *byte { return &b[:1][0] }
+
+func poolDebugGet(b []byte) {
+	if !poolDebug.Load() {
+		return
+	}
+	poolDebugMu.Lock()
+	defer poolDebugMu.Unlock()
+	liveBufs[bufKey(b)] = true
+}
+
+func poolDebugPut(b []byte) {
+	if !poolDebug.Load() {
+		return
+	}
+	poolDebugMu.Lock()
+	defer poolDebugMu.Unlock()
+	k := bufKey(b)
+	if !liveBufs[k] {
+		panic(fmt.Sprintf("serve: frame buffer cap=%d returned to pool twice (or never checked out)", cap(b)))
+	}
+	delete(liveBufs, k)
+	full := b[:cap(b)]
+	for i := range full {
+		full[i] = 0xDB
+	}
+}
+
+func poolDebugGetReq(r *DecideRequest) {
+	if !poolDebug.Load() {
+		return
+	}
+	poolDebugMu.Lock()
+	defer poolDebugMu.Unlock()
+	liveReqs[r] = true
+}
+
+func poolDebugPutReq(r *DecideRequest) {
+	if !poolDebug.Load() {
+		return
+	}
+	poolDebugMu.Lock()
+	defer poolDebugMu.Unlock()
+	if !liveReqs[r] {
+		panic("serve: request returned to pool twice (or never checked out)")
+	}
+	delete(liveReqs, r)
+}
+
+// PoolOutstanding reports how many buffers and requests are checked out
+// while debug tracking is on (tests assert it drains to zero).
+func PoolOutstanding() (bufs, reqs int) {
+	poolDebugMu.Lock()
+	defer poolDebugMu.Unlock()
+	return len(liveBufs), len(liveReqs)
+}

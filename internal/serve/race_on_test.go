@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. The allocation-regression tests skip under it: instrumentation
+// adds bookkeeping allocations that are not the code's own.
+const raceEnabled = true

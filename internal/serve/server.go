@@ -113,6 +113,57 @@ type shard struct {
 	sampleSeed uint64 // parallel.Seed(cfg.SampleSeed, bench)
 	up         *updater
 	brk        *breaker
+	// Per-shard fault injectors, resolved once at construction:
+	// fault.Set.Scoped builds a composite key string per call, which the
+	// decide path must not pay per request. Nil when the site is unplanned.
+	fQueueSat *fault.Injector
+	fPanic    *fault.Injector
+}
+
+// serverMetrics holds the hot-path metric handles, resolved once at
+// NewServer: obs registry lookups take an RWMutex per call, which is
+// cheap for reporting but not free per served decision. All handles are
+// nil-safe (a server without Obs counts into no-ops).
+type serverMetrics struct {
+	connections      *obs.Counter
+	errFrameTooLarge *obs.Counter
+	errFrame         *obs.Counter
+	errMalformed     *obs.Counter
+	errUnknownBench  *obs.Counter
+	errQueueFull     *obs.Counter
+	errBadDim        *obs.Counter
+	errEncode        *obs.Counter
+	backpressure     *obs.Counter
+	decFallback      *obs.Counter
+	decPrecise       *obs.Counter
+	decApprox        *obs.Counter
+	sampled          *obs.Counter
+	sampleMiss       *obs.Counter
+	workerPanics     *obs.Counter
+	batches          *obs.Counter
+	batchSize        *obs.Histogram
+}
+
+func newServerMetrics(o *obs.Obs) serverMetrics {
+	return serverMetrics{
+		connections:      o.Counter("serve.connections"),
+		errFrameTooLarge: o.Counter("serve.errors.frame_too_large"),
+		errFrame:         o.Counter("serve.errors.frame"),
+		errMalformed:     o.Counter("serve.errors.malformed"),
+		errUnknownBench:  o.Counter("serve.errors.unknown_bench"),
+		errQueueFull:     o.Counter("serve.errors.queue_full"),
+		errBadDim:        o.Counter("serve.errors.bad_dim"),
+		errEncode:        o.Counter("serve.errors.encode"),
+		backpressure:     o.Counter("serve.backpressure"),
+		decFallback:      o.Counter("serve.decisions.fallback"),
+		decPrecise:       o.Counter("serve.decisions.precise"),
+		decApprox:        o.Counter("serve.decisions.approx"),
+		sampled:          o.Counter("serve.sampled"),
+		sampleMiss:       o.Counter("serve.sample.misclassified"),
+		workerPanics:     o.Counter("serve.worker.panics"),
+		batches:          o.Counter("serve.batches"),
+		batchSize:        o.Histogram("serve.batch.size", []float64{1, 2, 4, 8, 16, 32, 64}),
+	}
 }
 
 // Server is the decision service. Construct with NewServer, feed it
@@ -121,6 +172,7 @@ type Server struct {
 	cfg Config
 	reg *Registry
 	o   *obs.Obs
+	m   serverMetrics
 
 	shards     map[string]*shard
 	shardOrder []string // sorted; deterministic startup/teardown order
@@ -155,6 +207,7 @@ func NewServer(reg *Registry, cfg Config) (*Server, error) {
 		cfg:        cfg,
 		reg:        reg,
 		o:          cfg.Obs,
+		m:          newServerMetrics(cfg.Obs),
 		shards:     make(map[string]*shard, len(benches)),
 		shardOrder: benches,
 		quit:       make(chan struct{}),
@@ -170,6 +223,8 @@ func NewServer(reg *Registry, cfg Config) (*Server, error) {
 			q:          make(chan task, cfg.QueueDepth),
 			sampleSeed: parallel.Seed(cfg.SampleSeed, b),
 			brk:        newBreaker(b, cfg.Breaker, cfg.Obs),
+			fQueueSat:  cfg.Faults.Scoped(fault.SiteQueueSaturate, b),
+			fPanic:     cfg.Faults.Scoped(fault.SiteWorkerPanic, b),
 		}
 		sh.up = newUpdater(s, sh, cfg)
 		s.shards[b] = sh
@@ -219,29 +274,37 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.connMu.Lock()
 		s.conns[c] = struct{}{}
 		s.connMu.Unlock()
-		s.o.Counter("serve.connections").Inc()
+		s.m.connections.Inc()
 		s.readerWG.Add(1)
 		go s.reader(c)
 	}
 }
 
 // reader parses one connection's request stream and enqueues decisions.
+// The steady-state path is allocation-free: one pooled payload buffer is
+// reused for every frame on the connection, and decide requests decode
+// straight into pooled request structs with the benchmark name interned
+// through the shard map (a map lookup keyed by []byte→string conversion
+// does not allocate).
 func (s *Server) reader(c *conn) {
 	defer s.readerWG.Done()
 	br := bufio.NewReader(c.c)
+	var payload []byte // pooled; ReadFrameInto grows it through the pool
+	defer func() { putBuf(payload) }()
 	for {
 		select {
 		case <-s.quit:
 			return
 		default:
 		}
-		payload, err := ReadFrame(br)
+		var err error
+		payload, err = ReadFrameInto(br, payload)
 		if err != nil {
 			// An oversized frame leaves its payload unread: discard exactly
 			// the advertised bytes, answer in-band, keep the connection.
 			var ftl *FrameTooLargeError
 			if errors.As(err, &ftl) {
-				s.o.Counter("serve.errors.frame_too_large").Inc()
+				s.m.errFrameTooLarge.Inc()
 				if _, derr := io.CopyN(io.Discard, br, int64(ftl.N)); derr == nil {
 					c.send(&ErrorResponse{Code: CodeFrameTooLarge, Msg: ftl.Error()})
 					continue
@@ -251,27 +314,53 @@ func (s *Server) reader(c *conn) {
 				select {
 				case <-s.quit: // drain deadline fired; not a client fault
 				default:
-					s.o.Counter("serve.errors.frame").Inc()
+					s.m.errFrame.Inc()
 				}
 			}
 			s.dropConn(c)
 			return
 		}
+		// Fast path: a decide-request frame parses into a pooled request
+		// without touching the generic decoder. Ownership of the request
+		// transfers to enqueue (and onward to a shard worker); every
+		// non-queued outcome returns it to the pool here.
+		if len(payload) >= 3 && payload[0] == wireMagic && payload[1] == wireVersion &&
+			payload[2] == msgDecideReq {
+			req := getReq()
+			bench, perr := ParseDecideRequestInto(payload, req)
+			if perr != nil {
+				putReq(req)
+				s.m.errMalformed.Inc()
+				c.send(&ErrorResponse{Code: CodeMalformed, Msg: perr.Error()})
+				continue
+			}
+			sh := s.shards[string(bench)]
+			if sh == nil {
+				s.m.errUnknownBench.Inc()
+				c.send(&ErrorResponse{ID: req.ID, Code: CodeUnknownBench,
+					Msg: fmt.Sprintf("no snapshot for benchmark %q", string(bench))})
+				putReq(req)
+				continue
+			}
+			req.Bench = sh.bench // interned: the shard's canonical name
+			s.enqueue(c, sh, req)
+			continue
+		}
 		msg, err := ParseMessage(payload)
 		if err != nil {
 			// The framing survived, only the payload was malformed: report
 			// and keep the connection.
-			s.o.Counter("serve.errors.malformed").Inc()
+			s.m.errMalformed.Inc()
 			c.send(&ErrorResponse{Code: CodeMalformed, Msg: err.Error()})
 			continue
 		}
-		switch m := msg.(type) {
-		case *DecideRequest:
-			s.enqueue(c, m)
+		switch msg.(type) {
 		case Ping:
 			c.send(Pong{})
 		default:
-			s.o.Counter("serve.errors.malformed").Inc()
+			// Decide requests never reach here (the fast path above matches
+			// exactly the frames ParseMessage would decode as one).
+			s.m.errMalformed.Inc()
 			c.send(&ErrorResponse{Code: CodeMalformed, Msg: fmt.Sprintf("unexpected message %T", msg)})
 		}
 	}
@@ -280,24 +369,19 @@ func (s *Server) reader(c *conn) {
 // enqueue routes a request to its benchmark shard. With the breaker open
 // the request gets the precise fallback immediately; a full queue blocks
 // (backpressure through the reader and TCP) unless RejectWhenFull sheds
-// it in-band; a draining server rejects.
-func (s *Server) enqueue(c *conn, req *DecideRequest) {
-	sh := s.shards[req.Bench]
-	if sh == nil {
-		s.o.Counter("serve.errors.unknown_bench").Inc()
-		c.send(&ErrorResponse{ID: req.ID, Code: CodeUnknownBench,
-			Msg: fmt.Sprintf("no snapshot for benchmark %q", req.Bench)})
-		return
-	}
+// it in-band; a draining server rejects. enqueue owns req: queueing
+// transfers it to a worker, every other outcome returns it to the pool.
+func (s *Server) enqueue(c *conn, sh *shard, req *DecideRequest) {
 	if !sh.brk.admit() {
 		// Fail-safe degradation: the precise function is always
 		// quality-safe, so an open breaker answers DecisionPrecise rather
 		// than queueing into an unhealthy shard.
-		s.o.Counter("serve.decisions.fallback").Inc()
+		s.m.decFallback.Inc()
 		c.send(&DecideResponse{ID: req.ID, Precise: true, Fallback: true})
+		putReq(req)
 		return
 	}
-	saturated := s.cfg.Faults.Scoped(fault.SiteQueueSaturate, sh.bench).Hit()
+	saturated := sh.fQueueSat.Hit()
 	t := task{req: req, c: c}
 	if !saturated {
 		select {
@@ -309,38 +393,56 @@ func (s *Server) enqueue(c *conn, req *DecideRequest) {
 	if s.cfg.RejectWhenFull || saturated {
 		// Load shedding doubles as the clock-free latency budget: a shed
 		// request is a latency violation, so it feeds the breaker.
-		s.o.Counter("serve.errors.queue_full").Inc()
+		s.m.errQueueFull.Inc()
 		sh.brk.onFailure("queue saturated")
 		c.send(&ErrorResponse{ID: req.ID, Code: CodeQueueFull, Msg: "shard queue saturated"})
+		putReq(req)
 		return
 	}
-	s.o.Counter("serve.backpressure").Inc()
+	s.m.backpressure.Inc()
 	select {
 	case sh.q <- t:
 	case <-s.quit:
 		c.send(&ErrorResponse{ID: req.ID, Code: CodeDraining, Msg: "server draining"})
+		putReq(req)
 	}
 }
 
-// connFrames groups one batch's response frames by connection in
-// first-appearance order, so each connection gets a single write per
-// batch regardless of how its requests interleaved.
-type connFrames struct {
-	c   *conn
-	buf []byte
+// connGroup collects one batch's response frames for a single
+// connection, in decision order; the group goes out in one locked writev
+// (net.Buffers), so each connection sees whole frames however its
+// requests interleaved across the batch.
+type connGroup struct {
+	c    *conn
+	bufs net.Buffers
 }
 
 // worker drains one shard's queue in bounded batches. The snapshot is
 // loaded once per batch (never mid-request); the worker keeps a private
 // classifier view and error probe per snapshot version.
+//
+// The batch loop is allocation-free at steady state: response structs,
+// the batch scratch, and the per-response frame buffers all live on the
+// worker. Frame buffers recycle through a worker-local freelist rather
+// than a sync.Pool — writes complete before the batch ends, so the
+// worker never loses ownership, and a freelist (unlike a pool) cannot be
+// drained by the GC mid-run, which the allocs/op regression gate relies
+// on.
 func (s *Server) worker(sh *shard) {
 	defer s.workerWG.Done()
 	var (
 		view        classifier.Classifier
+		batchView   classifier.BatchClassifier // non-nil when view batches
 		probe       ErrorProbe
 		viewVersion uint32
 		batch       = make([]task, 0, s.cfg.MaxBatch)
-		out         = make([]connFrames, 0, 4)
+		out         = make([]connGroup, 0, 4)
+		free        [][]byte // worker-local response-frame freelist
+		scratch     net.Buffers
+		ins         = make([][]float64, 0, s.cfg.MaxBatch)
+		pre         = make([]bool, s.cfg.MaxBatch)
+		dresp       DecideResponse
+		eresp       ErrorResponse
 	)
 	for {
 		t, ok := <-sh.q
@@ -364,30 +466,115 @@ func (s *Server) worker(sh *shard) {
 		snap := s.reg.Get(sh.bench)
 		if view == nil || viewVersion != snap.Version {
 			view = snap.view()
+			batchView, _ = view.(classifier.BatchClassifier)
 			probe = snap.NewProbe()
 			viewVersion = snap.Version
 		}
 
+		// Batch-vectorized classification: when the view batches and every
+		// input has the kernel's width, each classifier structure (MISR +
+		// bitset, for the table design) sweeps the whole batch while
+		// cache-hot instead of being revisited request by request. The
+		// decisions are identical to per-request Classify (the classifier
+		// package tests pin that); mixed widths or a panicking batch sweep
+		// fall back to the per-request path, whose panic barrier degrades
+		// at single-request granularity.
+		havePre := false
+		if batchView != nil && len(batch) > 1 {
+			ins = ins[:0]
+			uniform := true
+			for _, t := range batch {
+				if len(t.req.In) != sh.inDim {
+					uniform = false
+					break
+				}
+				ins = append(ins, t.req.In)
+			}
+			if uniform {
+				havePre = classifyBatchSafe(batchView, ins, pre[:len(batch)])
+			}
+			for i := range ins {
+				ins[i] = nil // no stale references into pooled inputs
+			}
+		}
+
+		for i := range out {
+			out[i].c = nil
+			out[i].bufs = out[i].bufs[:0]
+		}
 		out = out[:0]
-		for _, t := range batch {
-			resp, ob := s.decideSafe(sh, snap, view, probe, t.req)
-			frames, err := AppendFrame(frameBufFor(&out, t.c), resp)
+		for i, t := range batch {
+			resp, ob, haveOb := s.decideSafe(sh, snap, view, probe, t.req,
+				pre[i], havePre, &dresp, &eresp)
+			frame, err := AppendFrame(popBuf(&free), resp)
 			if err != nil { // unreachable for our own responses; keep the codec honest
-				s.o.Counter("serve.errors.encode").Inc()
-				continue
+				s.m.errEncode.Inc()
+			} else {
+				appendConnFrame(&out, t.c, frame)
 			}
-			setFrameBuf(&out, t.c, frames)
-			if ob != nil {
-				sh.up.observe(*ob)
+			if haveOb {
+				sh.up.observe(ob)
+			}
+			putReq(t.req)
+		}
+		for i := range out {
+			out[i].c.sendBuffers(out[i].bufs, &scratch)
+			for _, b := range out[i].bufs {
+				pushBuf(&free, b)
 			}
 		}
-		for _, cf := range out {
-			cf.c.sendRaw(cf.buf)
-		}
-		s.o.Counter("serve.batches").Inc()
-		s.o.Histogram("serve.batch.size", []float64{1, 2, 4, 8, 16, 32, 64}).
-			Observe(float64(len(batch)))
+		s.m.batches.Inc()
+		s.m.batchSize.Observe(float64(len(batch)))
 	}
+}
+
+// classifyBatchSafe runs one batch sweep behind a panic barrier. A panic
+// (a poisoned snapshot, a bug) reports "no precomputed decisions": the
+// per-request path repeats the classification under its own per-request
+// barrier, so a batch-wide fault degrades exactly like a per-request one.
+func classifyBatchSafe(bc classifier.BatchClassifier, ins [][]float64, dst []bool) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	bc.ClassifyBatch(ins, dst)
+	return true
+}
+
+// popBuf takes a response-frame buffer off the worker's freelist.
+func popBuf(free *[][]byte) []byte {
+	if n := len(*free); n > 0 {
+		b := (*free)[n-1]
+		(*free)[n-1] = nil
+		*free = (*free)[:n-1]
+		return b[:0]
+	}
+	// Sized for a decide-response frame (16 bytes) with room for typical
+	// per-request error frames; odd growth just re-enters the freelist.
+	return make([]byte, 0, 64)
+}
+
+// pushBuf returns a frame buffer to the worker's freelist.
+func pushBuf(free *[][]byte, b []byte) { *free = append(*free, b) }
+
+// appendConnFrame files frame under c's group for this batch, reusing
+// group slots — and their frame-slice capacity — across batches.
+func appendConnFrame(out *[]connGroup, c *conn, frame []byte) {
+	for i := range *out {
+		if (*out)[i].c == c {
+			(*out)[i].bufs = append((*out)[i].bufs, frame)
+			return
+		}
+	}
+	if len(*out) < cap(*out) {
+		*out = (*out)[:len(*out)+1]
+		g := &(*out)[len(*out)-1]
+		g.c = c
+		g.bufs = append(g.bufs[:0], frame)
+		return
+	}
+	*out = append(*out, connGroup{c: c, bufs: net.Buffers{frame}})
 }
 
 // decideSafe is decide behind a panic barrier — fail-safe degradation at
@@ -397,55 +584,68 @@ func (s *Server) worker(sh *shard) {
 // quality-safe), the panic counts against the shard's breaker, and the
 // batch loop resumes with the next request.
 func (s *Server) decideSafe(sh *shard, snap *Snapshot, view classifier.Classifier,
-	probe ErrorProbe, req *DecideRequest) (resp Message, ob *observation) {
+	probe ErrorProbe, req *DecideRequest, pre, havePre bool,
+	dresp *DecideResponse, eresp *ErrorResponse) (resp Message, ob observation, haveOb bool) {
 	defer func() {
 		if r := recover(); r != nil {
-			s.o.Counter("serve.worker.panics").Inc()
+			s.m.workerPanics.Inc()
 			sh.brk.onFailure(fmt.Sprintf("worker panic: %v", r))
-			resp = &DecideResponse{ID: req.ID, Precise: true, Fallback: true}
-			ob = nil
-			s.o.Counter("serve.decisions.fallback").Inc()
+			*dresp = DecideResponse{ID: req.ID, Precise: true, Fallback: true}
+			resp, ob, haveOb = dresp, observation{}, false
+			s.m.decFallback.Inc()
 		}
 	}()
-	if s.cfg.Faults.Scoped(fault.SiteWorkerPanic, sh.bench).Hit() {
+	if sh.fPanic.Hit() {
 		panic(fmt.Sprintf("%v: worker panic for %s", fault.ErrInjected, sh.bench))
 	}
-	resp, ob = s.decide(sh, snap, view, probe, req)
+	resp, ob, haveOb = s.decide(sh, snap, view, probe, req, pre, havePre, dresp, eresp)
 	if _, decided := resp.(*DecideResponse); decided {
 		sh.brk.onSuccess()
 	}
-	return resp, ob
+	return resp, ob, haveOb
 }
 
 // decide serves one request against the batch's snapshot and, when the
 // sporadic sampler hits, measures the true accelerator error through the
 // precise path. The measurement never alters the served decision — it
-// feeds the online updater.
+// feeds the online updater. The response is written into the worker's
+// reusable dresp/eresp structs (the hot path allocates nothing); with
+// havePre set, pre carries the batch-sweep classification for this
+// request and Classify is skipped.
 func (s *Server) decide(sh *shard, snap *Snapshot, view classifier.Classifier,
-	probe ErrorProbe, req *DecideRequest) (Message, *observation) {
+	probe ErrorProbe, req *DecideRequest, pre, havePre bool,
+	dresp *DecideResponse, eresp *ErrorResponse) (Message, observation, bool) {
 	if len(req.In) != sh.inDim {
-		s.o.Counter("serve.errors.bad_dim").Inc()
-		return &ErrorResponse{ID: req.ID, Code: CodeBadDim,
-			Msg: fmt.Sprintf("input dim %d, want %d", len(req.In), sh.inDim)}, nil
+		s.m.errBadDim.Inc()
+		*eresp = ErrorResponse{ID: req.ID, Code: CodeBadDim,
+			Msg: fmt.Sprintf("input dim %d, want %d", len(req.In), sh.inDim)}
+		return eresp, observation{}, false
 	}
-	precise := view.Classify(req.In)
+	precise := pre
+	if !havePre {
+		precise = view.Classify(req.In)
+	}
 	if precise {
-		s.o.Counter("serve.decisions.precise").Inc()
+		s.m.decPrecise.Inc()
 	} else {
-		s.o.Counter("serve.decisions.approx").Inc()
+		s.m.decApprox.Inc()
 	}
 	sampled := probe != nil && sampleHit(sh.sampleSeed, req.ID, s.cfg.SampleRate)
-	resp := &DecideResponse{ID: req.ID, Precise: precise, Sampled: sampled, Version: snap.Version}
+	*dresp = DecideResponse{ID: req.ID, Precise: precise, Sampled: sampled, Version: snap.Version}
 	if !sampled {
-		return resp, nil
+		return dresp, observation{}, false
 	}
-	s.o.Counter("serve.sampled").Inc()
+	s.m.sampled.Inc()
 	err := probe(req.In)
 	bad := err > snap.Threshold
 	if bad != precise {
-		s.o.Counter("serve.sample.misclassified").Inc()
+		s.m.sampleMiss.Inc()
 	}
-	return resp, &observation{in: req.In, bad: bad, precise: precise}
+	// The request returns to the pool as soon as its response is encoded,
+	// but the updater consumes observations asynchronously (and may append
+	// them to the WAL): the input must be copied out, never aliased.
+	in := append([]float64(nil), req.In...)
+	return dresp, observation{in: in, bad: bad, precise: precise}, true
 }
 
 // sampleHit reports whether invocation id is error-sampled: a pure
@@ -459,27 +659,6 @@ func sampleHit(shardSeed uint64, id uint32, rate float64) bool {
 		return true
 	}
 	return mathx.NewRNG(shardSeed).Split(uint64(id)).Float64() < rate
-}
-
-// frameBufFor finds (or starts) the response buffer for c in this batch.
-func frameBufFor(out *[]connFrames, c *conn) []byte {
-	for i := range *out {
-		if (*out)[i].c == c {
-			return (*out)[i].buf
-		}
-	}
-	*out = append(*out, connFrames{c: c})
-	return nil
-}
-
-// setFrameBuf stores the extended buffer back.
-func setFrameBuf(out *[]connFrames, c *conn, buf []byte) {
-	for i := range *out {
-		if (*out)[i].c == c {
-			(*out)[i].buf = buf
-			return
-		}
-	}
 }
 
 // Shutdown drains the server: listeners close, connection readers stop,
@@ -557,14 +736,25 @@ type conn struct {
 	closed bool
 }
 
-// send frames and writes one message. Write errors are swallowed: the
-// client is gone, and the reader will observe the failure on its side.
+// send frames and writes one message through a pooled buffer. Write
+// errors are swallowed: the client is gone, and the reader will observe
+// the failure on its side.
 func (c *conn) send(msg Message) {
-	frame, err := AppendFrame(nil, msg)
+	// Size the buffer up front so AppendFrame never reallocates it out of
+	// the pool's tracking: response frames are 14 bytes plus the error
+	// message, comfortably inside the class for the requested size.
+	n := 64
+	if e, ok := msg.(*ErrorResponse); ok {
+		n += len(e.Msg)
+	}
+	buf := getBuf(n)
+	frame, err := AppendFrame(buf, msg)
 	if err != nil {
+		putBuf(buf)
 		return
 	}
 	c.sendRaw(frame)
+	putBuf(frame)
 }
 
 // sendRaw writes pre-framed bytes in one locked write.
@@ -578,6 +768,31 @@ func (c *conn) sendRaw(buf []byte) {
 		return
 	}
 	c.c.Write(buf) //nolint:errcheck // client-side failure; reader cleans up
+}
+
+// sendBuffers writes a group of pre-framed responses in one locked
+// vectored write. net.Buffers.WriteTo consumes the slice it walks
+// (advancing and zeroing entries), and the caller's frame buffers must
+// survive to re-enter its freelist — so the group is first copied into
+// the caller's scratch slice, and only the copy is consumed. On a TCP
+// connection the copy goes out as a single writev; wrapped connections
+// (fault injection, pipes) degrade to sequential whole-frame writes
+// under the same lock.
+func (c *conn) sendBuffers(bufs net.Buffers, scratch *net.Buffers) {
+	if len(bufs) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	full := append((*scratch)[:0], bufs...)
+	*scratch = full
+	scratch.WriteTo(c.c) //nolint:errcheck // client-side failure; reader cleans up
+	// WriteTo advanced *scratch into its backing array; restore the
+	// original header so the capacity is reusable next batch.
+	*scratch = full[:0]
 }
 
 func (c *conn) close() {

@@ -122,20 +122,7 @@ func AppendFrame(dst []byte, msg Message) ([]byte, error) {
 	dst = append(dst, wireMagic, wireVersion)
 	switch m := msg.(type) {
 	case *DecideRequest:
-		if len(m.Bench) > maxBenchName {
-			return nil, protoErrf("bench name %d bytes exceeds %d", len(m.Bench), maxBenchName)
-		}
-		if len(m.In) > MaxInputDim {
-			return nil, protoErrf("input dim %d exceeds %d", len(m.In), MaxInputDim)
-		}
-		dst = append(dst, msgDecideReq)
-		dst = binary.BigEndian.AppendUint32(dst, m.ID)
-		dst = append(dst, byte(len(m.Bench)))
-		dst = append(dst, m.Bench...)
-		dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.In)))
-		for _, v := range m.In {
-			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
-		}
+		return appendDecideRequestBody(dst, start, m)
 	case *DecideResponse:
 		dst = append(dst, msgDecideResp)
 		dst = binary.BigEndian.AppendUint32(dst, m.ID)
@@ -166,6 +153,43 @@ func AppendFrame(dst []byte, msg Message) ([]byte, error) {
 		dst = append(dst, msgPong)
 	default:
 		return nil, protoErrf("unencodable message type %T", msg)
+	}
+	payload := len(dst) - start - 4
+	if payload > MaxFrame {
+		return nil, protoErrf("frame payload %d exceeds %d", payload, MaxFrame)
+	}
+	binary.BigEndian.PutUint32(dst[start:start+4], uint32(payload))
+	return dst, nil
+}
+
+// AppendDecideRequest appends a complete decide-request frame to dst. It
+// encodes exactly what AppendFrame(dst, m) would, but with a concrete
+// parameter type: the request never crosses an interface boundary, so a
+// stack-allocated request stays on the stack — this is the client's
+// steady-state encode path.
+func AppendDecideRequest(dst []byte, m *DecideRequest) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length backpatched below
+	dst = append(dst, wireMagic, wireVersion)
+	return appendDecideRequestBody(dst, start, m)
+}
+
+// appendDecideRequestBody writes the decide-request body and backpatches
+// the length prefix at start (dst already carries prefix + magic/version).
+func appendDecideRequestBody(dst []byte, start int, m *DecideRequest) ([]byte, error) {
+	if len(m.Bench) > maxBenchName {
+		return nil, protoErrf("bench name %d bytes exceeds %d", len(m.Bench), maxBenchName)
+	}
+	if len(m.In) > MaxInputDim {
+		return nil, protoErrf("input dim %d exceeds %d", len(m.In), MaxInputDim)
+	}
+	dst = append(dst, msgDecideReq)
+	dst = binary.BigEndian.AppendUint32(dst, m.ID)
+	dst = append(dst, byte(len(m.Bench)))
+	dst = append(dst, m.Bench...)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.In)))
+	for _, v := range m.In {
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
 	}
 	payload := len(dst) - start - 4
 	if payload > MaxFrame {
@@ -210,6 +234,100 @@ func ReadFrame(r *bufio.Reader) ([]byte, error) {
 		return nil, protoErrf("truncated frame (want %d bytes): %v", n, err)
 	}
 	return payload, nil
+}
+
+// ReadFrameInto reads one frame's payload into buf's capacity, growing
+// through the package's size-classed frame-buffer pool when the frame
+// exceeds cap(buf) (the outgrown buffer returns to its pool class); the
+// possibly-grown buffer is returned so the caller keeps the capacity
+// across frames. Pass nil to start: the first frame draws a pooled
+// buffer. The error contract matches ReadFrame; on error the returned
+// slice is buf[:0] (capacity preserved).
+func ReadFrameInto(r *bufio.Reader, buf []byte) ([]byte, error) {
+	// Peek/Discard instead of ReadFull into a local array: the local
+	// would escape through io.Reader's interface boundary and cost one
+	// heap allocation per frame on an otherwise allocation-free path.
+	hdr, err := r.Peek(4)
+	if len(hdr) < 4 {
+		if errors.Is(err, io.EOF) && len(hdr) == 0 {
+			return buf[:0], io.EOF
+		}
+		return buf[:0], protoErrf("short frame header: %v", err)
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	r.Discard(4) //nolint:errcheck // cannot fail: 4 bytes are buffered
+	if n > MaxFrame {
+		return buf[:0], &FrameTooLargeError{N: n}
+	}
+	if uint64(cap(buf)) < uint64(n) {
+		putBuf(buf)
+		buf = getBuf(int(n))
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return buf[:0], protoErrf("truncated frame (want %d bytes): %v", n, err)
+	}
+	return buf, nil
+}
+
+// ParseDecideRequestInto decodes a msgDecideReq frame payload into req
+// without allocating: the input vector reuses req.In's capacity and the
+// benchmark name is returned as a sub-slice of payload for the caller to
+// intern (it is valid only until the payload buffer is reused — req.Bench
+// is NOT set here). Non-decide-request payloads, including valid frames
+// of other types, return an ErrProtocol-wrapping error.
+func ParseDecideRequestInto(payload []byte, req *DecideRequest) (bench []byte, err error) {
+	if len(payload) < 3 || payload[0] != wireMagic || payload[1] != wireVersion || payload[2] != msgDecideReq {
+		return nil, protoErrf("not a decide request frame")
+	}
+	body := payload[3:]
+	if len(body) < 5 {
+		return nil, protoErrf("decide request body %d bytes, want >= 5", len(body))
+	}
+	req.ID = binary.BigEndian.Uint32(body[:4])
+	nameLen := int(body[4])
+	body = body[5:]
+	if len(body) < nameLen+2 {
+		return nil, protoErrf("decide request truncated inside bench name")
+	}
+	bench = body[:nameLen]
+	body = body[nameLen:]
+	dim := int(binary.BigEndian.Uint16(body[:2]))
+	body = body[2:]
+	if dim > MaxInputDim {
+		return nil, protoErrf("input dim %d exceeds %d", dim, MaxInputDim)
+	}
+	if len(body) != 8*dim {
+		return nil, protoErrf("decide request input is %d bytes, want %d", len(body), 8*dim)
+	}
+	in := req.In[:0]
+	if cap(in) < dim {
+		in = make([]float64, 0, dim)
+	}
+	for i := 0; i < dim; i++ {
+		in = append(in, math.Float64frombits(binary.BigEndian.Uint64(body[8*i:8*i+8])))
+	}
+	req.In = in
+	return bench, nil
+}
+
+// ParseDecideResponseInto decodes a msgDecideResp frame payload into
+// resp without allocating. Error frames and other message types return
+// an ErrProtocol-wrapping error (use ParseMessage to decode those).
+func ParseDecideResponseInto(payload []byte, resp *DecideResponse) error {
+	if len(payload) < 3 || payload[0] != wireMagic || payload[1] != wireVersion || payload[2] != msgDecideResp {
+		return protoErrf("not a decide response frame")
+	}
+	body := payload[3:]
+	if len(body) != 9 {
+		return protoErrf("decide response body %d bytes, want 9", len(body))
+	}
+	resp.ID = binary.BigEndian.Uint32(body[:4])
+	resp.Precise = body[4]&1 != 0
+	resp.Sampled = body[4]&2 != 0
+	resp.Fallback = body[4]&4 != 0
+	resp.Version = binary.BigEndian.Uint32(body[5:9])
+	return nil
 }
 
 // ParseMessage decodes one frame payload. It never panics: malformed
