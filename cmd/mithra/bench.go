@@ -23,10 +23,10 @@ import (
 
 func cmdBench(args []string, stdout, stderr io.Writer) int {
 	var (
-		out, compare, label *string
-		smoke               *bool
-		seed                *uint64
-		ratio               *float64
+		out, compare, label, lintRoot *string
+		smoke                         *bool
+		seed                          *uint64
+		ratio                         *float64
 	)
 	return command("bench", args, stderr, func(fs *flag.FlagSet, of *obsFlags) {
 		out = fs.String("out", "BENCH_serve.json", "bench report to merge results into")
@@ -35,9 +35,10 @@ func cmdBench(args []string, stdout, stderr io.Writer) int {
 		seed = fs.Uint64("seed", 99, "synthetic workload seed")
 		label = fs.String("label", "bench", "label recorded on every row")
 		ratio = fs.Float64("ratio", 0, fmt.Sprintf("timing tolerance factor for -compare (0 = default %.0f)", bench.DefaultRatio))
+		lintRoot = fs.String("lint-root", "", "module root to time one full lint pass over (lint_repo stage; empty skips it)")
 		of.registerLog(fs)
 	}, func(_ *flag.FlagSet, _ *obsFlags, lg *obs.Logger) error {
-		rows, err := bench.Run(bench.Config{Smoke: *smoke, Seed: *seed, Label: *label})
+		rows, err := bench.Run(bench.Config{Smoke: *smoke, Seed: *seed, Label: *label, LintRoot: *lintRoot})
 		if err != nil {
 			return err
 		}

@@ -44,6 +44,8 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("mithralint", flag.ExitOnError)
 	version := fs.String("V", "", "print version and exit (vet protocol handshake)")
 	list := fs.Bool("help-analyzers", false, "describe the analyzers and exit")
+	escapes := fs.Bool("escapes", false, "run the //mithra:hotpath escape gate (go build -gcflags=-m) instead of the analyzers")
+	suppress := fs.Bool("suppressions", false, "list every //lint:ignore and //mithra:coldpath waiver and exit")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mithralint [packages]   (e.g. mithralint ./...)\n")
 		fmt.Fprintf(os.Stderr, "package patterns are resolved relative to the module root\n")
@@ -82,11 +84,38 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "mithralint: %v\n", err)
 		return 1
 	}
+
+	// Escape-gate mode: hold the annotated hotpath regions against the
+	// compiler's own escape analysis.
+	if *escapes {
+		problems, err := lint.CheckEscapes(root, patterns)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mithralint: %v\n", err)
+			return 1
+		}
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		if len(problems) > 0 {
+			return 2
+		}
+		return 0
+	}
+
 	pkgs, err := lint.Load(root, patterns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mithralint: %v\n", err)
 		return 1
 	}
+	// Audit mode: print every explained waiver (the CI job archives this
+	// listing so reviews see the full suppression surface, not the diff).
+	if *suppress {
+		for _, s := range lint.Suppressions(pkgs) {
+			fmt.Println(s)
+		}
+		return 0
+	}
+
 	failed := false
 	for _, p := range pkgs {
 		for _, e := range p.TypeErrors {

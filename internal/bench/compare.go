@@ -10,6 +10,20 @@ import "fmt"
 // alloc counts are exact by construction.
 const RTTAllocSlack = 2
 
+// timingOnlyStages time whole subsystems rather than a serving hot
+// path, so they carry no allocation contract at all: the lint_repo
+// stage type-checks the entire module from source, which allocates
+// freely and machine-dependently. Compare gates these rows on the gross
+// timing ratio alone — the row exists so the suite's own cost is on the
+// committed trajectory and cannot balloon unnoticed.
+var timingOnlyStages = map[string]bool{
+	"lint_repo": true,
+}
+
+// IsTimingOnly reports whether stage is gated on timing alone, with no
+// allocs/op contract.
+func IsTimingOnly(stage string) bool { return timingOnlyStages[stage] }
+
 // DefaultRatio is the timing tolerance for Compare: a fresh measurement
 // may be up to this factor slower than the committed one. It is
 // deliberately loose — machines differ and CI runners are noisy; the
@@ -50,7 +64,7 @@ func Compare(committed, fresh *Report, ratio float64) []string {
 		if !IsHermetic(want.Stage) {
 			slack = RTTAllocSlack
 		}
-		if got.AllocsPerOp > want.AllocsPerOp+slack {
+		if !IsTimingOnly(want.Stage) && got.AllocsPerOp > want.AllocsPerOp+slack {
 			problems = append(problems, fmt.Sprintf(
 				"%s: allocs/op regressed: %d > committed %d (slack %d)",
 				name, got.AllocsPerOp, want.AllocsPerOp, slack))

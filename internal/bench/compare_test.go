@@ -86,6 +86,24 @@ func TestCompareMissingRowIsAViolation(t *testing.T) {
 	}
 }
 
+func TestCompareTimingOnlyStageSkipsAllocs(t *testing.T) {
+	committed := &Report{}
+	committed.Merge(Row{Label: "bench", Stage: "lint_repo", NsPerOp: 3e9, AllocsPerOp: 1_000_000})
+	fresh := &Report{}
+	// Allocation counts on a timing-only stage are machine-dependent and
+	// carry no contract: a huge swing must not trip the gate.
+	fresh.Merge(Row{Label: "bench", Stage: "lint_repo", NsPerOp: 4e9, AllocsPerOp: 9_000_000})
+	if probs := Compare(committed, fresh, 10); len(probs) != 0 {
+		t.Fatalf("alloc swing on timing-only stage flagged: %v", probs)
+	}
+	// The gross timing ratio still applies.
+	fresh.Merge(Row{Label: "bench", Stage: "lint_repo", NsPerOp: 3e9 * 11, AllocsPerOp: 9_000_000})
+	probs := Compare(committed, fresh, 10)
+	if len(probs) != 1 || !strings.Contains(probs[0], "ns/op regressed") {
+		t.Fatalf("timing-only stage must still gate on ns/op: %v", probs)
+	}
+}
+
 func TestCompareNewFreshRowsAreAdoptable(t *testing.T) {
 	committed, fresh := committedFresh()
 	fresh.Merge(Row{Label: "bench", Stage: "brand_new", Bench: "synthetic", NsPerOp: 1, AllocsPerOp: 5})

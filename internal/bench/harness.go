@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mithra/internal/classifier"
+	"mithra/internal/lint"
 	"mithra/internal/mathx"
 	"mithra/internal/misr"
 	"mithra/internal/serve"
@@ -25,6 +26,11 @@ type Config struct {
 	Seed uint64
 	// Label tags the emitted rows; defaults to "bench".
 	Label string
+	// LintRoot, when set, is the module root to time one full
+	// static-analysis pass over (the lint_repo stage: load, type-check,
+	// all analyzers). Empty skips the stage — not every invocation runs
+	// from a source checkout.
+	LintRoot string
 }
 
 // benchName is the synthetic benchmark every harness stage serves.
@@ -337,6 +343,30 @@ func Run(cfg Config) ([]Row, error) {
 	}
 	if err := rtt("rtt_p32", 32, rtt32Ops); err != nil {
 		return nil, err
+	}
+
+	// lint_repo: one full mithralint pass over the module — load,
+	// type-check, every analyzer. Timing-only (see IsTimingOnly): the
+	// type checker allocates freely, so only the gross ns/op ratio gates
+	// this row; it is committed so the suite's own cost is part of the
+	// perf trajectory and cannot balloon unnoticed.
+	if cfg.LintRoot != "" {
+		m, err := measure(0, 1, func() error {
+			pkgs, err := lint.Load(cfg.LintRoot, []string{"./..."})
+			if err != nil {
+				return err
+			}
+			_, err = lint.Run(pkgs, lint.Analyzers())
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: stage lint_repo: %w", err)
+		}
+		rows = append(rows, Row{
+			Label: cfg.Label, Stage: "lint_repo",
+			Decisions: m.ops, Seconds: m.seconds, NsPerOp: m.nsPerOp,
+			AllocsPerOp: m.allocs, BytesPerOp: m.bytes,
+		})
 	}
 	return rows, nil
 }

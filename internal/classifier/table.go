@@ -310,6 +310,8 @@ func (*Table) Name() string { return "table" }
 // MISR in parallel and combine the single-bit reads. The projected
 // elements are hashed in place (HashIndexed), so a decision allocates
 // nothing.
+//
+//mithra:hotpath
 func (t *Table) Classify(in []float64) bool {
 	q := t.quant.Quantize(in, t.scratch)
 	flags := 0
@@ -328,9 +330,12 @@ func (t *Table) Classify(in []float64) bool {
 // step tables and the 0.5 KB bitset stay cache-hot across the batch.
 // Steady state allocates nothing: all scratch lives on the Table and is
 // grown once.
+//
+//mithra:hotpath
 func (t *Table) ClassifyBatch(ins [][]float64, dst []bool) []bool {
 	n := len(ins)
 	dim := t.quant.Dim()
+	//mithra:coldpath one-time scratch growth to the largest batch seen
 	if cap(t.batchWords) < n*dim {
 		t.batchWords = make([]uint16, n*dim)
 		t.batchRows = make([][]uint16, n)

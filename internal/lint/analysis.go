@@ -15,7 +15,8 @@
 // suite standalone (`go run ./cmd/mithralint ./...`) or as a vet tool
 // (`go vet -vettool=bin/mithralint ./...`).
 //
-// Four analyzers ship today:
+// Eight analyzers ship today. Four freeze the measurement pipeline's
+// determinism:
 //
 //   - nondeterminism: no process-global entropy (math/rand top-level
 //     functions, time.Now/Since/Until, os.Getpid-style identifiers) in the
@@ -29,6 +30,21 @@
 //   - floatreduce: no floating-point accumulation (+=, *=, ...) onto
 //     shared or per-worker state inside those closures, where the sum
 //     would depend on goroutine scheduling.
+//
+// Four more freeze the serving stack's runtime invariants (DESIGN.md §13):
+//
+//   - poolownership: every getBuf/getReq acquisition in internal/serve is
+//     released, returned, or transferred on every control-flow path; no
+//     alias is used after its release; nothing foreign is put.
+//   - hotpathalloc: functions annotated //mithra:hotpath contain no
+//     allocating constructs the AST can see; the companion escape gate
+//     (mithralint -escapes) holds the same regions against the compiler's
+//     -gcflags=-m heap-escape diagnostics.
+//   - durablewrite: file writes in internal/{serve,fault} follow the
+//     temp -> fsync -> rename -> dir-sync discipline or use O_APPEND logs.
+//   - atomicswap: atomic.Pointer publication stays inside the owning
+//     type's methods, and breaker-style state machines transition only
+//     through transitionLocked, never on wall-clock time.
 //
 // A finding can be waived with an explained suppression comment on the
 // flagged line or the line above:
@@ -44,6 +60,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // An Analyzer describes one invariant check. It is the stdlib-only
@@ -104,7 +121,20 @@ func Analyzers() []*Analyzer {
 		MapOrderAnalyzer,
 		ParallelCaptureAnalyzer,
 		FloatReduceAnalyzer,
+		PoolOwnershipAnalyzer,
+		HotpathAllocAnalyzer,
+		DurableWriteAnalyzer,
+		AtomicSwapAnalyzer,
 	}
+}
+
+// knownNames renders the suite's analyzer names for error messages.
+func knownNames() string {
+	names := make([]string, 0, 8)
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ", ")
 }
 
 // byName resolves an analyzer name (for //lint:ignore validation).

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The escape gate is the second half of the //mithra:hotpath contract
+// (DESIGN.md §13). The hotpathalloc analyzer rejects allocating constructs
+// it can see in the syntax; this file asks the compiler itself: it runs
+// `go build -gcflags=-m`, parses the escape diagnostics, and fails when a
+// value escapes to the heap inside an annotated function's line range
+// without a //mithra:coldpath waiver. The two layers are deliberately
+// redundant — the AST check fires in fixtures and editors without a build,
+// the compiler check catches what syntax cannot (interface boxing through
+// helpers, captured variables, append growth the compiler can't stack-
+// allocate).
+
+// An Escape is one compiler diagnostic that moves a value to the heap.
+type Escape struct {
+	File    string // path as printed by the compiler (module-root-relative)
+	Line    int
+	Col     int
+	Message string
+}
+
+func (e Escape) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s", e.File, e.Line, e.Col, e.Message)
+}
+
+// ParseEscapes extracts heap-escape diagnostics from `go build
+// -gcflags=-m` output. The compiler prints one diagnostic per line in the
+// form `path/file.go:line:col: message`, interleaved with `# package`
+// headers and non-escape notes (inlining decisions, "does not escape");
+// only messages that report a heap move are kept:
+//
+//	x escapes to heap
+//	moved to heap: x
+//
+// The parser is pure — it sees only text — so it is testable against
+// canned output without a toolchain.
+func ParseEscapes(output string) []Escape {
+	var out []Escape
+	for _, line := range strings.Split(output, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		file, lno, col, msg, ok := splitDiagnostic(line)
+		if !ok {
+			continue
+		}
+		if !strings.HasSuffix(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap:") {
+			continue
+		}
+		out = append(out, Escape{File: file, Line: lno, Col: col, Message: msg})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Col < out[j].Col
+	})
+	return out
+}
+
+// splitDiagnostic parses `file.go:line:col: message`. ok is false for
+// lines in any other shape (build errors, bare notes).
+func splitDiagnostic(line string) (file string, lno, col int, msg string, ok bool) {
+	i := strings.Index(line, ".go:")
+	if i < 0 {
+		return "", 0, 0, "", false
+	}
+	file = line[:i+3]
+	rest := line[i+4:]
+	parts := strings.SplitN(rest, ":", 3)
+	if len(parts) != 3 {
+		return "", 0, 0, "", false
+	}
+	lno, err1 := strconv.Atoi(parts[0])
+	col, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		return "", 0, 0, "", false
+	}
+	return file, lno, col, strings.TrimSpace(parts[2]), true
+}
+
+// GateEscapes filters escapes down to violations of the hotpath contract:
+// an escape inside an annotated function's range and not on a coldpath
+// line. Escape paths are resolved against root (the module directory the
+// build ran in) before matching the index, whose file names are absolute.
+func GateEscapes(root string, ix *HotpathIndex, escapes []Escape) []string {
+	var problems []string
+	for _, e := range escapes {
+		file := e.File
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(root, file)
+		}
+		hf, hot := ix.InHotpath(file, e.Line)
+		if !hot || ix.Cold(file, e.Line) {
+			continue
+		}
+		problems = append(problems, fmt.Sprintf(
+			"%s: heap escape in hotpath function %s: %s (fix it or mark the line //mithra:coldpath <reason>)",
+			e, hf.Name, e.Message))
+	}
+	return problems
+}
+
+// CheckEscapes is the whole gate: scan annotations under root, run
+// `go build -gcflags=-m` over the patterns, and return one problem per
+// contract violation (nil: the zero-alloc path is escape-clean). The
+// compiler replays cached diagnostics, so repeat runs are cheap.
+func CheckEscapes(root string, patterns []string) ([]string, error) {
+	ix, err := ScanHotpaths(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	if len(ix.Funcs) == 0 {
+		return nil, nil
+	}
+	args := append([]string{"build", "-gcflags=-m"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	// -gcflags diagnostics land on stderr; a build failure surfaces there
+	// too, which CombinedOutput keeps attached to the error.
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go build -gcflags=-m: %w\n%s", err, out)
+	}
+	return GateEscapes(root, ix, ParseEscapes(string(out))), nil
+}

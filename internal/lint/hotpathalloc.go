@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotpathAllocAnalyzer enforces the zero-allocation decide path (DESIGN.md
+// §12–§13) at the AST level. Functions annotated //mithra:hotpath are the
+// steady-state round-trip chain — framing, request parsing, registry
+// lookup, MISR hashing, batch classification — whose process-wide
+// allocation budget is zero; `serve.RoundTripAllocs = 0` asserts that
+// dynamically, this analyzer rejects the allocating constructs before a
+// benchmark ever runs, and the escape gate (escape.go) closes the gap the
+// AST cannot see by parsing the compiler's own escape diagnostics.
+var HotpathAllocAnalyzer = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: `forbid allocating constructs in //mithra:hotpath functions
+
+Inside a function annotated //mithra:hotpath, flags make/new, composite
+literals, func literals (closure headers escape), fmt.* calls,
+string<->[]byte conversions, and arguments boxed into a ...any variadic —
+unless the line carries a //mithra:coldpath <reason> waiver. Malformed or
+misplaced //mithra: annotations are themselves diagnostics. The companion
+escape gate (mithralint -escapes) checks the same annotated regions
+against go build -gcflags=-m heap-escape diagnostics.`,
+	Run: runHotpathAlloc,
+}
+
+func runHotpathAlloc(pass *Pass) error {
+	ix := &HotpathIndex{}
+	for _, f := range pass.Files {
+		collectHotpaths(pass.Fset, f, ix, pass.Reportf)
+	}
+	if len(ix.Funcs) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			pos := pass.Fset.Position(fd.Pos())
+			hf, hot := ix.InHotpath(pos.Filename, pos.Line)
+			if !hot {
+				continue
+			}
+			checkHotpathBody(pass, ix, hf, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkHotpathBody walks one annotated function body and reports every
+// allocating construct not covered by a coldpath waiver.
+func checkHotpathBody(pass *Pass, ix *HotpathIndex, hf HotpathFunc, body *ast.BlockStmt) {
+	cold := func(n ast.Node) bool {
+		p := pass.Fset.Position(n.Pos())
+		return ix.Cold(p.Filename, p.Line)
+	}
+	report := func(n ast.Node, what string) {
+		if cold(n) {
+			return
+		}
+		pass.Reportf(n.Pos(), "%s in hotpath function %s allocates; restructure it or mark the statement //mithra:coldpath <reason>", what, hf.Name)
+	}
+	// m[string(b)] is the compiler-recognized non-allocating lookup idiom
+	// (the temporary string never outlives the index expression); exempt
+	// conversions in that position before the walk reaches them.
+	mapIndexConv := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		idx, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		xtv, found := pass.TypesInfo.Types[idx.X]
+		if !found || xtv.Type == nil {
+			return true
+		}
+		if _, isMap := xtv.Type.Underlying().(*types.Map); isMap {
+			if call, ok := idx.Index.(*ast.CallExpr); ok {
+				if tv, found := pass.TypesInfo.Types[call.Fun]; found && tv.IsType() {
+					mapIndexConv[call] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			// A closure is a single allocation at creation; its body is not
+			// part of the steady-state path, so don't descend.
+			report(v, "func literal")
+			return false
+		case *ast.CompositeLit:
+			report(v, "composite literal")
+			return false
+		case *ast.CallExpr:
+			if !mapIndexConv[v] {
+				checkHotpathCall(pass, report, v)
+			}
+		}
+		return true
+	})
+}
+
+// checkHotpathCall classifies one call expression inside a hotpath body.
+func checkHotpathCall(pass *Pass, report func(ast.Node, string), call *ast.CallExpr) {
+	info := pass.TypesInfo
+
+	// Builtins make/new always allocate on the hot path (append is left to
+	// the escape gate: appending within capacity is free, and only the
+	// compiler knows).
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if obj, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch obj.Name() {
+			case "make", "new":
+				report(call, obj.Name())
+			}
+			return
+		}
+	}
+
+	// Conversions between string and byte/rune slices copy.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type
+		from := info.Types[call.Args[0]].Type
+		if allocConversion(to, from) {
+			report(call, "string conversion")
+			return
+		}
+	}
+
+	// fmt is wholesale off the hot path: every entry point boxes its
+	// arguments and most build intermediate strings.
+	if path, name, ok := pkgCall(info, call); ok && path == "fmt" {
+		report(call, "fmt."+name+" call")
+		return
+	}
+
+	// Passing a concrete value to a ...any variadic boxes it into an
+	// interface — the classic hidden allocation behind error formatting
+	// helpers.
+	if sig := calleeSignature(info, call); sig != nil && sig.Variadic() && !call.Ellipsis.IsValid() {
+		last := sig.Params().At(sig.Params().Len() - 1)
+		if slice, ok := last.Type().(*types.Slice); ok && types.IsInterface(slice.Elem()) {
+			if len(call.Args) >= sig.Params().Len() {
+				report(call, "argument boxed into "+types.TypeString(slice.Elem(), nil)+" variadic")
+			}
+		}
+	}
+}
+
+// allocConversion reports whether a conversion from from to to copies its
+// operand (string <-> []byte / []rune).
+func allocConversion(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	isString := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteOrRuneSlice := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+			b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isString(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isString(from))
+}
+
+// calleeSignature resolves the signature of a call's callee, nil for
+// builtins and type conversions.
+func calleeSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}

@@ -71,7 +71,7 @@ func checkDirective(d *directive) string {
 	for _, a := range strings.Split(d.analyzers, ",") {
 		a = strings.TrimSpace(a)
 		if a == "" || byName(a) == nil {
-			return "//lint:ignore names unknown analyzer " + quoted(a) + " (known: nondeterminism, maporder, parallelcapture, floatreduce)"
+			return "//lint:ignore names unknown analyzer " + quoted(a) + " (known: " + knownNames() + ")"
 		}
 	}
 	if d.reason == "" {

@@ -34,6 +34,22 @@ func TestIgnoreDirectives(t *testing.T) {
 	runFixture(t, "ignore", MapOrderAnalyzer)
 }
 
+func TestPoolOwnershipFixtures(t *testing.T) {
+	runFixture(t, filepath.Join("poolown", "serve"), PoolOwnershipAnalyzer)
+}
+
+func TestHotpathAllocFixtures(t *testing.T) {
+	runFixture(t, "hotpath", HotpathAllocAnalyzer)
+}
+
+func TestDurableWriteFixtures(t *testing.T) {
+	runFixture(t, filepath.Join("durable", "fault"), DurableWriteAnalyzer)
+}
+
+func TestAtomicSwapFixtures(t *testing.T) {
+	runFixture(t, filepath.Join("atomics", "serve"), AtomicSwapAnalyzer)
+}
+
 // TestRepoIsClean runs the full suite over the module itself: the tree
 // must stay free of determinism findings, and every package must
 // type-check. This is the same gate CI applies via cmd/mithralint.

@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -81,22 +83,13 @@ func Load(root string, patterns []string) ([]*Package, error) {
 // loadDir loads the single non-test package in dir, or nil if the
 // directory holds no non-test Go files.
 func loadDir(fset *token.FileSet, imp types.Importer, modPath, root, dir string) (*Package, error) {
-	entries, err := os.ReadDir(dir)
+	names, err := goSourceNames(dir)
 	if err != nil {
-		return nil, fmt.Errorf("lint: %w", err)
-	}
-	var names []string
-	for _, e := range entries {
-		n := e.Name()
-		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
-			continue
-		}
-		names = append(names, n)
+		return nil, err
 	}
 	if len(names) == 0 {
 		return nil, nil
 	}
-	sort.Strings(names)
 
 	var files []*ast.File
 	for _, n := range names {
@@ -126,6 +119,126 @@ func loadDir(fset *token.FileSet, imp types.Importer, modPath, root, dir string)
 	// conf.Error so analysis can proceed on partial type information.
 	pkg.Pkg, _ = conf.Check(path, fset, files, pkg.Info)
 	return pkg, nil
+}
+
+// goSourceNames lists the non-test Go files in dir that would build on
+// this platform, sorted. Files excluded by a //go:build constraint or a
+// GOOS/GOARCH filename suffix are dropped — a cgo-only or foreign-OS file
+// would otherwise be type-checked against an environment it was never
+// meant for, and its (spurious) type errors would fail the whole run.
+func goSourceNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		if !filenameMatchesPlatform(n) {
+			continue
+		}
+		ok, err := buildConstraintSatisfied(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// knownGOOS/knownGOARCH are the suffix vocabularies for filename-implied
+// build constraints (name_GOOS.go, name_GOARCH.go, name_GOOS_GOARCH.go).
+// The lists cover the targets the go tool recognizes; an unknown suffix is
+// just part of the name.
+var knownGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownGOARCH = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+// filenameMatchesPlatform applies the go tool's filename-implied build
+// constraints for the current GOOS/GOARCH.
+func filenameMatchesPlatform(name string) bool {
+	base := strings.TrimSuffix(name, ".go")
+	parts := strings.Split(base, "_")
+	if len(parts) == 1 {
+		return true
+	}
+	last := parts[len(parts)-1]
+	if knownGOARCH[last] {
+		if last != runtime.GOARCH {
+			return false
+		}
+		if len(parts) >= 3 && knownGOOS[parts[len(parts)-2]] {
+			return parts[len(parts)-2] == runtime.GOOS
+		}
+		return true
+	}
+	if knownGOOS[last] {
+		return last == runtime.GOOS
+	}
+	return true
+}
+
+// buildConstraintSatisfied evaluates the file's //go:build (or legacy
+// // +build) constraint against the current platform with cgo disabled —
+// the suite type-checks from source through the stdlib importer, where no
+// cgo context exists.
+func buildConstraintSatisfied(path string) (bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, fmt.Errorf("lint: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "package ") {
+			break
+		}
+		if !constraint.IsGoBuild(line) && !constraint.IsPlusBuild(line) {
+			continue
+		}
+		expr, err := constraint.Parse(line)
+		if err != nil {
+			// A malformed constraint never matches, same as the go tool.
+			return false, nil
+		}
+		if !expr.Eval(buildTagActive) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// buildTagActive decides one build tag for constraint evaluation: the
+// current platform, the gc toolchain, and every go1.x version tag are on;
+// cgo and everything else (custom tags) are off.
+func buildTagActive(tag string) bool {
+	if tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc" || tag == "unix" && unixGOOS[runtime.GOOS] {
+		return true
+	}
+	return strings.HasPrefix(tag, "go1.")
+}
+
+// unixGOOS mirrors the go tool's "unix" pseudo-tag.
+var unixGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "linux": true,
+	"netbsd": true, "openbsd": true, "solaris": true,
 }
 
 // newInfo allocates the types.Info maps the analyzers rely on.
@@ -181,8 +294,9 @@ func expandPattern(root, pat string) ([]string, error) {
 		}
 		name := d.Name()
 		// testdata holds fixtures that intentionally violate the
-		// invariants; hidden directories are never package sources.
-		if p != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+		// invariants; vendored trees are third-party code the suite has no
+		// business judging; hidden directories are never package sources.
+		if p != base && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
 			return filepath.SkipDir
 		}
 		dirs = append(dirs, p)

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// foreignGOOS / foreignGOARCH return a platform that is guaranteed not to
+// be the one running the test, so exclusion cases work everywhere.
+func foreignGOOS() string {
+	if runtime.GOOS == "windows" {
+		return "plan9"
+	}
+	return "windows"
+}
+
+func foreignGOARCH() string {
+	if runtime.GOARCH == "s390x" {
+		return "mips64"
+	}
+	return "s390x"
+}
+
+func TestFilenameMatchesPlatform(t *testing.T) {
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"plain.go", true},
+		{"wire_" + runtime.GOOS + ".go", true},
+		{"wire_" + foreignGOOS() + ".go", false},
+		{"wire_" + runtime.GOARCH + ".go", true},
+		{"wire_" + foreignGOARCH() + ".go", false},
+		{"wire_" + runtime.GOOS + "_" + runtime.GOARCH + ".go", true},
+		{"wire_" + foreignGOOS() + "_" + runtime.GOARCH + ".go", false},
+		{"wire_" + runtime.GOOS + "_" + foreignGOARCH() + ".go", false},
+		// An unknown suffix is part of the name, not a constraint.
+		{"wire_utils.go", true},
+		{"wire_frobnicator.go", true},
+	}
+	for _, tc := range cases {
+		if got := filenameMatchesPlatform(tc.name); got != tc.want {
+			t.Errorf("filenameMatchesPlatform(%q) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func writeFile(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildConstraintSatisfied(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name    string
+		content string
+		want    bool
+	}{
+		{"none.go", "package p\n", true},
+		{"current.go", "//go:build " + runtime.GOOS + "\n\npackage p\n", true},
+		{"foreign.go", "//go:build " + foreignGOOS() + "\n\npackage p\n", false},
+		{"negated.go", "//go:build !" + foreignGOOS() + "\n\npackage p\n", true},
+		// The suite type-checks with cgo off, so cgo-only files are skipped.
+		{"cgo.go", "//go:build cgo\n\npackage p\n", false},
+		{"ignore.go", "//go:build ignore\n\npackage p\n", false},
+		{"legacy.go", "// +build " + runtime.GOOS + "\n\npackage p\n", true},
+		{"version.go", "//go:build go1.21\n\npackage p\n", true},
+		// A constraint after the package clause is just a comment.
+		{"after.go", "package p\n\n//go:build ignore\n", true},
+	}
+	for _, tc := range cases {
+		writeFile(t, dir, tc.name, tc.content)
+		got, err := buildConstraintSatisfied(filepath.Join(dir, tc.name))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got != tc.want {
+			t.Errorf("%s: constraint satisfied = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestGoSourceNames exercises the whole file filter: test files, build
+// tags, platform suffixes, and non-Go entries drop out; survivors come
+// back sorted.
+func TestGoSourceNames(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "zeta.go", "package p\n")
+	writeFile(t, dir, "alpha.go", "package p\n")
+	writeFile(t, dir, "alpha_test.go", "package p\n")
+	writeFile(t, dir, "tagged_out.go", "//go:build "+foreignGOOS()+"\n\npackage p\n")
+	writeFile(t, dir, "cgo_only.go", "//go:build cgo\n\npackage p\n")
+	writeFile(t, dir, "port_"+foreignGOOS()+".go", "package p\n")
+	writeFile(t, dir, "port_"+runtime.GOOS+".go", "package p\n")
+	writeFile(t, dir, "notes.txt", "not go\n")
+	if err := os.Mkdir(filepath.Join(dir, "sub.go"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	names, err := goSourceNames(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha.go", "port_" + runtime.GOOS + ".go", "zeta.go"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("goSourceNames = %v, want %v", names, want)
+	}
+}
+
+// TestExpandPatternSkips proves the recursive walk never descends into
+// vendored trees, fixtures, or hidden/underscore directories.
+func TestExpandPatternSkips(t *testing.T) {
+	root := t.TempDir()
+	for _, d := range []string{
+		"pkg",
+		filepath.Join("pkg", "inner"),
+		"vendor",
+		filepath.Join("vendor", "example.com", "dep"),
+		"testdata",
+		filepath.Join("pkg", "testdata", "src"),
+		".git",
+		"_attic",
+	} {
+		if err := os.MkdirAll(filepath.Join(root, d), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dirs, err := expandPattern(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, d := range dirs {
+		rel, err := filepath.Rel(root, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[filepath.ToSlash(rel)] = true
+	}
+	for _, wantDir := range []string{".", "pkg", "pkg/inner"} {
+		if !got[wantDir] {
+			t.Errorf("expandPattern missed %s (got %v)", wantDir, dirs)
+		}
+	}
+	for _, skipped := range []string{"vendor", "vendor/example.com/dep", "testdata", "pkg/testdata", "pkg/testdata/src", ".git", "_attic"} {
+		if got[skipped] {
+			t.Errorf("expandPattern descended into %s", skipped)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// A Suppression is one explained waiver in the tree: a //lint:ignore
+// directive or a //mithra:coldpath allocation allowance. The audit listing
+// (`mithralint -suppressions`) exists so the set of places where the
+// invariants are waived is reviewable in one screen instead of scattered
+// across the tree — a suppression that nobody can enumerate is a
+// suppression that never gets revisited.
+type Suppression struct {
+	File     string
+	Line     int
+	Kind     string // "lint:ignore" or "mithra:coldpath"
+	Analyzer string // analyzer list for lint:ignore, "hotpathalloc,escapes" for coldpath
+	Reason   string
+}
+
+func (s Suppression) String() string {
+	return fmt.Sprintf("%s:%d: %s %s: %s", s.File, s.Line, s.Kind, s.Analyzer, s.Reason)
+}
+
+// Suppressions enumerates every waiver in the loaded packages, sorted by
+// file and line. Malformed directives are excluded — they are diagnostics,
+// not waivers.
+func Suppressions(pkgs []*Package) []Suppression {
+	var out []Suppression
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			filename := pkg.Fset.Position(f.Pos()).Filename
+			dirs := parseDirectives(pkg.Fset, f)
+			lines := make([]int, 0, len(dirs))
+			for line := range dirs {
+				lines = append(lines, line)
+			}
+			sort.Ints(lines)
+			for _, line := range lines {
+				d := dirs[line]
+				if checkDirective(d) != "" {
+					continue
+				}
+				out = append(out, Suppression{
+					File:     filename,
+					Line:     line,
+					Kind:     "lint:ignore",
+					Analyzer: d.analyzers,
+					Reason:   d.reason,
+				})
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, coldpathDirective+" ")
+					if !ok {
+						continue
+					}
+					reason := strings.TrimSpace(rest)
+					if reason == "" {
+						continue
+					}
+					out = append(out, Suppression{
+						File:     filename,
+						Line:     pkg.Fset.Position(c.Pos()).Line,
+						Kind:     "mithra:coldpath",
+						Analyzer: "hotpathalloc,escapes",
+						Reason:   reason,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}

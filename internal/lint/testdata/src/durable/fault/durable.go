@@ -1,0 +1,117 @@
+// Fixture for the durablewrite analyzer: the package path ends in
+// "fault", which is inside the guarded scope.
+package fault
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// syncDir is the blessed directory-sync helper, matched by name (the
+// real one lives in internal/serve/wal.go).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// --- positives --------------------------------------------------------
+
+func bareWriteFile(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644) // want "os.WriteFile is not power-loss atomic"
+}
+
+func truncateInPlace(path string) error {
+	f, err := os.Create(path) // want "os.Create truncates in place"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func openWithoutAppend(path string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644) // want "os.OpenFile without os.O_APPEND"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func tempWithoutSync(dir string, b []byte) error {
+	f, err := os.CreateTemp(dir, "snap-*") // want "no Sync call in tempWithoutSync"
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	// The rename is never durable either: no directory sync anywhere.
+	if err := os.Rename(f.Name(), filepath.Join(dir, "snap")); err != nil { // want "os.Rename here but no syncDir call"
+		return err
+	}
+	return nil
+}
+
+func tempNeverInstalled(dir string, b []byte) error {
+	f, err := os.CreateTemp(dir, "snap-*") // want "no os.Rename in tempNeverInstalled"
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// --- negatives --------------------------------------------------------
+
+// The blessed snapshot shape: temp file, write, fsync, atomic rename,
+// directory sync (mirrors wal.StoreSnapshot).
+func storeSnapshot(dir, final string, b []byte) error {
+	f, err := os.CreateTemp(dir, "snap-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(f.Name(), final); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// The blessed append-log shape: O_APPEND writes tear at most the tail,
+// which recovery discards.
+func appendRecord(path string, b []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,14 @@
+package hotpath
+
+// Malformed annotations are diagnostics in their own right: a broken
+// annotation silently un-guards the invariant it claims to freeze. The
+// empty-argument forms (//mithra:coldpath with no reason, a stray
+// //mithra:hotpath outside any doc comment) cannot carry an inline want
+// and are covered by TestCollectHotpathDiagnostics instead.
+
+//mithra:frobnicate the verb does not exist -- want "unknown //mithra:frobnicate directive"
+
+//mithra:coldpath a coldpath at file scope guards nothing -- want "misplaced //mithra:coldpath"
+
+//mithra:hotpath spurious argument -- want "takes no arguments"
+func annotatedWithArgs() {}

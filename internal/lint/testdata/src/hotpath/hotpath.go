@@ -1,0 +1,96 @@
+// Fixture for the hotpathalloc analyzer. The analyzer is scoped by
+// annotation, not by package path: only //mithra:hotpath functions are
+// checked, so the unannotated twins double as true negatives.
+package hotpath
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+var registry = map[string]int{}
+
+func sink(args ...any) {}
+
+// --- positives --------------------------------------------------------
+
+// The acceptance case: introduce a fmt call into an annotated function
+// and the lint gate fails.
+//
+//mithra:hotpath
+func formats(n int) string {
+	return fmt.Sprintf("%d", n) // want "fmt.Sprintf call in hotpath function formats allocates"
+}
+
+//mithra:hotpath
+func makes(n int) []byte {
+	return make([]byte, n) // want "make in hotpath function makes allocates"
+}
+
+//mithra:hotpath
+func news() *pair {
+	return new(pair) // want "new in hotpath function news allocates"
+}
+
+//mithra:hotpath
+func composites() pair {
+	return pair{1, 2} // want "composite literal in hotpath function composites allocates"
+}
+
+//mithra:hotpath
+func closures() func() int {
+	return func() int { return 1 } // want "func literal in hotpath function closures allocates"
+}
+
+//mithra:hotpath
+func converts(b []byte) string {
+	return string(b) // want "string conversion in hotpath function converts allocates"
+}
+
+//mithra:hotpath
+func boxes(n int) {
+	sink(n) // want "argument boxed into .* variadic in hotpath function boxes allocates"
+}
+
+// --- negatives --------------------------------------------------------
+
+// The same constructs without the annotation are nobody's business.
+func formatsUnchecked(n int) string {
+	return fmt.Sprintf("%d", n)
+}
+
+// Appending within capacity, arithmetic, and indexing are free.
+//
+//mithra:hotpath
+func clean(dst []byte, vals []uint16) []byte {
+	for _, v := range vals {
+		dst = append(dst, byte(v>>8), byte(v))
+	}
+	return dst
+}
+
+// The compiler-recognized non-allocating map-lookup idiom.
+//
+//mithra:hotpath
+func lookup(b []byte) int {
+	return registry[string(b)]
+}
+
+// A coldpath waiver on the flagged line is the audited escape hatch, in
+// both trailing and standalone form.
+//
+//mithra:hotpath
+func waived(n int) []byte {
+	if n > 1024 {
+		return make([]byte, n) //mithra:coldpath oversized input falls back to the heap
+	}
+	//mithra:coldpath the steady-state size is pre-warmed; this fixture grows once
+	buf := make([]byte, 0, 1024)
+	return buf[:n]
+}
+
+// Passing the variadic slice through with ... does not box per element.
+//
+//mithra:hotpath
+func forwards(args []any) {
+	sink(args...)
+}

@@ -1,0 +1,166 @@
+package serve
+
+// --- positives --------------------------------------------------------
+
+// A path that neither releases nor transfers: the acceptance case for a
+// deleted Put (remove putReq from a worker and this is what remains).
+func leakAlways() {
+	buf := getBuf(64) // want "buffer from getBuf is not released"
+	_ = buf
+}
+
+// Released on the happy path only; the error return leaks.
+func leakOnError(fail bool) error {
+	req := getReq() // want "request from getReq is not released"
+	if fail {
+		return errFail
+	}
+	putReq(req)
+	return nil
+}
+
+// A loop iteration that can reach continue with the object still owned.
+func leakOnContinue(n int) {
+	for i := 0; i < n; i++ {
+		req := getReq() // want "request from getReq is not released"
+		if i%2 == 0 {
+			continue
+		}
+		putReq(req)
+	}
+}
+
+// Reading through the object after its release.
+func useAfterPut() byte {
+	buf := getBuf(8)
+	buf = append(buf, 1)
+	putBuf(buf)
+	return buf[0] // want "use of pooled buffer from getBuf after it was returned to the pool"
+}
+
+// An alias created by a same-typed call result is tracked through the
+// release too.
+func useAfterPutAlias() (byte, error) {
+	buf := getBuf(8)
+	out, err := frame(buf)
+	putBuf(buf)
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil // want "use of pooled buffer from getBuf after it was returned to the pool"
+}
+
+// Releasing twice on one path.
+func doublePut() {
+	req := getReq()
+	putReq(req)
+	putReq(req) // want "returned to the pool twice"
+}
+
+// Objects that never came from the pool.
+func foreignPut() {
+	req := &DecideRequest{}
+	putReq(req) // want "never came from the pool"
+}
+
+func foreignPutMake() {
+	putBuf(make([]byte, 0, 64)) // want "never came from the pool"
+}
+
+// An acquisition whose result is dropped leaks immediately.
+func discarded() {
+	getReq() // want "result of getReq is discarded"
+}
+
+// An owned parameter must leave the function on every path too.
+//
+//mithra:owns req
+func consumeLeaky(req *DecideRequest, fail bool) { // want "owned parameter req is not released"
+	if fail {
+		return
+	}
+	putReq(req)
+}
+
+// --- negatives --------------------------------------------------------
+
+// Released on every path, including the error return.
+func allPaths(fail bool) error {
+	req := getReq()
+	if fail {
+		putReq(req)
+		return errFail
+	}
+	putReq(req)
+	return nil
+}
+
+// Returning the object transfers ownership to the caller.
+func transferReturn() *DecideRequest {
+	req := getReq()
+	req.ID = 1
+	return req
+}
+
+// Sending on a channel transfers ownership to the receiver (the
+// reader -> shard queue -> worker protocol).
+func transferSend(q chan *DecideRequest) {
+	req := getReq()
+	select {
+	case q <- req:
+	default:
+		putReq(req)
+	}
+}
+
+// A deferred release covers every remaining path, including panics.
+func deferRelease() {
+	buf := getBuf(16)
+	defer putBuf(buf)
+	mayPanic()
+}
+
+// Passing to an //mithra:owns callee transfers ownership.
+//
+//mithra:owns req
+func consume(req *DecideRequest) {
+	req.ID = 0
+	putReq(req)
+}
+
+func transferOwns() {
+	req := getReq()
+	consume(req)
+}
+
+// Release through a composite-literal alias: the task wrapper carries the
+// request, so putting the wrapper's field is putting the request.
+type task struct {
+	req *DecideRequest
+}
+
+func wrapAndSend(q chan task) {
+	req := getReq()
+	t := task{req: req}
+	q <- t
+}
+
+// Puts of non-tracked storage (fields, channel receives) are the consumer
+// half of the protocol and always allowed.
+func workerDrain(q chan task) {
+	for t := range q {
+		putReq(t.req)
+	}
+}
+
+// Growing through the pool: put the outgrown buffer, draw a bigger one,
+// return the result (mirrors ReadFrameInto).
+//
+//mithra:owns buf
+func grow(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		putBuf(buf)
+		buf = getBuf(n)
+	}
+	return buf[:n]
+}

@@ -1,0 +1,21 @@
+// Fixture for the poolownership analyzer: the package path ends in
+// "serve", which is inside the guarded scope. These stubs mirror the real
+// pool API (internal/serve/pool.go) so acquisition and release sites
+// resolve by name.
+package serve
+
+import "errors"
+
+type DecideRequest struct {
+	ID uint32
+	In []float64
+}
+
+var errFail = errors.New("fail")
+
+func getBuf(n int) []byte              { return make([]byte, 0, n) }
+func putBuf(b []byte)                  {}
+func getReq() *DecideRequest           { return new(DecideRequest) }
+func putReq(r *DecideRequest)          {}
+func mayPanic()                        {}
+func frame(dst []byte) ([]byte, error) { return dst, nil }

@@ -134,6 +134,8 @@ func (h *Hasher) stepRef(state uint16) uint16 {
 // breaks up the contiguous-coset aliasing that a plain XOR of
 // low-entropy words would produce, without adding anything beyond
 // bit-select/rotate/XOR to the circuit.
+//
+//mithra:hotpath
 func (h *Hasher) Hash(words []uint16) uint32 {
 	state := h.seed
 	for i, w := range words {
@@ -144,6 +146,8 @@ func (h *Hasher) Hash(words []uint16) uint32 {
 
 // fold advances the register by one input word at position i: input
 // pre-permutation, the table-driven LFSR steps, and the width fold.
+//
+//mithra:hotpath
 func (h *Hasher) fold(state, w uint16, i int) uint16 {
 	if h.cfg.ByteSwap {
 		w = w>>8 | w<<8
@@ -158,6 +162,8 @@ func (h *Hasher) fold(state, w uint16, i int) uint16 {
 // words[idx[1]], ... without materializing the gathered slice — the
 // position-dependent rotation is keyed by the position within idx, so the
 // result is bit-identical to Hash over a pre-gathered copy.
+//
+//mithra:hotpath
 func (h *Hasher) HashIndexed(words []uint16, idx []int) uint32 {
 	state := h.seed
 	for i, p := range idx {
@@ -172,6 +178,8 @@ func (h *Hasher) HashIndexed(words []uint16, idx []int) uint32 {
 // vector; this is the serving batch loop's vectorized form — one hasher
 // sweeps a whole request batch before the next table's hasher runs, so
 // the step tables and the table's bitset stay cache-hot.
+//
+//mithra:hotpath
 func (h *Hasher) HashBatchIndexed(batch [][]uint16, idx []int, out []uint32) {
 	for r, words := range batch {
 		state := h.seed

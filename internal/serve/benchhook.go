@@ -50,6 +50,8 @@ func (s *Server) SteadyDriver(bench string, in []float64) (*SteadyDriver, error)
 
 // Step serves the pre-encoded request once, end to end. The first call
 // warms the request pool; every subsequent call is allocation-free.
+//
+//mithra:hotpath
 func (d *SteadyDriver) Step() error {
 	req := getReq()
 	bench, err := ParseDecideRequestInto(d.payload, req)

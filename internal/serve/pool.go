@@ -40,16 +40,18 @@ func classFor(n int) int {
 // getBuf returns a zero-length buffer with capacity >= n. Steady state
 // it is pool-hit and allocation-free; a cold pool (or n beyond the
 // largest class) allocates.
+//
+//mithra:hotpath
 func getBuf(n int) []byte {
 	ci := classFor(n)
 	if ci < 0 {
-		return make([]byte, 0, n)
+		return make([]byte, 0, n) //mithra:coldpath beyond the largest class the heap is the fallback
 	}
 	var b []byte
 	if v := bufPools[ci].Get(); v != nil {
 		b = v.([]byte)[:0]
 	} else {
-		b = make([]byte, 0, bufClasses[ci])
+		b = make([]byte, 0, bufClasses[ci]) //mithra:coldpath cold-pool fill; steady state is pool-hit
 	}
 	poolDebugGet(b)
 	return b
@@ -59,6 +61,8 @@ func getBuf(n int) []byte {
 // their class via append (oversized error messages) are dropped to the
 // GC rather than polluting a class with odd capacities. Safe on
 // nil/zero-cap buffers.
+//
+//mithra:hotpath
 func putBuf(b []byte) {
 	if cap(b) == 0 {
 		return
@@ -68,6 +72,7 @@ func putBuf(b []byte) {
 		return
 	}
 	poolDebugPut(b)
+	//mithra:coldpath static escape only: converting a zero-length slice to any hits runtime convTslice's zerobase fast path and never allocates
 	bufPools[ci].Put(b[:0]) //nolint:staticcheck // slices are pointer-shaped; this does not allocate per op
 }
 
@@ -76,12 +81,14 @@ func putBuf(b []byte) {
 // inline-response paths) returns it once the response is encoded.
 var reqPool = sync.Pool{New: func() any { return new(DecideRequest) }}
 
+//mithra:hotpath
 func getReq() *DecideRequest {
 	r := reqPool.Get().(*DecideRequest)
 	poolDebugGetReq(r)
 	return r
 }
 
+//mithra:hotpath
 func putReq(r *DecideRequest) {
 	if r == nil {
 		return

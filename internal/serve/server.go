@@ -371,6 +371,8 @@ func (s *Server) reader(c *conn) {
 // (backpressure through the reader and TCP) unless RejectWhenFull sheds
 // it in-band; a draining server rejects. enqueue owns req: queueing
 // transfers it to a worker, every other outcome returns it to the pool.
+//
+//mithra:owns req
 func (s *Server) enqueue(c *conn, sh *shard, req *DecideRequest) {
 	if !sh.brk.admit() {
 		// Fail-safe degradation: the precise function is always

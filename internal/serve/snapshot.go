@@ -203,6 +203,8 @@ func NewRegistry(snaps ...*Snapshot) *Registry {
 }
 
 // Get returns the current snapshot for bench, or nil.
+//
+//mithra:hotpath
 func (r *Registry) Get(bench string) *Snapshot {
 	return (*r.cur.Load())[bench]
 }

@@ -116,6 +116,8 @@ type Message any
 
 // AppendFrame appends a complete frame (length prefix + payload) for msg
 // to dst and returns the extended slice.
+//
+//mithra:hotpath
 func AppendFrame(dst []byte, msg Message) ([]byte, error) {
 	start := len(dst)
 	dst = append(dst, 0, 0, 0, 0) // length backpatched below
@@ -140,7 +142,7 @@ func AppendFrame(dst []byte, msg Message) ([]byte, error) {
 		dst = binary.BigEndian.AppendUint32(dst, m.Version)
 	case *ErrorResponse:
 		if len(m.Msg) > math.MaxUint16 {
-			return nil, protoErrf("error message %d bytes too long", len(m.Msg))
+			return nil, protoErrf("error message %d bytes too long", len(m.Msg)) //mithra:coldpath error formatting on a rejected frame
 		}
 		dst = append(dst, msgError)
 		dst = binary.BigEndian.AppendUint32(dst, m.ID)
@@ -152,11 +154,11 @@ func AppendFrame(dst []byte, msg Message) ([]byte, error) {
 	case Pong:
 		dst = append(dst, msgPong)
 	default:
-		return nil, protoErrf("unencodable message type %T", msg)
+		return nil, protoErrf("unencodable message type %T", msg) //mithra:coldpath error formatting on a rejected message
 	}
 	payload := len(dst) - start - 4
 	if payload > MaxFrame {
-		return nil, protoErrf("frame payload %d exceeds %d", payload, MaxFrame)
+		return nil, protoErrf("frame payload %d exceeds %d", payload, MaxFrame) //mithra:coldpath error formatting on an oversized frame
 	}
 	binary.BigEndian.PutUint32(dst[start:start+4], uint32(payload))
 	return dst, nil
@@ -167,6 +169,8 @@ func AppendFrame(dst []byte, msg Message) ([]byte, error) {
 // parameter type: the request never crosses an interface boundary, so a
 // stack-allocated request stays on the stack — this is the client's
 // steady-state encode path.
+//
+//mithra:hotpath
 func AppendDecideRequest(dst []byte, m *DecideRequest) ([]byte, error) {
 	start := len(dst)
 	dst = append(dst, 0, 0, 0, 0) // length backpatched below
@@ -176,12 +180,14 @@ func AppendDecideRequest(dst []byte, m *DecideRequest) ([]byte, error) {
 
 // appendDecideRequestBody writes the decide-request body and backpatches
 // the length prefix at start (dst already carries prefix + magic/version).
+//
+//mithra:hotpath
 func appendDecideRequestBody(dst []byte, start int, m *DecideRequest) ([]byte, error) {
 	if len(m.Bench) > maxBenchName {
-		return nil, protoErrf("bench name %d bytes exceeds %d", len(m.Bench), maxBenchName)
+		return nil, protoErrf("bench name %d bytes exceeds %d", len(m.Bench), maxBenchName) //mithra:coldpath error formatting on a rejected request
 	}
 	if len(m.In) > MaxInputDim {
-		return nil, protoErrf("input dim %d exceeds %d", len(m.In), MaxInputDim)
+		return nil, protoErrf("input dim %d exceeds %d", len(m.In), MaxInputDim) //mithra:coldpath error formatting on a rejected request
 	}
 	dst = append(dst, msgDecideReq)
 	dst = binary.BigEndian.AppendUint32(dst, m.ID)
@@ -193,7 +199,7 @@ func appendDecideRequestBody(dst []byte, start int, m *DecideRequest) ([]byte, e
 	}
 	payload := len(dst) - start - 4
 	if payload > MaxFrame {
-		return nil, protoErrf("frame payload %d exceeds %d", payload, MaxFrame)
+		return nil, protoErrf("frame payload %d exceeds %d", payload, MaxFrame) //mithra:coldpath error formatting on an oversized frame
 	}
 	binary.BigEndian.PutUint32(dst[start:start+4], uint32(payload))
 	return dst, nil
@@ -243,6 +249,9 @@ func ReadFrame(r *bufio.Reader) ([]byte, error) {
 // across frames. Pass nil to start: the first frame draws a pooled
 // buffer. The error contract matches ReadFrame; on error the returned
 // slice is buf[:0] (capacity preserved).
+//
+//mithra:hotpath
+//mithra:owns buf
 func ReadFrameInto(r *bufio.Reader, buf []byte) ([]byte, error) {
 	// Peek/Discard instead of ReadFull into a local array: the local
 	// would escape through io.Reader's interface boundary and cost one
@@ -252,12 +261,12 @@ func ReadFrameInto(r *bufio.Reader, buf []byte) ([]byte, error) {
 		if errors.Is(err, io.EOF) && len(hdr) == 0 {
 			return buf[:0], io.EOF
 		}
-		return buf[:0], protoErrf("short frame header: %v", err)
+		return buf[:0], protoErrf("short frame header: %v", err) //mithra:coldpath error formatting on a broken stream
 	}
 	n := binary.BigEndian.Uint32(hdr)
 	r.Discard(4) //nolint:errcheck // cannot fail: 4 bytes are buffered
 	if n > MaxFrame {
-		return buf[:0], &FrameTooLargeError{N: n}
+		return buf[:0], &FrameTooLargeError{N: n} //mithra:coldpath error construction on an oversized frame
 	}
 	if uint64(cap(buf)) < uint64(n) {
 		putBuf(buf)
@@ -265,7 +274,7 @@ func ReadFrameInto(r *bufio.Reader, buf []byte) ([]byte, error) {
 	}
 	buf = buf[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return buf[:0], protoErrf("truncated frame (want %d bytes): %v", n, err)
+		return buf[:0], protoErrf("truncated frame (want %d bytes): %v", n, err) //mithra:coldpath error formatting on a truncated frame
 	}
 	return buf, nil
 }
@@ -276,13 +285,15 @@ func ReadFrameInto(r *bufio.Reader, buf []byte) ([]byte, error) {
 // intern (it is valid only until the payload buffer is reused — req.Bench
 // is NOT set here). Non-decide-request payloads, including valid frames
 // of other types, return an ErrProtocol-wrapping error.
+//
+//mithra:hotpath
 func ParseDecideRequestInto(payload []byte, req *DecideRequest) (bench []byte, err error) {
 	if len(payload) < 3 || payload[0] != wireMagic || payload[1] != wireVersion || payload[2] != msgDecideReq {
 		return nil, protoErrf("not a decide request frame")
 	}
 	body := payload[3:]
 	if len(body) < 5 {
-		return nil, protoErrf("decide request body %d bytes, want >= 5", len(body))
+		return nil, protoErrf("decide request body %d bytes, want >= 5", len(body)) //mithra:coldpath error formatting on a malformed frame
 	}
 	req.ID = binary.BigEndian.Uint32(body[:4])
 	nameLen := int(body[4])
@@ -295,14 +306,14 @@ func ParseDecideRequestInto(payload []byte, req *DecideRequest) (bench []byte, e
 	dim := int(binary.BigEndian.Uint16(body[:2]))
 	body = body[2:]
 	if dim > MaxInputDim {
-		return nil, protoErrf("input dim %d exceeds %d", dim, MaxInputDim)
+		return nil, protoErrf("input dim %d exceeds %d", dim, MaxInputDim) //mithra:coldpath error formatting on a malformed frame
 	}
 	if len(body) != 8*dim {
-		return nil, protoErrf("decide request input is %d bytes, want %d", len(body), 8*dim)
+		return nil, protoErrf("decide request input is %d bytes, want %d", len(body), 8*dim) //mithra:coldpath error formatting on a malformed frame
 	}
 	in := req.In[:0]
 	if cap(in) < dim {
-		in = make([]float64, 0, dim)
+		in = make([]float64, 0, dim) //mithra:coldpath one-time input-vector growth; capacity is kept by the pooled request
 	}
 	for i := 0; i < dim; i++ {
 		in = append(in, math.Float64frombits(binary.BigEndian.Uint64(body[8*i:8*i+8])))
@@ -314,13 +325,15 @@ func ParseDecideRequestInto(payload []byte, req *DecideRequest) (bench []byte, e
 // ParseDecideResponseInto decodes a msgDecideResp frame payload into
 // resp without allocating. Error frames and other message types return
 // an ErrProtocol-wrapping error (use ParseMessage to decode those).
+//
+//mithra:hotpath
 func ParseDecideResponseInto(payload []byte, resp *DecideResponse) error {
 	if len(payload) < 3 || payload[0] != wireMagic || payload[1] != wireVersion || payload[2] != msgDecideResp {
 		return protoErrf("not a decide response frame")
 	}
 	body := payload[3:]
 	if len(body) != 9 {
-		return protoErrf("decide response body %d bytes, want 9", len(body))
+		return protoErrf("decide response body %d bytes, want 9", len(body)) //mithra:coldpath error formatting on a malformed frame
 	}
 	resp.ID = binary.BigEndian.Uint32(body[:4])
 	resp.Precise = body[4]&1 != 0
