@@ -69,6 +69,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdDecide(rest, stdout, stderr)
 	case "loadgen":
 		return cmdLoadgen(rest, stdout, stderr)
+	case "watch":
+		return cmdWatch(rest, stdout, stderr)
 	case "bench":
 		return cmdBench(rest, stdout, stderr)
 	case "-h", "--help", "help":
@@ -92,6 +94,7 @@ commands:
   journal   pretty-print (show) or compare (diff) run journals
   decide    compute a dataset's offline decision vector and journal
   loadgen   replay a dataset against a mithrad server and measure it
+  watch     poll a mithrad's /metrics.prom and render the guarantee status table
   bench     run the perf harness and update or gate BENCH_serve.json
 
 run 'mithra <command> -h' for flags.`)
@@ -633,14 +636,36 @@ func cmdJournal(args []string, stdout, stderr io.Writer) int {
 	}, func(fs *flag.FlagSet, _ *obsFlags, lg *obs.Logger) error {
 		switch fs.Arg(0) {
 		case "show":
-			if fs.NArg() != 2 {
-				return usageErrf("usage: mithra journal show <file>")
+			// Flag parsing stops at the positional "show", so the filter
+			// flag is picked out of the remaining args by hand:
+			//   mithra journal show [-notes <name>] <file>
+			notes, notesOnly := "", false
+			var files []string
+			rest := fs.Args()[1:]
+			for i := 0; i < len(rest); i++ {
+				switch a := rest[i]; a {
+				case "-notes", "--notes":
+					if i+1 >= len(rest) {
+						return usageErrf("-notes needs a note name (or \"\" for all notes)")
+					}
+					i++
+					notes, notesOnly = rest[i], true
+				default:
+					files = append(files, a)
+				}
 			}
-			entries, err := obs.ReadJournalFile(fs.Arg(1))
+			if len(files) != 1 {
+				return usageErrf("usage: mithra journal show [-notes <name>] <file>")
+			}
+			entries, err := obs.ReadJournalFile(files[0])
 			if err != nil {
 				return err
 			}
-			obs.RenderJournal(stdout, entries)
+			if notesOnly {
+				obs.RenderNotes(stdout, entries, notes)
+			} else {
+				obs.RenderJournal(stdout, entries)
+			}
 			return nil
 		case "diff":
 			if fs.NArg() != 3 {

@@ -74,22 +74,35 @@ func loadProgramInputs(cfgPath, scale string, seed uint64) (*core.Program, [][]f
 }
 
 // cmdDecide computes the offline decision vector for one dataset — the
-// reference a served run is compared against.
+// reference a served run is compared against. With -addr/-unix it asks a
+// mithrad server instead, stamping every request batch with a wire-v2
+// trace ID and (under -trace) journaling a client-to-worker span tree:
+// one span per pipelined batch, annotated with the trace ID the server
+// echoed back, so `mithra journal show` reconstructs which worker-side
+// decisions belong to which client batch.
 func cmdDecide(args []string, stdout, stderr io.Writer) int {
 	var (
 		cfgPath, scale, decisions *string
+		addr, unixPath            *string
 		seed                      *uint64
+		pipeline                  *int
 	)
 	return command("decide", args, stderr, func(fs *flag.FlagSet, of *obsFlags) {
 		cfgPath = fs.String("config", "", "exported deployment file (from 'mithra compile -o')")
 		scale = fs.String("scale", "test", "dataset scale: test|medium|paper")
 		seed = fs.Uint64("seed", 7, "dataset generation seed")
 		decisions = fs.String("decisions", "", "write the decision journal to this file")
-		of.registerLog(fs)
-	}, func(_ *flag.FlagSet, _ *obsFlags, lg *obs.Logger) error {
+		addr = fs.String("addr", "", "ask this mithrad TCP address instead of classifying offline")
+		unixPath = fs.String("unix", "", "ask the mithrad on this Unix socket instead of classifying offline")
+		pipeline = fs.Int("pipeline", 64, "requests pipelined per traced batch (server mode)")
+		of.register(fs)
+	}, func(_ *flag.FlagSet, of *obsFlags, lg *obs.Logger) error {
 		prog, inputs, err := loadProgramInputs(*cfgPath, *scale, *seed)
 		if err != nil {
 			return err
+		}
+		if *addr != "" || *unixPath != "" {
+			return decideServed(stdout, of, lg, prog, inputs, *addr, *unixPath, *seed, *pipeline, *decisions)
 		}
 		ds := serve.NewDecisionSet(prog.Bench.Name())
 		precise := 0
@@ -112,6 +125,77 @@ func cmdDecide(args []string, stdout, stderr io.Writer) int {
 		}
 		return nil
 	})
+}
+
+// decideServed is cmdDecide's server mode: one connection, pipelined
+// batches, every batch stamped with a deterministic nonzero trace ID
+// derived from (seed, batch index). Each response must echo its batch's
+// trace ID — a mismatch is a protocol failure, which is what makes this
+// the end-to-end test of wire-v2 trace propagation.
+func decideServed(stdout io.Writer, of *obsFlags, lg *obs.Logger, prog *core.Program,
+	inputs [][]float64, addr, unixPath string, seed uint64, pipeline int, decisions string) error {
+	if addr != "" && unixPath != "" {
+		return usageErrf("need at most one of -addr / -unix")
+	}
+	if pipeline < 1 {
+		return usageErrf("-pipeline must be >= 1")
+	}
+	network, target := "tcp", addr
+	if unixPath != "" {
+		network, target = "unix", unixPath
+	}
+	benchName := prog.Bench.Name()
+	o, shutdown, err := of.open(lg, "decide", seed, map[string]any{
+		"bench": benchName, "mode": "served", "pipeline": pipeline,
+	}, 1)
+	if err != nil {
+		return err
+	}
+	runErr := func() error {
+		cl, err := serve.Dial(network, target)
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		ds := serve.NewDecisionSet(benchName)
+		nPrecise, traced := 0, 0
+		for base, batchIdx := 0, uint64(0); base < len(inputs); base, batchIdx = base+pipeline, batchIdx+1 {
+			hi := min(base+pipeline, len(inputs))
+			// Trace IDs are a pure function of (seed, batch): nonzero by
+			// construction, stable across runs.
+			traceID := seed<<20 | (batchIdx + 1)
+			cl.SetTrace(traceID)
+			span := o.StartSpan("decide.batch",
+				obs.A("trace_id", traceID), obs.A("base_id", base), obs.A("n", hi-base))
+			resps, err := cl.DecideBatch(benchName, uint32(base), inputs[base:hi])
+			span.End()
+			if err != nil {
+				return err
+			}
+			for _, r := range resps {
+				if r.TraceID != traceID {
+					return fmt.Errorf("response %d echoed trace %#x, want %#x", r.ID, r.TraceID, traceID)
+				}
+				traced++
+				if r.Precise {
+					nPrecise++
+				}
+				ds.Append(r.Precise)
+			}
+		}
+		fmt.Fprintf(stdout, "bench      %s (served, traced)\n", benchName)
+		fmt.Fprintf(stdout, "decisions  %d (%d precise, %d trace-verified)\n", ds.Len(), nPrecise, traced)
+		fmt.Fprintf(stdout, "digest     %s\n", ds.Digest())
+		if decisions != "" {
+			if err := ds.WriteJournal(decisions, seed); err != nil {
+				return err
+			}
+			lg.Infof("decision journal written to %s", decisions)
+		}
+		return nil
+	}()
+	shutdown(runErr)
+	return runErr
 }
 
 // cmdLoadgen replays a dataset's invocation inputs against a mithrad

@@ -1,0 +1,89 @@
+package main
+
+// `mithra watch` is the live guarantee console (DESIGN.md §14): it polls
+// a mithrad debug endpoint's Prometheus exposition (/metrics.prom) and
+// renders one status table per poll — guarantee state, the current
+// Clopper-Pearson bound against the target, input-divergence gauges,
+// served decisions, fallback rate, and QPS computed from successive
+// polls. `-once` takes a single snapshot (the deterministic-under-test
+// mode: no QPS column, no clock-dependent output).
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"mithra/internal/obs"
+	"mithra/internal/watch"
+)
+
+// pollProm fetches and parses one exposition snapshot.
+func pollProm(url string) (map[string]float64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("watch: %s answered %s", url, resp.Status)
+	}
+	return watch.ParseProm(resp.Body)
+}
+
+func cmdWatch(args []string, stdout, stderr io.Writer) int {
+	var (
+		addr     *string
+		interval *time.Duration
+		polls    *int
+		once     *bool
+	)
+	return command("watch", args, stderr, func(fs *flag.FlagSet, of *obsFlags) {
+		addr = fs.String("addr", "localhost:6060", "mithrad debug address serving /metrics.prom")
+		interval = fs.Duration("interval", time.Second, "poll interval")
+		polls = fs.Int("n", 0, "number of polls (0 = until interrupted)")
+		once = fs.Bool("once", false, "render one snapshot and exit (no QPS)")
+		of.registerLog(fs)
+	}, func(_ *flag.FlagSet, _ *obsFlags, _ *obs.Logger) error {
+		url := "http://" + *addr + "/metrics.prom"
+		limit := *polls
+		if *once {
+			limit = 1
+		}
+		var prev map[string]float64
+		var prevAt time.Time
+		for i := 0; limit == 0 || i < limit; i++ {
+			if i > 0 {
+				time.Sleep(*interval)
+				fmt.Fprintln(stdout)
+			}
+			metrics, err := pollProm(url)
+			if err != nil {
+				return err
+			}
+			now := time.Now()
+			rows := watch.StatusFrom(metrics)
+			if len(rows) == 0 {
+				fmt.Fprintln(stdout, "no guarantee monitors armed (start mithrad with -watch)")
+			}
+			var qps map[string]float64
+			if prev != nil {
+				dt := now.Sub(prevAt).Seconds()
+				if dt > 0 {
+					qps = make(map[string]float64, len(rows))
+					for _, r := range rows {
+						d := r.Decisions - prev["mithra_serve_bench_decisions_"+r.Bench]
+						if d < 0 {
+							d = 0 // daemon restarted between polls
+						}
+						qps[r.Bench] = d / dt
+					}
+				}
+			}
+			watch.RenderStatus(stdout, rows, qps)
+			prev, prevAt = metrics, now
+		}
+		return nil
+	})
+}

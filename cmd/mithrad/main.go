@@ -36,6 +36,7 @@ import (
 	"mithra/internal/fault"
 	"mithra/internal/obs"
 	"mithra/internal/serve"
+	"mithra/internal/watch"
 )
 
 func main() {
@@ -70,6 +71,12 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) int {
 		faultPlan    = fs.String("fault-plan", "", "deterministic fault-injection plan, e.g. 'seed=42,conn.reset=0.01,worker.panic=0.05@64' (chaos testing)")
 		rejectFull   = fs.Bool("reject-when-full", false, "shed load in-band (CodeQueueFull) instead of exerting backpressure when a shard queue saturates")
 		noBreaker    = fs.Bool("no-breaker", false, "disable the per-benchmark circuit breaker (fail-safe degradation)")
+		watchOn      = fs.Bool("watch", false, "arm the per-shard guarantee monitor (requires -sample-rate > 0 to see observations)")
+		watchWindow  = fs.Int("watch-window", 0, "guarantee monitor sliding window in sampled observations (0 = default 64)")
+		watchMargin  = fs.Float64("watch-margin", 0, "at-risk margin between the CP lower bound and the target (0 = default 0.02)")
+		watchRecover = fs.Int("watch-recover", 0, "consecutive passing evaluations before recovering -> holding (0 = window size)")
+		watchExempl  = fs.Int("watch-exemplars", 0, "guarantee-relevant request IDs kept per state transition (0 = default 8)")
+		watchLag     = fs.Int("watch-lag", 0, "reorder-buffer depth for ID-ordered monitor ingestion (0 = default 512)")
 	)
 	err := fs.Parse(args)
 	if errors.Is(err, flag.ErrHelp) {
@@ -189,6 +196,14 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) int {
 		RejectWhenFull: *rejectFull,
 		Breaker:        serve.BreakerConfig{Disabled: *noBreaker},
 		WAL:            wal,
+		Watch: watch.Config{
+			Enabled:      *watchOn,
+			Window:       *watchWindow,
+			RiskMargin:   *watchMargin,
+			RecoverAfter: *watchRecover,
+			Exemplars:    *watchExempl,
+			Lag:          *watchLag,
+		},
 	}
 	if recovered != nil {
 		cfg.RecoveredWindows = recovered.Windows
@@ -201,17 +216,22 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) int {
 	o.RunStart("mithrad", *sampleSeed, map[string]any{
 		"snapshots": *snapshots, "sample_rate": *sampleRate,
 		"update_every": *updateEvery, "freeze": *freeze,
-		"wal": *walDir != "", "fault_plan": *faultPlan,
+		"wal": *walDir != "", "fault_plan": *faultPlan, "watch": *watchOn,
 	}, nil)
 
 	var dbg *obs.DebugServer
 	if *debugAddr != "" {
-		dbg, err = obs.StartDebugMux(*debugAddr, o.Metrics(), srv.HTTPHandlers())
+		handlers := srv.HTTPHandlers()
+		// Prometheus text exposition rides the same mux (`mithra watch`
+		// polls it); the rendering lives in watch because obs cannot
+		// import it.
+		handlers["/metrics.prom"] = watch.PromHandler(o.Metrics())
+		dbg, err = obs.StartDebugMux(*debugAddr, o.Metrics(), handlers)
 		if err != nil {
 			lg.Errorf("io", "%v", err)
 			return 1
 		}
-		lg.Infof("debug/JSON endpoint: http://%s/ (POST /decide, GET /snapshots, /metrics)", dbg.Addr())
+		lg.Infof("debug/JSON endpoint: http://%s/ (POST /decide, GET /snapshots, /metrics, /metrics.prom)", dbg.Addr())
 	}
 
 	// serveErrs carries listener failures; a failed listener counts like a

@@ -14,6 +14,7 @@ import (
 	"mithra/internal/misr"
 	"mithra/internal/serve"
 	"mithra/internal/stats"
+	"mithra/internal/watch"
 )
 
 // Config parameterizes one harness run.
@@ -49,6 +50,7 @@ var hermeticStages = map[string]bool{
 	"table_classify_batch32": true,
 	"registry_lookup":        true,
 	"decide_steady":          true,
+	"watch_overhead":         true,
 }
 
 // IsHermetic reports whether stage carries an exact allocs/op contract.
@@ -299,6 +301,36 @@ func Run(cfg Config) ([]Row, error) {
 		return nil, err
 	}
 	if err := herm("decide_steady", drv.Step); err != nil {
+		return nil, err
+	}
+
+	// watch_overhead: decide_steady re-measured against a watch-armed
+	// server (guarantee monitor constructed per shard, sampler disarmed).
+	// The hermetic contract is the mithrawatch design invariant: arming
+	// the monitor adds zero allocations to the trace-free steady decide
+	// path, and the ns/op delta against decide_steady is the full cost of
+	// carrying it.
+	wsnap, err := serve.NewSnapshot(benchName, tab, nil, 0.1, g, nil)
+	if err != nil {
+		return nil, err
+	}
+	wsrv, err := serve.NewServer(serve.NewRegistry(wsnap), serve.Config{
+		Workers: 1, MaxBatch: 32, Freeze: true,
+		Watch: watch.Config{Enabled: true},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		wsrv.Shutdown(ctx) //nolint:errcheck // best-effort teardown
+	}()
+	wdrv, err := wsrv.SteadyDriver(benchName, in)
+	if err != nil {
+		return nil, err
+	}
+	if err := herm("watch_overhead", wdrv.Step); err != nil {
 		return nil, err
 	}
 

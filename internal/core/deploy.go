@@ -10,6 +10,7 @@ import (
 	"mithra/internal/stats"
 	"mithra/internal/threshold"
 	"mithra/internal/trace"
+	"mithra/internal/watch"
 )
 
 // Deployment is a compiled MITHRA configuration for one quality
@@ -58,7 +59,7 @@ func (d *Deployment) TrainingErrors() []float64 { return d.sampleErrs }
 // trip (the serving layer builds snapshots from it when a compiled
 // program hasn't been written to disk).
 func (d *Deployment) Program() *Program {
-	return &Program{
+	p := &Program{
 		Bench:     d.Ctx.Bench,
 		Accel:     d.Ctx.Accel,
 		Table:     d.Table,
@@ -66,6 +67,16 @@ func (d *Deployment) Program() *Program {
 		Threshold: d.Th.Threshold,
 		G:         d.G,
 	}
+	if len(d.samples) > 0 {
+		ins := make([][]float64, len(d.samples))
+		for i, s := range d.samples {
+			ins[i] = s.In
+		}
+		ref := watch.BuildReference(nil, ins)
+		p.RefBounds = ref.Bounds
+		p.RefCounts = ref.Counts
+	}
+	return p
 }
 
 // TrainTableVariant trains a table-based classifier with an alternative

@@ -11,6 +11,7 @@ import (
 	"mithra/internal/npu"
 	"mithra/internal/sim"
 	"mithra/internal/stats"
+	"mithra/internal/watch"
 )
 
 // CompiledProgram is the serialized product of MITHRA's compilation — the
@@ -26,6 +27,12 @@ type CompiledProgram struct {
 	Table      []byte
 	Neural     []byte
 	RandomRate float64
+	// RefBounds/RefCounts carry the compile-time reference input histogram
+	// (watch.Reference) the serving layer's divergence gauges compare live
+	// traffic against. Empty in blobs from older compilers — gob tolerates
+	// the missing fields and drift gauges simply stay disabled.
+	RefBounds []float64
+	RefCounts []int64
 }
 
 // Export serializes the deployment for later loading.
@@ -52,6 +59,18 @@ func (d *Deployment) Export() ([]byte, error) {
 		Neural:     neuBytes,
 		RandomRate: d.RandomRate,
 	}
+	// The classifier's training inputs are the distribution the guarantee
+	// was certified against — bin them into the blob so the serving layer
+	// can gauge input drift without re-reading training data.
+	if len(d.samples) > 0 {
+		ins := make([][]float64, len(d.samples))
+		for i, s := range d.samples {
+			ins[i] = s.In
+		}
+		ref := watch.BuildReference(nil, ins)
+		cp.RefBounds = ref.Bounds
+		cp.RefCounts = ref.Counts
+	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
 		return nil, fmt.Errorf("core: export deployment: %w", err)
@@ -70,6 +89,10 @@ type Program struct {
 	Neural    *classifier.Neural
 	Threshold float64
 	G         stats.Guarantee
+	// RefBounds/RefCounts are the compile-time reference input histogram
+	// (empty for blobs from compilers that predate drift gauges).
+	RefBounds []float64
+	RefCounts []int64
 }
 
 // LoadProgram deserializes a CompiledProgram and reconstructs the runtime.
@@ -101,6 +124,8 @@ func LoadProgram(data []byte) (*Program, error) {
 		Neural:    neu,
 		Threshold: cp.Threshold,
 		G:         cp.Guarantee,
+		RefBounds: cp.RefBounds,
+		RefCounts: cp.RefCounts,
 	}, nil
 }
 

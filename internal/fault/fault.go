@@ -41,6 +41,12 @@ const (
 	// SiteQueueSaturate makes a shard queue behave as if full, forcing
 	// the overload-shedding path.
 	SiteQueueSaturate = "queue.saturate"
+	// SiteProbeDrift inflates the measured accelerator error of a sampled
+	// observation above the snapshot threshold — injected input drift.
+	// Checked through HitAt (keyed by request ID, not draw order), so the
+	// drifted set is identical at any worker count; the site's limit
+	// bounds the drifted ID range rather than a fire count.
+	SiteProbeDrift = "probe.drift"
 )
 
 // Injector decides, deterministically, whether the n-th check of one
@@ -50,6 +56,7 @@ const (
 type Injector struct {
 	mu     sync.Mutex
 	rng    *mathx.RNG
+	seed   uint64
 	rate   float64
 	limit  int // fire at most this many times (0: unlimited)
 	fired  int
@@ -57,7 +64,7 @@ type Injector struct {
 }
 
 func newInjector(seed uint64, site SiteConfig) *Injector {
-	return &Injector{rng: mathx.NewRNG(seed), rate: site.Rate, limit: site.Limit}
+	return &Injector{rng: mathx.NewRNG(seed), seed: seed, rate: site.Rate, limit: site.Limit}
 }
 
 // Hit consumes one draw and reports whether the fault fires. Nil-safe:
@@ -77,6 +84,30 @@ func (i *Injector) Hit() bool {
 	}
 	i.fired++
 	return true
+}
+
+// HitAt reports whether the fault fires for identity id — a pure
+// function of (injector seed, id), independent of check order, so the
+// set of hit identities is the same at any worker count. Unlike Hit,
+// the site's limit bounds the identity range rather than the fire
+// count: limit N means only ids 0..N-1 can fire (so "probe.drift=1@200"
+// drifts exactly request IDs 0..199). Nil-safe: a nil injector never
+// fires.
+func (i *Injector) HitAt(id uint64) bool {
+	if i == nil {
+		return false
+	}
+	if i.limit > 0 && id >= uint64(i.limit) {
+		return false
+	}
+	hit := i.rate >= 1 || mathx.NewRNG(i.seed).Split(id).Float64() < i.rate
+	i.mu.Lock()
+	i.checks++
+	if hit {
+		i.fired++
+	}
+	i.mu.Unlock()
+	return hit
 }
 
 // Fired reports how many times the injector has fired. Nil-safe.

@@ -49,9 +49,14 @@ var nondetScope = map[string]bool{
 	// must replay identically from its plan seed, so the injectors may
 	// not draw entropy from anywhere but their seeded streams.
 	"fault": true,
+	// watch is the guarantee observability subsystem: every window,
+	// dwell, and threshold it reports is measured in request counts, and
+	// its journal notes must be byte-identical across worker counts — so
+	// it may never consult the clock or unseeded entropy.
+	"watch": true,
 }
 
-const nondetScopeDoc = "internal/{core,threshold,classifier,nn,npu,stats,experiments,trace,obs,serve,fault}"
+const nondetScopeDoc = "internal/{core,threshold,classifier,nn,npu,stats,experiments,trace,obs,serve,fault,watch}"
 
 // globalRandFuncs are the math/rand (and rand/v2) top-level functions that
 // draw from the process-global generator. Constructors (New, NewSource,

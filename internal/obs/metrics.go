@@ -199,6 +199,26 @@ type GaugeSnap struct {
 	Value float64 `json:"value"`
 }
 
+// MarshalJSON renders the gauge value with the canonical shortest
+// round-trippable formatting ('g', -1, 64) — the same bytes WriteText
+// and the Prometheus exposition emit, so journals never differ across
+// platforms on the float path — and survives non-finite values, which
+// encoding/json rejects outright: NaN and the infinities encode as
+// quoted strings ("NaN", "+Inf", "-Inf").
+func (g GaugeSnap) MarshalJSON() ([]byte, error) {
+	b := make([]byte, 0, 32+len(g.Name))
+	b = append(b, `{"name":`...)
+	b = strconv.AppendQuote(b, g.Name)
+	b = append(b, `,"value":`...)
+	if math.IsNaN(g.Value) || math.IsInf(g.Value, 0) {
+		b = strconv.AppendQuote(b, formatFloat(g.Value))
+	} else {
+		b = strconv.AppendFloat(b, g.Value, 'g', -1, 64)
+	}
+	b = append(b, '}')
+	return b, nil
+}
+
 type BucketSnap struct {
 	LE    string `json:"le"`
 	Count int64  `json:"count"`

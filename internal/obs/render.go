@@ -86,6 +86,24 @@ func RenderJournal(w io.Writer, entries []JournalEntry) {
 	}
 }
 
+// RenderNotes renders only the journal's note entries, optionally
+// filtered to one note name (empty: every note). The line shape is the
+// same stable `note <name> {k=v ...}` form RenderJournal emits — attrs
+// sorted by key, floats exactly as the writer formatted them — so the
+// rendered stream is byte-comparable across runs and worker counts (the
+// cross-worker guarantee-journal gate diffs exactly this output).
+func RenderNotes(w io.Writer, entries []JournalEntry, name string) {
+	for _, e := range entries {
+		if str(e["t"]) != "note" {
+			continue
+		}
+		if name != "" && str(e["name"]) != name {
+			continue
+		}
+		fmt.Fprintf(w, "note %s%s\n", str(e["name"]), attrSuffix(e["attrs"]))
+	}
+}
+
 // DiffJournals compares two journals after stripping the volatile keys,
 // returning one human-readable line per difference (empty: identical).
 // Entries are compared positionally — the journals are canonically

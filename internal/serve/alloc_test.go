@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"mithra/internal/classifier"
+	"mithra/internal/watch"
 )
 
 // Allocation-regression tests (DESIGN.md §12): the steady-state decide
@@ -182,6 +183,40 @@ func TestClassifyZeroAlloc(t *testing.T) {
 		bc.ClassifyBatch(ins, dst)
 	}); avg != 0 {
 		t.Fatalf("table ClassifyBatch allocates %v per run, want 0", avg)
+	}
+}
+
+// TestWatchedRoundTripZeroAlloc pins the mithrawatch hot-path contract:
+// arming the guarantee monitor must not add a single allocation to the
+// trace-free steady decide round trip. The monitor consumes only the
+// sampled-observation path (which already allocates by design), so an
+// unsampled request through a watch-armed server stays at zero.
+func TestWatchedRoundTripZeroAlloc(t *testing.T) {
+	skipUnderRace(t)
+	snap := syntheticSnapshot(t, "bench", nil)
+	_, addr := startServer(t, Config{
+		Workers: 1,
+		Freeze:  true,
+		Watch:   watch.Config{Enabled: true, Window: 16},
+	}, snap)
+	c, err := Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	inputs := [][]float64{{0.2, 0.5, 0.8}}
+	out := make([]DecideResponse, 1)
+	for i := 0; i < 50; i++ { // warm pools, bufio, TCP autotuning
+		if _, err := c.DecideBatchInto("bench", uint32(i), inputs, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if _, err := c.DecideBatchInto("bench", 1000, inputs, out); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("watch-armed round trip allocates %v per run, want 0", avg)
 	}
 }
 

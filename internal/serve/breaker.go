@@ -92,6 +92,12 @@ type breaker struct {
 	cfg   BreakerConfig
 	o     *obs.Obs
 
+	// guarantee, when set, reports the shard's current guarantee-monitor
+	// state name; breaker transition notes carry it so a journal reader
+	// can correlate fail-safe degradation with guarantee health. Must be
+	// safe to call from any goroutine (watch.Monitor.StateName is).
+	guarantee func() string
+
 	mu    sync.Mutex
 	state int
 	// closed: sliding outcome window
@@ -205,9 +211,15 @@ func (b *breaker) transitionLocked(to int, reason string) {
 	case breakerClosed:
 		b.o.Counter("serve.breaker.closed").Inc()
 	}
-	b.o.Note("breaker", map[string]any{
+	attrs := map[string]any{
 		"bench": b.bench, "from": stateName(from), "to": stateName(to), "reason": reason,
-	})
+	}
+	if b.guarantee != nil {
+		if g := b.guarantee(); g != "" {
+			attrs["guarantee"] = g
+		}
+	}
+	b.o.Note("breaker", attrs)
 }
 
 // currentState reports the state (for tests and the HTTP inspector).

@@ -20,6 +20,10 @@ type Client struct {
 	// serve buffer pool by ReadFrameInto and returned on Close.
 	wbuf []byte
 	rbuf []byte
+	// trace, when nonzero, stamps every outgoing decide request with a
+	// trace ID (wire v2); the zero default keeps the frames byte-identical
+	// to version 1 and the round trip allocation-free.
+	trace uint64
 }
 
 // RoundTripAllocs is the steady-state allocation budget of one
@@ -45,6 +49,11 @@ func NewClient(c net.Conn) *Client {
 
 // Conn exposes the underlying connection (deadline control).
 func (c *Client) Conn() net.Conn { return c.c }
+
+// SetTrace arms (nonzero) or disarms (zero) trace propagation: every
+// subsequent decide request carries the ID, and the server echoes it on
+// the matching response.
+func (c *Client) SetTrace(id uint64) { c.trace = id }
 
 // Close tears the connection down and releases the pooled read buffer.
 func (c *Client) Close() error {
@@ -124,7 +133,7 @@ func (c *Client) DecideBatchInto(bench string, baseID uint32, inputs [][]float64
 	if len(out) < len(inputs) {
 		return nil, fmt.Errorf("serve: response storage holds %d, need %d", len(out), len(inputs))
 	}
-	req := DecideRequest{Bench: bench}
+	req := DecideRequest{Bench: bench, TraceID: c.trace}
 	frames := c.wbuf[:0]
 	for i, in := range inputs {
 		req.ID = baseID + uint32(i)

@@ -24,8 +24,12 @@ func frameFor(payload []byte) []byte {
 func FuzzParseMessage(f *testing.F) {
 	valid, _ := AppendFrame(nil, &DecideRequest{ID: 7, Bench: "sobel", In: []float64{1, 2, 3}})
 	f.Add(valid[4:])
+	traced, _ := AppendFrame(nil, &DecideRequest{ID: 7, Bench: "sobel", In: []float64{1, 2, 3}, TraceID: 0xDEADBEEF})
+	f.Add(traced[4:])
 	resp, _ := AppendFrame(nil, &DecideResponse{ID: 9, Precise: true, Sampled: true, Version: 3})
 	f.Add(resp[4:])
+	tresp, _ := AppendFrame(nil, &DecideResponse{ID: 9, Precise: true, Version: 3, TraceID: 1})
+	f.Add(tresp[4:])
 	errf, _ := AppendFrame(nil, &ErrorResponse{ID: 1, Code: CodeMalformed, Msg: "x"})
 	f.Add(errf[4:])
 	f.Add([]byte{})
@@ -64,7 +68,7 @@ func messagesEqual(a, b Message) bool {
 		return reflect.DeepEqual(a, b)
 	}
 	rb, ok := b.(*DecideRequest)
-	if !ok || ra.ID != rb.ID || ra.Bench != rb.Bench || len(ra.In) != len(rb.In) {
+	if !ok || ra.ID != rb.ID || ra.Bench != rb.Bench || ra.TraceID != rb.TraceID || len(ra.In) != len(rb.In) {
 		return false
 	}
 	for i := range ra.In {
@@ -106,10 +110,10 @@ func FuzzReadFrame(f *testing.F) {
 // content: whatever the client can frame, the parser must reproduce
 // bit-exactly.
 func FuzzDecideRequestRoundTrip(f *testing.F) {
-	f.Add(uint32(0), "", []byte{})
-	f.Add(uint32(1), "sobel", []byte{1, 2, 3, 4, 5, 6, 7, 8})
-	f.Add(uint32(1<<31), "fft", bytes.Repeat([]byte{0xFF}, 16))
-	f.Fuzz(func(t *testing.T, id uint32, bench string, raw []byte) {
+	f.Add(uint32(0), "", uint64(0), []byte{})
+	f.Add(uint32(1), "sobel", uint64(0), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint32(1<<31), "fft", uint64(0xABCDEF0123456789), bytes.Repeat([]byte{0xFF}, 16))
+	f.Fuzz(func(t *testing.T, id uint32, bench string, trace uint64, raw []byte) {
 		in := make([]float64, len(raw)/8)
 		for i := range in {
 			var bits uint64
@@ -118,7 +122,7 @@ func FuzzDecideRequestRoundTrip(f *testing.F) {
 			}
 			in[i] = math.Float64frombits(bits)
 		}
-		frame, err := AppendFrame(nil, &DecideRequest{ID: id, Bench: bench, In: in})
+		frame, err := AppendFrame(nil, &DecideRequest{ID: id, Bench: bench, In: in, TraceID: trace})
 		if err != nil {
 			if !errors.Is(err, ErrProtocol) {
 				t.Fatalf("encode error does not wrap ErrProtocol: %v", err)
@@ -137,8 +141,8 @@ func FuzzDecideRequestRoundTrip(f *testing.F) {
 		if !ok {
 			t.Fatalf("parsed to %T", msg)
 		}
-		if back.ID != id || back.Bench != bench || len(back.In) != len(in) {
-			t.Fatalf("header mismatch: %v %q %d", back.ID, back.Bench, len(back.In))
+		if back.ID != id || back.Bench != bench || back.TraceID != trace || len(back.In) != len(in) {
+			t.Fatalf("header mismatch: %v %q trace=%x %d", back.ID, back.Bench, back.TraceID, len(back.In))
 		}
 		for i := range in {
 			if math.Float64bits(back.In[i]) != math.Float64bits(in[i]) {

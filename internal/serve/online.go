@@ -1,13 +1,19 @@
 package serve
 
-import "sync"
+import (
+	"sync"
+
+	"mithra/internal/watch"
+)
 
 // observation is one sampled invocation's ground truth, produced by the
 // decision workers and consumed by the shard's updater goroutine.
 type observation struct {
 	in      []float64
-	bad     bool // true accelerator error exceeded the snapshot threshold
-	precise bool // the classifier had already routed this input precisely
+	id      uint32 // request ID (keys the watch monitor's reorder buffer)
+	trace   uint64 // propagated trace identity (0: untraced)
+	bad     bool   // true accelerator error exceeded the snapshot threshold
+	precise bool   // the classifier had already routed this input precisely
 }
 
 // updater is one shard's online update loop — the serving counterpart of
@@ -63,6 +69,9 @@ func (u *updater) run(wg *sync.WaitGroup) {
 	for ob := range u.ch {
 		u.ingest(ob, true)
 	}
+	// Drain: no more observations can arrive, so every observation still
+	// parked in the monitor's reorder buffer is releasable in ID order.
+	u.sh.mon.Flush()
 }
 
 // ingest folds one observation into the window; persist=false replays a
@@ -76,6 +85,10 @@ func (u *updater) ingest(ob observation, persist bool) {
 			u.s.o.Counter("serve.wal.window_errors").Inc()
 		}
 	}
+	// The guarantee monitor rides the same sampled stream (the only
+	// allocating path): divergence histograms consume the input
+	// immediately, the state machine advances in request-ID order.
+	u.sh.mon.Observe(watch.Obs{ID: ob.id, Trace: ob.trace, Bad: ob.bad, Precise: ob.precise}, ob.in)
 	u.window.trials++
 	// A precise-routed invocation never degrades output quality; an
 	// approx-routed one succeeds only when the true error was in bound.

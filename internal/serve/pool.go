@@ -97,6 +97,7 @@ func putReq(r *DecideRequest) {
 	r.ID = 0
 	r.Bench = ""
 	r.In = r.In[:0]
+	r.TraceID = 0
 	reqPool.Put(r)
 }
 

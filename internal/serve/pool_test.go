@@ -76,7 +76,7 @@ func TestPoolDebugPoisonsReturnedBuffers(t *testing.T) {
 	SetPoolDebug(true)
 	defer SetPoolDebug(false)
 	b := getBuf(64)
-	b = append(b, wireMagic, wireVersion, msgPing)
+	b = append(b, wireMagic, wireV1, msgPing)
 	alias := b[:3]
 	putBuf(b)
 	// A stale alias must read poison, never protocol bytes: anything

@@ -31,6 +31,7 @@ import (
 	"mithra/internal/mathx"
 	"mithra/internal/obs"
 	"mithra/internal/parallel"
+	"mithra/internal/watch"
 )
 
 // Config sizes the decision server.
@@ -82,6 +83,11 @@ type Config struct {
 	// RecoveredWindows seeds each shard's sampling window with the
 	// observations recovered from the WAL after a crash.
 	RecoveredWindows map[string][]WindowObs
+	// Watch arms the per-shard guarantee monitor (internal/watch): a
+	// sliding-window Clopper-Pearson re-check with journaled state
+	// transitions and divergence gauges, fed from the same sampled
+	// observations the updater consumes.
+	Watch watch.Config
 }
 
 // withDefaults fills unset knobs.
@@ -113,11 +119,20 @@ type shard struct {
 	sampleSeed uint64 // parallel.Seed(cfg.SampleSeed, bench)
 	up         *updater
 	brk        *breaker
+	// mon is the shard's guarantee monitor (nil unless Config.Watch is
+	// enabled). Only the updater goroutine feeds it; other goroutines may
+	// read its published state.
+	mon *watch.Monitor
 	// Per-shard fault injectors, resolved once at construction:
 	// fault.Set.Scoped builds a composite key string per call, which the
 	// decide path must not pay per request. Nil when the site is unplanned.
 	fQueueSat *fault.Injector
 	fPanic    *fault.Injector
+	fDrift    *fault.Injector
+	// Per-benchmark decision counters for the watch status surface,
+	// resolved once (commutative: safe from any worker).
+	cDecisions *obs.Counter
+	cFallbacks *obs.Counter
 }
 
 // serverMetrics holds the hot-path metric handles, resolved once at
@@ -225,6 +240,16 @@ func NewServer(reg *Registry, cfg Config) (*Server, error) {
 			brk:        newBreaker(b, cfg.Breaker, cfg.Obs),
 			fQueueSat:  cfg.Faults.Scoped(fault.SiteQueueSaturate, b),
 			fPanic:     cfg.Faults.Scoped(fault.SiteWorkerPanic, b),
+			fDrift:     cfg.Faults.Scoped(fault.SiteProbeDrift, b),
+			cDecisions: cfg.Obs.Counter("serve.bench.decisions." + b),
+			cFallbacks: cfg.Obs.Counter("serve.bench.fallbacks." + b),
+		}
+		if cfg.Watch.Enabled {
+			sh.mon = watch.NewMonitor(b, snap.G, snap.Ref, cfg.Watch, cfg.Obs)
+			// Breaker transitions carry the guarantee state for context:
+			// an opening breaker reads differently under a violated
+			// guarantee than under a holding one.
+			sh.brk.guarantee = sh.mon.StateName
 		}
 		sh.up = newUpdater(s, sh, cfg)
 		s.shards[b] = sh
@@ -324,7 +349,8 @@ func (s *Server) reader(c *conn) {
 		// without touching the generic decoder. Ownership of the request
 		// transfers to enqueue (and onward to a shard worker); every
 		// non-queued outcome returns it to the pool here.
-		if len(payload) >= 3 && payload[0] == wireMagic && payload[1] == wireVersion &&
+		if len(payload) >= 3 && payload[0] == wireMagic &&
+			(payload[1] == wireV1 || payload[1] == wireV2) &&
 			payload[2] == msgDecideReq {
 			req := getReq()
 			bench, perr := ParseDecideRequestInto(payload, req)
@@ -379,7 +405,9 @@ func (s *Server) enqueue(c *conn, sh *shard, req *DecideRequest) {
 		// quality-safe, so an open breaker answers DecisionPrecise rather
 		// than queueing into an unhealthy shard.
 		s.m.decFallback.Inc()
-		c.send(&DecideResponse{ID: req.ID, Precise: true, Fallback: true})
+		sh.cDecisions.Inc()
+		sh.cFallbacks.Inc()
+		c.send(&DecideResponse{ID: req.ID, Precise: true, Fallback: true, TraceID: req.TraceID})
 		putReq(req)
 		return
 	}
@@ -592,9 +620,11 @@ func (s *Server) decideSafe(sh *shard, snap *Snapshot, view classifier.Classifie
 		if r := recover(); r != nil {
 			s.m.workerPanics.Inc()
 			sh.brk.onFailure(fmt.Sprintf("worker panic: %v", r))
-			*dresp = DecideResponse{ID: req.ID, Precise: true, Fallback: true}
+			*dresp = DecideResponse{ID: req.ID, Precise: true, Fallback: true, TraceID: req.TraceID}
 			resp, ob, haveOb = dresp, observation{}, false
 			s.m.decFallback.Inc()
+			sh.cDecisions.Inc()
+			sh.cFallbacks.Inc()
 		}
 	}()
 	if sh.fPanic.Hit() {
@@ -632,13 +662,22 @@ func (s *Server) decide(sh *shard, snap *Snapshot, view classifier.Classifier,
 	} else {
 		s.m.decApprox.Inc()
 	}
+	sh.cDecisions.Inc()
 	sampled := probe != nil && sampleHit(sh.sampleSeed, req.ID, s.cfg.SampleRate)
-	*dresp = DecideResponse{ID: req.ID, Precise: precise, Sampled: sampled, Version: snap.Version}
+	*dresp = DecideResponse{ID: req.ID, Precise: precise, Sampled: sampled,
+		Version: snap.Version, TraceID: req.TraceID}
 	if !sampled {
 		return dresp, observation{}, false
 	}
 	s.m.sampled.Inc()
 	err := probe(req.In)
+	if sh.fDrift.HitAt(uint64(req.ID)) {
+		// Injected input drift: the measured accelerator error is forced
+		// above the threshold, as if the input distribution had shifted
+		// under the classifier. Keyed by request ID (not draw order), so
+		// the set of drifted observations is identical at any worker count.
+		err = snap.Threshold + 1
+	}
 	bad := err > snap.Threshold
 	if bad != precise {
 		s.m.sampleMiss.Inc()
@@ -647,7 +686,7 @@ func (s *Server) decide(sh *shard, snap *Snapshot, view classifier.Classifier,
 	// but the updater consumes observations asynchronously (and may append
 	// them to the WAL): the input must be copied out, never aliased.
 	in := append([]float64(nil), req.In...)
-	return dresp, observation{in: in, bad: bad, precise: precise}, true
+	return dresp, observation{in: in, id: req.ID, trace: req.TraceID, bad: bad, precise: precise}, true
 }
 
 // sampleHit reports whether invocation id is error-sampled: a pure

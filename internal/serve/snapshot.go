@@ -13,6 +13,7 @@ import (
 	"mithra/internal/fault"
 	"mithra/internal/obs"
 	"mithra/internal/stats"
+	"mithra/internal/watch"
 )
 
 // ErrorProbe measures the true accelerator error for one input — the
@@ -43,6 +44,10 @@ type Snapshot struct {
 	// Neural optionally rides along for the HTTP inspection endpoint and
 	// future designs; decisions are served by Table.
 	Neural *classifier.Neural
+	// Ref is the build-time reference input histogram the watch monitor
+	// compares live traffic against (nil or invalid: divergence gauges
+	// disabled). Compiled into the program blob alongside the classifier.
+	Ref *watch.Reference
 	// probe mints per-worker error probes (nil: sampling measures
 	// nothing and the online path is disabled).
 	probe func() ErrorProbe
@@ -99,7 +104,17 @@ func SnapshotFromProgram(p *core.Program) (*Snapshot, error) {
 			return maxe
 		}
 	}
-	return NewSnapshot(p.Bench.Name(), p.Table, p.Neural, p.Threshold, p.G, probe)
+	s, err := NewSnapshot(p.Bench.Name(), p.Table, p.Neural, p.Threshold, p.G, probe)
+	if err != nil {
+		return nil, err
+	}
+	if len(p.RefBounds) > 0 {
+		ref := &watch.Reference{Bounds: p.RefBounds, Counts: p.RefCounts}
+		if ref.Valid() {
+			s.Ref = ref
+		}
+	}
+	return s, nil
 }
 
 // LoadSnapshot decodes an exported deployment blob and builds its serving
@@ -142,6 +157,11 @@ func (s *Snapshot) Export() ([]byte, error) {
 	}
 	return buf.Bytes(), nil
 }
+
+// SetReference installs the divergence reference histogram — test
+// scaffolding mirroring what SnapshotFromProgram decodes from a
+// compiled blob.
+func (s *Snapshot) SetReference(ref *watch.Reference) { s.Ref = ref }
 
 // SetProbe overrides the snapshot's error-probe factory — test scaffolding
 // for exercising the online path against a synthetic error model while

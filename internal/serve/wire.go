@@ -19,9 +19,18 @@ import (
 // The codec never panics on malformed input: every parse failure is
 // reported as an error wrapping ErrProtocol, so a hostile or buggy client
 // can at worst earn itself an error response and a closed connection.
+//
+// Version 2 extends the two decide messages with an optional 8-byte
+// trace ID appended after the version-1 body (all other offsets are
+// unchanged). Encoders emit version 1 whenever the trace ID is zero, so
+// untraced traffic is bit-identical to the legacy protocol; parsers
+// accept both versions.
 const (
-	wireMagic   = 'M'
-	wireVersion = 1
+	wireMagic = 'M'
+	// wireV1 is the legacy frame version (no trace ID).
+	wireV1 = 1
+	// wireV2 appends a trace ID to decide requests and responses.
+	wireV2 = 2
 
 	// MaxFrame bounds a frame's payload; anything larger is rejected
 	// before allocation (a four-byte prefix could otherwise demand 4 GiB).
@@ -76,6 +85,10 @@ type DecideRequest struct {
 	Bench string
 	// In is the accelerator input vector.
 	In []float64
+	// TraceID, when nonzero, propagates a client-assigned trace identity
+	// to the worker and back (wire version 2). Zero means untraced: the
+	// encoded frame is bit-identical to wire version 1.
+	TraceID uint64
 }
 
 // DecideResponse carries one decision.
@@ -95,6 +108,9 @@ type DecideResponse struct {
 	Fallback bool
 	// Version is the snapshot version that made the decision.
 	Version uint32
+	// TraceID echoes the request's trace identity (zero when the request
+	// was untraced; the response is then encoded as wire version 1).
+	TraceID uint64
 }
 
 // ErrorResponse reports a per-request failure.
@@ -121,12 +137,12 @@ type Message any
 func AppendFrame(dst []byte, msg Message) ([]byte, error) {
 	start := len(dst)
 	dst = append(dst, 0, 0, 0, 0) // length backpatched below
-	dst = append(dst, wireMagic, wireVersion)
 	switch m := msg.(type) {
 	case *DecideRequest:
+		dst = append(dst, wireMagic, decideVersion(m.TraceID))
 		return appendDecideRequestBody(dst, start, m)
 	case *DecideResponse:
-		dst = append(dst, msgDecideResp)
+		dst = append(dst, wireMagic, decideVersion(m.TraceID), msgDecideResp)
 		dst = binary.BigEndian.AppendUint32(dst, m.ID)
 		var flags byte
 		if m.Precise {
@@ -140,19 +156,22 @@ func AppendFrame(dst []byte, msg Message) ([]byte, error) {
 		}
 		dst = append(dst, flags)
 		dst = binary.BigEndian.AppendUint32(dst, m.Version)
+		if m.TraceID != 0 {
+			dst = binary.BigEndian.AppendUint64(dst, m.TraceID)
+		}
 	case *ErrorResponse:
 		if len(m.Msg) > math.MaxUint16 {
 			return nil, protoErrf("error message %d bytes too long", len(m.Msg)) //mithra:coldpath error formatting on a rejected frame
 		}
-		dst = append(dst, msgError)
+		dst = append(dst, wireMagic, wireV1, msgError)
 		dst = binary.BigEndian.AppendUint32(dst, m.ID)
 		dst = append(dst, m.Code)
 		dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Msg)))
 		dst = append(dst, m.Msg...)
 	case Ping:
-		dst = append(dst, msgPing)
+		dst = append(dst, wireMagic, wireV1, msgPing)
 	case Pong:
-		dst = append(dst, msgPong)
+		dst = append(dst, wireMagic, wireV1, msgPong)
 	default:
 		return nil, protoErrf("unencodable message type %T", msg) //mithra:coldpath error formatting on a rejected message
 	}
@@ -174,8 +193,19 @@ func AppendFrame(dst []byte, msg Message) ([]byte, error) {
 func AppendDecideRequest(dst []byte, m *DecideRequest) ([]byte, error) {
 	start := len(dst)
 	dst = append(dst, 0, 0, 0, 0) // length backpatched below
-	dst = append(dst, wireMagic, wireVersion)
+	dst = append(dst, wireMagic, decideVersion(m.TraceID))
 	return appendDecideRequestBody(dst, start, m)
+}
+
+// decideVersion selects the frame version for a decide message: version
+// 1 (bit-identical to the legacy wire) unless a trace ID rides along.
+//
+//mithra:hotpath
+func decideVersion(traceID uint64) byte {
+	if traceID != 0 {
+		return wireV2
+	}
+	return wireV1
 }
 
 // appendDecideRequestBody writes the decide-request body and backpatches
@@ -196,6 +226,9 @@ func appendDecideRequestBody(dst []byte, start int, m *DecideRequest) ([]byte, e
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.In)))
 	for _, v := range m.In {
 		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	if m.TraceID != 0 {
+		dst = binary.BigEndian.AppendUint64(dst, m.TraceID)
 	}
 	payload := len(dst) - start - 4
 	if payload > MaxFrame {
@@ -288,8 +321,13 @@ func ReadFrameInto(r *bufio.Reader, buf []byte) ([]byte, error) {
 //
 //mithra:hotpath
 func ParseDecideRequestInto(payload []byte, req *DecideRequest) (bench []byte, err error) {
-	if len(payload) < 3 || payload[0] != wireMagic || payload[1] != wireVersion || payload[2] != msgDecideReq {
+	if len(payload) < 3 || payload[0] != wireMagic || payload[2] != msgDecideReq ||
+		(payload[1] != wireV1 && payload[1] != wireV2) {
 		return nil, protoErrf("not a decide request frame")
+	}
+	trail := 0
+	if payload[1] == wireV2 {
+		trail = 8
 	}
 	body := payload[3:]
 	if len(body) < 5 {
@@ -308,8 +346,8 @@ func ParseDecideRequestInto(payload []byte, req *DecideRequest) (bench []byte, e
 	if dim > MaxInputDim {
 		return nil, protoErrf("input dim %d exceeds %d", dim, MaxInputDim) //mithra:coldpath error formatting on a malformed frame
 	}
-	if len(body) != 8*dim {
-		return nil, protoErrf("decide request input is %d bytes, want %d", len(body), 8*dim) //mithra:coldpath error formatting on a malformed frame
+	if len(body) != 8*dim+trail {
+		return nil, protoErrf("decide request input is %d bytes, want %d", len(body), 8*dim+trail) //mithra:coldpath error formatting on a malformed frame
 	}
 	in := req.In[:0]
 	if cap(in) < dim {
@@ -319,6 +357,10 @@ func ParseDecideRequestInto(payload []byte, req *DecideRequest) (bench []byte, e
 		in = append(in, math.Float64frombits(binary.BigEndian.Uint64(body[8*i:8*i+8])))
 	}
 	req.In = in
+	req.TraceID = 0
+	if trail != 0 {
+		req.TraceID = binary.BigEndian.Uint64(body[8*dim:])
+	}
 	return bench, nil
 }
 
@@ -328,18 +370,27 @@ func ParseDecideRequestInto(payload []byte, req *DecideRequest) (bench []byte, e
 //
 //mithra:hotpath
 func ParseDecideResponseInto(payload []byte, resp *DecideResponse) error {
-	if len(payload) < 3 || payload[0] != wireMagic || payload[1] != wireVersion || payload[2] != msgDecideResp {
+	if len(payload) < 3 || payload[0] != wireMagic || payload[2] != msgDecideResp ||
+		(payload[1] != wireV1 && payload[1] != wireV2) {
 		return protoErrf("not a decide response frame")
 	}
+	trail := 0
+	if payload[1] == wireV2 {
+		trail = 8
+	}
 	body := payload[3:]
-	if len(body) != 9 {
-		return protoErrf("decide response body %d bytes, want 9", len(body)) //mithra:coldpath error formatting on a malformed frame
+	if len(body) != 9+trail {
+		return protoErrf("decide response body %d bytes, want %d", len(body), 9+trail) //mithra:coldpath error formatting on a malformed frame
 	}
 	resp.ID = binary.BigEndian.Uint32(body[:4])
 	resp.Precise = body[4]&1 != 0
 	resp.Sampled = body[4]&2 != 0
 	resp.Fallback = body[4]&4 != 0
 	resp.Version = binary.BigEndian.Uint32(body[5:9])
+	resp.TraceID = 0
+	if trail != 0 {
+		resp.TraceID = binary.BigEndian.Uint64(body[9:])
+	}
 	return nil
 }
 
@@ -352,24 +403,32 @@ func ParseMessage(payload []byte) (Message, error) {
 	if payload[0] != wireMagic {
 		return nil, protoErrf("bad magic 0x%02x", payload[0])
 	}
-	if payload[1] != wireVersion {
+	if payload[1] != wireV1 && payload[1] != wireV2 {
 		return nil, protoErrf("unsupported protocol version %d", payload[1])
+	}
+	trail := 0
+	if payload[1] == wireV2 {
+		trail = 8
 	}
 	body := payload[3:]
 	switch payload[2] {
 	case msgDecideReq:
-		return parseDecideReq(body)
+		return parseDecideReq(body, trail)
 	case msgDecideResp:
-		if len(body) != 9 {
-			return nil, protoErrf("decide response body %d bytes, want 9", len(body))
+		if len(body) != 9+trail {
+			return nil, protoErrf("decide response body %d bytes, want %d", len(body), 9+trail)
 		}
-		return &DecideResponse{
+		resp := &DecideResponse{
 			ID:       binary.BigEndian.Uint32(body[:4]),
 			Precise:  body[4]&1 != 0,
 			Sampled:  body[4]&2 != 0,
 			Fallback: body[4]&4 != 0,
 			Version:  binary.BigEndian.Uint32(body[5:9]),
-		}, nil
+		}
+		if trail != 0 {
+			resp.TraceID = binary.BigEndian.Uint64(body[9:])
+		}
+		return resp, nil
 	case msgError:
 		if len(body) < 7 {
 			return nil, protoErrf("error body %d bytes, want >= 7", len(body))
@@ -397,7 +456,7 @@ func ParseMessage(payload []byte) (Message, error) {
 	return nil, protoErrf("unknown message type %d", payload[2])
 }
 
-func parseDecideReq(body []byte) (Message, error) {
+func parseDecideReq(body []byte, trail int) (Message, error) {
 	if len(body) < 5 {
 		return nil, protoErrf("decide request body %d bytes, want >= 5", len(body))
 	}
@@ -414,14 +473,18 @@ func parseDecideReq(body []byte) (Message, error) {
 	if dim > MaxInputDim {
 		return nil, protoErrf("input dim %d exceeds %d", dim, MaxInputDim)
 	}
-	if len(body) != 8*dim {
-		return nil, protoErrf("decide request input is %d bytes, want %d", len(body), 8*dim)
+	if len(body) != 8*dim+trail {
+		return nil, protoErrf("decide request input is %d bytes, want %d", len(body), 8*dim+trail)
 	}
 	in := make([]float64, dim)
 	for i := range in {
 		in[i] = math.Float64frombits(binary.BigEndian.Uint64(body[8*i : 8*i+8]))
 	}
-	return &DecideRequest{ID: id, Bench: bench, In: in}, nil
+	req := &DecideRequest{ID: id, Bench: bench, In: in}
+	if trail != 0 {
+		req.TraceID = binary.BigEndian.Uint64(body[8*dim:])
+	}
+	return req, nil
 }
 
 // WriteMessage frames msg and writes it to w in one call.

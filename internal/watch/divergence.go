@@ -1,0 +1,153 @@
+package watch
+
+import (
+	"math"
+	"sort"
+)
+
+// psiEpsilon floors bucket proportions inside the PSI logarithm so an
+// empty bucket on either side contributes a large-but-finite term
+// instead of ±Inf (the standard population-stability-index convention).
+const psiEpsilon = 1e-6
+
+// Reference is a fixed-bucket histogram of kernel-input component values
+// captured at compile time from the classifier's training tuples — the
+// distribution the deployment's statistical guarantee was certified
+// against. It is baked into the snapshot (and the exported program blob)
+// so the serving layer can quantify input drift without re-reading
+// training data.
+type Reference struct {
+	// Bounds are ascending bucket upper bounds; an implicit +Inf bucket
+	// follows (the same shape as obs.Histogram).
+	Bounds []float64
+	// Counts holds len(Bounds)+1 bucket occupancies.
+	Counts []int64
+}
+
+// DefaultBounds spans the normalized kernel-input domain the axbench
+// suite produces (roughly [-1, 1]) with finer resolution near the upper
+// edge, where the synthetic benchmarks place their bad-input mass.
+func DefaultBounds() []float64 {
+	return []float64{-0.75, -0.5, -0.25, -0.1, 0, 0.1, 0.25, 0.5, 0.75, 0.9, 1}
+}
+
+// BuildReference bins every component of every input vector. A nil
+// bounds slice uses DefaultBounds.
+func BuildReference(bounds []float64, inputs [][]float64) *Reference {
+	if bounds == nil {
+		bounds = DefaultBounds()
+	}
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	r := &Reference{Bounds: bs, Counts: make([]int64, len(bs)+1)}
+	for _, in := range inputs {
+		r.Add(in)
+	}
+	return r
+}
+
+// Add bins one input vector's components.
+func (r *Reference) Add(in []float64) {
+	for _, v := range in {
+		r.Counts[sort.SearchFloat64s(r.Bounds, v)]++
+	}
+}
+
+// Total returns the number of binned components. Nil-safe.
+func (r *Reference) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	var t int64
+	for _, c := range r.Counts {
+		t += c
+	}
+	return t
+}
+
+// Valid reports whether the reference can anchor divergence gauges:
+// consistent shape and at least one binned component. Nil-safe.
+func (r *Reference) Valid() bool {
+	return r != nil && len(r.Counts) == len(r.Bounds)+1 && r.Total() > 0
+}
+
+// Tracker streams served kernel inputs into the reference's buckets and
+// exposes divergence between the live distribution and the reference.
+// Not concurrency-safe: one goroutine (the shard updater) observes.
+type Tracker struct {
+	bounds []float64
+	refP   []float64 // reference bucket proportions
+	counts []int64
+	total  int64
+}
+
+// NewTracker builds a tracker against a valid reference (panics on an
+// invalid one; gate with Reference.Valid).
+func NewTracker(ref *Reference) *Tracker {
+	if !ref.Valid() {
+		panic("watch: NewTracker on invalid reference")
+	}
+	t := &Tracker{
+		bounds: ref.Bounds,
+		refP:   make([]float64, len(ref.Counts)),
+		counts: make([]int64, len(ref.Counts)),
+	}
+	total := float64(ref.Total())
+	for i, c := range ref.Counts {
+		t.refP[i] = float64(c) / total
+	}
+	return t
+}
+
+// Observe bins one input vector's components. Allocation-free.
+func (t *Tracker) Observe(in []float64) {
+	for _, v := range in {
+		t.counts[sort.SearchFloat64s(t.bounds, v)]++
+	}
+	t.total += int64(len(in))
+}
+
+// Total returns the number of live binned components.
+func (t *Tracker) Total() int64 { return t.total }
+
+// PSI returns the population stability index between the live and
+// reference distributions: Σ (p−q)·ln(p/q) with ε-floored proportions.
+// Zero until the first observation. Allocation-free.
+func (t *Tracker) PSI() float64 {
+	if t.total == 0 {
+		return 0
+	}
+	total := float64(t.total)
+	var psi float64
+	for i, c := range t.counts {
+		p := float64(c) / total
+		if p < psiEpsilon {
+			p = psiEpsilon
+		}
+		q := t.refP[i]
+		if q < psiEpsilon {
+			q = psiEpsilon
+		}
+		psi += (p - q) * math.Log(p/q)
+	}
+	return psi
+}
+
+// L1 returns the L1 (total variation ×2) distance between the live and
+// reference bucket proportions. Zero until the first observation.
+// Allocation-free.
+func (t *Tracker) L1() float64 {
+	if t.total == 0 {
+		return 0
+	}
+	total := float64(t.total)
+	var l1 float64
+	for i, c := range t.counts {
+		d := float64(c)/total - t.refP[i]
+		if d < 0 {
+			d = -d
+		}
+		l1 += d
+	}
+	return l1
+}

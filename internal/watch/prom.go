@@ -1,0 +1,166 @@
+package watch
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"mithra/internal/obs"
+)
+
+// WriteProm renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4). The rendering is canonical: the
+// snapshot is already sorted by name, every metric name is sanitized the
+// same way, and floats use the shared shortest-round-trip form, so two
+// equal registries always expose identical bytes.
+//
+// Counters and gauges map one-to-one; fixed-bucket histograms are
+// re-expressed with Prometheus's cumulative `_bucket{le=...}` / `_count`
+// convention (no `_sum`: the registry keeps integer bucket counts only,
+// by the determinism contract).
+func WriteProm(w io.Writer, s obs.Snapshot) {
+	for _, c := range s.Counters {
+		name := promName(c.Name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		name := promName(g.Name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, FormatFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		name := promName(h.Name)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, b.LE, cum)
+		}
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Total)
+	}
+}
+
+// PromHandler serves WriteProm over the live registry — mounted as
+// GET /metrics.prom on the debug mux.
+func PromHandler(reg *obs.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteProm(w, reg.Snapshot())
+	})
+}
+
+// promName sanitizes a dotted registry name into the Prometheus
+// identifier alphabet and prefixes the application namespace:
+// "watch.guarantee.state.fft" → "mithra_watch_guarantee_state_fft".
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len("mithra_") + len(name))
+	b.WriteString("mithra_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// ParseProm reads a text exposition produced by WriteProm back into a
+// flat name→value map (counters and gauges; histogram series are
+// skipped). This is the `mithra watch` poller's input.
+func ParseProm(r io.Reader) (map[string]float64, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") || strings.Contains(line, "{") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(val, "%g", &v); err != nil {
+			return nil, fmt.Errorf("watch: bad exposition line %q: %w", line, err)
+		}
+		out[name] = v
+	}
+	return out, nil
+}
+
+// BenchStatus is one row of the `mithra watch` live table, reconstructed
+// from the exposition map.
+type BenchStatus struct {
+	Bench      string
+	State      State
+	Lower      float64 // certified CP lower bound over the current window
+	Upper      float64 // CP upper bound
+	Target     float64 // required success rate
+	Margin     float64 // Lower - Target
+	PSI        float64
+	L1         float64
+	Samples    float64 // sampled observations consumed by the monitor
+	Decisions  float64 // decisions served (per-bench counter)
+	Fallbacks  float64 // precise fallbacks served
+	Violations float64 // violation transitions since boot
+}
+
+// StatusFrom extracts per-benchmark watch rows from a parsed exposition
+// map, sorted by benchmark name. Benchmarks are discovered from the
+// watch_guarantee_state gauges, so a daemon without monitors armed
+// yields an empty slice.
+func StatusFrom(metrics map[string]float64) []BenchStatus {
+	const statePrefix = "mithra_watch_guarantee_state_"
+	var rows []BenchStatus
+	for name, v := range metrics {
+		if !strings.HasPrefix(name, statePrefix) {
+			continue
+		}
+		bench := strings.TrimPrefix(name, statePrefix)
+		rows = append(rows, BenchStatus{
+			Bench:      bench,
+			State:      State(v),
+			Lower:      metrics["mithra_watch_guarantee_lower_bound_"+bench],
+			Upper:      metrics["mithra_watch_guarantee_upper_bound_"+bench],
+			Target:     metrics["mithra_watch_guarantee_target_"+bench],
+			Margin:     metrics["mithra_watch_guarantee_margin_"+bench],
+			PSI:        metrics["mithra_watch_divergence_psi_"+bench],
+			L1:         metrics["mithra_watch_divergence_l1_"+bench],
+			Samples:    metrics["mithra_watch_samples_"+bench],
+			Decisions:  metrics["mithra_serve_bench_decisions_"+bench],
+			Fallbacks:  metrics["mithra_serve_bench_fallbacks_"+bench],
+			Violations: metrics["mithra_watch_guarantee_violations_"+bench],
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Bench < rows[j].Bench })
+	return rows
+}
+
+// RenderStatus prints the live status table. qps maps bench → decisions
+// per second computed by the poller from successive snapshots (nil on a
+// single-shot poll: the QPS column renders "-"). The rendering is
+// deterministic for a given input.
+func RenderStatus(w io.Writer, rows []BenchStatus, qps map[string]float64) {
+	fmt.Fprintf(w, "%-12s %-10s %8s %8s %8s %8s %8s %9s %9s %6s\n",
+		"BENCH", "STATE", "LOWER", "TARGET", "MARGIN", "PSI", "L1", "DECIDED", "FALLBACK%", "QPS")
+	for _, r := range rows {
+		fb := "-"
+		if r.Decisions > 0 {
+			fb = fmt.Sprintf("%.2f", 100*r.Fallbacks/r.Decisions)
+		}
+		q := "-"
+		if qps != nil {
+			q = fmt.Sprintf("%.0f", qps[r.Bench])
+		}
+		fmt.Fprintf(w, "%-12s %-10s %8.4f %8.4f %+8.4f %8.4f %8.4f %9.0f %9s %6s\n",
+			r.Bench, r.State, r.Lower, r.Target, r.Margin, r.PSI, r.L1, r.Decisions, fb, q)
+	}
+}

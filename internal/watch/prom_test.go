@@ -1,0 +1,133 @@
+package watch
+
+import (
+	"bytes"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mithra/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden exposition file")
+
+// testRegistry assembles a registry with every instrument kind the
+// exposition renders, including awkward float values.
+func testRegistry() *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.Counter("serve.bench.decisions.fft").Add(1200)
+	reg.Counter("serve.bench.fallbacks.fft").Add(30)
+	reg.Counter("watch.samples.fft").Add(75)
+	reg.Counter("watch.guarantee.violations.fft").Add(1)
+	reg.Gauge("watch.guarantee.state.fft").Set(2)
+	reg.Gauge("watch.guarantee.lower_bound.fft").Set(0.562341325190349)
+	reg.Gauge("watch.guarantee.target.fft").Set(0.6)
+	reg.Gauge("watch.guarantee.margin.fft").Set(-0.037658674809651016)
+	reg.Gauge("watch.divergence.psi.fft").Set(1.25)
+	reg.Gauge("watch.divergence.l1.fft").Set(0.5)
+	h := reg.Histogram("serve.batch.size", []float64{1, 8, 32})
+	h.Observe(1)
+	h.Observe(4)
+	h.Observe(50)
+	return reg
+}
+
+// TestWritePromGolden pins the canonical exposition bytes (-update to
+// regenerate).
+func TestWritePromGolden(t *testing.T) {
+	var buf bytes.Buffer
+	WriteProm(&buf, testRegistry().Snapshot())
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestPromRoundTrip: whatever WriteProm emits, ParseProm must read back
+// (counters and gauges; histogram series are intentionally skipped).
+func TestPromRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	WriteProm(&buf, testRegistry().Snapshot())
+	m, err := ParseProm(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]float64{
+		"mithra_serve_bench_decisions_fft":       1200,
+		"mithra_watch_guarantee_state_fft":       2,
+		"mithra_watch_guarantee_lower_bound_fft": 0.562341325190349,
+		"mithra_watch_guarantee_margin_fft":      -0.037658674809651016,
+	}
+	for name, want := range cases {
+		if got, ok := m[name]; !ok || got != want {
+			t.Fatalf("%s = %v (present=%v), want %v", name, got, ok, want)
+		}
+	}
+	if _, ok := m["mithra_serve_batch_size_count"]; !ok {
+		t.Fatal("histogram _count series missing from parse")
+	}
+}
+
+func TestPromHandler(t *testing.T) {
+	reg := testRegistry()
+	rr := httptest.NewRecorder()
+	PromHandler(reg).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics.prom", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rr.Body.String(), "mithra_watch_guarantee_state_fft 2\n") {
+		t.Fatalf("exposition body missing state gauge:\n%s", rr.Body.String())
+	}
+}
+
+// TestStatusTable pins the deterministic `mithra watch` rendering.
+func TestStatusTable(t *testing.T) {
+	var buf bytes.Buffer
+	WriteProm(&buf, testRegistry().Snapshot())
+	m, err := ParseProm(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := StatusFrom(m)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v, want one fft row", rows)
+	}
+	r := rows[0]
+	if r.Bench != "fft" || r.State != Violated || r.Decisions != 1200 || r.Fallbacks != 30 || r.Violations != 1 {
+		t.Fatalf("row %+v", r)
+	}
+
+	var tbl bytes.Buffer
+	RenderStatus(&tbl, rows, nil)
+	want := "" +
+		"BENCH        STATE         LOWER   TARGET   MARGIN      PSI       L1   DECIDED FALLBACK%    QPS\n" +
+		"fft          violated     0.5623   0.6000  -0.0377   1.2500   0.5000      1200      2.50      -\n"
+	if tbl.String() != want {
+		t.Fatalf("status table drifted:\n--- got ---\n%s--- want ---\n%s", tbl.String(), want)
+	}
+
+	var withQPS bytes.Buffer
+	RenderStatus(&withQPS, rows, map[string]float64{"fft": 420})
+	if !strings.Contains(withQPS.String(), "   420\n") {
+		t.Fatalf("QPS column missing:\n%s", withQPS.String())
+	}
+}
+
+// TestStatusFromEmpty: a daemon without monitors yields no rows.
+func TestStatusFromEmpty(t *testing.T) {
+	if rows := StatusFrom(map[string]float64{"mithra_serve_decisions": 5}); len(rows) != 0 {
+		t.Fatalf("rows = %v, want none", rows)
+	}
+}
