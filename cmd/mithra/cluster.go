@@ -1,0 +1,173 @@
+package main
+
+// The cluster inspection commands (DESIGN.md §15):
+//
+//	mithra cluster ring   -spec cluster.spec [-bench sobel,fft]
+//	mithra cluster digest [-decisions out.jsonl -seed 7] <dlog> [<dlog>...]
+//
+// `ring` resolves the spec's consistent-hash ring exactly as every node
+// and routed client does and prints the placement: arc spread per node
+// and, per benchmark, the home node plus the slot owners of a split
+// benchmark's MISR signature ranges. `digest` merges the nodes' durable
+// decision logs into the cluster's per-benchmark DecisionSets (ordered
+// by request ID, duplicates deduplicated, gaps rejected) and prints
+// each digest — the value the acceptance gate compares against the
+// single-node replay.
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"mithra/internal/cluster"
+	"mithra/internal/obs"
+)
+
+func cmdCluster(args []string, stdout, stderr io.Writer) int {
+	return command("cluster", args, stderr, func(fs *flag.FlagSet, of *obsFlags) {
+		of.registerLog(fs)
+	}, func(fs *flag.FlagSet, _ *obsFlags, lg *obs.Logger) error {
+		switch fs.Arg(0) {
+		case "ring":
+			return clusterRing(stdout, fs.Args()[1:])
+		case "digest":
+			return clusterDigest(stdout, lg, fs.Args()[1:])
+		case "":
+			return usageErrf("usage: mithra cluster ring|digest ...")
+		}
+		return usageErrf("unknown cluster subcommand %q (ring|digest)", fs.Arg(0))
+	})
+}
+
+// clusterRing prints the placement a spec induces. Flag parsing stopped
+// at the positional "ring", so the flags are picked out by hand:
+//
+//	mithra cluster ring -spec <file> [-bench <name>[,<name>...]]
+func clusterRing(stdout io.Writer, rest []string) error {
+	specPath, benches := "", ""
+	for i := 0; i < len(rest); i++ {
+		switch a := rest[i]; a {
+		case "-spec", "--spec":
+			if i+1 >= len(rest) {
+				return usageErrf("-spec needs a cluster spec file")
+			}
+			i++
+			specPath = rest[i]
+		case "-bench", "--bench":
+			if i+1 >= len(rest) {
+				return usageErrf("-bench needs a comma-separated benchmark list")
+			}
+			i++
+			benches = rest[i]
+		default:
+			return usageErrf("usage: mithra cluster ring -spec <file> [-bench <name>,...]")
+		}
+	}
+	if specPath == "" {
+		return usageErrf("usage: mithra cluster ring -spec <file> [-bench <name>,...]")
+	}
+	spec, err := cluster.ParseSpecFile(specPath)
+	if err != nil {
+		return err
+	}
+	router, err := cluster.NewRouter(spec)
+	if err != nil {
+		return err
+	}
+	ring := router.Ring()
+	fmt.Fprintf(stdout, "cluster    %d node(s), seed %d, %d vnodes, sample-rate %g\n",
+		len(spec.Nodes), spec.Seed, spec.VNodes, spec.SampleRate)
+	spread := ring.Spread()
+	for _, name := range ring.Nodes() {
+		fmt.Fprintf(stdout, "node       %-12s %-24s arc %.1f%%\n",
+			name, spec.Addr(name), 100*spread[name])
+	}
+	if benches == "" {
+		return nil
+	}
+	for _, bench := range strings.Split(benches, ",") {
+		home := router.Home(bench)
+		if slots, split := spec.Splits[bench]; split {
+			owners := make([]string, slots)
+			for s := range owners {
+				owners[s] = ring.OwnerSlot(bench, uint32(s))
+			}
+			fmt.Fprintf(stdout, "bench      %-12s home %s, split %d: %s\n",
+				bench, home, slots, strings.Join(owners, " "))
+		} else {
+			fmt.Fprintf(stdout, "bench      %-12s home %s\n", bench, home)
+		}
+	}
+	return nil
+}
+
+// clusterDigest merges the nodes' decision logs and prints each
+// benchmark's decision count and digest:
+//
+//	mithra cluster digest [-decisions <file>] [-seed <n>] <dlog> [<dlog>...]
+//
+// -decisions writes the merged decision journal (requires the logs to
+// cover exactly one benchmark, since a journal holds one decision set).
+func clusterDigest(stdout io.Writer, lg *obs.Logger, rest []string) error {
+	decisions, seed := "", uint64(7)
+	var paths []string
+	for i := 0; i < len(rest); i++ {
+		switch a := rest[i]; a {
+		case "-decisions", "--decisions":
+			if i+1 >= len(rest) {
+				return usageErrf("-decisions needs an output file")
+			}
+			i++
+			decisions = rest[i]
+		case "-seed", "--seed":
+			if i+1 >= len(rest) {
+				return usageErrf("-seed needs a value")
+			}
+			i++
+			if _, err := fmt.Sscanf(rest[i], "%d", &seed); err != nil {
+				return usageErrf("bad -seed %q", rest[i])
+			}
+		default:
+			paths = append(paths, a)
+		}
+	}
+	if len(paths) == 0 {
+		return usageErrf("usage: mithra cluster digest [-decisions <file>] [-seed <n>] <dlog> [<dlog>...]")
+	}
+	sets, skipped, err := cluster.MergeDecisionLogs(paths)
+	if err != nil {
+		return err
+	}
+	for _, s := range skipped {
+		lg.Errorf("run", "dlog: skipped %s", s)
+	}
+	benches := make([]string, 0, len(sets))
+	for bench := range sets {
+		benches = append(benches, bench)
+	}
+	sort.Strings(benches)
+	for _, bench := range benches {
+		ds := sets[bench]
+		precise := 0
+		for _, b := range ds.Bytes() {
+			if b == 'p' {
+				precise++
+			}
+		}
+		fmt.Fprintf(stdout, "bench      %s (merged from %d log(s))\n", bench, len(paths))
+		fmt.Fprintf(stdout, "decisions  %d (%d precise)\n", ds.Len(), precise)
+		fmt.Fprintf(stdout, "digest     %s\n", ds.Digest())
+	}
+	if decisions != "" {
+		if len(benches) != 1 {
+			return usageErrf("-decisions needs exactly one benchmark in the merged logs (got %d)", len(benches))
+		}
+		if err := sets[benches[0]].WriteJournal(decisions, seed); err != nil {
+			return err
+		}
+		lg.Infof("merged decision journal written to %s", decisions)
+	}
+	return nil
+}

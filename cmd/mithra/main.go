@@ -71,6 +71,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdLoadgen(rest, stdout, stderr)
 	case "watch":
 		return cmdWatch(rest, stdout, stderr)
+	case "cluster":
+		return cmdCluster(rest, stdout, stderr)
 	case "bench":
 		return cmdBench(rest, stdout, stderr)
 	case "-h", "--help", "help":
@@ -95,6 +97,7 @@ commands:
   decide    compute a dataset's offline decision vector and journal
   loadgen   replay a dataset against a mithrad server and measure it
   watch     poll a mithrad's /metrics.prom and render the guarantee status table
+  cluster   inspect a cluster spec's ring placement or merge node decision logs
   bench     run the perf harness and update or gate BENCH_serve.json
 
 run 'mithra <command> -h' for flags.`)

@@ -25,6 +25,7 @@ import (
 
 	"mithra/internal/axbench"
 	"mithra/internal/bench"
+	"mithra/internal/cluster"
 	"mithra/internal/core"
 	"mithra/internal/mathx"
 	"mithra/internal/obs"
@@ -204,6 +205,7 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) int {
 	var (
 		addr, unixPath, cfgPath, scale *string
 		decisions, benchJSON, label    *string
+		endpoints                      *string
 		seed                           *uint64
 		conns, pipeline, repeat        *int
 		qps                            *float64
@@ -212,6 +214,7 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) int {
 	return command("loadgen", args, stderr, func(fs *flag.FlagSet, of *obsFlags) {
 		addr = fs.String("addr", "", "mithrad TCP address (e.g. 127.0.0.1:7433)")
 		unixPath = fs.String("unix", "", "mithrad Unix socket path")
+		endpoints = fs.String("endpoints", "", "cluster spec file: resolve the consistent-hash ring locally and spread requests across every node (multi-endpoint mode)")
 		cfgPath = fs.String("config", "", "the compiled deployment the server loaded (defines the input stream)")
 		scale = fs.String("scale", "test", "dataset scale: test|medium|paper")
 		seed = fs.Uint64("seed", 7, "dataset generation seed")
@@ -225,8 +228,14 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) int {
 		chaos = fs.Bool("chaos", false, "resilient mode: retry across connection faults and server restarts, and re-ask fallback decisions until the classifier answers (chaos testing)")
 		of.registerLog(fs)
 	}, func(_ *flag.FlagSet, _ *obsFlags, lg *obs.Logger) error {
-		if (*addr == "") == (*unixPath == "") {
-			return usageErrf("need exactly one of -addr / -unix")
+		set := 0
+		for _, s := range []string{*addr, *unixPath, *endpoints} {
+			if s != "" {
+				set++
+			}
+		}
+		if set != 1 {
+			return usageErrf("need exactly one of -addr / -unix / -endpoints")
 		}
 		if *conns < 1 || *pipeline < 1 || *repeat < 1 {
 			return usageErrf("-conns, -pipeline, -repeat must be >= 1")
@@ -234,6 +243,20 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) int {
 		network, target := "tcp", *addr
 		if *unixPath != "" {
 			network, target = "unix", *unixPath
+		}
+		// Multi-endpoint mode: the client resolves the same consistent-hash
+		// ring the nodes use and pins a connection per node, so each request
+		// lands on its deciding node directly (mis-routed frames would still
+		// be forwarded server-side — this just avoids the extra hop).
+		var cspec *cluster.Spec
+		if *endpoints != "" {
+			var err error
+			cspec, err = cluster.ParseSpecFile(*endpoints)
+			if err != nil {
+				return err
+			}
+			target = fmt.Sprintf("%d-node cluster", len(cspec.Nodes))
+			network = "ring"
 		}
 		prog, inputs, err := loadProgramInputs(*cfgPath, *scale, *seed)
 		if err != nil {
@@ -251,6 +274,7 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) int {
 		rtts := make([][]time.Duration, *conns)
 		errs := make([]error, *conns)
 		rclients := make([]*serve.ResilientClient, *conns)
+		routed := make([]*cluster.RoutedClient, *conns)
 		fallbacksSeen := make([]int, *conns)
 		// Pacing: with C conns each sending P-sized batches, the fleet hits
 		// qps when every conn starts a batch each P*C/qps seconds.
@@ -272,7 +296,23 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) int {
 			go func(c int) {
 				defer wg.Done()
 				var decide func(baseID uint32, batch [][]float64) ([]serve.DecideResponse, error)
-				if *chaos {
+				var decideOne func(id uint32, in []float64) (*serve.DecideResponse, error)
+				if cspec != nil {
+					rc, err := cluster.NewRoutedClient(cspec, *chaos,
+						serve.RetryConfig{Seed: *seed + uint64(c) + 1})
+					if err != nil {
+						errs[c] = err
+						return
+					}
+					defer rc.Close()
+					routed[c] = rc
+					decide = func(baseID uint32, batch [][]float64) ([]serve.DecideResponse, error) {
+						return rc.DecideBatch(benchName, baseID, batch)
+					}
+					decideOne = func(id uint32, in []float64) (*serve.DecideResponse, error) {
+						return rc.Decide(benchName, id, in)
+					}
+				} else if *chaos {
 					rcl, err := serve.DialResilient(network, target,
 						serve.RetryConfig{Seed: *seed + uint64(c) + 1})
 					if err != nil {
@@ -283,6 +323,9 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) int {
 					rclients[c] = rcl
 					decide = func(baseID uint32, batch [][]float64) ([]serve.DecideResponse, error) {
 						return rcl.DecideBatch(benchName, baseID, batch)
+					}
+					decideOne = func(id uint32, in []float64) (*serve.DecideResponse, error) {
+						return rcl.Decide(benchName, id, in)
 					}
 				} else {
 					cl, err := serve.Dial(network, target)
@@ -323,7 +366,7 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) int {
 						// half-open probe.
 						for attempt := 0; *chaos && r.Fallback && attempt < 512; attempt++ {
 							fallbacksSeen[c]++
-							nr, err := rclients[c].Decide(benchName, r.ID, batch[i])
+							nr, err := decideOne(r.ID, batch[i])
 							if err != nil {
 								errs[c] = err
 								return
@@ -381,6 +424,11 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) int {
 				if rcl != nil {
 					retries += rcl.Retries
 					reconnects += rcl.Reconnects
+				}
+				if routed[c] != nil {
+					rt, rc2, _ := routed[c].Stats()
+					retries += rt
+					reconnects += rc2
 				}
 				fallbacks += fallbacksSeen[c]
 			}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"mithra/internal/obs"
@@ -40,40 +41,55 @@ func cmdWatch(args []string, stdout, stderr io.Writer) int {
 		once     *bool
 	)
 	return command("watch", args, stderr, func(fs *flag.FlagSet, of *obsFlags) {
-		addr = fs.String("addr", "localhost:6060", "mithrad debug address serving /metrics.prom")
+		addr = fs.String("addr", "localhost:6060", "mithrad debug address(es) serving /metrics.prom; comma-separated for a cluster (per-node rows are merged)")
 		interval = fs.Duration("interval", time.Second, "poll interval")
 		polls = fs.Int("n", 0, "number of polls (0 = until interrupted)")
 		once = fs.Bool("once", false, "render one snapshot and exit (no QPS)")
 		of.registerLog(fs)
 	}, func(_ *flag.FlagSet, _ *obsFlags, _ *obs.Logger) error {
-		url := "http://" + *addr + "/metrics.prom"
+		// Multiple addresses watch a cluster: each node is polled and the
+		// per-node rows are merged (counters summed, guarantee fields from
+		// the benchmark's home node) into one table per poll.
+		var urls []string
+		for _, a := range strings.Split(*addr, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				urls = append(urls, "http://"+a+"/metrics.prom")
+			}
+		}
+		if len(urls) == 0 {
+			return usageErrf("-addr needs at least one address")
+		}
 		limit := *polls
 		if *once {
 			limit = 1
 		}
-		var prev map[string]float64
+		var prevDec map[string]float64
 		var prevAt time.Time
 		for i := 0; limit == 0 || i < limit; i++ {
 			if i > 0 {
 				time.Sleep(*interval)
 				fmt.Fprintln(stdout)
 			}
-			metrics, err := pollProm(url)
-			if err != nil {
-				return err
+			perNode := make([][]watch.BenchStatus, 0, len(urls))
+			for _, url := range urls {
+				metrics, err := pollProm(url)
+				if err != nil {
+					return err
+				}
+				perNode = append(perNode, watch.StatusFrom(metrics))
 			}
 			now := time.Now()
-			rows := watch.StatusFrom(metrics)
+			rows := watch.MergeStatus(perNode)
 			if len(rows) == 0 {
 				fmt.Fprintln(stdout, "no guarantee monitors armed (start mithrad with -watch)")
 			}
 			var qps map[string]float64
-			if prev != nil {
+			if prevDec != nil {
 				dt := now.Sub(prevAt).Seconds()
 				if dt > 0 {
 					qps = make(map[string]float64, len(rows))
 					for _, r := range rows {
-						d := r.Decisions - prev["mithra_serve_bench_decisions_"+r.Bench]
+						d := r.Decisions - prevDec[r.Bench]
 						if d < 0 {
 							d = 0 // daemon restarted between polls
 						}
@@ -82,7 +98,11 @@ func cmdWatch(args []string, stdout, stderr io.Writer) int {
 				}
 			}
 			watch.RenderStatus(stdout, rows, qps)
-			prev, prevAt = metrics, now
+			prevDec = make(map[string]float64, len(rows))
+			for _, r := range rows {
+				prevDec[r.Bench] = r.Decisions
+			}
+			prevAt = now
 		}
 		return nil
 	})

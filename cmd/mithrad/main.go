@@ -29,10 +29,12 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
+	"mithra/internal/cluster"
 	"mithra/internal/fault"
 	"mithra/internal/obs"
 	"mithra/internal/serve"
@@ -77,6 +79,8 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) int {
 		watchRecover = fs.Int("watch-recover", 0, "consecutive passing evaluations before recovering -> holding (0 = window size)")
 		watchExempl  = fs.Int("watch-exemplars", 0, "guarantee-relevant request IDs kept per state transition (0 = default 8)")
 		watchLag     = fs.Int("watch-lag", 0, "reorder-buffer depth for ID-ordered monitor ingestion (0 = default 512)")
+		clusterSpec  = fs.String("cluster-spec", "", "cluster spec file shared by every node (enables multi-node mode; requires -node and -wal-dir)")
+		nodeName     = fs.String("node", "", "this node's name in the -cluster-spec file")
 	)
 	err := fs.Parse(args)
 	if errors.Is(err, flag.ErrHelp) {
@@ -98,8 +102,36 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) int {
 		lg.Errorf("usage", "-snapshot is required")
 		return 2
 	}
-	if *listen == "" && *unixPath == "" {
-		lg.Errorf("usage", "need at least one of -listen / -unix")
+	// Cluster mode: the shared spec file fixes this node's listen address
+	// and the cluster-wide sampling config. Sampling flags must agree on
+	// every node or placement and sampling would disagree, so the spec
+	// overrides them; the WAL is mandatory because replica catch-up and
+	// the decision log live there.
+	var cspec *cluster.Spec
+	if *clusterSpec != "" {
+		if *nodeName == "" {
+			lg.Errorf("usage", "-cluster-spec requires -node")
+			return 2
+		}
+		if *walDir == "" {
+			lg.Errorf("usage", "cluster mode requires -wal-dir (fold log, decision log, catch-up state)")
+			return 2
+		}
+		var err error
+		cspec, err = cluster.ParseSpecFile(*clusterSpec)
+		if err != nil {
+			lg.Errorf("usage", "%v", err)
+			return 2
+		}
+		if _, err := cspec.Node(*nodeName); err != nil {
+			lg.Errorf("usage", "%v", err)
+			return 2
+		}
+		*sampleRate = cspec.SampleRate
+		*sampleSeed = cspec.SampleSeed
+	}
+	if *listen == "" && *unixPath == "" && cspec == nil {
+		lg.Errorf("usage", "need at least one of -listen / -unix (or -cluster-spec)")
 		return 2
 	}
 
@@ -183,6 +215,42 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) int {
 			path, snap.Bench, snap.Threshold, snap.Table.InputDim(), snap.Version)
 	}
 
+	// Cluster node: the recorder persists this node's half of the cluster
+	// digest; the node wires routing, forwarding, and fold-in replication
+	// into the server via the ClusterHooks interface.
+	var (
+		node     *cluster.Node
+		recorder *cluster.Recorder
+	)
+	if cspec != nil {
+		recorder, err = cluster.OpenRecorder(filepath.Join(*walDir, "decisions.dlog"))
+		if err != nil {
+			lg.Errorf("io", "%v", err)
+			return 1
+		}
+		node, err = cluster.NewNode(cluster.NodeConfig{
+			Spec:     cspec,
+			Self:     *nodeName,
+			Registry: reg,
+			WAL:      wal,
+			Recorder: recorder,
+			Faults:   faults,
+			Obs:      o,
+			Logf:     lg.Infof,
+		})
+		if err != nil {
+			lg.Errorf("run", "%v", err)
+			return 1
+		}
+		lg.Infof("cluster node %s (%d nodes, seed %d, vnodes %d)",
+			*nodeName, len(cspec.Nodes), cspec.Seed, cspec.VNodes)
+		o.Note("cluster_node", map[string]any{
+			"node": *nodeName, "nodes": len(cspec.Nodes),
+			"seed": cspec.Seed, "vnodes": cspec.VNodes,
+			"sample_rate": cspec.SampleRate, "sample_seed": cspec.SampleSeed,
+		})
+	}
+
 	cfg := serve.Config{
 		Workers:        *workers,
 		QueueDepth:     *queueDepth,
@@ -208,16 +276,25 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) int {
 	if recovered != nil {
 		cfg.RecoveredWindows = recovered.Windows
 	}
+	if node != nil {
+		cfg.Cluster = node
+		cfg.OnFoldIn = node.OnFoldIn
+	}
 	srv, err := serve.NewServer(reg, cfg)
 	if err != nil {
 		lg.Errorf("run", "%v", err)
 		return 1
 	}
-	o.RunStart("mithrad", *sampleSeed, map[string]any{
+	runCfg := map[string]any{
 		"snapshots": *snapshots, "sample_rate": *sampleRate,
 		"update_every": *updateEvery, "freeze": *freeze,
 		"wal": *walDir != "", "fault_plan": *faultPlan, "watch": *watchOn,
-	}, nil)
+	}
+	if cspec != nil {
+		runCfg["cluster_node"] = *nodeName
+		runCfg["cluster_nodes"] = len(cspec.Nodes)
+	}
+	o.RunStart("mithrad", *sampleSeed, runCfg, nil)
 
 	var dbg *obs.DebugServer
 	if *debugAddr != "" {
@@ -262,6 +339,29 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) int {
 			return 1
 		}
 	}
+	clusterUnix := ""
+	if cspec != nil {
+		// Peers and routed clients dial the spec address, so the node must
+		// listen there (on top of any extra -listen/-unix endpoints).
+		addr := cspec.Addr(*nodeName)
+		nw := "tcp"
+		if strings.ContainsRune(addr, '/') {
+			nw = "unix"
+		}
+		if addr != *listen && addr != *unixPath {
+			if nw == "unix" {
+				os.Remove(addr) //nolint:errcheck // stale socket from a previous run
+				clusterUnix = addr
+			}
+			if err := startListener(nw, addr); err != nil {
+				lg.Errorf("io", "%v", err)
+				return 1
+			}
+		}
+		// Boot catch-up: pull the fold-in history this node missed while it
+		// was down, so replicas converge before peers need them.
+		go node.CatchUp(10, 500*time.Millisecond)
+	}
 
 	exit := 0
 	running := true
@@ -295,6 +395,18 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) int {
 	}
 	if *unixPath != "" {
 		os.Remove(*unixPath) //nolint:errcheck // best-effort socket cleanup
+	}
+	if clusterUnix != "" {
+		os.Remove(clusterUnix) //nolint:errcheck // best-effort socket cleanup
+	}
+	if node != nil {
+		node.Close()
+	}
+	if recorder != nil {
+		if err := recorder.Close(); err != nil {
+			lg.Errorf("io", "%v", err)
+			exit = 1
+		}
 	}
 	if wal != nil {
 		wal.Close() //nolint:errcheck // snapshot records are already durable

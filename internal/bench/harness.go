@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mithra/internal/classifier"
+	"mithra/internal/cluster"
 	"mithra/internal/lint"
 	"mithra/internal/mathx"
 	"mithra/internal/misr"
@@ -49,8 +50,10 @@ var hermeticStages = map[string]bool{
 	"table_classify":         true,
 	"table_classify_batch32": true,
 	"registry_lookup":        true,
+	"ring_lookup":            true,
 	"decide_steady":          true,
 	"watch_overhead":         true,
+	"cluster_hop":            true,
 }
 
 // IsHermetic reports whether stage carries an exact allocs/op contract.
@@ -290,6 +293,42 @@ func Run(cfg Config) ([]Row, error) {
 		}
 		return nil
 	}); err != nil {
+		return nil, err
+	}
+
+	// ring_lookup: the routed client's per-request placement — consistent
+	// hash over (bench, id, input slot) through the full Route path,
+	// sampled-ID check included. This is the client-side cost of cluster
+	// awareness and must stay allocation-free (a routed loadgen does one
+	// per request).
+	spec, err := cluster.ParseSpec("seed 7\nsample-rate 0.05\n" +
+		"node alpha 127.0.0.1:1\nnode beta 127.0.0.1:2\nnode gamma 127.0.0.1:3\n" +
+		"split " + benchName + " 8\n")
+	if err != nil {
+		return nil, err
+	}
+	router, err := cluster.NewRouter(spec)
+	if err != nil {
+		return nil, err
+	}
+	var ringID uint32
+	if err := herm("ring_lookup", func() error {
+		sinkU32 += uint32(len(router.Route(benchName, ringID, in)))
+		ringID++
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// cluster_hop: the CPU-side cost of one forwarded request beyond a
+	// local decide — route, forward-frame encode/decode, pending-table
+	// bookkeeping, response encode/decode, ID rewrite — hermetic, no
+	// sockets (the wire cost is the rtt stages' business).
+	hop, err := cluster.NewHopDriver(spec, benchName, 3, in)
+	if err != nil {
+		return nil, err
+	}
+	if err := herm("cluster_hop", hop.Step); err != nil {
 		return nil, err
 	}
 

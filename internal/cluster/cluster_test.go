@@ -1,0 +1,508 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mithra/internal/classifier"
+	"mithra/internal/fault"
+	"mithra/internal/mathx"
+	"mithra/internal/obs"
+	"mithra/internal/serve"
+	"mithra/internal/stats"
+)
+
+// testCluster is an in-process multi-node deployment: real servers on
+// loopback TCP, real forwarding and replication, everything torn down at
+// test end.
+type testCluster struct {
+	spec    *Spec
+	nodes   map[string]*Node
+	servers map[string]*serve.Server
+	regs    map[string]*serve.Registry
+	obses   map[string]*obs.Obs
+	dlogs   map[string]string
+	walDirs map[string]string
+}
+
+// clusterOpts shapes one test deployment.
+type clusterOpts struct {
+	nodes      int
+	workers    int
+	sampleRate float64
+	freeze     bool
+	splits     string // extra spec lines, e.g. "split hot 8\n"
+	probeErr   float64
+	wal        bool
+	// faults maps node name ("n0"...) to a fault plan for that node.
+	faults map[string]string
+	// updateEvery overrides the updater window (default 16 in tests).
+	updateEvery int
+}
+
+func testTable(t testing.TB) *classifier.Table {
+	t.Helper()
+	rng := mathx.NewRNG(99)
+	samples := make([]classifier.Sample, 2000)
+	for i := range samples {
+		in := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		samples[i] = classifier.Sample{In: in, Bad: in[0] > 0.9}
+	}
+	tab, err := classifier.TrainTable(classifier.DefaultTableConfig(), samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// startCluster boots opts.nodes mithrad-equivalents serving benches.
+func startCluster(t *testing.T, opts clusterOpts, benches ...string) *testCluster {
+	t.Helper()
+	if opts.workers == 0 {
+		opts.workers = 1
+	}
+	if opts.updateEvery == 0 {
+		opts.updateEvery = 16
+	}
+	lns := make([]net.Listener, opts.nodes)
+	specText := "seed 7\nsample-rate " + fmt.Sprintf("%g", opts.sampleRate) + "\nsample-seed 11\n"
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		specText += fmt.Sprintf("node n%d %s\n", i, ln.Addr().String())
+	}
+	specText += opts.splits
+	spec, err := ParseSpec(specText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := &testCluster{
+		spec:    spec,
+		nodes:   map[string]*Node{},
+		servers: map[string]*serve.Server{},
+		regs:    map[string]*serve.Registry{},
+		obses:   map[string]*obs.Obs{},
+		dlogs:   map[string]string{},
+		walDirs: map[string]string{},
+	}
+	g := stats.Guarantee{QualityLoss: 0.05, SuccessRate: 0.6, Confidence: 0.9}
+	for i := range lns {
+		name := fmt.Sprintf("n%d", i)
+		tab := testTable(t)
+		snaps := make([]*serve.Snapshot, len(benches))
+		for j, bench := range benches {
+			probeErr := opts.probeErr
+			snap, err := serve.NewSnapshot(bench, tab, nil, 0.1, g, func() serve.ErrorProbe {
+				return func([]float64) float64 { return probeErr }
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			snaps[j] = snap
+		}
+		reg := serve.NewRegistry(snaps...)
+		dir := t.TempDir()
+		var wal *serve.WAL
+		if opts.wal {
+			wal, err = serve.OpenWAL(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.walDirs[name] = dir
+		}
+		dlog := filepath.Join(dir, "decisions.dlog")
+		rec, err := OpenRecorder(dlog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var faults *fault.Set
+		if plan := opts.faults[name]; plan != "" {
+			p, err := fault.ParsePlan(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			faults = fault.NewSet(p)
+		}
+		o, err := obs.New(obs.Options{Metrics: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := NewNode(NodeConfig{
+			Spec: spec, Self: name, Registry: reg, WAL: wal,
+			Recorder: rec, Faults: faults, Obs: o, Logf: t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := serve.NewServer(reg, serve.Config{
+			Workers: opts.workers, MaxBatch: 32,
+			SampleRate: spec.SampleRate, SampleSeed: spec.SampleSeed,
+			UpdateEvery: opts.updateEvery, Freeze: opts.freeze,
+			Obs: o, Faults: faults, WAL: wal,
+			Cluster: node, OnFoldIn: node.OnFoldIn,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(lns[i]) //nolint:errcheck // exits nil on drain
+		tc.nodes[name] = node
+		tc.servers[name] = srv
+		tc.regs[name] = reg
+		tc.obses[name] = o
+		tc.dlogs[name] = dlog
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx) //nolint:errcheck // best-effort teardown
+			node.Close()
+			rec.Close() //nolint:errcheck
+			if wal != nil {
+				wal.Close() //nolint:errcheck
+			}
+		})
+	}
+	return tc
+}
+
+// mergedDigest merges every node's decision log and returns bench's
+// digest.
+func (tc *testCluster) mergedDigest(t *testing.T, bench string) string {
+	t.Helper()
+	paths := make([]string, 0, len(tc.dlogs))
+	for _, name := range tc.spec.Names() {
+		paths = append(paths, tc.dlogs[name])
+	}
+	sets, skipped, err := MergeDecisionLogs(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("unexpected skipped blocks: %v", skipped)
+	}
+	if sets[bench] == nil {
+		t.Fatalf("no records for %s", bench)
+	}
+	return sets[bench].Digest()
+}
+
+// testInputs is the deterministic request trace every digest test replays.
+func testInputs(n int) [][]float64 {
+	rng := mathx.NewRNG(5)
+	inputs := make([][]float64, n)
+	for i := range inputs {
+		inputs[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	return inputs
+}
+
+// driveRouted replays inputs through a routed client in batches of 32.
+func driveRouted(t *testing.T, spec *Spec, bench string, inputs [][]float64) []serve.DecideResponse {
+	t.Helper()
+	rc, err := NewRoutedClient(spec, false, serve.RetryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	out := make([]serve.DecideResponse, 0, len(inputs))
+	for base := 0; base < len(inputs); base += 32 {
+		end := base + 32
+		if end > len(inputs) {
+			end = len(inputs)
+		}
+		resps, err := rc.DecideBatch(bench, uint32(base), inputs[base:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, resps...)
+	}
+	return out
+}
+
+// TestClusterDigestMatchesSingleNode is the tentpole acceptance gate in
+// miniature: the merged decision digest of a 3-node cluster must be
+// byte-identical to a single-node replay of the same trace, at worker
+// counts 1 and 4, for both a split and an unsplit benchmark.
+func TestClusterDigestMatchesSingleNode(t *testing.T) {
+	inputs := testInputs(400)
+	digests := map[string]map[string]string{} // config -> bench -> digest
+	for _, nodes := range []int{1, 3} {
+		for _, workers := range []int{1, 4} {
+			tc := startCluster(t, clusterOpts{
+				nodes: nodes, workers: workers,
+				sampleRate: 0.2, freeze: true,
+				splits: "split hot 8\n",
+			}, "hot", "cold")
+			key := fmt.Sprintf("n%d_w%d", nodes, workers)
+			digests[key] = map[string]string{}
+			for _, bench := range []string{"hot", "cold"} {
+				resps := driveRouted(t, tc.spec, bench, inputs)
+				// Reference digest straight from the responses the client saw.
+				ref := serve.NewDecisionSet(bench)
+				for _, r := range resps {
+					if r.Fallback {
+						t.Fatalf("%s: unexpected fallback", key)
+					}
+					ref.Append(r.Precise)
+				}
+				got := tc.mergedDigest(t, bench)
+				if got != ref.Digest() {
+					t.Fatalf("%s/%s: merged dlog digest %s != client-observed %s",
+						key, bench, got, ref.Digest())
+				}
+				digests[key][bench] = got
+			}
+		}
+	}
+	base := digests["n1_w1"]
+	for key, d := range digests {
+		for bench, dig := range d {
+			if dig != base[bench] {
+				t.Fatalf("digest for %s diverged at %s: %s != %s", bench, key, dig, base[bench])
+			}
+		}
+	}
+}
+
+// TestForwardingServesMisroutedClients sends the whole trace to one
+// node with a plain (cluster-unaware) client: frames the node does not
+// own must be forwarded and answered correctly, and the merged digest
+// must still match the routed run.
+func TestForwardingServesMisroutedClients(t *testing.T) {
+	inputs := testInputs(200)
+	tc := startCluster(t, clusterOpts{
+		nodes: 3, workers: 2, sampleRate: 0.2, freeze: true,
+		splits: "split hot 8\n",
+	}, "hot")
+	// Reference: a routed run against a fresh, identical cluster.
+	ref := startCluster(t, clusterOpts{
+		nodes: 3, workers: 2, sampleRate: 0.2, freeze: true,
+		splits: "split hot 8\n",
+	}, "hot")
+	refResps := driveRouted(t, ref.spec, "hot", inputs)
+	wantDigest := ref.mergedDigest(t, "hot")
+
+	// Drive every request at n0, whatever the ring says.
+	cl, err := serve.Dial("tcp", tc.spec.Addr("n0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	var got []serve.DecideResponse
+	for base := 0; base < len(inputs); base += 32 {
+		end := base + 32
+		if end > len(inputs) {
+			end = len(inputs)
+		}
+		resps, err := cl.DecideBatch("hot", uint32(base), inputs[base:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, resps...)
+	}
+	for i := range got {
+		if got[i].Precise != refResps[i].Precise {
+			t.Fatalf("request %d: forwarded decision %v, routed run decided %v",
+				i, got[i].Precise, refResps[i].Precise)
+		}
+	}
+	if dig := tc.mergedDigest(t, "hot"); dig != wantDigest {
+		t.Fatalf("forwarded-run digest %s != routed-run digest %s", dig, wantDigest)
+	}
+	forwards := int64(0)
+	for _, o := range tc.obses {
+		forwards += o.Counter("serve.cluster.forwards").Value()
+	}
+	if forwards == 0 {
+		t.Fatal("no frames were forwarded — ring owned everything at n0?")
+	}
+}
+
+// waitFor polls cond for up to 5 seconds.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 500; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestFoldInReplication forces a guarantee violation on a benchmark's
+// home node and waits for the repaired snapshot to replicate: every
+// node must converge to the same version through the push path.
+func TestFoldInReplication(t *testing.T) {
+	tc := startCluster(t, clusterOpts{
+		nodes: 3, workers: 2, sampleRate: 1, probeErr: 1.0, wal: true,
+	}, "synth")
+	home := tc.nodes["n0"].Router().Home("synth")
+
+	// Safe-region inputs the stale table accelerates; the probe reports
+	// them all as violations, so the updater folds and swaps.
+	rng := mathx.NewRNG(13)
+	inputs := make([][]float64, 64)
+	for i := range inputs {
+		inputs[i] = []float64{0.5 * rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	driveRouted(t, tc.spec, "synth", inputs)
+
+	waitFor(t, "home fold-in", func() bool {
+		return tc.regs[home].Get("synth").Version >= 2
+	})
+	homeVer := tc.regs[home].Get("synth").Version
+	for _, name := range tc.spec.Names() {
+		if name == home {
+			continue
+		}
+		reg := tc.regs[name]
+		waitFor(t, "replica "+name+" convergence", func() bool {
+			return reg.Get("synth").Version >= homeVer
+		})
+		// The replica's fold history (memory and WAL) must now replay the
+		// same versions the home node installed.
+		recs := tc.nodes[name].FoldIns("synth", 0)
+		if len(recs) == 0 {
+			t.Fatalf("replica %s applied fold-ins but recorded none", name)
+		}
+		if recs[len(recs)-1].Version != reg.Get("synth").Version {
+			t.Fatalf("replica %s history ends at v%d, registry at v%d",
+				name, recs[len(recs)-1].Version, reg.Get("synth").Version)
+		}
+	}
+}
+
+// TestCatchUpRepairsPartition replays replication with every push from
+// the home node dropped by fault injection: replicas stay stale until
+// catch-up fetches the fold history over the wire.
+func TestCatchUpRepairsPartition(t *testing.T) {
+	tc := startCluster(t, clusterOpts{
+		nodes: 3, workers: 1, sampleRate: 1, probeErr: 1.0, wal: true,
+		faults: map[string]string{
+			"n0": "seed=3,peer.drop=1",
+			"n1": "seed=3,peer.drop=1",
+			"n2": "seed=3,peer.drop=1",
+		},
+	}, "synth")
+	home := tc.nodes["n0"].Router().Home("synth")
+
+	rng := mathx.NewRNG(13)
+	inputs := make([][]float64, 64)
+	for i := range inputs {
+		inputs[i] = []float64{0.5 * rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	driveRouted(t, tc.spec, "synth", inputs)
+	waitFor(t, "home fold-in", func() bool {
+		return tc.regs[home].Get("synth").Version >= 2
+	})
+	homeVer := tc.regs[home].Get("synth").Version
+
+	// Pushes were all dropped: replicas must still be at the seed version.
+	for _, name := range tc.spec.Names() {
+		if name != home && tc.regs[name].Get("synth").Version != 1 {
+			t.Fatalf("push to %s survived a peer.drop=1 plan", name)
+		}
+	}
+	// Catch-up dials the home node directly (peer.drop only fires on the
+	// push path's sends) and replays the missing fold-ins in order.
+	for _, name := range tc.spec.Names() {
+		if name == home {
+			continue
+		}
+		if err := tc.nodes[name].CatchUpBench("synth"); err != nil {
+			t.Fatal(err)
+		}
+		if got := tc.regs[name].Get("synth").Version; got < homeVer {
+			t.Fatalf("replica %s at v%d after catch-up, home at v%d", name, got, homeVer)
+		}
+	}
+}
+
+// TestFoldHistorySurvivesRestart reopens a replica's WAL in a fresh
+// Node — the crash/restart path — and checks the fold history is
+// restored for serving peers' catch-ups.
+func TestFoldHistorySurvivesRestart(t *testing.T) {
+	tc := startCluster(t, clusterOpts{
+		nodes: 2, workers: 1, sampleRate: 1, probeErr: 1.0, wal: true,
+	}, "synth")
+	home := tc.nodes["n0"].Router().Home("synth")
+
+	rng := mathx.NewRNG(13)
+	inputs := make([][]float64, 64)
+	for i := range inputs {
+		inputs[i] = []float64{0.5 * rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	driveRouted(t, tc.spec, "synth", inputs)
+	waitFor(t, "replication", func() bool {
+		for _, name := range tc.spec.Names() {
+			if tc.regs[name].Get("synth").Version < 2 {
+				return false
+			}
+		}
+		return true
+	})
+
+	name := tc.spec.Names()[0]
+	if name == home {
+		name = tc.spec.Names()[1]
+	}
+	want := len(tc.nodes[name].FoldIns("synth", 0))
+	if want == 0 {
+		t.Fatal("replica has no fold history to restart with")
+	}
+	wal, err := serve.OpenWAL(tc.walDirs[name])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal.Close()
+	reborn, err := NewNode(NodeConfig{
+		Spec: spec2(t, tc.spec), Self: name,
+		Registry: tc.regs[name], WAL: wal, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reborn.Close()
+	if got := len(reborn.FoldIns("synth", 0)); got != want {
+		t.Fatalf("restarted node restored %d fold-ins, want %d", got, want)
+	}
+}
+
+// spec2 reparses a spec through its canonical render — the same path a
+// restarted mithrad takes through the spec file.
+func spec2(t *testing.T, s *Spec) *Spec {
+	t.Helper()
+	again, err := ParseSpec(s.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return again
+}
+
+// TestHopDriverSteady keeps the cluster_hop bench honest: the driver
+// must run indefinitely without error and without unbounded state.
+func TestHopDriverSteady(t *testing.T) {
+	spec, err := ParseSpec("seed 7\nnode a 127.0.0.1:1\nnode b 127.0.0.1:2\nsplit x 4\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewHopDriver(spec, "x", 3, []float64{0.1, 0.2, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		if err := d.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(d.pending) != 0 {
+		t.Fatalf("pending table leaked %d entries", len(d.pending))
+	}
+}

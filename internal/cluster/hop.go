@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"fmt"
+
+	"mithra/internal/serve"
+)
+
+// HopDriver measures the marginal cost of a cluster forward hop,
+// hermetically (the cluster_hop bench stage): everything a mis-routed
+// request costs beyond a local decide, minus the wire itself. One Step
+// is the full CPU-side hop — ring route, forward-frame encode with a
+// fresh hop ID, pending-table insert, forward-frame decode on the
+// receiving side, response encode, response decode, pending-table claim
+// and ID rewrite — with no sockets or goroutine handoffs, so allocs/op
+// is an exact contract under the bench compare gate.
+type HopDriver struct {
+	router  *Router
+	bench   string
+	id      uint32
+	in      []float64
+	req     serve.DecideRequest
+	fwd     serve.DecideRequest
+	resp    serve.DecideResponse
+	respSrc serve.DecideResponse
+	wbuf    []byte
+	rbuf    []byte
+	seq     uint32
+	pending map[uint32]uint32
+	sink    int
+}
+
+// NewHopDriver builds the driver over spec's ring for one synthetic
+// request (bench, id, in).
+func NewHopDriver(spec *Spec, bench string, id uint32, in []float64) (*HopDriver, error) {
+	router, err := NewRouter(spec)
+	if err != nil {
+		return nil, err
+	}
+	d := &HopDriver{
+		router:  router,
+		bench:   bench,
+		id:      id,
+		in:      in,
+		req:     serve.DecideRequest{ID: id, Bench: bench, In: in},
+		pending: map[uint32]uint32{},
+	}
+	// Prime the reusable buffers and the fwd request's input capacity so
+	// the measured loop starts steady-state.
+	if err := d.Step(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Step runs one hermetic hop.
+func (d *HopDriver) Step() error {
+	// Client/ingress side: where does this request live, and what does the
+	// forwarding node encode?
+	owner := d.router.Route(d.bench, d.id, d.in)
+	d.sink += len(owner)
+	d.seq++
+	hop := d.seq
+	frame, err := serve.AppendForwardRequest(d.wbuf[:0], hop, &d.req)
+	if err != nil {
+		return err
+	}
+	d.wbuf = frame
+	d.pending[hop] = d.req.ID
+
+	// Receiving side: decode the forward envelope (zero-copy, as the
+	// server's reader does).
+	if _, err := serve.ParseForwardRequestInto(frame[4:], &d.fwd); err != nil {
+		return err
+	}
+	if !d.fwd.Forwarded || d.fwd.Orig != d.req.ID {
+		return fmt.Errorf("cluster: hop driver: forward envelope corrupt")
+	}
+
+	// Response path: the peer answers under the hop ID; the forwarding
+	// node claims the pending slot and restores the original ID.
+	d.respSrc.ID = hop
+	d.respSrc.Precise = true
+	rframe, err := serve.AppendFrame(d.rbuf[:0], &d.respSrc)
+	if err != nil {
+		return err
+	}
+	d.rbuf = rframe
+	if err := serve.ParseDecideResponseInto(rframe[4:], &d.resp); err != nil {
+		return err
+	}
+	orig, ok := d.pending[d.resp.ID]
+	if !ok {
+		return fmt.Errorf("cluster: hop driver: pending slot lost")
+	}
+	delete(d.pending, d.resp.ID)
+	d.resp.ID = orig
+	if d.resp.ID != d.id {
+		return fmt.Errorf("cluster: hop driver: ID rewrite failed")
+	}
+	return nil
+}

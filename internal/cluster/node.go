@@ -1,0 +1,431 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"mithra/internal/fault"
+	"mithra/internal/obs"
+	"mithra/internal/serve"
+)
+
+// NodeConfig wires one mithrad process into a cluster.
+type NodeConfig struct {
+	// Spec is the shared cluster spec; Self names this node in it.
+	Spec *Spec
+	Self string
+	// Registry is the node's snapshot registry (shared with the server).
+	Registry *serve.Registry
+	// WAL, when non-nil, persists the fold log (replication history and
+	// catch-up source). The snapshot records are attached separately by
+	// mithrad, exactly as in single-node mode.
+	WAL *serve.WAL
+	// Recorder, when non-nil, receives the durable decision records that
+	// the cluster digest is merged from.
+	Recorder *Recorder
+	// Faults scopes the peer.drop / conn.partition injectors.
+	Faults *fault.Set
+	// Obs counts replication and catch-up events (node-tagged notes are
+	// journaled by mithrad at boot).
+	Obs *obs.Obs
+	// Logf, when non-nil, receives human-oriented progress lines (boot
+	// catch-up, fold pushes); it must be safe for concurrent use.
+	Logf func(format string, args ...any)
+}
+
+// nodeMetrics resolves the node's counters once (obs lookups lock).
+type nodeMetrics struct {
+	foldPushed   *obs.Counter
+	foldPushFail *obs.Counter
+	foldApplied  *obs.Counter
+	foldBuffered *obs.Counter
+	foldStale    *obs.Counter
+	foldErrors   *obs.Counter
+	catchupRuns  *obs.Counter
+	catchupFail  *obs.Counter
+}
+
+// Node implements serve.ClusterHooks for one mithrad process: routing
+// and forwarding on the decide path, fold-in replication and catch-up on
+// the update path, and durable decision records for the cluster digest.
+type Node struct {
+	spec   *Spec
+	self   string
+	router *Router
+	reg    *serve.Registry
+	wal    *serve.WAL
+	rec    *Recorder
+	m      nodeMetrics
+	logf   func(string, ...any)
+
+	peers map[string]*peerLink   // forwarding links, by peer name
+	folds map[string]*foldSender // fold-in push channels, by peer name
+
+	// foldMu guards the replication state machine: the per-bench fold
+	// history (mirrored in the WAL fold log) and the out-of-order buffer.
+	foldMu  sync.Mutex
+	history map[string][]serve.FoldIn
+	buffer  map[string]map[uint32][][]float64
+
+	// kick wakes the catch-up goroutine for a benchmark with a detected
+	// version gap; quit stops it.
+	kick     chan string
+	quit     chan struct{}
+	quitOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewNode builds the node, restoring its fold history from the WAL fold
+// log (the in-memory history serves peers' CatchUpReqs).
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if _, err := cfg.Spec.Node(cfg.Self); err != nil {
+		return nil, err
+	}
+	router, err := NewRouter(cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	n := &Node{
+		spec:   cfg.Spec,
+		self:   cfg.Self,
+		router: router,
+		reg:    cfg.Registry,
+		wal:    cfg.WAL,
+		rec:    cfg.Recorder,
+		logf:   logf,
+		m: nodeMetrics{
+			foldPushed:   cfg.Obs.Counter("cluster.foldin.pushed"),
+			foldPushFail: cfg.Obs.Counter("cluster.foldin.push_failures"),
+			foldApplied:  cfg.Obs.Counter("cluster.foldin.applied"),
+			foldBuffered: cfg.Obs.Counter("cluster.foldin.buffered"),
+			foldStale:    cfg.Obs.Counter("cluster.foldin.stale"),
+			foldErrors:   cfg.Obs.Counter("cluster.foldin.errors"),
+			catchupRuns:  cfg.Obs.Counter("cluster.catchup.runs"),
+			catchupFail:  cfg.Obs.Counter("cluster.catchup.failures"),
+		},
+		peers:   map[string]*peerLink{},
+		folds:   map[string]*foldSender{},
+		history: map[string][]serve.FoldIn{},
+		buffer:  map[string]map[uint32][][]float64{},
+		kick:    make(chan string, 64),
+		quit:    make(chan struct{}),
+	}
+	for _, p := range cfg.Spec.Nodes {
+		if p.Name == cfg.Self {
+			continue
+		}
+		n.peers[p.Name] = newPeerLink(cfg.Self, p, cfg.Faults)
+		n.folds[p.Name] = newFoldSender(cfg.Self, p, cfg.Faults)
+	}
+	if cfg.WAL != nil {
+		history, skipped := cfg.WAL.ReadFoldIns()
+		n.history = history
+		if skipped != "" {
+			logf("cluster: fold log: skipped %s", skipped)
+		}
+	}
+	n.wg.Add(1)
+	go n.catchUpLoop()
+	return n, nil
+}
+
+// Self returns this node's name.
+func (n *Node) Self() string { return n.self }
+
+// Router returns the node's placement router.
+func (n *Node) Router() *Router { return n.router }
+
+// Route implements serve.ClusterHooks: the owning peer's name, or ""
+// when this node decides locally.
+func (n *Node) Route(bench string, id uint32, in []float64) string {
+	owner := n.router.Route(bench, id, in)
+	if owner == n.self {
+		return ""
+	}
+	return owner
+}
+
+// Forward implements serve.ClusterHooks.
+func (n *Node) Forward(peer string, req *serve.DecideRequest, respond func(serve.Message)) error {
+	link := n.peers[peer]
+	if link == nil {
+		return fmt.Errorf("cluster: no link to %q", peer)
+	}
+	return link.forward(req, respond)
+}
+
+// Record implements serve.ClusterHooks.
+func (n *Node) Record(bench string, id uint32, precise bool) {
+	if n.rec != nil {
+		n.rec.Record(bench, id, precise)
+	}
+}
+
+// FlushRecords implements serve.ClusterHooks.
+func (n *Node) FlushRecords() error {
+	if n.rec == nil {
+		return nil
+	}
+	return n.rec.Flush()
+}
+
+// OnFoldIn is the updater hook (serve.Config.OnFoldIn) on a benchmark's
+// home node: record the freshly installed fold-in — in-memory history
+// and WAL fold log — then stream it to every peer. The push happens on a
+// separate goroutine so the shard updater never blocks on the network;
+// peers that miss the push (down, partitioned) repair the gap via
+// catch-up.
+func (n *Node) OnFoldIn(bench string, version uint32, inputs [][]float64) {
+	rec := serve.FoldIn{Bench: bench, Version: version, Inputs: inputs}
+	n.foldMu.Lock()
+	n.recordFoldLocked(rec)
+	n.foldMu.Unlock()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.push(&rec)
+	}()
+}
+
+// push streams one fold-in to every peer, in sorted name order.
+func (n *Node) push(rec *serve.FoldIn) {
+	names := make([]string, 0, len(n.folds))
+	for name := range n.folds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		status, err := n.folds[name].send(rec)
+		if err != nil {
+			n.m.foldPushFail.Inc()
+			n.logf("cluster: fold-in %s v%d -> %s failed: %v", rec.Bench, rec.Version, name, err)
+			continue
+		}
+		n.m.foldPushed.Inc()
+		if status == serve.FoldBuffered {
+			n.logf("cluster: fold-in %s v%d buffered by %s (gap)", rec.Bench, rec.Version, name)
+		}
+	}
+}
+
+// recordFoldLocked appends one fold-in to the node's replication history
+// (callers hold foldMu). History is in ascending version order per
+// benchmark because appends follow installs.
+func (n *Node) recordFoldLocked(rec serve.FoldIn) {
+	n.history[rec.Bench] = append(n.history[rec.Bench], rec)
+	if n.wal != nil {
+		if err := n.wal.AppendFoldIn(rec.Bench, rec.Version, rec.Inputs); err != nil {
+			n.m.foldErrors.Inc()
+			n.logf("cluster: fold log append %s v%d: %v", rec.Bench, rec.Version, err)
+		}
+	}
+}
+
+// ApplyFoldIn implements serve.ClusterHooks on the receiving side: apply
+// replicated fold-ins strictly in (benchmark, version) order through the
+// monotone Registry.Install path, buffering versions that arrive ahead
+// of a gap and kicking catch-up to repair the gap.
+func (n *Node) ApplyFoldIn(bench string, version uint32, inputs [][]float64) uint8 {
+	n.foldMu.Lock()
+	defer n.foldMu.Unlock()
+	cur := n.reg.Get(bench)
+	if cur == nil {
+		return serve.FoldUnknown
+	}
+	if version <= cur.Version {
+		n.m.foldStale.Inc()
+		return serve.FoldStale
+	}
+	benchBuf := n.buffer[bench]
+	if benchBuf == nil {
+		benchBuf = map[uint32][][]float64{}
+		n.buffer[bench] = benchBuf
+	}
+	benchBuf[version] = inputs
+	for {
+		cur = n.reg.Get(bench)
+		next, ok := benchBuf[cur.Version+1]
+		if !ok {
+			break
+		}
+		ns := cur.WithFoldIn(next)
+		if _, err := n.reg.Install(ns); err != nil {
+			// Persist failure (disk, injected snapshot.install): keep the
+			// record buffered; a later apply or catch-up retries it.
+			n.m.foldErrors.Inc()
+			n.logf("cluster: fold-in install %s v%d: %v", bench, cur.Version+1, err)
+			return serve.FoldBuffered
+		}
+		delete(benchBuf, ns.Version)
+		n.m.foldApplied.Inc()
+		n.recordFoldLocked(serve.FoldIn{Bench: bench, Version: ns.Version, Inputs: next})
+	}
+	if n.reg.Get(bench).Version >= version {
+		return serve.FoldApplied
+	}
+	// A gap precedes this version: ask the benchmark's home node for the
+	// missing records (non-blocking; the kick channel coalesces).
+	n.m.foldBuffered.Inc()
+	select {
+	case n.kick <- bench:
+	default:
+	}
+	return serve.FoldBuffered
+}
+
+// FoldIns implements serve.ClusterHooks: this node's fold history for
+// bench strictly after version `after`, for catch-up serving.
+func (n *Node) FoldIns(bench string, after uint32) []serve.FoldIn {
+	n.foldMu.Lock()
+	defer n.foldMu.Unlock()
+	hist := n.history[bench]
+	out := make([]serve.FoldIn, 0, len(hist))
+	for _, rec := range hist {
+		if rec.Version > after {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// catchUpLoop services gap repairs detected by ApplyFoldIn.
+func (n *Node) catchUpLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.quit:
+			return
+		case bench := <-n.kick:
+			if err := n.CatchUpBench(bench); err != nil {
+				n.m.catchupFail.Inc()
+				n.logf("cluster: catch-up %s: %v", bench, err)
+			}
+		}
+	}
+}
+
+// CatchUp replays every benchmark this node replicates (home elsewhere)
+// from its home node, retrying each failed benchmark up to `retries`
+// times with a fixed delay — peers boot concurrently, so the first dial
+// often races the home node's listener. Call after the local listener is
+// up (a fold push may arrive while catch-up runs; the version ordering
+// makes that safe).
+func (n *Node) CatchUp(retries int, delay time.Duration) {
+	for _, bench := range n.reg.Benches() {
+		if n.router.Home(bench) == n.self {
+			continue
+		}
+		var err error
+		for attempt := 0; attempt <= retries; attempt++ {
+			if attempt > 0 {
+				time.Sleep(delay)
+			}
+			if err = n.CatchUpBench(bench); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			n.m.catchupFail.Inc()
+			n.logf("cluster: boot catch-up %s: %v", bench, err)
+		}
+	}
+}
+
+// CatchUpBench fetches and applies every fold-in of bench newer than the
+// local snapshot from the benchmark's home node.
+func (n *Node) CatchUpBench(bench string) error {
+	home := n.router.Home(bench)
+	if home == n.self {
+		return nil // home nodes originate fold-ins; nothing to fetch
+	}
+	cur := n.reg.Get(bench)
+	if cur == nil {
+		return fmt.Errorf("cluster: no local snapshot for %q", bench)
+	}
+	n.m.catchupRuns.Inc()
+	recs, err := n.fetchFoldIns(home, bench, cur.Version)
+	if err != nil {
+		return err
+	}
+	for i := range recs {
+		n.ApplyFoldIn(recs[i].Bench, recs[i].Version, recs[i].Inputs)
+	}
+	if len(recs) > 0 {
+		n.logf("cluster: caught up %s from %s: %d fold-ins, now v%d",
+			bench, home, len(recs), n.reg.Get(bench).Version)
+	}
+	return nil
+}
+
+// fetchFoldIns asks peer for bench's fold-ins after version `after` on a
+// fresh connection (catch-up is rare; pooling would buy nothing).
+func (n *Node) fetchFoldIns(peer, bench string, after uint32) ([]serve.FoldIn, error) {
+	spec, err := n.spec.Node(peer)
+	if err != nil {
+		return nil, err
+	}
+	if n.peers[peer] != nil && n.peers[peer].fPart.Hit() {
+		return nil, fmt.Errorf("cluster: link %s<->%s partitioned", n.self, peer)
+	}
+	nc, err := net.Dial(network(spec.Addr))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial %s (%s): %w", peer, spec.Addr, err)
+	}
+	defer nc.Close()
+	if err := serve.WriteMessage(nc, &serve.CatchUpReq{Bench: bench, After: after}); err != nil {
+		return nil, fmt.Errorf("cluster: catch-up request to %s: %w", peer, err)
+	}
+	br := bufio.NewReader(nc)
+	msg, err := serve.ReadMessage(br)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: catch-up response from %s: %w", peer, err)
+	}
+	hdr, ok := msg.(*serve.CatchUpResp)
+	if !ok {
+		return nil, fmt.Errorf("cluster: peer %s answered catch-up with %T", peer, msg)
+	}
+	recs := make([]serve.FoldIn, 0, hdr.Count)
+	for i := uint32(0); i < hdr.Count; i++ {
+		msg, err := serve.ReadMessage(br)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: catch-up stream from %s: %w", peer, err)
+		}
+		rec, ok := msg.(*serve.FoldIn)
+		if !ok {
+			return nil, fmt.Errorf("cluster: catch-up stream from %s carried %T", peer, msg)
+		}
+		recs = append(recs, *rec)
+	}
+	return recs, nil
+}
+
+// Version reports the node's current snapshot version for bench (0 when
+// the benchmark is unknown) — a convenience for tests and `mithra watch`.
+func (n *Node) Version(bench string) uint32 {
+	if snap := n.reg.Get(bench); snap != nil {
+		return snap.Version
+	}
+	return 0
+}
+
+// Close stops the catch-up goroutine, tears down peer links, and waits
+// for in-flight pushes. The recorder is closed by its owner (mithrad),
+// after the server drains.
+func (n *Node) Close() {
+	n.quitOnce.Do(func() { close(n.quit) })
+	for _, link := range n.peers {
+		link.close()
+	}
+	for _, fs := range n.folds {
+		fs.close()
+	}
+	n.wg.Wait()
+}

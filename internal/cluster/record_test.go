@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mithra/internal/serve"
+)
+
+func recLog(t *testing.T, name string, fill func(r *Recorder)) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	r, err := OpenRecorder(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(r)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestMergeDecisionLogs(t *testing.T) {
+	// Two nodes split one benchmark's ID space; the merge must rebuild the
+	// full per-ID decision sequence whatever the interleaving.
+	a := recLog(t, "a.dlog", func(r *Recorder) {
+		for id := uint32(0); id < 10; id += 2 {
+			r.Record("fft", id, id%3 == 0)
+		}
+		r.Flush() //nolint:errcheck
+		r.Record("sobel", 0, true)
+	})
+	b := recLog(t, "b.dlog", func(r *Recorder) {
+		for id := uint32(1); id < 10; id += 2 {
+			r.Record("fft", id, id%3 == 0)
+		}
+		// Duplicate record (a client retry decided twice): same verdict,
+		// harmless.
+		r.Record("fft", 4, 4%3 == 0)
+	})
+	sets, skipped, err := MergeDecisionLogs([]string{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("clean logs reported skips: %v", skipped)
+	}
+	fft := sets["fft"]
+	if fft == nil || fft.Len() != 10 {
+		t.Fatalf("fft set = %v", fft)
+	}
+	want := serve.NewDecisionSet("fft")
+	for id := uint32(0); id < 10; id++ {
+		want.Append(id%3 == 0)
+	}
+	if fft.Digest() != want.Digest() {
+		t.Fatal("merged digest differs from the ID-ordered reference")
+	}
+	if sets["sobel"] == nil || sets["sobel"].Len() != 1 {
+		t.Fatalf("sobel set = %v", sets["sobel"])
+	}
+}
+
+func TestMergeDetectsGap(t *testing.T) {
+	a := recLog(t, "a.dlog", func(r *Recorder) {
+		r.Record("fft", 0, true)
+		r.Record("fft", 2, false) // id 1 missing everywhere
+	})
+	_, _, err := MergeDecisionLogs([]string{a})
+	if err == nil || !strings.Contains(err.Error(), "gap") {
+		t.Fatalf("gap not detected: %v", err)
+	}
+}
+
+func TestMergeDetectsConflict(t *testing.T) {
+	a := recLog(t, "a.dlog", func(r *Recorder) { r.Record("fft", 0, true) })
+	b := recLog(t, "b.dlog", func(r *Recorder) { r.Record("fft", 0, false) })
+	_, _, err := MergeDecisionLogs([]string{a, b})
+	if err == nil || !strings.Contains(err.Error(), "conflict") {
+		t.Fatalf("conflicting duplicate not detected: %v", err)
+	}
+}
+
+func TestMergeSkipsTornTail(t *testing.T) {
+	a := recLog(t, "a.dlog", func(r *Recorder) {
+		r.Record("fft", 0, true)
+		r.Flush() //nolint:errcheck
+		r.Record("fft", 1, false)
+	})
+	raw, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the second block mid-record, as a SIGKILL mid-write would.
+	if err := os.WriteFile(a, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sets, skipped, err := MergeDecisionLogs([]string{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 1 || !strings.Contains(skipped[0], "torn") {
+		t.Fatalf("torn tail not reported: %v", skipped)
+	}
+	if sets["fft"].Len() != 1 {
+		t.Fatalf("valid prefix lost: %d records", sets["fft"].Len())
+	}
+}
+
+func TestMergeRejectsMissingFile(t *testing.T) {
+	if _, _, err := MergeDecisionLogs([]string{filepath.Join(t.TempDir(), "no.dlog")}); err == nil {
+		t.Fatal("missing log accepted")
+	}
+}
+
+func TestRecorderEmptyFlush(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "e.dlog")
+	r, err := OpenRecorder(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != 0 {
+		t.Fatalf("empty flush wrote %d bytes", st.Size())
+	}
+}

@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// FNV-1a constants, inlined so ring lookups never touch hash/fnv (whose
+// interface-based API allocates).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// ringPoint is one virtual node: a position on the 64-bit hash circle and
+// the index of the owning node in Ring.names.
+type ringPoint struct {
+	hash uint64
+	node uint16
+}
+
+// Ring is the seeded consistent-hash ring. Construction hashes every
+// (node, replica) pair into a point on the 64-bit circle; a key is owned
+// by the first point clockwise from its hash. All key hashing is plain
+// FNV-1a arithmetic over the key bytes with the ring seed folded into the
+// basis, so the placement is a pure function of (seed, node set, vnodes,
+// key) — stable across processes, architectures, and Go versions.
+//
+// Lookups are allocation-free: the point list is a sorted slice searched
+// in place, and key hashes are computed without building key strings.
+type Ring struct {
+	basis  uint64 // FNV-1a basis with the ring seed folded in
+	names  []string
+	points []ringPoint
+}
+
+// NewRing builds the ring for the given node names (order-insensitive:
+// names are sorted first so point indices are stable).
+func NewRing(seed uint64, names []string, vnodes int) (*Ring, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if len(names) > math.MaxUint16 {
+		return nil, fmt.Errorf("cluster: ring supports at most %d nodes", math.MaxUint16)
+	}
+	if vnodes < 1 {
+		return nil, fmt.Errorf("cluster: vnodes must be positive")
+	}
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return nil, fmt.Errorf("cluster: duplicate node name %q", sorted[i])
+		}
+	}
+	r := &Ring{
+		basis:  foldSeed(fnvOffset, seed),
+		names:  sorted,
+		points: make([]ringPoint, 0, len(sorted)*vnodes),
+	}
+	for ni, name := range sorted {
+		h := foldString(r.basis, name)
+		for rep := 0; rep < vnodes; rep++ {
+			// Fold the replica index as 4 big-endian bytes; a separator
+			// byte keeps ("n1", rep) and ("n", 0x31-prefixed rep) apart.
+			ph := foldByte(h, 0)
+			ph = foldUint32(ph, uint32(rep))
+			r.points = append(r.points, ringPoint{hash: mix(ph), node: uint16(ni)})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// RingFromSpec builds the ring a spec describes.
+func RingFromSpec(s *Spec) (*Ring, error) {
+	return NewRing(s.Seed, s.Names(), s.VNodes)
+}
+
+// mix is the SplitMix64 finalizer (the same mixer parallel.Seed and
+// mathx.RNG use). Raw FNV-1a states avalanche poorly — keys differing
+// only in trailing bytes land on near-adjacent circle positions, which
+// collapses the ring into a handful of giant arcs — so every ring
+// position and slot hash is finalized before use.
+//
+//mithra:hotpath
+func mix(h uint64) uint64 {
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// foldSeed mixes an 8-byte little-endian seed into an FNV-1a state.
+func foldSeed(h, seed uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= (seed >> (8 * i)) & 0xff
+		h *= fnvPrime
+	}
+	return h
+}
+
+func foldString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+func foldByte(h uint64, b byte) uint64 {
+	h ^= uint64(b)
+	h *= fnvPrime
+	return h
+}
+
+func foldUint32(h uint64, v uint32) uint64 {
+	h ^= uint64(v >> 24)
+	h *= fnvPrime
+	h ^= uint64(v>>16) & 0xff
+	h *= fnvPrime
+	h ^= uint64(v>>8) & 0xff
+	h *= fnvPrime
+	h ^= uint64(v) & 0xff
+	h *= fnvPrime
+	return h
+}
+
+// owner returns the index (into names) of the first ring point at or
+// clockwise from h, wrapping past the top of the circle.
+//
+//mithra:hotpath
+func (r *Ring) owner(h uint64) int {
+	// Manual binary search: sort.Search takes a closure, which costs an
+	// allocation when it captures h.
+	lo, hi := 0, len(r.points)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.points[mid].hash < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(r.points) {
+		lo = 0
+	}
+	return int(r.points[lo].node)
+}
+
+// benchKey hashes a benchmark's ring key: 'b', 0x00, the name bytes.
+// The domain prefix keeps benchmark keys and slot keys from colliding.
+func (r *Ring) benchKey(bench string) uint64 {
+	return mix(foldString(foldByte(foldByte(r.basis, 'b'), 0), bench))
+}
+
+// OwnerBench returns the node that owns benchmark bench — its home node,
+// where sampling, the guarantee monitor, and the online updater run.
+//
+//mithra:hotpath
+func (r *Ring) OwnerBench(bench string) string {
+	return r.names[r.owner(r.benchKey(bench))]
+}
+
+// OwnerSlot returns the node that owns slot `slot` of a split benchmark:
+// key 's', 0x00, name, 0x00, 4 bytes of slot.
+//
+//mithra:hotpath
+func (r *Ring) OwnerSlot(bench string, slot uint32) string {
+	h := foldString(foldByte(foldByte(r.basis, 's'), 0), bench)
+	h = foldUint32(foldByte(h, 0), slot)
+	return r.names[r.owner(mix(h))]
+}
+
+// Slot maps an input vector to one of `slots` MISR-style signature slots:
+// FNV-1a over the raw IEEE-754 bits of each element, so the slot is a
+// pure function of the input bytes (NaN payloads and signed zeros
+// included) and identical on every node and client.
+//
+//mithra:hotpath
+func Slot(in []float64, slots uint32) uint32 {
+	h := uint64(fnvOffset)
+	for _, v := range in {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			h ^= (bits >> (8 * i)) & 0xff
+			h *= fnvPrime
+		}
+	}
+	return uint32(mix(h) % uint64(slots))
+}
+
+// Nodes returns the ring's node names in sorted order (a copy).
+func (r *Ring) Nodes() []string {
+	return append([]string(nil), r.names...)
+}
+
+// Spread returns how many ring points each node owns weighted by arc
+// length, as a fraction of the circle — a diagnostic for `mithra cluster
+// ring`, not a routing primitive.
+func (r *Ring) Spread() map[string]float64 {
+	out := make(map[string]float64, len(r.names))
+	for i, p := range r.points {
+		var arc uint64
+		if i == 0 {
+			// The first point owns the wrap-around arc from the last point.
+			arc = p.hash + (math.MaxUint64 - r.points[len(r.points)-1].hash) + 1
+		} else {
+			arc = p.hash - r.points[i-1].hash
+		}
+		out[r.names[p.node]] += float64(arc) / math.MaxUint64
+	}
+	return out
+}

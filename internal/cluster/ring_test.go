@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func testRing(t *testing.T, seed uint64, names []string, vnodes int) *Ring {
+	t.Helper()
+	r, err := NewRing(seed, names, vnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRingDeterministicAcrossConstruction(t *testing.T) {
+	// The ring is a pure function of (seed, sorted names, vnodes): two
+	// processes that load the same spec must place every key identically,
+	// regardless of declaration order.
+	a := testRing(t, 7, []string{"n0", "n1", "n2"}, 64)
+	b := testRing(t, 7, []string{"n2", "n0", "n1"}, 64)
+	for i := 0; i < 2000; i++ {
+		bench := "bench" + string(rune('a'+i%17))
+		if a.OwnerBench(bench) != b.OwnerBench(bench) {
+			t.Fatalf("OwnerBench(%q) differs between declaration orders", bench)
+		}
+		if a.OwnerSlot(bench, uint32(i)) != b.OwnerSlot(bench, uint32(i)) {
+			t.Fatalf("OwnerSlot(%q, %d) differs between declaration orders", bench, i)
+		}
+	}
+	// A different seed rearranges the ring (overwhelmingly likely to move
+	// at least one of 340 keys).
+	c := testRing(t, 8, []string{"n0", "n1", "n2"}, 64)
+	moved := false
+	for i := 0; i < 340 && !moved; i++ {
+		bench := "b" + string(rune('a'+i%20)) + string(rune('a'+i/20))
+		moved = a.OwnerBench(bench) != c.OwnerBench(bench)
+	}
+	if !moved {
+		t.Fatal("reseeding the ring moved nothing")
+	}
+}
+
+func TestRingCoversAllNodesAndSpreads(t *testing.T) {
+	names := []string{"n0", "n1", "n2", "n3", "n4"}
+	r := testRing(t, 3, names, 64)
+	counts := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		counts[r.OwnerSlot("hot", uint32(i))]++
+	}
+	for _, n := range names {
+		if counts[n] == 0 {
+			t.Fatalf("node %s owns no slots: %v", n, counts)
+		}
+		// 64 vnodes keep the imbalance modest; the bound here is loose on
+		// purpose (the placement is hashed, not balanced).
+		if counts[n] < 5000/len(names)/4 {
+			t.Fatalf("node %s owns only %d of 5000 slots: %v", n, counts[n], counts)
+		}
+	}
+	spread := r.Spread()
+	sum := 0.0
+	for _, f := range spread {
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("Spread() fractions sum to %v", sum)
+	}
+}
+
+func TestRingSingleNodeOwnsEverything(t *testing.T) {
+	r := testRing(t, 1, []string{"solo"}, 8)
+	for i := 0; i < 100; i++ {
+		if r.OwnerSlot("x", uint32(i)) != "solo" || r.OwnerBench("y") != "solo" {
+			t.Fatal("single-node ring routed away from the only node")
+		}
+	}
+}
+
+func TestRingRejectsDuplicates(t *testing.T) {
+	if _, err := NewRing(1, []string{"a", "a"}, 8); err == nil {
+		t.Fatal("duplicate node names accepted")
+	}
+}
+
+func TestSlotStability(t *testing.T) {
+	// Slot is a pure function of the input's float bits — the MISR-range
+	// placement key. Same input, same slot; slots cover [0, slots).
+	in := []float64{0.25, 0.5, 0.75}
+	s := Slot(in, 16)
+	if s != Slot(in, 16) {
+		t.Fatal("Slot not stable")
+	}
+	seen := map[uint32]bool{}
+	for i := 0; i < 400; i++ {
+		v := []float64{float64(i) * 0.001, float64(i) * 0.002}
+		got := Slot(v, 8)
+		if got < 0 || got >= 8 {
+			t.Fatalf("Slot out of range: %d", got)
+		}
+		seen[got] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("400 inputs hit only %d of 8 slots", len(seen))
+	}
+}
+
+func TestRouterPlacement(t *testing.T) {
+	spec, err := ParseSpec(`seed 7
+sample-rate 0.2
+sample-seed 5
+node n0 127.0.0.1:1
+node n1 127.0.0.1:2
+node n2 127.0.0.1:3
+split hot 8
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRouter(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := rt.Home("cold")
+	in := []float64{0.1, 0.2, 0.3}
+	// A benchmark without a split entry always routes to its home node,
+	// whatever the request ID or input.
+	for id := uint32(0); id < 200; id++ {
+		if got := rt.Route("cold", id, in); got != home {
+			t.Fatalf("unsplit bench routed to %s, home is %s", got, home)
+		}
+	}
+	// A split benchmark scatters unsampled requests across slot owners but
+	// pins every sampled ID to the home node (the online machinery lives
+	// there).
+	hotHome := rt.Home("hot")
+	nodes := map[string]bool{}
+	for id := uint32(0); id < 400; id++ {
+		v := []float64{float64(id) * 0.01, 0.5, 0.5}
+		got := rt.Route("hot", id, v)
+		nodes[got] = true
+		if sampled(t, spec, "hot", id) && got != hotHome {
+			t.Fatalf("sampled id %d routed to %s, not home %s", id, got, hotHome)
+		}
+	}
+	if len(nodes) < 2 {
+		t.Fatal("split bench never left its home node")
+	}
+	// Placement is ID- and input-deterministic.
+	for id := uint32(0); id < 50; id++ {
+		v := []float64{float64(id) * 0.03, 0.1, 0.9}
+		if rt.Route("hot", id, v) != rt.Route("hot", id, v) {
+			t.Fatal("Route not deterministic")
+		}
+	}
+}
+
+func sampled(t *testing.T, spec *Spec, bench string, id uint32) bool {
+	t.Helper()
+	rt, err := NewRouter(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The router pins a sampled request to home even when its slot owner
+	// differs; recover the sampler verdict through the public seam.
+	return rt.SampledID(bench, id)
+}
+
+func TestRingLookupZeroAlloc(t *testing.T) {
+	// ring_lookup carries a 0 allocs/op contract in BENCH_serve.json: the
+	// routed client does one lookup per request on the loadgen hot path.
+	spec, err := ParseSpec(`seed 7
+sample-rate 0.05
+node n0 127.0.0.1:1
+node n1 127.0.0.1:2
+node n2 127.0.0.1:3
+split hot 8
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRouter(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []float64{0.3, 0.6, 0.9}
+	var id uint32
+	var sink int
+	if avg := testing.AllocsPerRun(2000, func() {
+		sink += len(rt.Route("hot", id, in))
+		id++
+	}); avg != 0 {
+		t.Fatalf("Route allocates %v per op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(2000, func() {
+		sink += len(rt.Ring().OwnerBench("cold"))
+	}); avg != 0 {
+		t.Fatalf("OwnerBench allocates %v per op, want 0", avg)
+	}
+	_ = sink
+}

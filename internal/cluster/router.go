@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"mithra/internal/parallel"
+	"mithra/internal/serve"
+)
+
+// Router resolves the placement of one request. Both sides of the wire
+// run the identical function: cluster-aware clients route batches before
+// dialing, and every node re-routes arriving frames and forwards the ones
+// it does not own — so a stale or cluster-unaware client still gets every
+// decision made at the right node, just one hop later.
+//
+// The routing rule, in priority order:
+//
+//  1. Error-sampled invocations go to the benchmark's home node. Sampling
+//     is a pure function of (spec sample seed, bench, request ID), so
+//     every party agrees which IDs are sampled; concentrating them on the
+//     home node keeps the observation stream — and therefore fold-in
+//     versions and guarantee notes — byte-identical to a single-node run.
+//  2. Unsampled requests to a split ("hot") benchmark go to the owner of
+//     the input's MISR signature slot.
+//  3. Everything else goes to the home node.
+type Router struct {
+	spec *Spec
+	ring *Ring
+	// benchSeeds caches parallel.Seed(SampleSeed, bench) for the split
+	// benchmarks named in the spec (the only ones where Route consults
+	// sampling). Read-only after construction, so lookups are lock-free.
+	benchSeeds map[string]uint64
+}
+
+// NewRouter builds the router for a parsed spec.
+func NewRouter(spec *Spec) (*Router, error) {
+	ring, err := RingFromSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	seeds := make(map[string]uint64, len(spec.Splits))
+	for bench := range spec.Splits {
+		seeds[bench] = parallel.Seed(spec.SampleSeed, bench)
+	}
+	return &Router{spec: spec, ring: ring, benchSeeds: seeds}, nil
+}
+
+// Ring exposes the router's ring (for diagnostics and benchmarks).
+func (r *Router) Ring() *Ring { return r.ring }
+
+// Spec returns the spec the router was built from.
+func (r *Router) Spec() *Spec { return r.spec }
+
+// Route returns the name of the node that must decide request (bench,
+// id, in). Allocation-free: every step is map lookup, inline hashing, or
+// binary search.
+//
+//mithra:hotpath
+func (r *Router) Route(bench string, id uint32, in []float64) string {
+	slots, split := r.spec.Splits[bench]
+	if !split {
+		return r.ring.OwnerBench(bench)
+	}
+	if r.spec.SampleRate > 0 && serve.SampleHit(r.benchSeeds[bench], id, r.spec.SampleRate) {
+		return r.ring.OwnerBench(bench)
+	}
+	return r.ring.OwnerSlot(bench, Slot(in, uint32(slots)))
+}
+
+// SampledID reports whether request id of bench is error-sampled under
+// the spec's sampling config — the same verdict every node's server
+// reaches, exposed for tests and diagnostics.
+func (r *Router) SampledID(bench string, id uint32) bool {
+	if r.spec.SampleRate <= 0 {
+		return false
+	}
+	seed, ok := r.benchSeeds[bench]
+	if !ok {
+		seed = parallel.Seed(r.spec.SampleSeed, bench)
+	}
+	return serve.SampleHit(seed, id, r.spec.SampleRate)
+}
+
+// Home returns bench's home node — where its sampling, monitor, and
+// online updater run, and where fold-ins originate.
+func (r *Router) Home(bench string) string {
+	return r.ring.OwnerBench(bench)
+}

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+const specText = `# three nodes, one hot split
+seed 9
+vnodes 128
+sample-rate 0.25
+sample-seed 77
+node gamma 127.0.0.1:7003
+node alpha 127.0.0.1:7001
+node beta /tmp/beta.sock
+split fft 16
+split sobel 4
+`
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	s, err := ParseSpec(specText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 9 || s.VNodes != 128 || s.SampleRate != 0.25 || s.SampleSeed != 77 {
+		t.Fatalf("parsed header = %+v", s)
+	}
+	// Nodes are canonicalized into sorted-name order regardless of the
+	// spec's declaration order.
+	if got := s.Names(); len(got) != 3 || got[0] != "alpha" || got[1] != "beta" || got[2] != "gamma" {
+		t.Fatalf("Names() = %v, want [alpha beta gamma]", got)
+	}
+	if s.Addr("beta") != "/tmp/beta.sock" || s.Addr("nope") != "" {
+		t.Fatalf("Addr lookups broken: %q %q", s.Addr("beta"), s.Addr("nope"))
+	}
+	if s.Splits["fft"] != 16 || s.Splits["sobel"] != 4 {
+		t.Fatalf("Splits = %v", s.Splits)
+	}
+	// String() renders a canonical spec that re-parses to the same value —
+	// the property that lets nodes exchange and compare specs byte-wise.
+	again, err := ParseSpec(s.String())
+	if err != nil {
+		t.Fatalf("canonical render does not re-parse: %v\n%s", err, s.String())
+	}
+	if again.String() != s.String() {
+		t.Fatalf("round-trip not a fixed point:\n%s\nvs\n%s", s.String(), again.String())
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := map[string]string{
+		"no nodes":        "seed 1\n",
+		"dup name":        "node a 127.0.0.1:1\nnode a 127.0.0.1:2\n",
+		"dup addr":        "node a 127.0.0.1:1\nnode b 127.0.0.1:1\n",
+		"bad directive":   "node a 127.0.0.1:1\nflavor vanilla\n",
+		"bad split":       "node a 127.0.0.1:1\nsplit fft 1\n",
+		"huge split":      "node a 127.0.0.1:1\nsplit fft 100000\n",
+		"bad rate":        "node a 127.0.0.1:1\nsample-rate 1.5\n",
+		"bad vnodes":      "node a 127.0.0.1:1\nvnodes 0\n",
+		"bad name":        "node a|b 127.0.0.1:1\n",
+		"node arity":      "node a\n",
+		"empty spec":      "",
+		"comment only":    "# nothing\n",
+		"negative seed":   "node a 127.0.0.1:1\nseed -4\n",
+		"non-number seed": "node a 127.0.0.1:1\nseed many\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseSpec(text); err == nil {
+			t.Errorf("%s: ParseSpec(%q) accepted", name, text)
+		}
+	}
+}
+
+func TestPairKeyUnordered(t *testing.T) {
+	if PairKey("b", "a") != PairKey("a", "b") {
+		t.Fatal("PairKey is ordered")
+	}
+	if PairKey("a", "b") != "a|b" {
+		t.Fatalf("PairKey(a,b) = %q", PairKey("a", "b"))
+	}
+}
+
+func TestSpecNode(t *testing.T) {
+	s, err := ParseSpec("node a 127.0.0.1:1\nnode b 127.0.0.1:2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Node("b")
+	if err != nil || n.Addr != "127.0.0.1:2" {
+		t.Fatalf("Node(b) = %+v, %v", n, err)
+	}
+	if _, err := s.Node("zzz"); err == nil || !strings.Contains(err.Error(), "zzz") {
+		t.Fatalf("Node(zzz) err = %v", err)
+	}
+}

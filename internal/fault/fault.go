@@ -47,6 +47,17 @@ const (
 	// drifted set is identical at any worker count; the site's limit
 	// bounds the drifted ID range rather than a fire count.
 	SiteProbeDrift = "probe.drift"
+	// SitePeerDrop drops one cluster forward or fold-in send mid-flight:
+	// the frame is discarded and the peer link torn down, as a crashed
+	// peer would. Scoped per directed node pair ("a>b"), so each link's
+	// drop schedule replays from the plan seed independently; @limit
+	// bounds the drops per link.
+	SitePeerDrop = "peer.drop"
+	// SiteConnPartition severs a node pair: dials fail and in-flight
+	// sends error until the injector's @limit fires are exhausted. Scoped
+	// per unordered node pair (cluster.PairKey), so both sides observe
+	// the same seeded partition schedule.
+	SiteConnPartition = "conn.partition"
 )
 
 // Injector decides, deterministically, whether the n-th check of one

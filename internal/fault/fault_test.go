@@ -192,3 +192,69 @@ func TestSetFiredAggregatesScopes(t *testing.T) {
 		t.Fatalf("unknown site Fired = %d", got)
 	}
 }
+
+func TestParsePlanClusterSites(t *testing.T) {
+	// The cluster sites ride the standard grammar: peer.drop bounded by a
+	// per-link @limit, conn.partition as an unbounded severance. Both must
+	// survive the canonical render round-trip (chaos journals record the
+	// plan in String() form for replay).
+	p, err := ParsePlan("seed=9,peer.drop=1@4,conn.partition=0.5@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Sites[SitePeerDrop]; got.Rate != 1 || got.Limit != 4 {
+		t.Fatalf("peer.drop = %+v", got)
+	}
+	if got := p.Sites[SiteConnPartition]; got.Rate != 0.5 || got.Limit != 2 {
+		t.Fatalf("conn.partition = %+v", got)
+	}
+	s := p.String()
+	p2, err := ParsePlan(s)
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", s, err)
+	}
+	if p2.String() != s {
+		t.Fatalf("canonical form unstable: %q != %q", p2.String(), s)
+	}
+	for _, want := range []string{"peer.drop=1@4", "conn.partition=0.5@2"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q lost %q", s, want)
+		}
+	}
+}
+
+func TestClusterSiteScopingIsPerKey(t *testing.T) {
+	// peer.drop injectors are scoped per directed link and conn.partition
+	// per unordered pair: each key gets its own seeded stream with its own
+	// limit budget, and the same (plan, key) always replays the same
+	// schedule.
+	mk := func() *Set {
+		p, err := ParsePlan("seed=11,peer.drop=0.5@2,conn.partition=0.5@2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewSet(p)
+	}
+	a, b := mk(), mk()
+	for _, key := range []string{"n0>n1", "n0>n2", "n1>n0"} {
+		ia, ib := a.Scoped(SitePeerDrop, key), b.Scoped(SitePeerDrop, key)
+		for i := 0; i < 32; i++ {
+			if ia.Hit() != ib.Hit() {
+				t.Fatalf("peer.drop %s: draw %d diverged between identical plans", key, i)
+			}
+		}
+		if ia.Fired() > 2 {
+			t.Fatalf("peer.drop %s fired %d times past its @2 limit", key, ia.Fired())
+		}
+	}
+	// The two directions of one pair share a partition stream when keyed
+	// by the unordered pair key (the caller's job — cluster.PairKey).
+	ab := a.Scoped(SiteConnPartition, "n0|n1")
+	ba := a.Scoped(SiteConnPartition, "n0|n1")
+	if ab != ba {
+		t.Fatal("same partition key returned distinct injectors")
+	}
+	if a.Scoped(SiteConnPartition, "n0|n2") == ab {
+		t.Fatal("distinct pairs share an injector")
+	}
+}

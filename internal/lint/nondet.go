@@ -54,9 +54,15 @@ var nondetScope = map[string]bool{
 	// its journal notes must be byte-identical across worker counts — so
 	// it may never consult the clock or unseeded entropy.
 	"watch": true,
+	// cluster is the multi-node serving layer: ring placement, request
+	// routing, and fold-in replication ordering must be pure functions of
+	// the spec (seed, node set, versions) so a cluster run's merged digest
+	// is byte-identical to the single-node replay. Retry pacing may sleep,
+	// but nothing may read the clock or unseeded entropy.
+	"cluster": true,
 }
 
-const nondetScopeDoc = "internal/{core,threshold,classifier,nn,npu,stats,experiments,trace,obs,serve,fault,watch}"
+const nondetScopeDoc = "internal/{core,threshold,classifier,nn,npu,stats,experiments,trace,obs,serve,fault,watch,cluster}"
 
 // globalRandFuncs are the math/rand (and rand/v2) top-level functions that
 // draw from the process-global generator. Constructors (New, NewSource,

@@ -42,6 +42,13 @@ func StartDebug(addr string, reg *Registry) (*DebugServer, error) {
 // pages. This is how mithrad exposes its HTTP/JSON decision fallback
 // without a second listener.
 func StartDebugMux(addr string, reg *Registry, extra map[string]http.Handler) (*DebugServer, error) {
+	// An empty address binds loopback port 0: the kernel picks a free
+	// port and Addr() reports it. Multi-node tests (and clustered mithrad
+	// processes sharing one host) rely on this to never collide on a
+	// hard-coded debug port.
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug listener: %w", err)

@@ -159,3 +159,36 @@ func TestDebugServerShutdown(t *testing.T) {
 		t.Fatal("listener alive after forced Shutdown")
 	}
 }
+
+// TestDebugServerEmptyAddr checks the empty-address default: loopback
+// port 0, with the resolved address reported — two servers started this
+// way on one host must never collide.
+func TestDebugServerEmptyAddr(t *testing.T) {
+	a, err := StartDebug("", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := StartDebug("", NewRegistry())
+	if err != nil {
+		t.Fatalf("second empty-addr debug server collided: %v", err)
+	}
+	defer b.Close()
+	for _, srv := range []*DebugServer{a, b} {
+		addr := srv.Addr()
+		if !strings.HasPrefix(addr, "127.0.0.1:") || strings.HasSuffix(addr, ":0") {
+			t.Fatalf("resolved address %q, want loopback with a real port", addr)
+		}
+	}
+	if a.Addr() == b.Addr() {
+		t.Fatalf("both servers report %s", a.Addr())
+	}
+	resp, err := http.Get("http://" + b.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics on resolved address: %d", resp.StatusCode)
+	}
+}

@@ -175,3 +175,73 @@ func (c *Client) DecideBatchInto(bench string, baseID uint32, inputs [][]float64
 	}
 	return out, nil
 }
+
+// DecideIDs pipelines decisions for explicitly-keyed requests: ids[i]
+// identifies inputs[i], and the decision lands in out[i]. The cluster
+// router uses this for per-node sub-batches, whose IDs are ascending but
+// not contiguous (the batch was split by ring owner) — ids MUST be in
+// strictly ascending order, which the router's in-order split guarantees.
+// Like DecideBatchInto, responses may arrive in any order within the
+// pipeline window and every failure is marked retryable where re-sending
+// is safe.
+func (c *Client) DecideIDs(bench string, ids []uint32, inputs [][]float64, out []DecideResponse) error {
+	if len(ids) != len(inputs) || len(out) < len(inputs) {
+		return fmt.Errorf("serve: DecideIDs wants len(ids)==len(inputs)<=len(out), have %d/%d/%d",
+			len(ids), len(inputs), len(out))
+	}
+	req := DecideRequest{Bench: bench, TraceID: c.trace}
+	frames := c.wbuf[:0]
+	for i, in := range inputs {
+		req.ID = ids[i]
+		req.In = in
+		var err error
+		if frames, err = AppendDecideRequest(frames, &req); err != nil {
+			return err
+		}
+	}
+	c.wbuf = frames
+	if err := c.writeFrames(frames); err != nil {
+		return err
+	}
+	var resp DecideResponse
+	for range inputs {
+		payload, err := ReadFrameInto(c.br, c.rbuf)
+		c.rbuf = payload
+		if err != nil {
+			return fmt.Errorf("serve: read response: %w: %v", ErrRetryable, err)
+		}
+		if perr := ParseDecideResponseInto(payload, &resp); perr != nil {
+			msg, merr := ParseMessage(payload)
+			if merr != nil {
+				return fmt.Errorf("serve: read response: %w: %v", ErrRetryable, merr)
+			}
+			if e, ok := msg.(*ErrorResponse); ok {
+				return wireError(e)
+			}
+			return protoErrf("unexpected response %T", msg)
+		}
+		i := idSlot(ids, resp.ID)
+		if i < 0 {
+			return protoErrf("response id %d not in request set", resp.ID)
+		}
+		out[i] = resp
+	}
+	return nil
+}
+
+// idSlot binary-searches ascending ids for id, returning its index or -1.
+func idSlot(ids []uint32, id uint32) int {
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ids) && ids[lo] == id {
+		return lo
+	}
+	return -1
+}

@@ -27,6 +27,13 @@ var (
 	// batch is safely re-sendable on a fresh connection.
 	ErrPartialWrite = retryable(errors.New("serve: partial frame write"))
 
+	// ErrPeerDown reports a cluster forward that could not reach the
+	// owning node (link down, partitioned, or the peer is restarting).
+	// The request was not decided anywhere, so re-asking is safe — the
+	// owner may be reachable again, or a refreshed client route may hit
+	// it directly.
+	ErrPeerDown = retryable(errors.New("serve: peer unreachable"))
+
 	// ErrFrameTooLarge reports a frame whose payload exceeds MaxFrame.
 	ErrFrameTooLarge = errors.New("serve: frame too large")
 	// ErrSnapshotMissing reports a benchmark the server holds no
@@ -67,6 +74,8 @@ func sentinelFor(code uint8) error {
 		return ErrQueueFull
 	case CodeFrameTooLarge:
 		return ErrFrameTooLarge
+	case CodePeerDown:
+		return ErrPeerDown
 	}
 	return ErrProtocol
 }

@@ -32,6 +32,18 @@ func FuzzParseMessage(f *testing.F) {
 	f.Add(tresp[4:])
 	errf, _ := AppendFrame(nil, &ErrorResponse{ID: 1, Code: CodeMalformed, Msg: "x"})
 	f.Add(errf[4:])
+	fwd, _ := AppendFrame(nil, &DecideRequest{ID: 11, Orig: 7, Forwarded: true, Bench: "sobel", In: []float64{1, 2, 3}})
+	f.Add(fwd[4:])
+	tfwd, _ := AppendFrame(nil, &DecideRequest{ID: 11, Orig: 7, Forwarded: true, Bench: "sobel", In: []float64{1}, TraceID: 5})
+	f.Add(tfwd[4:])
+	fold, _ := AppendFrame(nil, &FoldIn{Bench: "sobel", Version: 2, Inputs: [][]float64{{1, 2}, {3}}})
+	f.Add(fold[4:])
+	ack, _ := AppendFrame(nil, &FoldInAck{Bench: "sobel", Version: 2, Status: FoldApplied})
+	f.Add(ack[4:])
+	cu, _ := AppendFrame(nil, &CatchUpReq{Bench: "sobel", After: 1})
+	f.Add(cu[4:])
+	cur, _ := AppendFrame(nil, &CatchUpResp{Bench: "sobel", Count: 3})
+	f.Add(cur[4:])
 	f.Add([]byte{})
 	f.Add([]byte{'M', 1, 99})
 	f.Add([]byte{'M', 2, 1})
@@ -63,16 +75,37 @@ func FuzzParseMessage(f *testing.F) {
 // comparison (the wire carries raw IEEE-754 bits, so NaN payloads must
 // survive bit-exactly, but reflect.DeepEqual calls NaN != NaN).
 func messagesEqual(a, b Message) bool {
+	if fa, ok := a.(*FoldIn); ok {
+		fb, ok := b.(*FoldIn)
+		if !ok || fa.Bench != fb.Bench || fa.Version != fb.Version || len(fa.Inputs) != len(fb.Inputs) {
+			return false
+		}
+		for i := range fa.Inputs {
+			if !floatsEqual(fa.Inputs[i], fb.Inputs[i]) {
+				return false
+			}
+		}
+		return true
+	}
 	ra, ok := a.(*DecideRequest)
 	if !ok {
 		return reflect.DeepEqual(a, b)
 	}
 	rb, ok := b.(*DecideRequest)
-	if !ok || ra.ID != rb.ID || ra.Bench != rb.Bench || ra.TraceID != rb.TraceID || len(ra.In) != len(rb.In) {
+	if !ok || ra.ID != rb.ID || ra.Bench != rb.Bench || ra.TraceID != rb.TraceID ||
+		ra.Orig != rb.Orig || ra.Forwarded != rb.Forwarded {
 		return false
 	}
-	for i := range ra.In {
-		if math.Float64bits(ra.In[i]) != math.Float64bits(rb.In[i]) {
+	return floatsEqual(ra.In, rb.In)
+}
+
+// floatsEqual compares float slices by raw IEEE-754 bits.
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
 			return false
 		}
 	}

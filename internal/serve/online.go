@@ -121,12 +121,22 @@ func (u *updater) recheck() {
 			for _, in := range u.window.bad {
 				tab.Update(in, true)
 			}
-			if _, err := u.s.reg.Install(snap.withTable(tab)); err != nil {
+			ns := snap.withTable(tab)
+			if _, err := u.s.reg.Install(ns); err != nil {
 				o.Counter("serve.snapshot.install_errors").Inc()
 				u.sh.brk.forceOpen("snapshot install failed: " + err.Error())
 			} else {
 				o.Counter("serve.snapshot.swaps").Inc()
 				o.Counter("serve.update.inputs").Add(int64(len(u.window.bad)))
+				if u.cfg.OnFoldIn != nil {
+					// Replication hook: hand the cluster node the installed
+					// version and the window's violating inputs. The window
+					// slice is reset below, so the hook gets its own copy of
+					// the headers (the input vectors themselves are already
+					// private copies made on the sampling path).
+					bad := append([][]float64(nil), u.window.bad...)
+					u.cfg.OnFoldIn(u.sh.bench, ns.Version, bad)
+				}
 			}
 		}
 	}

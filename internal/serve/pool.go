@@ -98,6 +98,8 @@ func putReq(r *DecideRequest) {
 	r.Bench = ""
 	r.In = r.In[:0]
 	r.TraceID = 0
+	r.Orig = 0
+	r.Forwarded = false
 	reqPool.Put(r)
 }
 

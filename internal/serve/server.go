@@ -88,6 +88,19 @@ type Config struct {
 	// transitions and divergence gauges, fed from the same sampled
 	// observations the updater consumes.
 	Watch watch.Config
+	// Cluster wires this node into a multi-node deployment (DESIGN.md
+	// §15): request routing/forwarding, fold-in replication, and durable
+	// decision records. Nil (the default) is the single-node engine; all
+	// hook calls sit behind nil checks, so the zero-allocation decide
+	// path is unchanged without a cluster.
+	Cluster ClusterHooks
+	// OnFoldIn fires after the online updater installs a fold-in: the
+	// benchmark, the freshly installed snapshot version, and the window's
+	// violating inputs (a private copy). The cluster node uses it to
+	// append the fold-in to its WAL fold log and stream it to peers. It
+	// runs on the shard's updater goroutine; implementations must not
+	// block on the network (hand off to a sender instead).
+	OnFoldIn func(bench string, version uint32, inputs [][]float64)
 }
 
 // withDefaults fills unset knobs.
@@ -157,6 +170,9 @@ type serverMetrics struct {
 	workerPanics     *obs.Counter
 	batches          *obs.Counter
 	batchSize        *obs.Histogram
+	forwards         *obs.Counter
+	errPeerDown      *obs.Counter
+	errRecordFlush   *obs.Counter
 }
 
 func newServerMetrics(o *obs.Obs) serverMetrics {
@@ -178,6 +194,9 @@ func newServerMetrics(o *obs.Obs) serverMetrics {
 		workerPanics:     o.Counter("serve.worker.panics"),
 		batches:          o.Counter("serve.batches"),
 		batchSize:        o.Histogram("serve.batch.size", []float64{1, 2, 4, 8, 16, 32, 64}),
+		forwards:         o.Counter("serve.cluster.forwards"),
+		errPeerDown:      o.Counter("serve.errors.peer_down"),
+		errRecordFlush:   o.Counter("serve.errors.record_flush"),
 	}
 }
 
@@ -369,6 +388,39 @@ func (s *Server) reader(c *conn) {
 				continue
 			}
 			req.Bench = sh.bench // interned: the shard's canonical name
+			if s.cfg.Cluster != nil {
+				if peer := s.cfg.Cluster.Route(sh.bench, req.ID, req.In); peer != "" {
+					s.forward(c, peer, req)
+					continue
+				}
+			}
+			s.enqueue(c, sh, req)
+			continue
+		}
+		// Forwarded frames (one hop from a peer that did not own the
+		// request) decode through the same pooled fast path and are always
+		// served locally — never re-routed — so a ring disagreement cannot
+		// loop a frame between nodes.
+		if len(payload) >= 3 && payload[0] == wireMagic &&
+			(payload[1] == wireV1 || payload[1] == wireV2) &&
+			payload[2] == msgForward {
+			req := getReq()
+			bench, perr := ParseForwardRequestInto(payload, req)
+			if perr != nil {
+				putReq(req)
+				s.m.errMalformed.Inc()
+				c.send(&ErrorResponse{Code: CodeMalformed, Msg: perr.Error()})
+				continue
+			}
+			sh := s.shards[string(bench)]
+			if sh == nil {
+				s.m.errUnknownBench.Inc()
+				c.send(&ErrorResponse{ID: req.ID, Code: CodeUnknownBench,
+					Msg: fmt.Sprintf("no snapshot for benchmark %q", string(bench))})
+				putReq(req)
+				continue
+			}
+			req.Bench = sh.bench
 			s.enqueue(c, sh, req)
 			continue
 		}
@@ -380,16 +432,53 @@ func (s *Server) reader(c *conn) {
 			c.send(&ErrorResponse{Code: CodeMalformed, Msg: err.Error()})
 			continue
 		}
-		switch msg.(type) {
+		switch m := msg.(type) {
 		case Ping:
 			c.send(Pong{})
+		case *FoldIn:
+			if s.cfg.Cluster == nil {
+				c.send(&ErrorResponse{Code: CodeMalformed, Msg: "fold-in on a non-cluster node"})
+				continue
+			}
+			status := s.cfg.Cluster.ApplyFoldIn(m.Bench, m.Version, m.Inputs)
+			c.send(&FoldInAck{Bench: m.Bench, Version: m.Version, Status: status})
+		case *CatchUpReq:
+			if s.cfg.Cluster == nil {
+				c.send(&ErrorResponse{Code: CodeMalformed, Msg: "catch-up on a non-cluster node"})
+				continue
+			}
+			recs := s.cfg.Cluster.FoldIns(m.Bench, m.After)
+			c.send(&CatchUpResp{Bench: m.Bench, Count: uint32(len(recs))})
+			for i := range recs {
+				c.send(&recs[i])
+			}
 		default:
-			// Decide requests never reach here (the fast path above matches
+			// Decide requests never reach here (the fast paths above match
 			// exactly the frames ParseMessage would decode as one).
 			s.m.errMalformed.Inc()
 			c.send(&ErrorResponse{Code: CodeMalformed, Msg: fmt.Sprintf("unexpected message %T", msg)})
 		}
 	}
+}
+
+// forward ships a mis-routed request to the owning node through the
+// cluster hooks. The hook borrows req only for the duration of the call;
+// the eventual peer response (already re-keyed to the client's request
+// ID) is written back on this connection. A dead peer answers in-band
+// with CodePeerDown — retryable, because the request was decided nowhere.
+//
+//mithra:owns req
+func (s *Server) forward(c *conn, peer string, req *DecideRequest) {
+	err := s.cfg.Cluster.Forward(peer, req, func(m Message) { c.send(m) })
+	if err != nil {
+		s.m.errPeerDown.Inc()
+		c.send(&ErrorResponse{ID: req.ID, Code: CodePeerDown,
+			Msg: fmt.Sprintf("forward to %s: %v", peer, err)})
+		putReq(req)
+		return
+	}
+	s.m.forwards.Inc()
+	putReq(req)
 }
 
 // enqueue routes a request to its benchmark shard. With the breaker open
@@ -536,6 +625,18 @@ func (s *Server) worker(sh *shard) {
 		for i, t := range batch {
 			resp, ob, haveOb := s.decideSafe(sh, snap, view, probe, t.req,
 				pre[i], havePre, &dresp, &eresp)
+			if s.cfg.Cluster != nil {
+				// Durable decision record, keyed by the client's original
+				// request ID (fallbacks are excluded: the client re-asks them
+				// and the re-ask records the classifier's answer).
+				if dr, isDecision := resp.(*DecideResponse); isDecision && !dr.Fallback {
+					rid := t.req.ID
+					if t.req.Forwarded {
+						rid = t.req.Orig
+					}
+					s.cfg.Cluster.Record(sh.bench, rid, dr.Precise)
+				}
+			}
 			frame, err := AppendFrame(popBuf(&free), resp)
 			if err != nil { // unreachable for our own responses; keep the codec honest
 				s.m.errEncode.Inc()
@@ -546,6 +647,15 @@ func (s *Server) worker(sh *shard) {
 				sh.up.observe(ob)
 			}
 			putReq(t.req)
+		}
+		if s.cfg.Cluster != nil {
+			// Records reach the OS before any response frame does, so a
+			// SIGKILL after a client saw an ack can never lose the matching
+			// record; a flush failure is surfaced as a counter (the decisions
+			// are still correct, only the durability margin degraded).
+			if err := s.cfg.Cluster.FlushRecords(); err != nil {
+				s.m.errRecordFlush.Inc()
+			}
 		}
 		for i := range out {
 			out[i].c.sendBuffers(out[i].bufs, &scratch)
@@ -663,7 +773,15 @@ func (s *Server) decide(sh *shard, snap *Snapshot, view classifier.Classifier,
 		s.m.decApprox.Inc()
 	}
 	sh.cDecisions.Inc()
-	sampled := probe != nil && sampleHit(sh.sampleSeed, req.ID, s.cfg.SampleRate)
+	// Sampling, drift injection, and the observation stream key on the
+	// client's original invocation ID: a forwarded request must sample
+	// exactly as it would have on a direct connection, or the home node's
+	// observation sequence would depend on which endpoint the client hit.
+	rid := req.ID
+	if req.Forwarded {
+		rid = req.Orig
+	}
+	sampled := probe != nil && sampleHit(sh.sampleSeed, rid, s.cfg.SampleRate)
 	*dresp = DecideResponse{ID: req.ID, Precise: precise, Sampled: sampled,
 		Version: snap.Version, TraceID: req.TraceID}
 	if !sampled {
@@ -671,7 +789,7 @@ func (s *Server) decide(sh *shard, snap *Snapshot, view classifier.Classifier,
 	}
 	s.m.sampled.Inc()
 	err := probe(req.In)
-	if sh.fDrift.HitAt(uint64(req.ID)) {
+	if sh.fDrift.HitAt(uint64(rid)) {
 		// Injected input drift: the measured accelerator error is forced
 		// above the threshold, as if the input distribution had shifted
 		// under the classifier. Keyed by request ID (not draw order), so
@@ -686,7 +804,15 @@ func (s *Server) decide(sh *shard, snap *Snapshot, view classifier.Classifier,
 	// but the updater consumes observations asynchronously (and may append
 	// them to the WAL): the input must be copied out, never aliased.
 	in := append([]float64(nil), req.In...)
-	return dresp, observation{in: in, id: req.ID, trace: req.TraceID, bad: bad, precise: precise}, true
+	return dresp, observation{in: in, id: rid, trace: req.TraceID, bad: bad, precise: precise}, true
+}
+
+// SampleHit reports whether invocation id is error-sampled under a
+// shard sampling seed (parallel.Seed(sampleSeed, bench)). Exported for
+// the cluster router, which must agree with every shard on which IDs are
+// sampled so it can pin them to the benchmark's home node.
+func SampleHit(shardSeed uint64, id uint32, rate float64) bool {
+	return sampleHit(shardSeed, id, rate)
 }
 
 // sampleHit reports whether invocation id is error-sampled: a pure

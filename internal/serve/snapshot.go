@@ -185,6 +185,21 @@ func (s *Snapshot) view() classifier.Classifier {
 	return s.Table.ConcurrentView()
 }
 
+// WithFoldIn returns a copy of s whose table has the given violating
+// inputs folded in, in order — exactly the transformation the online
+// updater applies when a guarantee re-check fails. A replica that starts
+// from the same snapshot and applies the same fold-ins in the same order
+// holds a table byte-identical to the home node's, which is what makes
+// fold-in replication (DESIGN.md §15) a deterministic state machine. The
+// copy has no version yet; Registry.Install assigns the next one.
+func (s *Snapshot) WithFoldIn(inputs [][]float64) *Snapshot {
+	tab := s.Table.Clone()
+	for _, in := range inputs {
+		tab.Update(in, true)
+	}
+	return s.withTable(tab)
+}
+
 // withTable returns a copy of s serving an updated table (the online
 // update path's copy-on-write step). The copy has no version yet;
 // Registry.Install assigns the next one.

@@ -54,9 +54,10 @@ var walCRC = crc32.MakeTable(crc32.Castagnoli)
 type WAL struct {
 	dir string
 
-	mu  sync.Mutex
-	seq uint64
-	win map[string]*os.File // bench -> open window log
+	mu   sync.Mutex
+	seq  uint64
+	win  map[string]*os.File // bench -> open window log
+	fold *os.File            // open fold log (wal_fold.go); lazily created
 }
 
 // OpenWAL opens (creating if needed) the WAL directory.
@@ -362,6 +363,12 @@ func (w *WAL) Close() error {
 			first = err
 		}
 		delete(w.win, bench)
+	}
+	if w.fold != nil {
+		if err := w.fold.Close(); err != nil && first == nil {
+			first = err
+		}
+		w.fold = nil
 	}
 	return first
 }

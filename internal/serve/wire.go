@@ -48,6 +48,16 @@ const (
 	msgPing       = 3
 	msgPong       = 4
 	msgError      = 5
+	// Cluster messages (DESIGN.md §15). msgForward wraps a mis-routed
+	// decide request hopping between nodes; msgFoldIn streams one online
+	// fold-in to a replica, answered by msgFoldInAck; msgCatchUp asks a
+	// peer for every fold-in after a version, answered by msgCatchUpResp
+	// followed by that many msgFoldIn frames.
+	msgForward     = 6
+	msgFoldIn      = 7
+	msgFoldInAck   = 8
+	msgCatchUp     = 9
+	msgCatchUpResp = 10
 )
 
 // Error codes carried by msgError frames.
@@ -66,6 +76,9 @@ const (
 	// CodeFrameTooLarge: the request frame exceeded MaxFrame; it was
 	// discarded in-band and the connection survives.
 	CodeFrameTooLarge = 6
+	// CodePeerDown: the node that owns this request could not be reached
+	// to forward it; the request was not decided and is safe to retry.
+	CodePeerDown = 7
 )
 
 // ErrProtocol is the sentinel every malformed-frame error wraps.
@@ -89,6 +102,16 @@ type DecideRequest struct {
 	// to the worker and back (wire version 2). Zero means untraced: the
 	// encoded frame is bit-identical to wire version 1.
 	TraceID uint64
+	// Orig and Forwarded carry the cluster forwarding envelope
+	// (msgForward frames only). A node that receives a frame it does not
+	// own re-sends it to the owner with a fresh peer-connection ID; ID
+	// then identifies the hop (echoed in the peer's response) while Orig
+	// preserves the client's original request ID, which is the identity
+	// decision records key on. Forwarded marks the request as already
+	// hopped: the owner serves it locally no matter what its own router
+	// says, so a ring disagreement can never loop a frame.
+	Orig      uint32
+	Forwarded bool
 }
 
 // DecideResponse carries one decision.
@@ -126,8 +149,9 @@ type (
 	Pong struct{}
 )
 
-// Message is one decoded protocol message: *DecideRequest,
-// *DecideResponse, *ErrorResponse, Ping, or Pong.
+// Message is one decoded protocol message: *DecideRequest (Forwarded set
+// for msgForward frames), *DecideResponse, *ErrorResponse, *FoldIn,
+// *FoldInAck, *CatchUpReq, *CatchUpResp, Ping, or Pong.
 type Message any
 
 // AppendFrame appends a complete frame (length prefix + payload) for msg
@@ -140,7 +164,34 @@ func AppendFrame(dst []byte, msg Message) ([]byte, error) {
 	switch m := msg.(type) {
 	case *DecideRequest:
 		dst = append(dst, wireMagic, decideVersion(m.TraceID))
+		if m.Forwarded {
+			return appendForwardRequestBody(dst, start, m)
+		}
 		return appendDecideRequestBody(dst, start, m)
+	case *FoldIn:
+		return appendFoldIn(dst, start, m)
+	case *FoldInAck:
+		if len(m.Bench) > maxBenchName {
+			return nil, protoErrf("bench name %d bytes exceeds %d", len(m.Bench), maxBenchName) //mithra:coldpath error formatting on an oversized bench name
+		}
+		dst = append(dst, wireMagic, wireV1, msgFoldInAck, byte(len(m.Bench)))
+		dst = append(dst, m.Bench...)
+		dst = binary.BigEndian.AppendUint32(dst, m.Version)
+		dst = append(dst, m.Status)
+	case *CatchUpReq:
+		if len(m.Bench) > maxBenchName {
+			return nil, protoErrf("bench name %d bytes exceeds %d", len(m.Bench), maxBenchName) //mithra:coldpath error formatting on an oversized bench name
+		}
+		dst = append(dst, wireMagic, wireV1, msgCatchUp, byte(len(m.Bench)))
+		dst = append(dst, m.Bench...)
+		dst = binary.BigEndian.AppendUint32(dst, m.After)
+	case *CatchUpResp:
+		if len(m.Bench) > maxBenchName {
+			return nil, protoErrf("bench name %d bytes exceeds %d", len(m.Bench), maxBenchName) //mithra:coldpath error formatting on an oversized bench name
+		}
+		dst = append(dst, wireMagic, wireV1, msgCatchUpResp, byte(len(m.Bench)))
+		dst = append(dst, m.Bench...)
+		dst = binary.BigEndian.AppendUint32(dst, m.Count)
 	case *DecideResponse:
 		dst = append(dst, wireMagic, decideVersion(m.TraceID), msgDecideResp)
 		dst = binary.BigEndian.AppendUint32(dst, m.ID)
@@ -452,6 +503,37 @@ func ParseMessage(payload []byte) (Message, error) {
 			return nil, protoErrf("pong carries %d stray bytes", len(body))
 		}
 		return Pong{}, nil
+	case msgForward:
+		return parseForward(body, trail)
+	case msgFoldIn:
+		return parseFoldIn(body, trail)
+	case msgFoldInAck:
+		bench, rest, err := parseClusterPrefix(body, trail, "fold-in ack")
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 5 {
+			return nil, protoErrf("fold-in ack body %d trailing bytes, want 5", len(rest))
+		}
+		return &FoldInAck{Bench: bench, Version: binary.BigEndian.Uint32(rest[:4]), Status: rest[4]}, nil
+	case msgCatchUp:
+		bench, rest, err := parseClusterPrefix(body, trail, "catch-up request")
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 4 {
+			return nil, protoErrf("catch-up request body %d trailing bytes, want 4", len(rest))
+		}
+		return &CatchUpReq{Bench: bench, After: binary.BigEndian.Uint32(rest[:4])}, nil
+	case msgCatchUpResp:
+		bench, rest, err := parseClusterPrefix(body, trail, "catch-up response")
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 4 {
+			return nil, protoErrf("catch-up response body %d trailing bytes, want 4", len(rest))
+		}
+		return &CatchUpResp{Bench: bench, Count: binary.BigEndian.Uint32(rest[:4])}, nil
 	}
 	return nil, protoErrf("unknown message type %d", payload[2])
 }

@@ -1,0 +1,310 @@
+package serve
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Cluster wire messages (DESIGN.md §15). The forwarding and replication
+// traffic between mithrad nodes rides the same framed protocol as client
+// traffic — one listener per node, no side channel — so the codec
+// invariants (never panic, every malformed frame wraps ErrProtocol,
+// encode∘parse is the identity on the codec's image) extend unchanged.
+
+// FoldIn replicates one online table fold-in: the bad inputs that the
+// home node's updater folded into benchmark Bench to produce snapshot
+// version Version. Replicas apply fold-ins in (benchmark, version) order
+// through Registry.Install, so a replica that applies versions 2..k of a
+// benchmark holds a table byte-identical to the home node's.
+type FoldIn struct {
+	Bench   string
+	Version uint32
+	// Inputs are the violating input vectors of the fold-in window, in
+	// observation order (the order the home node folded them).
+	Inputs [][]float64
+}
+
+// Fold-in ack statuses.
+const (
+	// FoldApplied: the replica installed this version (and possibly
+	// buffered successors that became applicable).
+	FoldApplied = 0
+	// FoldBuffered: the version is ahead of the replica's snapshot; it is
+	// buffered and the replica will catch up the gap from a peer.
+	FoldBuffered = 1
+	// FoldStale: the replica is already at or past this version.
+	FoldStale = 2
+	// FoldUnknown: the replica holds no snapshot for the benchmark.
+	FoldUnknown = 3
+)
+
+// FoldInAck answers a FoldIn with the replica's disposition.
+type FoldInAck struct {
+	Bench   string
+	Version uint32
+	Status  uint8
+}
+
+// CatchUpReq asks a peer for every fold-in of Bench after version After.
+type CatchUpReq struct {
+	Bench string
+	After uint32
+}
+
+// CatchUpResp announces Count FoldIn frames to follow, in ascending
+// version order starting at After+1.
+type CatchUpResp struct {
+	Bench string
+	Count uint32
+}
+
+// maxFoldInInputs bounds the inputs carried by one FoldIn frame; larger
+// fold-ins are split by the sender. 2048 dim-1 inputs or 16 full-width
+// ones fit comfortably under MaxFrame.
+const maxFoldInInputs = 2048
+
+// AppendForwardRequest appends a msgForward frame to dst: req re-keyed
+// with hop ID fwdID while req.ID rides in the Orig slot. The concrete
+// parameter type keeps the peer link's encode path allocation-free, like
+// AppendDecideRequest on the client path.
+//
+//mithra:hotpath
+func AppendForwardRequest(dst []byte, fwdID uint32, req *DecideRequest) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length backpatched below
+	dst = append(dst, wireMagic, decideVersion(req.TraceID), msgForward)
+	dst = binary.BigEndian.AppendUint32(dst, fwdID)
+	origID := req.ID
+	if req.Forwarded {
+		// Re-forwarding an already-hopped request must not happen (the
+		// receiver serves locally), but if an owner map is mid-update the
+		// original identity still wins over the previous hop ID.
+		origID = req.Orig //mithra:coldpath defensive branch; forwarded frames are served locally
+	}
+	dst = binary.BigEndian.AppendUint32(dst, origID)
+	if len(req.Bench) > maxBenchName {
+		return nil, protoErrf("bench name %d bytes exceeds %d", len(req.Bench), maxBenchName) //mithra:coldpath error formatting on a rejected request
+	}
+	if len(req.In) > MaxInputDim {
+		return nil, protoErrf("input dim %d exceeds %d", len(req.In), MaxInputDim) //mithra:coldpath error formatting on a rejected request
+	}
+	dst = append(dst, byte(len(req.Bench)))
+	dst = append(dst, req.Bench...)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(req.In)))
+	for _, v := range req.In {
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	if req.TraceID != 0 {
+		dst = binary.BigEndian.AppendUint64(dst, req.TraceID)
+	}
+	payload := len(dst) - start - 4
+	if payload > MaxFrame {
+		return nil, protoErrf("frame payload %d exceeds %d", payload, MaxFrame) //mithra:coldpath error formatting on an oversized frame
+	}
+	binary.BigEndian.PutUint32(dst[start:start+4], uint32(payload))
+	return dst, nil
+}
+
+// appendForwardRequestBody finishes a msgForward frame for AppendFrame
+// (dst already carries prefix + magic/version; m.Forwarded is set, so
+// m.ID is the hop ID and m.Orig the original request ID).
+func appendForwardRequestBody(dst []byte, start int, m *DecideRequest) ([]byte, error) {
+	if len(m.Bench) > maxBenchName {
+		return nil, protoErrf("bench name %d bytes exceeds %d", len(m.Bench), maxBenchName)
+	}
+	if len(m.In) > MaxInputDim {
+		return nil, protoErrf("input dim %d exceeds %d", len(m.In), MaxInputDim)
+	}
+	dst = append(dst, msgForward)
+	dst = binary.BigEndian.AppendUint32(dst, m.ID)
+	dst = binary.BigEndian.AppendUint32(dst, m.Orig)
+	dst = append(dst, byte(len(m.Bench)))
+	dst = append(dst, m.Bench...)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.In)))
+	for _, v := range m.In {
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	if m.TraceID != 0 {
+		dst = binary.BigEndian.AppendUint64(dst, m.TraceID)
+	}
+	payload := len(dst) - start - 4
+	if payload > MaxFrame {
+		return nil, protoErrf("frame payload %d exceeds %d", payload, MaxFrame)
+	}
+	binary.BigEndian.PutUint32(dst[start:start+4], uint32(payload))
+	return dst, nil
+}
+
+// ParseForwardRequestInto decodes a msgForward frame payload into req
+// without allocating, mirroring ParseDecideRequestInto: the input vector
+// reuses req.In's capacity and the benchmark name is returned as a
+// sub-slice of payload for the caller to intern (req.Bench is NOT set).
+// On success req.Forwarded is true, req.ID is the hop ID, and req.Orig
+// the original client request ID.
+//
+//mithra:hotpath
+func ParseForwardRequestInto(payload []byte, req *DecideRequest) (bench []byte, err error) {
+	if len(payload) < 3 || payload[0] != wireMagic || payload[2] != msgForward ||
+		(payload[1] != wireV1 && payload[1] != wireV2) {
+		return nil, protoErrf("not a forward frame")
+	}
+	trail := 0
+	if payload[1] == wireV2 {
+		trail = 8
+	}
+	body := payload[3:]
+	if len(body) < 9 {
+		return nil, protoErrf("forward body %d bytes, want >= 9", len(body)) //mithra:coldpath error formatting on a malformed frame
+	}
+	req.ID = binary.BigEndian.Uint32(body[:4])
+	req.Orig = binary.BigEndian.Uint32(body[4:8])
+	nameLen := int(body[8])
+	body = body[9:]
+	if len(body) < nameLen+2 {
+		return nil, protoErrf("forward frame truncated inside bench name")
+	}
+	bench = body[:nameLen]
+	body = body[nameLen:]
+	dim := int(binary.BigEndian.Uint16(body[:2]))
+	body = body[2:]
+	if dim > MaxInputDim {
+		return nil, protoErrf("input dim %d exceeds %d", dim, MaxInputDim) //mithra:coldpath error formatting on a malformed frame
+	}
+	if len(body) != 8*dim+trail {
+		return nil, protoErrf("forward input is %d bytes, want %d", len(body), 8*dim+trail) //mithra:coldpath error formatting on a malformed frame
+	}
+	in := req.In[:0]
+	if cap(in) < dim {
+		in = make([]float64, 0, dim) //mithra:coldpath one-time input-vector growth; capacity is kept by the pooled request
+	}
+	for i := 0; i < dim; i++ {
+		in = append(in, math.Float64frombits(binary.BigEndian.Uint64(body[8*i:8*i+8])))
+	}
+	req.In = in
+	req.TraceID = 0
+	if trail != 0 {
+		req.TraceID = binary.BigEndian.Uint64(body[8*dim:])
+	}
+	req.Forwarded = true
+	return bench, nil
+}
+
+// parseForward is the generic msgForward decoder for ParseMessage.
+func parseForward(body []byte, trail int) (Message, error) {
+	if len(body) < 9 {
+		return nil, protoErrf("forward body %d bytes, want >= 9", len(body))
+	}
+	id := binary.BigEndian.Uint32(body[:4])
+	orig := binary.BigEndian.Uint32(body[4:8])
+	nameLen := int(body[8])
+	body = body[9:]
+	if len(body) < nameLen+2 {
+		return nil, protoErrf("forward frame truncated inside bench name")
+	}
+	bench := string(body[:nameLen])
+	body = body[nameLen:]
+	dim := int(binary.BigEndian.Uint16(body[:2]))
+	body = body[2:]
+	if dim > MaxInputDim {
+		return nil, protoErrf("input dim %d exceeds %d", dim, MaxInputDim)
+	}
+	if len(body) != 8*dim+trail {
+		return nil, protoErrf("forward input is %d bytes, want %d", len(body), 8*dim+trail)
+	}
+	in := make([]float64, dim)
+	for i := range in {
+		in[i] = math.Float64frombits(binary.BigEndian.Uint64(body[8*i : 8*i+8]))
+	}
+	req := &DecideRequest{ID: id, Orig: orig, Bench: bench, In: in, Forwarded: true}
+	if trail != 0 {
+		req.TraceID = binary.BigEndian.Uint64(body[8*dim:])
+	}
+	return req, nil
+}
+
+// appendFoldIn finishes a msgFoldIn frame for AppendFrame.
+func appendFoldIn(dst []byte, start int, m *FoldIn) ([]byte, error) {
+	if len(m.Bench) > maxBenchName {
+		return nil, protoErrf("bench name %d bytes exceeds %d", len(m.Bench), maxBenchName)
+	}
+	if len(m.Inputs) > maxFoldInInputs {
+		return nil, protoErrf("fold-in carries %d inputs, max %d", len(m.Inputs), maxFoldInInputs)
+	}
+	dst = append(dst, wireMagic, wireV1, msgFoldIn, byte(len(m.Bench)))
+	dst = append(dst, m.Bench...)
+	dst = binary.BigEndian.AppendUint32(dst, m.Version)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Inputs)))
+	for _, in := range m.Inputs {
+		if len(in) > MaxInputDim {
+			return nil, protoErrf("fold-in input dim %d exceeds %d", len(in), MaxInputDim)
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(in)))
+		for _, v := range in {
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	}
+	payload := len(dst) - start - 4
+	if payload > MaxFrame {
+		return nil, protoErrf("frame payload %d exceeds %d", payload, MaxFrame)
+	}
+	binary.BigEndian.PutUint32(dst[start:start+4], uint32(payload))
+	return dst, nil
+}
+
+// parseFoldIn is the msgFoldIn decoder for ParseMessage.
+func parseFoldIn(body []byte, trail int) (Message, error) {
+	bench, body, err := parseClusterPrefix(body, trail, "fold-in")
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 6 {
+		return nil, protoErrf("fold-in body %d trailing bytes, want >= 6", len(body))
+	}
+	m := &FoldIn{Bench: bench, Version: binary.BigEndian.Uint32(body[:4])}
+	count := int(binary.BigEndian.Uint16(body[4:6]))
+	if count > maxFoldInInputs {
+		return nil, protoErrf("fold-in carries %d inputs, max %d", count, maxFoldInInputs)
+	}
+	body = body[6:]
+	m.Inputs = make([][]float64, 0, count)
+	for i := 0; i < count; i++ {
+		if len(body) < 2 {
+			return nil, protoErrf("fold-in truncated at input %d header", i)
+		}
+		dim := int(binary.BigEndian.Uint16(body[:2]))
+		body = body[2:]
+		if dim > MaxInputDim {
+			return nil, protoErrf("fold-in input dim %d exceeds %d", dim, MaxInputDim)
+		}
+		if len(body) < 8*dim {
+			return nil, protoErrf("fold-in truncated inside input %d", i)
+		}
+		in := make([]float64, dim)
+		for j := range in {
+			in[j] = math.Float64frombits(binary.BigEndian.Uint64(body[8*j : 8*j+8]))
+		}
+		m.Inputs = append(m.Inputs, in)
+		body = body[8*dim:]
+	}
+	if len(body) != 0 {
+		return nil, protoErrf("fold-in carries %d stray bytes", len(body))
+	}
+	return m, nil
+}
+
+// parseClusterPrefix decodes the length-prefixed benchmark name that
+// opens every cluster control body, rejecting the (undefined) version-2
+// form of these messages.
+func parseClusterPrefix(body []byte, trail int, what string) (bench string, rest []byte, err error) {
+	if trail != 0 {
+		return "", nil, protoErrf("%s frames are version 1 only", what)
+	}
+	if len(body) < 1 {
+		return "", nil, protoErrf("%s body is empty", what)
+	}
+	nameLen := int(body[0])
+	if len(body) < 1+nameLen {
+		return "", nil, protoErrf("%s truncated inside bench name", what)
+	}
+	return string(body[1 : 1+nameLen]), body[1+nameLen:], nil
+}

@@ -144,6 +144,46 @@ func StatusFrom(metrics map[string]float64) []BenchStatus {
 	return rows
 }
 
+// MergeStatus folds per-node status rows into one cluster-wide table.
+// Traffic counters (Decisions, Fallbacks, Violations, Samples) sum
+// across nodes; the guarantee fields (state, CP bounds, target, margin,
+// divergence gauges) come from the node with the most samples for that
+// benchmark — in a cluster only the benchmark's home node runs its
+// sampler and monitor, so that node's row is the authoritative one and
+// every replica reports zeros. The result is sorted by benchmark name,
+// so merging one node's rows is the identity.
+func MergeStatus(perNode [][]BenchStatus) []BenchStatus {
+	merged := map[string]BenchStatus{}
+	for _, rows := range perNode {
+		for _, r := range rows {
+			m, seen := merged[r.Bench]
+			if !seen {
+				merged[r.Bench] = r
+				continue
+			}
+			if r.Samples > m.Samples {
+				guard := r
+				guard.Decisions = m.Decisions
+				guard.Fallbacks = m.Fallbacks
+				guard.Violations = m.Violations
+				guard.Samples = m.Samples
+				m = guard
+			}
+			m.Decisions += r.Decisions
+			m.Fallbacks += r.Fallbacks
+			m.Violations += r.Violations
+			m.Samples += r.Samples
+			merged[r.Bench] = m
+		}
+	}
+	out := make([]BenchStatus, 0, len(merged))
+	for _, m := range merged {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bench < out[j].Bench })
+	return out
+}
+
 // RenderStatus prints the live status table. qps maps bench → decisions
 // per second computed by the poller from successive snapshots (nil on a
 // single-shot poll: the QPS column renders "-"). The rendering is

@@ -131,3 +131,106 @@ func TestStatusFromEmpty(t *testing.T) {
 		t.Fatalf("rows = %v, want none", rows)
 	}
 }
+
+func TestParsePromMalformed(t *testing.T) {
+	// ParseProm reads expositions scraped mid-write or from foreign
+	// servers; its contract on damage: skip what the format says to skip
+	// (comments, labeled series, lines with no value), parse every float
+	// Go can ("NaN", "+Inf", exponents), and error only on a line shaped
+	// like a sample whose value is garbage.
+	t.Run("truncated line skipped", func(t *testing.T) {
+		m, err := ParseProm(strings.NewReader(
+			"mithra_serve_decisions 12\nmithra_watch_guarantee_sta"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(m) != 1 || m["mithra_serve_decisions"] != 12 {
+			t.Fatalf("m = %v", m)
+		}
+	})
+	t.Run("nan and inf parse", func(t *testing.T) {
+		m, err := ParseProm(strings.NewReader("a NaN\nb +Inf\nc -Inf\nd 1e-9\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m["a"] == m["a"] {
+			t.Fatalf("a = %v, want NaN", m["a"])
+		}
+		if m["b"] <= 0 || m["c"] >= 0 || m["d"] != 1e-9 {
+			t.Fatalf("m = %v", m)
+		}
+	})
+	t.Run("duplicate names last-wins", func(t *testing.T) {
+		m, err := ParseProm(strings.NewReader("x 1\nx 2\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m["x"] != 2 {
+			t.Fatalf("x = %v, want the last sample", m["x"])
+		}
+	})
+	t.Run("garbage value errors", func(t *testing.T) {
+		if _, err := ParseProm(strings.NewReader("x banana\n")); err == nil {
+			t.Fatal("non-numeric sample accepted")
+		}
+	})
+	t.Run("comments and labels skipped", func(t *testing.T) {
+		m, err := ParseProm(strings.NewReader(
+			"# HELP x things\n# TYPE x counter\nx{bench=\"fft\"} 3\ny 4\n\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(m) != 1 || m["y"] != 4 {
+			t.Fatalf("m = %v", m)
+		}
+	})
+}
+
+// TestMergeStatus: per-node rows fold into one cluster table — traffic
+// counters sum, guarantee fields come from the node with the most
+// samples (the benchmark's home node; replicas report zeros).
+func TestMergeStatus(t *testing.T) {
+	home := BenchStatus{
+		Bench: "fft", State: Holding, Lower: 0.93, Upper: 0.99, Target: 0.9,
+		Margin: 0.03, PSI: 0.12, L1: 0.04,
+		Samples: 128, Decisions: 1000, Fallbacks: 10, Violations: 1,
+	}
+	replica := BenchStatus{
+		Bench: "fft", State: Holding, // no sampler: zero guarantee fields
+		Samples: 0, Decisions: 400, Fallbacks: 4, Violations: 0,
+	}
+	other := BenchStatus{
+		Bench: "sobel", State: AtRisk, Lower: 0.8, Target: 0.75, Margin: 0.05,
+		Samples: 32, Decisions: 50,
+	}
+
+	got := MergeStatus([][]BenchStatus{{replica, other}, {home}})
+	if len(got) != 2 {
+		t.Fatalf("merged %d rows, want 2: %+v", len(got), got)
+	}
+	fft, sobel := got[0], got[1]
+	if fft.Bench != "fft" || sobel.Bench != "sobel" {
+		t.Fatalf("rows not sorted by bench: %+v", got)
+	}
+	if fft.Decisions != 1400 || fft.Fallbacks != 14 || fft.Violations != 1 || fft.Samples != 128 {
+		t.Fatalf("fft counters not summed: %+v", fft)
+	}
+	if fft.State != Holding || fft.Lower != 0.93 || fft.Target != 0.9 || fft.PSI != 0.12 {
+		t.Fatalf("fft guarantee fields not taken from home node: %+v", fft)
+	}
+	if sobel != other {
+		t.Fatalf("singleton bench changed by merge: %+v", sobel)
+	}
+
+	// Order independence: the home node listed first merges identically.
+	swapped := MergeStatus([][]BenchStatus{{home}, {replica, other}})
+	if len(swapped) != 2 || swapped[0] != fft || swapped[1] != sobel {
+		t.Fatalf("merge depends on node order:\n%+v\n%+v", got, swapped)
+	}
+
+	// Identity: merging one node's rows returns them unchanged (sorted).
+	id := MergeStatus([][]BenchStatus{{other, home}})
+	if len(id) != 2 || id[0] != home || id[1] != other {
+		t.Fatalf("single-node merge not the identity: %+v", id)
+	}
+}
