@@ -27,6 +27,7 @@ import (
 	"mithra/internal/bench"
 	"mithra/internal/cluster"
 	"mithra/internal/core"
+	"mithra/internal/dataset"
 	"mithra/internal/mathx"
 	"mithra/internal/obs"
 	"mithra/internal/serve"
@@ -205,7 +206,7 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) int {
 	var (
 		addr, unixPath, cfgPath, scale *string
 		decisions, benchJSON, label    *string
-		endpoints                      *string
+		endpoints, drift               *string
 		seed                           *uint64
 		conns, pipeline, repeat        *int
 		qps                            *float64
@@ -226,6 +227,7 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) int {
 		benchJSON = fs.String("bench-json", "", "append a run row to this BENCH_serve.json file")
 		label = fs.String("label", "", "label recorded in the bench row (e.g. workers4)")
 		chaos = fs.Bool("chaos", false, "resilient mode: retry across connection faults and server restarts, and re-ask fallback decisions until the classifier answers (chaos testing)")
+		drift = fs.String("drift", "", "seeded drift schedule applied to the input stream by global request index, e.g. 'kind=sudden,at=4096,shift=0.3' (see mithra loadgen -drift docs; drifted decisions are not offline-comparable)")
 		of.registerLog(fs)
 	}, func(_ *flag.FlagSet, _ *obsFlags, lg *obs.Logger) error {
 		set := 0
@@ -261,6 +263,18 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) int {
 		prog, inputs, err := loadProgramInputs(*cfgPath, *scale, *seed)
 		if err != nil {
 			return err
+		}
+		// Drift mode: the request stream is the dataset transformed by a
+		// seeded, replayable schedule — a pure function of (spec, global
+		// request index), so two runs (or two worker counts server-side)
+		// see byte-identical drifted inputs.
+		var dr *dataset.Drift
+		if *drift != "" {
+			dr, err = dataset.ParseDrift(*drift)
+			if err != nil {
+				return err
+			}
+			lg.Infof("drift schedule: %s", dr.String())
 		}
 		benchName := prog.Bench.Name()
 		n := len(inputs)
@@ -348,7 +362,12 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) int {
 					hi := min(base+*pipeline, total)
 					batch := make([][]float64, hi-base)
 					for i := range batch {
-						batch[i] = inputs[(base+i)%n]
+						idx := base + i
+						if dr != nil {
+							batch[i] = dr.Apply(nil, inputs[idx%n], uint64(idx))
+						} else {
+							batch[i] = inputs[idx%n]
+						}
 					}
 					t0 := time.Now()
 					resps, err := decide(uint32(base), batch)

@@ -83,20 +83,10 @@ func cmdWatch(args []string, stdout, stderr io.Writer) int {
 			if len(rows) == 0 {
 				fmt.Fprintln(stdout, "no guarantee monitors armed (start mithrad with -watch)")
 			}
-			var qps map[string]float64
-			if prevDec != nil {
-				dt := now.Sub(prevAt).Seconds()
-				if dt > 0 {
-					qps = make(map[string]float64, len(rows))
-					for _, r := range rows {
-						d := r.Decisions - prevDec[r.Bench]
-						if d < 0 {
-							d = 0 // daemon restarted between polls
-						}
-						qps[r.Bench] = d / dt
-					}
-				}
-			}
+			// QPSFrom omits benches without a prior sample (the whole first
+			// poll, and any bench that appears mid-watch): their QPS column
+			// renders "-" instead of a counter misread as a rate.
+			qps := watch.QPSFrom(rows, prevDec, now.Sub(prevAt).Seconds())
 			watch.RenderStatus(stdout, rows, qps)
 			prevDec = make(map[string]float64, len(rows))
 			for _, r := range rows {

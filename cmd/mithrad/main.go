@@ -79,6 +79,8 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) int {
 		watchRecover = fs.Int("watch-recover", 0, "consecutive passing evaluations before recovering -> holding (0 = window size)")
 		watchExempl  = fs.Int("watch-exemplars", 0, "guarantee-relevant request IDs kept per state transition (0 = default 8)")
 		watchLag     = fs.Int("watch-lag", 0, "reorder-buffer depth for ID-ordered monitor ingestion (0 = default 512)")
+		recheckWin   = fs.Int("recheck-window", 0, "continuous monitoring: re-check the guarantee over sliding windows of N sampled observations and escalate at-risk/violated into a sampling boost + table fold-in (implies -watch; requires -sample-rate > 0)")
+		maxFoldIns   = fs.Int("max-foldins-to-recover", 0, "fold-ins allowed per recovery episode before the monitor journals recovery_exceeded and stops repairing (0 = default 8; needs -recheck-window)")
 		clusterSpec  = fs.String("cluster-spec", "", "cluster spec file shared by every node (enables multi-node mode; requires -node and -wal-dir)")
 		nodeName     = fs.String("node", "", "this node's name in the -cluster-spec file")
 	)
@@ -132,6 +134,10 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) int {
 	}
 	if *listen == "" && *unixPath == "" && cspec == nil {
 		lg.Errorf("usage", "need at least one of -listen / -unix (or -cluster-spec)")
+		return 2
+	}
+	if *maxFoldIns > 0 && *recheckWin <= 0 {
+		lg.Errorf("usage", "-max-foldins-to-recover needs -recheck-window")
 		return 2
 	}
 
@@ -265,13 +271,23 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) int {
 		Breaker:        serve.BreakerConfig{Disabled: *noBreaker},
 		WAL:            wal,
 		Watch: watch.Config{
-			Enabled:      *watchOn,
+			Enabled:      *watchOn || *recheckWin > 0,
 			Window:       *watchWindow,
 			RiskMargin:   *watchMargin,
 			RecoverAfter: *watchRecover,
 			Exemplars:    *watchExempl,
 			Lag:          *watchLag,
+			Recheck: watch.Recheck{
+				Enabled:     *recheckWin > 0,
+				RepairEvery: *recheckWin,
+				MaxFoldIns:  *maxFoldIns,
+			},
 		},
+	}
+	if *recheckWin > 0 && *watchWindow == 0 {
+		// The recheck window is the sliding window the CP check runs over;
+		// without an explicit -watch-window the two coincide.
+		cfg.Watch.Window = *recheckWin
 	}
 	if recovered != nil {
 		cfg.RecoveredWindows = recovered.Windows
@@ -288,7 +304,8 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) int {
 	runCfg := map[string]any{
 		"snapshots": *snapshots, "sample_rate": *sampleRate,
 		"update_every": *updateEvery, "freeze": *freeze,
-		"wal": *walDir != "", "fault_plan": *faultPlan, "watch": *watchOn,
+		"wal": *walDir != "", "fault_plan": *faultPlan, "watch": cfg.Watch.Enabled,
+		"recheck_window": *recheckWin, "max_foldins": cfg.Watch.Recheck.MaxFoldIns,
 	}
 	if cspec != nil {
 		runCfg["cluster_node"] = *nodeName

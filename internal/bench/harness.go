@@ -53,6 +53,7 @@ var hermeticStages = map[string]bool{
 	"ring_lookup":            true,
 	"decide_steady":          true,
 	"watch_overhead":         true,
+	"drift_overhead":         true,
 	"cluster_hop":            true,
 }
 
@@ -370,6 +371,42 @@ func Run(cfg Config) ([]Row, error) {
 		return nil, err
 	}
 	if err := herm("watch_overhead", wdrv.Step); err != nil {
+		return nil, err
+	}
+
+	// drift_overhead: decide_steady re-measured against a drift-armed
+	// server — recheck-mode monitor with the fold-in escalation and the
+	// forced-sampling boost window armed, probe constructed: the serving
+	// shape `mithrad -recheck-window` runs. The hermetic contract is the
+	// DESIGN.md §16 invariant: a drift-armed steady decide still
+	// allocates nothing (boost membership is one atomic load), so
+	// continuous monitoring is safe to leave on in production.
+	dsnap, err := serve.NewSnapshot(benchName, tab, nil, 0.1, g, func() serve.ErrorProbe {
+		return func([]float64) float64 { return 0 }
+	})
+	if err != nil {
+		return nil, err
+	}
+	dsrv, err := serve.NewServer(serve.NewRegistry(dsnap), serve.Config{
+		Workers: 1, MaxBatch: 32,
+		Watch: watch.Config{
+			Enabled: true, Window: 16, RecoverAfter: 8, Lag: 64,
+			Recheck: watch.Recheck{Enabled: true, MaxFoldIns: 8, RepairEvery: 40},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		dsrv.Shutdown(ctx) //nolint:errcheck // best-effort teardown
+	}()
+	ddrv, err := dsrv.SteadyDriver(benchName, in)
+	if err != nil {
+		return nil, err
+	}
+	if err := herm("drift_overhead", ddrv.Step); err != nil {
 		return nil, err
 	}
 

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"net"
@@ -14,6 +15,7 @@ import (
 	"mithra/internal/obs"
 	"mithra/internal/serve"
 	"mithra/internal/stats"
+	"mithra/internal/watch"
 )
 
 // testCluster is an in-process multi-node deployment: real servers on
@@ -38,6 +40,18 @@ type clusterOpts struct {
 	splits     string // extra spec lines, e.g. "split hot 8\n"
 	probeErr   float64
 	wal        bool
+	// oodProbe swaps the constant-error probe for a domain-sensitive
+	// one: zero error inside [-0.02, 1.02] per component, 1 outside —
+	// the failure mode distribution drift induces (mirrors the serve
+	// package's drift acceptance tests).
+	oodProbe bool
+	// watch arms every node's guarantee monitor with this config
+	// (recheck mode included). Zero value leaves monitoring off.
+	watch watch.Config
+	// journals, when non-nil, gives every node a deterministic journal:
+	// startCluster fills journals[name] with the buffer that node writes
+	// canonical obs entries into (fake clock; flushed by obs Close).
+	journals map[string]*bytes.Buffer
 	// faults maps node name ("n0"...) to a fault plan for that node.
 	faults map[string]string
 	// updateEvery overrides the updater window (default 16 in tests).
@@ -99,9 +113,22 @@ func startCluster(t *testing.T, opts clusterOpts, benches ...string) *testCluste
 		snaps := make([]*serve.Snapshot, len(benches))
 		for j, bench := range benches {
 			probeErr := opts.probeErr
-			snap, err := serve.NewSnapshot(bench, tab, nil, 0.1, g, func() serve.ErrorProbe {
+			factory := func() serve.ErrorProbe {
 				return func([]float64) float64 { return probeErr }
-			})
+			}
+			if opts.oodProbe {
+				factory = func() serve.ErrorProbe {
+					return func(in []float64) float64 {
+						for _, x := range in {
+							if x < -0.02 || x > 1.02 {
+								return 1
+							}
+						}
+						return 0
+					}
+				}
+			}
+			snap, err := serve.NewSnapshot(bench, tab, nil, 0.1, g, factory)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -130,7 +157,14 @@ func startCluster(t *testing.T, opts clusterOpts, benches ...string) *testCluste
 			}
 			faults = fault.NewSet(p)
 		}
-		o, err := obs.New(obs.Options{Metrics: true})
+		oopts := obs.Options{Metrics: true}
+		if opts.journals != nil {
+			buf := &bytes.Buffer{}
+			opts.journals[name] = buf
+			oopts.Clock = obs.NewFakeClock(time.Unix(1700000000, 0))
+			oopts.JournalWriter = buf
+		}
+		o, err := obs.New(oopts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -145,7 +179,7 @@ func startCluster(t *testing.T, opts clusterOpts, benches ...string) *testCluste
 			Workers: opts.workers, MaxBatch: 32,
 			SampleRate: spec.SampleRate, SampleSeed: spec.SampleSeed,
 			UpdateEvery: opts.updateEvery, Freeze: opts.freeze,
-			Obs: o, Faults: faults, WAL: wal,
+			Obs: o, Faults: faults, WAL: wal, Watch: opts.watch,
 			Cluster: node, OnFoldIn: node.OnFoldIn,
 		})
 		if err != nil {

@@ -60,6 +60,7 @@ type Node struct {
 	wal    *serve.WAL
 	rec    *Recorder
 	m      nodeMetrics
+	o      *obs.Obs
 	logf   func(string, ...any)
 
 	peers map[string]*peerLink   // forwarding links, by peer name
@@ -100,6 +101,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		reg:    cfg.Registry,
 		wal:    cfg.WAL,
 		rec:    cfg.Recorder,
+		o:      cfg.Obs,
 		logf:   logf,
 		m: nodeMetrics{
 			foldPushed:   cfg.Obs.Counter("cluster.foldin.pushed"),
@@ -266,6 +268,13 @@ func (n *Node) ApplyFoldIn(bench string, version uint32, inputs [][]float64) uin
 		}
 		delete(benchBuf, ns.Version)
 		n.m.foldApplied.Inc()
+		// Per-bench replica surface: `mithra watch` over several addresses
+		// sums these into its REPL column, and the journaled note ties each
+		// replicated repair into the home node's recovery story.
+		n.o.Counter("cluster.foldin.applied." + bench).Inc()
+		n.o.Note("foldin_replica", map[string]any{
+			"bench": bench, "version": ns.Version, "inputs": len(next),
+		})
 		n.recordFoldLocked(serve.FoldIn{Bench: bench, Version: ns.Version, Inputs: next})
 	}
 	if n.reg.Get(bench).Version >= version {

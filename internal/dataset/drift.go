@@ -1,0 +1,365 @@
+package dataset
+
+// Drift schedules: deterministic, seeded transformations of a benchmark's
+// input stream that model the non-stationary workloads real deployments
+// see (ROADMAP "statistical robustness under drift"; arXiv:1910.12346,
+// arXiv:2003.04223). A Drift is a pure function of (seed, request index):
+// applying the same spec to the same stream yields byte-identical drifted
+// inputs on every replay, at any worker count, on any node — which is what
+// lets the CI drift job diff recovery journals across worker counts.
+//
+// The spec grammar mirrors fault plans (`internal/fault`): comma-separated
+// key=value pairs, duplicate keys rejected, canonical String() that parses
+// back to the same schedule. `kind=` selects the schedule:
+//
+//	kind=gradual   mean/variance shift ramping linearly over [start, start+ramp)
+//	kind=sudden    regime change: full-intensity shift from index `at`
+//	kind=seasonal  sinusoidal mixture of base and shifted regimes (period `period`)
+//	kind=heavytail contamination: with probability `rate`, kick every
+//	               component by a Pareto-tailed magnitude (>= tail)
+//
+// Shared knobs: `seed` keys the per-index RNG stream; `shift` is the
+// additive mean shift at full intensity; `scale` the multiplicative
+// spread at full intensity (applied as in*(1+(scale-1)*I) + shift*I for
+// envelope intensity I in [0,1]).
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mithra/internal/mathx"
+)
+
+// DriftKind enumerates the drift schedule families.
+type DriftKind uint8
+
+const (
+	DriftGradual DriftKind = iota
+	DriftSudden
+	DriftSeasonal
+	DriftHeavyTail
+)
+
+func (k DriftKind) String() string {
+	switch k {
+	case DriftGradual:
+		return "gradual"
+	case DriftSudden:
+		return "sudden"
+	case DriftSeasonal:
+		return "seasonal"
+	case DriftHeavyTail:
+		return "heavytail"
+	}
+	return fmt.Sprintf("driftkind(%d)", uint8(k))
+}
+
+// Drift is a parsed drift schedule. The zero value is not valid; build
+// one with ParseDrift or populate Kind and call Normalize.
+type Drift struct {
+	Kind DriftKind
+	Seed uint64
+
+	// Envelope geometry, in request indices.
+	Start  uint64 // gradual: ramp begins; heavytail: contamination begins
+	Ramp   uint64 // gradual: indices from zero to full intensity
+	At     uint64 // sudden: regime-change index
+	Period uint64 // seasonal: full season length in indices
+
+	// Transform magnitudes.
+	Shift float64 // additive mean shift at full intensity
+	Scale float64 // multiplicative spread at full intensity
+	Mix   float64 // seasonal: peak envelope intensity in (0, 1]
+	Rate  float64 // heavytail: contamination probability per request
+	Tail  float64 // heavytail: minimum kick magnitude (Pareto scale)
+}
+
+// driftDefaults returns the canonical default schedule for a kind.
+func driftDefaults(kind DriftKind) Drift {
+	d := Drift{Kind: kind, Seed: 1, Shift: 0.3, Scale: 1}
+	switch kind {
+	case DriftGradual:
+		d.Ramp = 256
+	case DriftSudden:
+		d.At = 256
+	case DriftSeasonal:
+		d.Period = 512
+		d.Mix = 1
+	case DriftHeavyTail:
+		d.Shift = 0
+		d.Rate = 0.05
+		d.Tail = 3
+	}
+	return d
+}
+
+// ParseDrift parses a drift spec like
+//
+//	"kind=sudden,seed=7,at=200,shift=0.35"
+//
+// Unknown keys, duplicate keys, keys that do not apply to the selected
+// kind, and out-of-range values are all rejected with positional errors,
+// exactly like fault.ParsePlan. The empty string is an error: callers gate
+// drift on the flag being present.
+func ParseDrift(spec string) (*Drift, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("drift: empty spec")
+	}
+	fields := strings.Split(spec, ",")
+	kv := make(map[string]string, len(fields))
+	order := make([]string, 0, len(fields))
+	for i, f := range fields {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			return nil, fmt.Errorf("drift: empty clause at position %d", i)
+		}
+		k, v, ok := strings.Cut(f, "=")
+		if !ok || k == "" || v == "" {
+			return nil, fmt.Errorf("drift: clause %q is not key=value", f)
+		}
+		if _, dup := kv[k]; dup {
+			return nil, fmt.Errorf("drift: duplicate key %q", k)
+		}
+		kv[k] = v
+		order = append(order, k)
+	}
+	ks, ok := kv["kind"]
+	if !ok {
+		return nil, fmt.Errorf("drift: missing required key \"kind\"")
+	}
+	var kind DriftKind
+	switch ks {
+	case "gradual":
+		kind = DriftGradual
+	case "sudden":
+		kind = DriftSudden
+	case "seasonal":
+		kind = DriftSeasonal
+	case "heavytail":
+		kind = DriftHeavyTail
+	default:
+		return nil, fmt.Errorf("drift: unknown kind %q (want gradual|sudden|seasonal|heavytail)", ks)
+	}
+	d := driftDefaults(kind)
+	for _, k := range order {
+		v := kv[k]
+		if k == "kind" {
+			continue
+		}
+		if !driftKeyAllowed(kind, k) {
+			return nil, fmt.Errorf("drift: key %q does not apply to kind=%s", k, kind)
+		}
+		if err := d.setKey(k, v); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// driftKeyAllowed reports whether key k is meaningful for the kind; the
+// parser rejects rather than silently ignoring misapplied knobs.
+func driftKeyAllowed(kind DriftKind, k string) bool {
+	switch k {
+	case "seed", "shift", "scale":
+		return kind != DriftHeavyTail || k == "seed"
+	case "start":
+		return kind == DriftGradual || kind == DriftHeavyTail
+	case "ramp":
+		return kind == DriftGradual
+	case "at":
+		return kind == DriftSudden
+	case "period", "mix":
+		return kind == DriftSeasonal
+	case "rate", "tail":
+		return kind == DriftHeavyTail
+	}
+	return false
+}
+
+func (d *Drift) setKey(k, v string) error {
+	u := func(dst *uint64) error {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("drift: %s=%q is not an unsigned integer", k, v)
+		}
+		*dst = n
+		return nil
+	}
+	f := func(dst *float64) error {
+		x, err := strconv.ParseFloat(v, 64)
+		if err != nil || math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("drift: %s=%q is not a finite number", k, v)
+		}
+		*dst = x
+		return nil
+	}
+	switch k {
+	case "seed":
+		return u(&d.Seed)
+	case "start":
+		return u(&d.Start)
+	case "ramp":
+		return u(&d.Ramp)
+	case "at":
+		return u(&d.At)
+	case "period":
+		return u(&d.Period)
+	case "shift":
+		return f(&d.Shift)
+	case "scale":
+		return f(&d.Scale)
+	case "mix":
+		return f(&d.Mix)
+	case "rate":
+		return f(&d.Rate)
+	case "tail":
+		return f(&d.Tail)
+	}
+	return fmt.Errorf("drift: unknown key %q", k)
+}
+
+func (d *Drift) validate() error {
+	switch d.Kind {
+	case DriftGradual:
+		if d.Ramp == 0 {
+			return fmt.Errorf("drift: gradual needs ramp > 0")
+		}
+	case DriftSeasonal:
+		if d.Period == 0 {
+			return fmt.Errorf("drift: seasonal needs period > 0")
+		}
+		if d.Mix <= 0 || d.Mix > 1 {
+			return fmt.Errorf("drift: mix=%g out of range (0, 1]", d.Mix)
+		}
+	case DriftHeavyTail:
+		if d.Rate < 0 || d.Rate > 1 {
+			return fmt.Errorf("drift: rate=%g out of range [0, 1]", d.Rate)
+		}
+		if d.Tail <= 0 {
+			return fmt.Errorf("drift: tail=%g must be positive", d.Tail)
+		}
+	}
+	if d.Scale < 0 {
+		return fmt.Errorf("drift: scale=%g must be non-negative", d.Scale)
+	}
+	return nil
+}
+
+// String renders the canonical spec: kind first, then every kind-relevant
+// key in sorted order (defaults included, so the render is total and
+// ParseDrift(d.String()) round-trips exactly).
+func (d *Drift) String() string {
+	kv := map[string]string{"seed": strconv.FormatUint(d.Seed, 10)}
+	num := func(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+	switch d.Kind {
+	case DriftGradual:
+		kv["start"] = strconv.FormatUint(d.Start, 10)
+		kv["ramp"] = strconv.FormatUint(d.Ramp, 10)
+		kv["shift"], kv["scale"] = num(d.Shift), num(d.Scale)
+	case DriftSudden:
+		kv["at"] = strconv.FormatUint(d.At, 10)
+		kv["shift"], kv["scale"] = num(d.Shift), num(d.Scale)
+	case DriftSeasonal:
+		kv["period"] = strconv.FormatUint(d.Period, 10)
+		kv["mix"] = num(d.Mix)
+		kv["shift"], kv["scale"] = num(d.Shift), num(d.Scale)
+	case DriftHeavyTail:
+		kv["start"] = strconv.FormatUint(d.Start, 10)
+		kv["rate"], kv["tail"] = num(d.Rate), num(d.Tail)
+	}
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("kind=")
+	b.WriteString(d.Kind.String())
+	for _, k := range keys {
+		b.WriteByte(',')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(kv[k])
+	}
+	return b.String()
+}
+
+// Intensity returns the drift envelope at request index idx, in [0, 1].
+// It is the deterministic schedule component: 0 means the input passes
+// through untouched, 1 means the full shift/scale transform applies.
+// Heavy-tail contamination has no continuous envelope (the schedule is a
+// per-index Bernoulli draw), so it reports 1 past Start.
+func (d *Drift) Intensity(idx uint64) float64 {
+	switch d.Kind {
+	case DriftGradual:
+		if idx < d.Start {
+			return 0
+		}
+		if into := idx - d.Start; into < d.Ramp {
+			return float64(into) / float64(d.Ramp)
+		}
+		return 1
+	case DriftSudden:
+		if idx < d.At {
+			return 0
+		}
+		return 1
+	case DriftSeasonal:
+		// Half-sine seasons: intensity 0 at season boundaries, Mix at
+		// mid-season. Depends only on idx mod Period, so a dataset
+		// replayed with Period == len(dataset) drifts each input
+		// identically on every pass (what makes fold-in repair converge).
+		phase := float64(idx%d.Period) / float64(d.Period)
+		s := math.Sin(math.Pi * phase)
+		return d.Mix * s * s
+	case DriftHeavyTail:
+		if idx < d.Start {
+			return 0
+		}
+		return 1
+	}
+	return 0
+}
+
+// Apply transforms one input vector as a pure function of (d.Seed, idx),
+// appending into dst[:0] and returning it (callers reuse dst to keep the
+// load-generation path allocation-steady). in is never mutated.
+func (d *Drift) Apply(dst, in []float64, idx uint64) []float64 {
+	dst = dst[:0]
+	intensity := d.Intensity(idx)
+	if intensity == 0 {
+		return append(dst, in...)
+	}
+	if d.Kind == DriftHeavyTail {
+		rng := mathx.NewRNG(d.Seed).Split(idx)
+		if rng.Float64() >= d.Rate {
+			return append(dst, in...)
+		}
+		// Contaminated: kick every component by a sign-symmetric
+		// Pareto(alpha=2) magnitude >= Tail. Every kick saturates well
+		// outside the training domain, so contaminated vectors quantize
+		// onto the corner cells of the classifier table — a finite cell
+		// set that a bounded number of fold-ins can cover.
+		for _, x := range in {
+			mag := d.Tail / math.Sqrt(1-rng.Float64())
+			if rng.Bool(0.5) {
+				mag = -mag
+			}
+			dst = append(dst, x+mag)
+		}
+		return dst
+	}
+	s := 1 + (d.Scale-1)*intensity
+	off := d.Shift * intensity
+	for _, x := range in {
+		dst = append(dst, x*s+off)
+	}
+	return dst
+}

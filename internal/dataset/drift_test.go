@@ -1,0 +1,157 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestParseDriftRoundTrip: every kind's canonical String() re-parses to an
+// identical schedule, and a parse of a shuffled spec canonicalizes to the
+// same string (the loadgen CLI and CI scenarios rely on this to journal a
+// spec that replays exactly).
+func TestParseDriftRoundTrip(t *testing.T) {
+	specs := []string{
+		"kind=gradual,seed=9,start=100,ramp=200,shift=0.35,scale=1.2",
+		"kind=sudden,at=400,seed=3,shift=0.5",
+		"kind=seasonal,period=320,mix=0.8,shift=0.4,seed=11",
+		"kind=heavytail,rate=0.2,tail=4,seed=5,start=64",
+		"kind=gradual", // pure defaults
+	}
+	for _, spec := range specs {
+		d, err := ParseDrift(spec)
+		if err != nil {
+			t.Fatalf("ParseDrift(%q): %v", spec, err)
+		}
+		canon := d.String()
+		d2, err := ParseDrift(canon)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", canon, err)
+		}
+		if got := d2.String(); got != canon {
+			t.Fatalf("round trip drifted: %q -> %q", canon, got)
+		}
+		if *d2 != *d {
+			t.Fatalf("reparsed schedule differs: %+v vs %+v", d2, d)
+		}
+	}
+}
+
+// TestParseDriftErrors pins the rejection surface: duplicates, unknown and
+// misapplied keys, malformed values, and out-of-range knobs all fail with
+// messages naming the offending clause.
+func TestParseDriftErrors(t *testing.T) {
+	cases := []struct{ spec, wantSub string }{
+		{"", "empty spec"},
+		{"seed=1", "missing required key"},
+		{"kind=linear", "unknown kind"},
+		{"kind=sudden,at=1,at=2", "duplicate key"},
+		{"kind=sudden,bogus=1", `key "bogus" does not apply`},
+		{"kind=sudden,period=9", `key "period" does not apply`},
+		{"kind=heavytail,shift=0.3", `key "shift" does not apply`},
+		{"kind=gradual,ramp=0", "ramp > 0"},
+		{"kind=gradual,ramp=xyz", "not an unsigned integer"},
+		{"kind=seasonal,mix=1.5", "out of range"},
+		{"kind=seasonal,period=0", "period > 0"},
+		{"kind=heavytail,rate=1.5", "out of range"},
+		{"kind=heavytail,tail=0", "must be positive"},
+		{"kind=sudden,shift=NaN", "not a finite number"},
+		{"kind=sudden,,at=3", "empty clause"},
+		{"kind=sudden,at", "not key=value"},
+	}
+	for _, c := range cases {
+		if _, err := ParseDrift(c.spec); err == nil {
+			t.Fatalf("ParseDrift(%q) succeeded, want error containing %q", c.spec, c.wantSub)
+		} else if !strings.Contains(err.Error(), c.wantSub) {
+			t.Fatalf("ParseDrift(%q) error %q, want substring %q", c.spec, err, c.wantSub)
+		}
+	}
+}
+
+// TestDriftPureFunctionOfSeedAndIndex: Apply depends on nothing but
+// (seed, idx, input) — repeated application is bit-identical, a different
+// seed changes contamination draws, and the envelope kinds are
+// seed-independent deterministic transforms.
+func TestDriftPureFunctionOfSeedAndIndex(t *testing.T) {
+	in := []float64{0.2, 0.6, 0.8}
+	d, err := ParseDrift("kind=heavytail,rate=1,tail=2,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := d.Apply(nil, in, 41)
+	for rep := 0; rep < 3; rep++ {
+		b := d.Apply(make([]float64, 0, 8), in, 41)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("replay diverged at component %d: %v vs %v", i, a, b)
+			}
+		}
+	}
+	other, _ := ParseDrift("kind=heavytail,rate=1,tail=2,seed=8")
+	c := other.Apply(nil, in, 41)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("seed change did not alter contamination kicks: %v", a)
+	}
+	if in[0] != 0.2 || in[1] != 0.6 || in[2] != 0.8 {
+		t.Fatalf("Apply mutated its input: %v", in)
+	}
+}
+
+// TestDriftEnvelopes pins the intensity schedules each kind promises.
+func TestDriftEnvelopes(t *testing.T) {
+	grad, _ := ParseDrift("kind=gradual,start=100,ramp=200")
+	for _, c := range []struct {
+		idx  uint64
+		want float64
+	}{{0, 0}, {99, 0}, {100, 0}, {200, 0.5}, {300, 1}, {1000, 1}} {
+		if got := grad.Intensity(c.idx); got != c.want {
+			t.Fatalf("gradual intensity(%d) = %g, want %g", c.idx, got, c.want)
+		}
+	}
+	sud, _ := ParseDrift("kind=sudden,at=50")
+	if sud.Intensity(49) != 0 || sud.Intensity(50) != 1 {
+		t.Fatalf("sudden envelope not a step at 50")
+	}
+	sea, _ := ParseDrift("kind=seasonal,period=100,mix=0.5")
+	if got := sea.Intensity(0); got != 0 {
+		t.Fatalf("seasonal intensity at season boundary = %g, want 0", got)
+	}
+	if got := sea.Intensity(50); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("seasonal mid-season intensity = %g, want 0.5", got)
+	}
+	if a, b := sea.Intensity(37), sea.Intensity(137); a != b {
+		t.Fatalf("seasonal intensity not periodic: %g vs %g", a, b)
+	}
+}
+
+// TestDriftTransforms: the affine kinds move mean and spread as
+// documented; heavy-tail kicks always clear the Tail floor in magnitude.
+func TestDriftTransforms(t *testing.T) {
+	in := []float64{0.5}
+	sud, _ := ParseDrift("kind=sudden,at=0,shift=0.3,scale=2")
+	out := sud.Apply(nil, in, 10)
+	if want := 0.5*2 + 0.3; math.Abs(out[0]-want) > 1e-12 {
+		t.Fatalf("sudden transform = %g, want %g", out[0], want)
+	}
+	ht, _ := ParseDrift("kind=heavytail,rate=1,tail=3,seed=2")
+	for idx := uint64(0); idx < 200; idx++ {
+		kicked := ht.Apply(nil, []float64{0.4, 0.6}, idx)
+		for i, v := range kicked {
+			base := []float64{0.4, 0.6}[i]
+			if mag := math.Abs(v - base); mag < 3 {
+				t.Fatalf("idx %d component %d kick magnitude %g below tail floor 3", idx, i, mag)
+			}
+		}
+	}
+	// rate=0 never contaminates.
+	calm, _ := ParseDrift("kind=heavytail,rate=0,tail=3")
+	if out := calm.Apply(nil, []float64{0.4}, 7); out[0] != 0.4 {
+		t.Fatalf("rate=0 contaminated anyway: %g", out[0])
+	}
+}

@@ -70,12 +70,14 @@ type Injector struct {
 	seed   uint64
 	rate   float64
 	limit  int // fire at most this many times (0: unlimited)
+	from   int // firing window start (plan form <rate>@<lo>-<hi>)
 	fired  int
 	checks int
 }
 
 func newInjector(seed uint64, site SiteConfig) *Injector {
-	return &Injector{rng: mathx.NewRNG(seed), seed: seed, rate: site.Rate, limit: site.Limit}
+	return &Injector{rng: mathx.NewRNG(seed), seed: seed,
+		rate: site.Rate, limit: site.Limit, from: site.From}
 }
 
 // Hit consumes one draw and reports whether the fault fires. Nil-safe:
@@ -87,6 +89,13 @@ func (i *Injector) Hit() bool {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	i.checks++
+	if i.checks <= i.from {
+		// Before the firing window opens: the fault does not exist yet.
+		// The draw is still consumed so a windowed stream replays the
+		// same decisions as an unwindowed one shifted into place.
+		i.rng.Float64()
+		return false
+	}
 	if i.limit > 0 && i.fired >= i.limit {
 		return false
 	}
@@ -101,14 +110,18 @@ func (i *Injector) Hit() bool {
 // function of (injector seed, id), independent of check order, so the
 // set of hit identities is the same at any worker count. Unlike Hit,
 // the site's limit bounds the identity range rather than the fire
-// count: limit N means only ids 0..N-1 can fire (so "probe.drift=1@200"
-// drifts exactly request IDs 0..199). Nil-safe: a nil injector never
-// fires.
+// count: limit N means only ids From..From+N-1 can fire (so
+// "probe.drift=1@200" drifts exactly request IDs 0..199, and
+// "probe.drift=1@300-500" drifts IDs 300..499 — a mid-run regime
+// change). Nil-safe: a nil injector never fires.
 func (i *Injector) HitAt(id uint64) bool {
 	if i == nil {
 		return false
 	}
-	if i.limit > 0 && id >= uint64(i.limit) {
+	if id < uint64(i.from) {
+		return false
+	}
+	if i.limit > 0 && id >= uint64(i.from)+uint64(i.limit) {
 		return false
 	}
 	hit := i.rate >= 1 || mathx.NewRNG(i.seed).Split(id).Float64() < i.rate

@@ -42,10 +42,99 @@ func TestParsePlanErrors(t *testing.T) {
 		"", "seed=42", "conn.reset", "conn.reset=2", "conn.reset=-0.1",
 		"conn.reset=0.5@0", "conn.reset=0.5@x", "seed=abc,conn.reset=0.1",
 		"sleep=-1s,conn.reset=0.1",
+		// Malformed firing windows.
+		"probe.drift=1@300-", "probe.drift=1@-500", "probe.drift=1@500-300",
+		"probe.drift=1@300-300", "probe.drift=1@a-b",
 	} {
 		if _, err := ParsePlan(spec); err == nil {
 			t.Errorf("ParsePlan(%q) accepted", spec)
 		}
+	}
+}
+
+func TestParsePlanRejectsDuplicateSites(t *testing.T) {
+	// A duplicate site is a plan bug (usually a typo'd chaos spec): it
+	// must fail loudly naming the site, never silently last-wins.
+	for _, spec := range []string{
+		"conn.reset=0.1,conn.reset=0.2",
+		"probe.drift=1@200,worker.panic=1,probe.drift=1@300-500",
+		"seed=1,seed=2,conn.reset=0.1",
+		"sleep=1ms,sleep=2ms,conn.reset=0.1",
+	} {
+		_, err := ParsePlan(spec)
+		if err == nil {
+			t.Errorf("ParsePlan(%q) accepted a duplicate key", spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), "twice") {
+			t.Errorf("ParsePlan(%q) error %q does not name the duplication", spec, err)
+		}
+	}
+}
+
+func TestParsePlanDriftSites(t *testing.T) {
+	// The drift sites ride the standard grammar, including the windowed
+	// form a drift plan uses to inject a regime change mid-run. All three
+	// shapes must survive the canonical render round-trip.
+	p, err := ParsePlan("seed=5,probe.drift=1@300-500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := p.Sites[SiteProbeDrift]
+	if cfg.Rate != 1 || cfg.From != 300 || cfg.Limit != 200 {
+		t.Fatalf("probe.drift = %+v, want rate 1 window [300,500)", cfg)
+	}
+	s := p.String()
+	if !strings.Contains(s, "probe.drift=1@300-500") {
+		t.Fatalf("String() = %q lost the firing window", s)
+	}
+	p2, err := ParsePlan(s)
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", s, err)
+	}
+	if p2.String() != s {
+		t.Fatalf("canonical form unstable: %q != %q", p2.String(), s)
+	}
+
+	// A windowed identity-keyed site fires exactly inside [lo, hi).
+	inj := NewSet(p).Site(SiteProbeDrift)
+	for _, id := range []uint64{0, 1, 299, 500, 501, 1 << 20} {
+		if inj.HitAt(id) {
+			t.Fatalf("id %d fired outside window [300,500)", id)
+		}
+	}
+	for _, id := range []uint64{300, 301, 400, 499} {
+		if !inj.HitAt(id) {
+			t.Fatalf("id %d did not fire inside rate-1 window [300,500)", id)
+		}
+	}
+
+	// The unwindowed limit form keeps its historical meaning: ids 0..N-1.
+	p, err = ParsePlan("seed=5,probe.drift=1@200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj = NewSet(p).Site(SiteProbeDrift)
+	if !inj.HitAt(0) || !inj.HitAt(199) || inj.HitAt(200) {
+		t.Fatal("probe.drift=1@200 must drift exactly ids 0..199")
+	}
+
+	// A windowed draw-order site never fires before the window opens.
+	p, err = ParsePlan("seed=5,conn.reset=1@4-6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj = NewSet(p).Site(SiteConnReset)
+	for i := 0; i < 4; i++ {
+		if inj.Hit() {
+			t.Fatalf("draw %d fired before window [4,6)", i)
+		}
+	}
+	if !inj.Hit() || !inj.Hit() {
+		t.Fatal("rate-1 site did not fire inside its window")
+	}
+	if inj.Fired() != 2 {
+		t.Fatalf("window of width 2 fired %d times", inj.Fired())
 	}
 }
 

@@ -14,19 +14,31 @@ type SiteConfig struct {
 	Rate float64
 	// Limit caps how many times the site fires per injector stream
 	// (0: unlimited). A limited site lets a chaos run exercise the
-	// recovery path: inject hard for a while, then go quiet.
+	// recovery path: inject hard for a while, then go quiet. For
+	// identity-keyed sites (Injector.HitAt) the limit bounds the
+	// identity window instead: only ids in [From, From+Limit) can fire.
 	Limit int
+	// From offsets the firing window (the `<site>=<rate>@<lo>-<hi>`
+	// plan form, where From=lo and Limit=hi-lo). An identity-keyed site
+	// never fires for ids below From — how a drift plan injects a
+	// regime change mid-run rather than from request 0. For draw-order
+	// sites the first From checks never fire (and consume no limit).
+	From int
 }
 
 // Plan is a parsed fault plan: the seed that makes the run replayable
 // plus the named sites and their rates. The textual form accepted by
 // ParsePlan (and mithrad's -fault-plan flag) is
 //
-//	seed=42,sleep=2ms,conn.reset=0.01,worker.panic=1@64
+//	seed=42,sleep=2ms,conn.reset=0.01,worker.panic=1@64,probe.drift=1@300-500
 //
-// where each site entry is <site>=<rate> or <site>=<rate>@<limit>, and
-// the reserved keys are "seed" (uint64, default 1) and "sleep" (the
-// latency-fault delay, default 2ms).
+// where each site entry is <site>=<rate>, <site>=<rate>@<limit>, or
+// <site>=<rate>@<lo>-<hi> (a firing window: ids [lo, hi) for
+// identity-keyed sites), and the reserved keys are "seed" (uint64,
+// default 1) and "sleep" (the latency-fault delay, default 2ms). Every
+// key may appear at most once: a duplicate site is rejected rather than
+// last-wins, so a typo'd chaos plan fails loudly instead of silently
+// dropping a clause.
 type Plan struct {
 	// Seed keys every injector's decision stream.
 	Seed uint64
@@ -43,6 +55,7 @@ func ParsePlan(spec string) (*Plan, error) {
 	if strings.TrimSpace(spec) == "" {
 		return nil, fmt.Errorf("fault: empty plan")
 	}
+	seen := map[string]bool{}
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -53,6 +66,10 @@ func ParsePlan(spec string) (*Plan, error) {
 		if !ok || key == "" || val == "" {
 			return nil, fmt.Errorf("fault: plan entry %q is not key=value", part)
 		}
+		if seen[key] {
+			return nil, fmt.Errorf("fault: plan names %q twice; each site may appear once", key)
+		}
+		seen[key] = true
 		switch key {
 		case "seed":
 			seed, err := strconv.ParseUint(val, 10, 64)
@@ -87,13 +104,23 @@ func parseSite(val string) (SiteConfig, error) {
 		return SiteConfig{}, fmt.Errorf("rate %q must be a probability in [0,1]", rateStr)
 	}
 	cfg := SiteConfig{Rate: rate}
-	if hasLimit {
-		limit, err := strconv.Atoi(limitStr)
-		if err != nil || limit <= 0 {
-			return SiteConfig{}, fmt.Errorf("limit %q must be a positive integer", limitStr)
-		}
-		cfg.Limit = limit
+	if !hasLimit {
+		return cfg, nil
 	}
+	if loStr, hiStr, windowed := strings.Cut(limitStr, "-"); windowed {
+		lo, err1 := strconv.Atoi(loStr)
+		hi, err2 := strconv.Atoi(hiStr)
+		if err1 != nil || err2 != nil || lo < 0 || hi <= lo {
+			return SiteConfig{}, fmt.Errorf("window %q must be <lo>-<hi> with 0 <= lo < hi", limitStr)
+		}
+		cfg.From, cfg.Limit = lo, hi-lo
+		return cfg, nil
+	}
+	limit, err := strconv.Atoi(limitStr)
+	if err != nil || limit <= 0 {
+		return SiteConfig{}, fmt.Errorf("limit %q must be a positive integer", limitStr)
+	}
+	cfg.Limit = limit
 	return cfg, nil
 }
 
@@ -115,9 +142,12 @@ func (p *Plan) String() string {
 	sort.Strings(sites)
 	for _, s := range sites {
 		cfg := p.Sites[s]
-		if cfg.Limit > 0 {
+		switch {
+		case cfg.From > 0:
+			parts = append(parts, fmt.Sprintf("%s=%g@%d-%d", s, cfg.Rate, cfg.From, cfg.From+cfg.Limit))
+		case cfg.Limit > 0:
 			parts = append(parts, fmt.Sprintf("%s=%g@%d", s, cfg.Rate, cfg.Limit))
-		} else {
+		default:
 			parts = append(parts, fmt.Sprintf("%s=%g", s, cfg.Rate))
 		}
 	}

@@ -37,11 +37,18 @@ type observation struct {
 // observations are replayed through ingest at startup, marked as already
 // persisted).
 type updater struct {
-	s      *Server
-	sh     *shard
-	cfg    Config
-	ch     chan observation
-	window struct {
+	s   *Server
+	sh  *shard
+	cfg Config
+	ch  chan observation
+	// continuous: recheck mode (Config.Watch.Recheck). The
+	// monitor's sliding window supersedes the fixed UpdateEvery window:
+	// CP re-checks run per release, fold-ins are driven by the monitor's
+	// escalation at deterministic release positions (foldIn below), and
+	// the legacy window accounting — including its WAL durability and
+	// crash replay, which are arrival-ordered — is disabled.
+	continuous bool
+	window     struct {
 		trials    int
 		successes int
 		// bad holds the window's misclassified-as-approximable inputs —
@@ -51,7 +58,9 @@ type updater struct {
 }
 
 func newUpdater(s *Server, sh *shard, cfg Config) *updater {
-	return &updater{s: s, sh: sh, cfg: cfg, ch: make(chan observation, cfg.QueueDepth)}
+	return &updater{s: s, sh: sh, cfg: cfg,
+		continuous: cfg.Watch.Enabled && cfg.Watch.Recheck.Enabled,
+		ch:         make(chan observation, cfg.QueueDepth)}
 }
 
 // observe hands one sampled result to the update loop. Called by decision
@@ -63,8 +72,13 @@ func (u *updater) observe(ob observation) { u.ch <- ob }
 // pre-crash sampling window continues rather than restarting.
 func (u *updater) run(wg *sync.WaitGroup) {
 	defer wg.Done()
-	for _, rec := range u.cfg.RecoveredWindows[u.sh.bench] {
-		u.ingest(observation{in: rec.In, bad: rec.Bad, precise: rec.Precise}, false)
+	if !u.continuous {
+		// (Recheck mode skips this replay: recovered window observations
+		// carry no request IDs, and the monitor's reorder buffer only
+		// accepts ID-keyed observations.)
+		for _, rec := range u.cfg.RecoveredWindows[u.sh.bench] {
+			u.ingest(observation{in: rec.In, bad: rec.Bad, precise: rec.Precise}, false)
+		}
 	}
 	for ob := range u.ch {
 		u.ingest(ob, true)
@@ -77,6 +91,14 @@ func (u *updater) run(wg *sync.WaitGroup) {
 // ingest folds one observation into the window; persist=false replays a
 // WAL-recovered observation that is already durable.
 func (u *updater) ingest(ob observation, persist bool) {
+	if u.continuous {
+		// Continuous monitoring: the monitor owns windowing, CP
+		// re-checks, and fold-in escalation (watch/recovery.go). The
+		// observation's input copy transfers to the monitor, which may
+		// retain it until the next fold-in.
+		u.sh.mon.Observe(watch.Obs{ID: ob.id, Trace: ob.trace, Bad: ob.bad, Precise: ob.precise, In: ob.in})
+		return
+	}
 	if persist && u.cfg.WAL != nil {
 		err := u.cfg.WAL.AppendWindow(u.sh.bench, WindowObs{In: ob.in, Bad: ob.bad, Precise: ob.precise})
 		if err != nil {
@@ -88,7 +110,7 @@ func (u *updater) ingest(ob observation, persist bool) {
 	// The guarantee monitor rides the same sampled stream (the only
 	// allocating path): divergence histograms consume the input
 	// immediately, the state machine advances in request-ID order.
-	u.sh.mon.Observe(watch.Obs{ID: ob.id, Trace: ob.trace, Bad: ob.bad, Precise: ob.precise}, ob.in)
+	u.sh.mon.Observe(watch.Obs{ID: ob.id, Trace: ob.trace, Bad: ob.bad, Precise: ob.precise, In: ob.in})
 	u.window.trials++
 	// A precise-routed invocation never degrades output quality; an
 	// approx-routed one succeeds only when the true error was in bound.
@@ -102,6 +124,40 @@ func (u *updater) ingest(ob observation, persist bool) {
 	if u.window.trials >= u.cfg.UpdateEvery {
 		u.recheck()
 	}
+}
+
+// foldIn is the recheck-mode escalation hook (watch.Escalation.FoldIn):
+// fold the monitor's collected violating inputs into a table clone,
+// install the repaired snapshot, replicate it, and hand the monitor a
+// private classifier view of the repaired table — the deterministic
+// routing the monitor scores released observations against from this
+// release position on. Runs on the updater goroutine (the monitor is fed
+// from ingest), so registry access needs no extra synchronization beyond
+// the registry's own. ok=false on install failure: the breaker
+// force-opens (precise serving restores quality while the table cannot
+// be repaired) and the monitor keeps its pending inputs for a retry.
+func (u *updater) foldIn(inputs [][]float64) (watch.Reclassify, bool) {
+	o := u.s.o
+	o.Counter("serve.guarantee.rechecks").Inc()
+	snap := u.s.reg.Get(u.sh.bench)
+	ns := snap.WithFoldIn(inputs)
+	if _, err := u.s.reg.Install(ns); err != nil {
+		o.Counter("serve.snapshot.install_errors").Inc()
+		u.sh.brk.forceOpen("snapshot install failed: " + err.Error())
+		return nil, false
+	}
+	o.Counter("serve.snapshot.swaps").Inc()
+	o.Counter("serve.update.inputs").Add(int64(len(inputs)))
+	if u.cfg.OnFoldIn != nil {
+		// Replication hook: the monitor recycles its pending slice after
+		// this call, so the hook gets its own copy of the headers (the
+		// input vectors themselves are private copies made on the
+		// sampling path).
+		bad := append([][]float64(nil), inputs...)
+		u.cfg.OnFoldIn(u.sh.bench, ns.Version, bad)
+	}
+	view := ns.Table.ConcurrentView()
+	return view.Classify, true
 }
 
 // recheck closes one sampling window: re-certify the guarantee over the

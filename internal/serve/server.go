@@ -24,6 +24,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mithra/internal/classifier"
@@ -136,6 +137,12 @@ type shard struct {
 	// enabled). Only the updater goroutine feeds it; other goroutines may
 	// read its published state.
 	mon *watch.Monitor
+	// boostWin is the forced-sampling window armed by the monitor's
+	// recheck escalation, packed (from<<32 | until) so the decide path
+	// reads both bounds in one atomic load and a re-arm can never expose
+	// a half-updated window (membership must be a pure function of the
+	// request ID). 0 = disarmed.
+	boostWin atomic.Uint64
 	// Per-shard fault injectors, resolved once at construction:
 	// fault.Set.Scoped builds a composite key string per call, which the
 	// decide path must not pay per request. Nil when the site is unplanned.
@@ -271,6 +278,17 @@ func NewServer(reg *Registry, cfg Config) (*Server, error) {
 			sh.brk.guarantee = sh.mon.StateName
 		}
 		sh.up = newUpdater(s, sh, cfg)
+		if cfg.Watch.Enabled && cfg.Watch.Recheck.Enabled {
+			// Recheck escalation: the monitor forces sampling over a
+			// deterministic future ID window and drives table fold-ins at
+			// release positions. Freeze mode keeps the boost (it only adds
+			// measurements) but pins snapshots, so no fold hook.
+			esc := watch.Escalation{Boost: sh.armBoost}
+			if !cfg.Freeze {
+				esc.FoldIn = sh.up.foldIn
+			}
+			sh.mon.Arm(esc)
+		}
 		s.shards[b] = sh
 		s.updaterWG.Add(1)
 		go sh.up.run(&s.updaterWG)
@@ -781,7 +799,7 @@ func (s *Server) decide(sh *shard, snap *Snapshot, view classifier.Classifier,
 	if req.Forwarded {
 		rid = req.Orig
 	}
-	sampled := probe != nil && sampleHit(sh.sampleSeed, rid, s.cfg.SampleRate)
+	sampled := probe != nil && (sampleHit(sh.sampleSeed, rid, s.cfg.SampleRate) || sh.boostHit(rid))
 	*dresp = DecideResponse{ID: req.ID, Precise: precise, Sampled: sampled,
 		Version: snap.Version, TraceID: req.TraceID}
 	if !sampled {
@@ -805,6 +823,26 @@ func (s *Server) decide(sh *shard, snap *Snapshot, view classifier.Classifier,
 	// them to the WAL): the input must be copied out, never aliased.
 	in := append([]float64(nil), req.In...)
 	return dresp, observation{in: in, id: rid, trace: req.TraceID, bad: bad, precise: precise}, true
+}
+
+// armBoost publishes a forced-sampling request-ID window [from, until).
+// Called from the monitor's escalation (the updater goroutine); the
+// single packed store means workers can never observe a half-armed
+// window. The monitor only re-arms after the previous window's IDs have
+// all been released (watch.recovery), so window membership stays a pure
+// function of the request ID.
+func (sh *shard) armBoost(from, until uint32) {
+	sh.boostWin.Store(uint64(from)<<32 | uint64(until))
+}
+
+// boostHit reports whether invocation id falls in the armed
+// forced-sampling window. Two comparisons and one atomic load on the
+// decide path; nothing allocates.
+//
+//mithra:hotpath
+func (sh *shard) boostHit(id uint32) bool {
+	w := sh.boostWin.Load()
+	return w != 0 && id >= uint32(w>>32) && id < uint32(w)
 }
 
 // SampleHit reports whether invocation id is error-sampled under a

@@ -111,6 +111,14 @@ type BenchStatus struct {
 	Decisions  float64 // decisions served (per-bench counter)
 	Fallbacks  float64 // precise fallbacks served
 	Violations float64 // violation transitions since boot
+
+	// Recovery surface (recheck mode; DESIGN.md §16). FoldIns and
+	// Recoveries come from the benchmark's home monitor; ReplicaFolds
+	// counts fold-ins applied via replication on other nodes, so a
+	// multi-address watch shows the repairs landing cluster-wide.
+	FoldIns      float64 // table fold-ins driven by the monitor
+	Recoveries   float64 // completed recovery episodes
+	ReplicaFolds float64 // replicated fold-ins applied on this node
 }
 
 // StatusFrom extracts per-benchmark watch rows from a parsed exposition
@@ -138,6 +146,10 @@ func StatusFrom(metrics map[string]float64) []BenchStatus {
 			Decisions:  metrics["mithra_serve_bench_decisions_"+bench],
 			Fallbacks:  metrics["mithra_serve_bench_fallbacks_"+bench],
 			Violations: metrics["mithra_watch_guarantee_violations_"+bench],
+
+			FoldIns:      metrics["mithra_watch_recovery_foldins_"+bench],
+			Recoveries:   metrics["mithra_watch_recovery_episodes_"+bench],
+			ReplicaFolds: metrics["mithra_cluster_foldin_applied_"+bench],
 		})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Bench < rows[j].Bench })
@@ -167,12 +179,18 @@ func MergeStatus(perNode [][]BenchStatus) []BenchStatus {
 				guard.Fallbacks = m.Fallbacks
 				guard.Violations = m.Violations
 				guard.Samples = m.Samples
+				guard.FoldIns = m.FoldIns
+				guard.Recoveries = m.Recoveries
+				guard.ReplicaFolds = m.ReplicaFolds
 				m = guard
 			}
 			m.Decisions += r.Decisions
 			m.Fallbacks += r.Fallbacks
 			m.Violations += r.Violations
 			m.Samples += r.Samples
+			m.FoldIns += r.FoldIns
+			m.Recoveries += r.Recoveries
+			m.ReplicaFolds += r.ReplicaFolds
 			merged[r.Bench] = m
 		}
 	}
@@ -184,23 +202,52 @@ func MergeStatus(perNode [][]BenchStatus) []BenchStatus {
 	return out
 }
 
+// QPSFrom computes each benchmark's decisions-per-second between two
+// polls: current rows against the previous poll's decision counters,
+// elapsed seconds apart. A benchmark with no prior sample is omitted
+// from the result — its rate is undefined on the first scrape (there is
+// no interval yet), and rendering the raw counter as a rate is the
+// classic first-scrape garbage this helper exists to prevent. A counter
+// that went backwards (daemon restarted between polls) reports 0.
+// Returns nil when there is no previous poll or no elapsed time.
+func QPSFrom(rows []BenchStatus, prevDec map[string]float64, elapsed float64) map[string]float64 {
+	if prevDec == nil || elapsed <= 0 {
+		return nil
+	}
+	qps := make(map[string]float64, len(rows))
+	for _, r := range rows {
+		prev, ok := prevDec[r.Bench]
+		if !ok {
+			continue // bench first seen this poll: no interval to rate over
+		}
+		d := r.Decisions - prev
+		if d < 0 {
+			d = 0
+		}
+		qps[r.Bench] = d / elapsed
+	}
+	return qps
+}
+
 // RenderStatus prints the live status table. qps maps bench → decisions
-// per second computed by the poller from successive snapshots (nil on a
-// single-shot poll: the QPS column renders "-"). The rendering is
-// deterministic for a given input.
+// per second (QPSFrom); nil on a single-shot poll, and any bench absent
+// from the map (first scrape for that bench) renders "-" rather than a
+// fabricated rate. The rendering is deterministic for a given input.
 func RenderStatus(w io.Writer, rows []BenchStatus, qps map[string]float64) {
-	fmt.Fprintf(w, "%-12s %-10s %8s %8s %8s %8s %8s %9s %9s %6s\n",
-		"BENCH", "STATE", "LOWER", "TARGET", "MARGIN", "PSI", "L1", "DECIDED", "FALLBACK%", "QPS")
+	fmt.Fprintf(w, "%-12s %-10s %8s %8s %8s %8s %8s %9s %9s %5s %5s %5s %6s\n",
+		"BENCH", "STATE", "LOWER", "TARGET", "MARGIN", "PSI", "L1", "DECIDED", "FALLBACK%",
+		"FOLDS", "REPL", "RECOV", "QPS")
 	for _, r := range rows {
 		fb := "-"
 		if r.Decisions > 0 {
 			fb = fmt.Sprintf("%.2f", 100*r.Fallbacks/r.Decisions)
 		}
 		q := "-"
-		if qps != nil {
-			q = fmt.Sprintf("%.0f", qps[r.Bench])
+		if v, ok := qps[r.Bench]; ok {
+			q = fmt.Sprintf("%.0f", v)
 		}
-		fmt.Fprintf(w, "%-12s %-10s %8.4f %8.4f %+8.4f %8.4f %8.4f %9.0f %9s %6s\n",
-			r.Bench, r.State, r.Lower, r.Target, r.Margin, r.PSI, r.L1, r.Decisions, fb, q)
+		fmt.Fprintf(w, "%-12s %-10s %8.4f %8.4f %+8.4f %8.4f %8.4f %9.0f %9s %5.0f %5.0f %5.0f %6s\n",
+			r.Bench, r.State, r.Lower, r.Target, r.Margin, r.PSI, r.L1, r.Decisions, fb,
+			r.FoldIns, r.ReplicaFolds, r.Recoveries, q)
 	}
 }

@@ -22,6 +22,7 @@ func testRegistry() *obs.Registry {
 	reg.Counter("serve.bench.fallbacks.fft").Add(30)
 	reg.Counter("watch.samples.fft").Add(75)
 	reg.Counter("watch.guarantee.violations.fft").Add(1)
+	reg.Counter("watch.recovery.foldins.fft").Add(2)
 	reg.Gauge("watch.guarantee.state.fft").Set(2)
 	reg.Gauge("watch.guarantee.lower_bound.fft").Set(0.562341325190349)
 	reg.Gauge("watch.guarantee.target.fft").Set(0.6)
@@ -108,12 +109,15 @@ func TestStatusTable(t *testing.T) {
 	if r.Bench != "fft" || r.State != Violated || r.Decisions != 1200 || r.Fallbacks != 30 || r.Violations != 1 {
 		t.Fatalf("row %+v", r)
 	}
+	if r.FoldIns != 2 || r.Recoveries != 0 || r.ReplicaFolds != 0 {
+		t.Fatalf("recovery columns %+v", r)
+	}
 
 	var tbl bytes.Buffer
 	RenderStatus(&tbl, rows, nil)
 	want := "" +
-		"BENCH        STATE         LOWER   TARGET   MARGIN      PSI       L1   DECIDED FALLBACK%    QPS\n" +
-		"fft          violated     0.5623   0.6000  -0.0377   1.2500   0.5000      1200      2.50      -\n"
+		"BENCH        STATE         LOWER   TARGET   MARGIN      PSI       L1   DECIDED FALLBACK% FOLDS  REPL RECOV    QPS\n" +
+		"fft          violated     0.5623   0.6000  -0.0377   1.2500   0.5000      1200      2.50     2     0     0      -\n"
 	if tbl.String() != want {
 		t.Fatalf("status table drifted:\n--- got ---\n%s--- want ---\n%s", tbl.String(), want)
 	}
@@ -122,6 +126,55 @@ func TestStatusTable(t *testing.T) {
 	RenderStatus(&withQPS, rows, map[string]float64{"fft": 420})
 	if !strings.Contains(withQPS.String(), "   420\n") {
 		t.Fatalf("QPS column missing:\n%s", withQPS.String())
+	}
+}
+
+// TestQPSFirstScrape: a counter delta with no prior sample must render
+// "-", never a garbage rate — neither the whole first poll (no previous
+// snapshot) nor a bench first appearing mid-watch (whose raw decision
+// counter would otherwise be misread as a rate).
+func TestQPSFirstScrape(t *testing.T) {
+	rows := []BenchStatus{
+		{Bench: "fft", Decisions: 5000},
+		{Bench: "sobel", Decisions: 97000},
+	}
+
+	// First poll: no previous snapshot at all.
+	if qps := QPSFrom(rows, nil, 2); qps != nil {
+		t.Fatalf("first scrape QPS = %v, want nil", qps)
+	}
+	// Zero elapsed time (clock step, immediate re-poll): no rate either.
+	if qps := QPSFrom(rows, map[string]float64{"fft": 0}, 0); qps != nil {
+		t.Fatalf("zero-interval QPS = %v, want nil", qps)
+	}
+
+	// Second poll: fft has a prior sample, sobel appeared mid-watch. fft
+	// rates over the interval; sobel is omitted (not rated at 97000/2).
+	qps := QPSFrom(rows, map[string]float64{"fft": 4000}, 2)
+	if got, ok := qps["fft"]; !ok || got != 500 {
+		t.Fatalf("fft QPS = %v (present=%v), want 500", got, ok)
+	}
+	if got, ok := qps["sobel"]; ok {
+		t.Fatalf("first-seen bench rated %v, want omitted", got)
+	}
+
+	// A counter that moved backwards (daemon restart) clamps to zero.
+	if qps := QPSFrom(rows, map[string]float64{"fft": 9000}, 2); qps["fft"] != 0 {
+		t.Fatalf("restart QPS = %v, want 0", qps["fft"])
+	}
+
+	// The rendering contract: a bench missing from the map shows "-".
+	var tbl bytes.Buffer
+	RenderStatus(&tbl, rows, qps)
+	lines := strings.Split(strings.TrimRight(tbl.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table lines = %d, want header + 2 rows:\n%s", len(lines), tbl.String())
+	}
+	if !strings.HasSuffix(lines[1], "   500") {
+		t.Fatalf("fft row should carry its computed rate: %q", lines[1])
+	}
+	if !strings.HasSuffix(lines[2], "     -") {
+		t.Fatalf("sobel row should render '-' on its first sample: %q", lines[2])
 	}
 }
 
@@ -194,10 +247,12 @@ func TestMergeStatus(t *testing.T) {
 		Bench: "fft", State: Holding, Lower: 0.93, Upper: 0.99, Target: 0.9,
 		Margin: 0.03, PSI: 0.12, L1: 0.04,
 		Samples: 128, Decisions: 1000, Fallbacks: 10, Violations: 1,
+		FoldIns: 3, Recoveries: 1,
 	}
 	replica := BenchStatus{
 		Bench: "fft", State: Holding, // no sampler: zero guarantee fields
 		Samples: 0, Decisions: 400, Fallbacks: 4, Violations: 0,
+		ReplicaFolds: 3, // the home node's repairs landed here
 	}
 	other := BenchStatus{
 		Bench: "sobel", State: AtRisk, Lower: 0.8, Target: 0.75, Margin: 0.05,
@@ -217,6 +272,9 @@ func TestMergeStatus(t *testing.T) {
 	}
 	if fft.State != Holding || fft.Lower != 0.93 || fft.Target != 0.9 || fft.PSI != 0.12 {
 		t.Fatalf("fft guarantee fields not taken from home node: %+v", fft)
+	}
+	if fft.FoldIns != 3 || fft.Recoveries != 1 || fft.ReplicaFolds != 3 {
+		t.Fatalf("recovery columns not summed across nodes: %+v", fft)
 	}
 	if sobel != other {
 		t.Fatalf("singleton bench changed by merge: %+v", sobel)

@@ -85,6 +85,10 @@ type Config struct {
 	// (default 512). It must exceed the server's maximum in-flight skew
 	// (queue depth + workers×max batch) for cross-worker determinism.
 	Lag int
+	// Recheck arms the continuous-monitoring escalation mode
+	// (recovery.go): per-window CP trajectories, violation → sampling
+	// boost + table fold-in, and recovery-episode accounting.
+	Recheck Recheck
 }
 
 func (c Config) withDefaults() Config {
@@ -103,18 +107,22 @@ func (c Config) withDefaults() Config {
 	if c.Lag <= 0 {
 		c.Lag = 512
 	}
+	c.Recheck = c.Recheck.withDefaults(c)
 	return c
 }
 
 // Obs is one sampled observation delivered to the monitor: the request
-// identity plus whether the probe measured the approximate output as bad
-// and whether the request was routed precise (a precise routing always
-// counts as a success, mirroring the serve updater's window).
+// identity, the sampled kernel input, whether the probe measured the
+// approximate output as bad, and whether the request was routed precise
+// (a precise routing always counts as a success, mirroring the serve
+// updater's window). In must not be mutated after delivery — in recheck
+// mode the monitor retains failing inputs until the next fold-in.
 type Obs struct {
 	ID      uint32
 	Trace   uint64
 	Bad     bool
 	Precise bool
+	In      []float64
 }
 
 // Monitor re-checks one benchmark's guarantee over a sliding window of
@@ -150,6 +158,8 @@ type Monitor struct {
 	exemplars []uint32
 	exHead    int
 	exLen     int
+
+	rec recovery // recheck-mode escalation + episode state (recovery.go)
 }
 
 // NewMonitor builds a monitor for one benchmark shard. ref may be nil
@@ -185,6 +195,9 @@ func NewMonitor(bench string, g stats.Guarantee, ref *Reference, cfg Config, o *
 	o.Gauge("watch.guarantee.target." + bench).Set(g.SuccessRate)
 	o.Gauge("watch.guarantee.window." + bench).Set(float64(cfg.Window))
 	m.gState.Set(float64(Holding))
+	if cfg.Recheck.Enabled {
+		m.rec.init(m)
+	}
 	return m
 }
 
@@ -206,23 +219,23 @@ func (m *Monitor) StateName() string {
 	return m.State().String()
 }
 
-// Observe feeds one sampled observation. in is the sampled kernel input
-// (consumed immediately for the divergence histogram — bucket counts are
-// commutative, so divergence needs no reordering); the guarantee state
-// machine only advances once the observation is released from the
-// ID-ordered reorder buffer. Annotated hotpath: the monitor rides the
-// sampled-observation path, and while that path already allocates (the
-// input copy), the monitor itself must add nothing per sample — only
-// state transitions (rare, cold) may allocate.
+// Observe feeds one sampled observation. ob.In is the sampled kernel
+// input (consumed immediately for the divergence histogram — bucket
+// counts are commutative, so divergence needs no reordering); the
+// guarantee state machine only advances once the observation is released
+// from the ID-ordered reorder buffer. Annotated hotpath: the monitor
+// rides the sampled-observation path, and while that path already
+// allocates (the input copy), the monitor itself must add nothing per
+// sample — only state transitions (rare, cold) may allocate.
 //
 //mithra:hotpath
-func (m *Monitor) Observe(ob Obs, in []float64) {
+func (m *Monitor) Observe(ob Obs) {
 	if m == nil {
 		return
 	}
 	m.cSamples.Inc()
 	if m.div != nil {
-		m.div.Observe(in)
+		m.div.Observe(ob.In)
 		m.gPSI.Set(m.div.PSI())
 		m.gL1.Set(m.div.L1())
 	}
@@ -254,9 +267,23 @@ func (m *Monitor) Seen() int {
 func (m *Monitor) ingest(ob Obs) {
 	m.seen++
 	m.dwell++
-	success := ob.Precise || !ob.Bad
+	m.rec.lastID = ob.ID
+	routed := ob.Precise
+	if m.rec.reclassify != nil {
+		// Recheck mode after the first fold-in: routing is recomputed
+		// against the monitor's own deterministic table view, which
+		// advances exactly at the release index that triggered each
+		// fold-in. The served snapshot swap lands at a racy wall-clock
+		// moment relative to in-flight decisions; fold-ins are monotone
+		// (a routing the old table called precise stays precise), so the
+		// deterministic view dominates the served routing and the window
+		// accounting is byte-identical at any worker count.
+		routed = m.rec.reclassify(ob.In)
+	}
+	success := routed || !ob.Bad
 	if !success {
 		m.exemplar(ob.ID)
+		m.rec.collect(ob)
 	}
 	if m.filled == len(m.ring) {
 		if m.ring[m.head] {
@@ -280,7 +307,23 @@ func (m *Monitor) ingest(ob Obs) {
 		m.gDwell.Set(float64(m.dwell))
 		return
 	}
+	if m.cfg.Recheck.Enabled {
+		m.rec.windowTick++
+		if m.rec.windowTick >= m.cfg.Window {
+			m.rec.windowTick = 0
+			m.windowMark()
+		}
+	}
 	m.evaluate()
+	if m.cfg.Recheck.Enabled && m.state == Violated {
+		// Still violated after the entry-time fold-in: the pending set
+		// keeps growing as more of the drifted distribution is observed;
+		// fold again every RepairEvery releases until the window
+		// certifies or the episode bound trips.
+		if m.rec.sinceRepair++; m.rec.sinceRepair >= m.cfg.Recheck.RepairEvery {
+			m.repair()
+		}
+	}
 }
 
 func (m *Monitor) evaluate() {
@@ -339,10 +382,14 @@ func (m *Monitor) transition(next State, lb, margin float64) {
 		"margin":      FormatFloat(margin),
 		"exemplars":   m.exemplarList(),
 	})
+	prev := m.state
 	m.state = next
 	m.pub.Store(uint32(next))
 	m.dwell = 0
 	m.recoverStreak = 0
+	if m.cfg.Recheck.Enabled {
+		m.onTransition(prev, next)
+	}
 }
 
 // exemplar records a guarantee-relevant (failing) request ID in the

@@ -28,7 +28,7 @@ func notesObs(t *testing.T, buf *bytes.Buffer) *obs.Obs {
 
 // feed pushes one in-order observation and releases it immediately.
 func feed(m *Monitor, id uint32, bad bool) {
-	m.Observe(Obs{ID: id, Bad: bad}, nil)
+	m.Observe(Obs{ID: id, Bad: bad})
 	m.Flush()
 }
 
@@ -195,7 +195,7 @@ func TestReorderDeterminism(t *testing.T) {
 			}
 		}
 		for _, ob := range obs {
-			m.Observe(ob, nil)
+			m.Observe(ob)
 		}
 		m.Flush()
 		if m.Seen() != 300 {
@@ -219,7 +219,7 @@ func TestReorderDeterminism(t *testing.T) {
 // serve shard carries a nil monitor when watching is disarmed).
 func TestNilMonitor(t *testing.T) {
 	var m *Monitor
-	m.Observe(Obs{ID: 1}, []float64{1})
+	m.Observe(Obs{ID: 1, In: []float64{1}})
 	m.Flush()
 	if m.Seen() != 0 || m.State() != Holding || m.StateName() != "" {
 		t.Fatal("nil monitor is not inert")
